@@ -1,0 +1,73 @@
+// E3 — approximation quality vs round budget and ε (Theorems 9 and 20).
+//
+// Table A: fractional ratio as a function of the round budget, for several
+// ε, on a fixed instance — showing the 2+O(ε) plateau arriving at
+// τ ≈ log_{1+ε}(4λ/ε) and the slow drift towards 1+O(ε) afterwards.
+// Table B: the full integral pipeline (round → maximal → boost) per ε.
+#include "bench_common.hpp"
+
+#include <vector>
+
+int main() {
+  using namespace mpcalloc;
+  using namespace mpcalloc::bench;
+
+  const std::uint32_t lambda = 8;
+  const AllocationInstance instance = standard_instance(4000, 1600, lambda, 5, 42);
+  const auto opt = optimal_allocation_value(instance);
+
+  print_preamble("E3: approximation ratio vs round budget and epsilon",
+                 "Theorem 9: ratio <= 2+10eps after tau(lambda) rounds; "
+                 "Theorem 20: ratio -> 1+18eps for tau = O(log(|R|)/eps^2). "
+                 "OPT = " + std::to_string(opt));
+
+  Table table_a("fractional ratio vs rounds (lambda=8, n=5600)");
+  table_a.header({"eps", "rounds", "tau(lambda)", "ratio", "2+10e bound",
+                  "1+18e bound"});
+  for (const double eps : {0.5, 0.25, 0.1}) {
+    const std::size_t tau = tau_for_arboricity(lambda, eps);
+    for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const auto rounds = static_cast<std::size_t>(
+          std::max(1.0, factor * static_cast<double>(tau)));
+      ProportionalConfig config;
+      config.epsilon = eps;
+      config.max_rounds = rounds;
+      const ProportionalResult result = run_proportional(instance, config);
+      table_a.row({Table::num(eps, 2),
+                   Table::integer(static_cast<long long>(rounds)),
+                   Table::integer(static_cast<long long>(tau)),
+                   Table::num(approximation_ratio(opt,
+                                                  result.allocation.weight()),
+                              4),
+                   Table::num(2.0 + 10.0 * eps, 2),
+                   Table::num(1.0 + 18.0 * eps, 2)});
+    }
+  }
+  table_a.print(std::cout);
+
+  Table table_b("integral pipeline: fractional -> round -> maximal -> boost");
+  table_b.header({"eps", "frac ratio", "rounded ratio", "maximal ratio",
+                  "boosted ratio", "1+eps target"});
+  for (const double eps : {0.5, 0.25, 0.1}) {
+    Xoshiro256pp rng(1000 + static_cast<std::uint64_t>(eps * 100));
+    const ProportionalResult frac = solve_two_plus_eps(instance, lambda, eps);
+    BestOfRoundingResult rounded =
+        round_best_of(instance, frac.allocation, rng);
+    const double rounded_ratio =
+        approximation_ratio(opt, static_cast<double>(rounded.best.size()));
+    make_maximal(instance, rounded.best);
+    const double maximal_ratio =
+        approximation_ratio(opt, static_cast<double>(rounded.best.size()));
+    const BoostResult boosted =
+        boost_to_one_plus_eps(instance, rounded.best, eps);
+    table_b.row({Table::num(eps, 2),
+                 Table::num(approximation_ratio(opt, frac.allocation.weight()), 4),
+                 Table::num(rounded_ratio, 4), Table::num(maximal_ratio, 4),
+                 Table::num(approximation_ratio(
+                                opt, static_cast<double>(boosted.allocation.size())),
+                            4),
+                 Table::num(1.0 + eps, 2)});
+  }
+  table_b.print(std::cout);
+  return 0;
+}

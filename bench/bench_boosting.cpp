@@ -1,0 +1,71 @@
+// E8 — Appendix B / Theorem 1: boosting a constant-factor allocation to
+// (1+ε).
+//
+// Table A: the deterministic walk-length booster — ratio vs max walk length
+// 2k+1, verifying the (k+1)/(k+2) guarantee and showing the 1+ε knee.
+// Table B: the randomized GGM22 layered-graph booster — ratio vs iteration
+// budget, showing convergence towards the deterministic certificate.
+#include "bench_common.hpp"
+
+#include <vector>
+
+int main() {
+  using namespace mpcalloc;
+  using namespace mpcalloc::bench;
+
+  // Sparse Erdős–Rényi with unit capacities: greedy strands ~20% of OPT
+  // behind length-3+ augmenting walks, so the boosting curve is visible.
+  Xoshiro256pp gen_rng(77);
+  AllocationInstance instance;
+  instance.graph = erdos_renyi_bipartite(3000, 3000, 9000, gen_rng);
+  instance.capacities = unit_capacities(3000);
+  const auto opt = optimal_allocation_value(instance);
+  const IntegralAllocation seed = greedy_allocation(instance);
+  const double seed_ratio =
+      approximation_ratio(opt, static_cast<double>(seed.size()));
+
+  print_preamble("E8: boosting 2+eps -> 1+eps (Appendix B)",
+                 "OPT = " + std::to_string(opt) + ", greedy seed ratio = " +
+                     Table::num(seed_ratio, 4));
+
+  Table det("deterministic length-bounded booster (certificate)");
+  det.header({"walk length 2k+1", "guarantee 1+1/(k+1)", "ratio", "phases",
+              "augmentations"});
+  for (const std::size_t k : {0u, 1u, 2u, 4u, 9u}) {
+    const std::size_t length = 2 * k + 1;
+    const BoostResult result = boost_path_limited(instance, seed, length);
+    std::size_t total = 0;
+    for (const std::size_t a : result.augmentations_per_iteration) total += a;
+    det.row({Table::integer(static_cast<long long>(length)),
+             Table::num(1.0 + 1.0 / static_cast<double>(k + 2), 4),
+             Table::num(approximation_ratio(
+                            opt, static_cast<double>(result.allocation.size())),
+                        4),
+             Table::integer(static_cast<long long>(result.iterations)),
+             Table::integer(static_cast<long long>(total))});
+  }
+  det.print(std::cout);
+
+  Table ggm("randomized GGM22 layered booster (eps=0.25, k=4 layers)");
+  ggm.header({"iterations", "ratio", "walks found", "seconds"});
+  for (const std::size_t iters : {10u, 50u, 200u, 800u}) {
+    Xoshiro256pp rng(4242);
+    WallTimer timer;
+    const BoostResult result = boost_ggm22(instance, seed, 0.25, iters, rng);
+    std::size_t walks = 0;
+    for (const std::size_t a : result.augmentations_per_iteration) walks += a;
+    ggm.row({Table::integer(static_cast<long long>(iters)),
+             Table::num(approximation_ratio(
+                            opt, static_cast<double>(result.allocation.size())),
+                        4),
+             Table::integer(static_cast<long long>(walks)),
+             Table::num(timer.seconds(), 3)});
+  }
+  ggm.print(std::cout);
+  std::cout << "\nShape check: the deterministic ratio column must sit below "
+               "its guarantee column and reach ~1+eps by walk length "
+               "2*ceil(1/eps)+1; GGM22 approaches the same plateau as the "
+               "iteration budget grows (its worst-case bound is exp(O(2^k)) "
+               "iterations — vastly pessimistic in practice).\n";
+  return 0;
+}

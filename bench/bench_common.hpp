@@ -1,0 +1,41 @@
+// Shared helpers for the experiment harness (bench/bench_*.cpp).
+//
+// Every binary prints one or more tables matching a row of the experiment
+// index in DESIGN.md §3; EXPERIMENTS.md records the measured outputs.
+#pragma once
+
+#include "alloc/api.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+namespace mpcalloc::bench {
+
+/// Standard experiment instance: union-of-forests topology (λ controlled by
+/// construction) with uniform capacities in [1, cap_hi].
+inline AllocationInstance standard_instance(std::size_t num_left,
+                                            std::size_t num_right,
+                                            std::uint32_t lambda,
+                                            std::uint32_t cap_hi,
+                                            std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(num_left, num_right, lambda, rng);
+  instance.capacities = cap_hi <= 1
+                            ? unit_capacities(num_right)
+                            : uniform_capacities(num_right, 1, cap_hi, rng);
+  return instance;
+}
+
+inline void print_preamble(const std::string& experiment_id,
+                           const std::string& claim) {
+  std::cout << "\n=============================================================\n"
+            << experiment_id << "\n" << claim << "\n"
+            << "=============================================================\n";
+}
+
+}  // namespace mpcalloc::bench

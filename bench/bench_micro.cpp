@@ -1,0 +1,90 @@
+// E11 — engineering micro-benchmarks (google-benchmark): the per-round
+// sweep that dominates every driver, the exact-OPT oracle, generators, and
+// the degeneracy peel. These are throughput baselines, not paper claims.
+#include "alloc/api.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace mpcalloc;
+
+AllocationInstance instance_for(std::size_t n_left, std::uint32_t lambda) {
+  Xoshiro256pp rng(7);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(n_left, n_left / 2, lambda, rng);
+  instance.capacities = uniform_capacities(n_left / 2, 1, 5, rng);
+  return instance;
+}
+
+void BM_GeneratorUnionOfForests(benchmark::State& state) {
+  Xoshiro256pp rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(union_of_forests(n, n / 2, 8, rng));
+  }
+}
+BENCHMARK(BM_GeneratorUnionOfForests)->Arg(1000)->Arg(10000);
+
+void BM_DegeneracyPeel(benchmark::State& state) {
+  const AllocationInstance instance =
+      instance_for(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_arboricity(instance.graph));
+  }
+}
+BENCHMARK(BM_DegeneracyPeel)->Arg(1000)->Arg(10000);
+
+void BM_ProportionalRound(benchmark::State& state) {
+  // One full Algorithm-1 round: left aggregation + alloc + update.
+  const AllocationInstance instance =
+      instance_for(static_cast<std::size_t>(state.range(0)), 8);
+  const PowTable pow_table(0.25);
+  std::vector<std::int32_t> levels(instance.graph.num_right(), 0);
+  std::size_t round = 1;
+  for (auto _ : state) {
+    const LeftAggregate left =
+        compute_left_aggregate(instance.graph, levels, pow_table);
+    const std::vector<double> alloc =
+        compute_alloc(instance.graph, levels, left, pow_table);
+    apply_level_update(instance, alloc, 0.25, round++, nullptr, levels);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(instance.graph.num_edges()));
+}
+BENCHMARK(BM_ProportionalRound)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_DinicOptimal(benchmark::State& state) {
+  const AllocationInstance instance =
+      instance_for(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_allocation_value(instance));
+  }
+}
+BENCHMARK(BM_DinicOptimal)->Arg(1000)->Arg(10000);
+
+void BM_RoundingPass(benchmark::State& state) {
+  const AllocationInstance instance =
+      instance_for(static_cast<std::size_t>(state.range(0)), 8);
+  const FractionalAllocation frac =
+      solve_two_plus_eps(instance, 8.0, 0.25).allocation;
+  Xoshiro256pp rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round_fractional(instance, frac, rng));
+  }
+}
+BENCHMARK(BM_RoundingPass)->Arg(1000)->Arg(10000);
+
+void BM_PathBoosterFromGreedy(benchmark::State& state) {
+  const AllocationInstance instance =
+      instance_for(static_cast<std::size_t>(state.range(0)), 8);
+  const IntegralAllocation seed = greedy_allocation(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boost_path_limited(instance, seed, 5));
+  }
+}
+BENCHMARK(BM_PathBoosterFromGreedy)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E5b — Theorem 3's space accounting: n^α words per machine (enforced by
+// the Cluster) and Õ(λn) total memory.
+//
+// Sweep the degree (λ ≈ d/2) of left-regular instances at fixed n and
+// report the enforced per-machine high-watermark against S, the peak total
+// resident words against the ~λn-word input, and the exponentiation ball
+// volumes that eq. (4)'s phase length keeps below S.
+#include "bench_common.hpp"
+
+#include <vector>
+
+int main() {
+  using namespace mpcalloc;
+  using namespace mpcalloc::bench;
+
+  const double eps = 0.25;
+  const std::size_t n = 1600;
+
+  print_preamble("E5b: MPC memory accounting",
+                 "Theorem 3: n^alpha local memory, O~(lambda*n) total memory; "
+                 "ball volumes must fit a machine (eq. 4)");
+
+  Table table("left-regular L=R=1600, alpha=0.8");
+  table.header({"degree", "m (=d*n)", "S words", "peak machine", "peak/S",
+                "peak total", "total/input", "ball max |V|"});
+
+  for (const std::uint32_t degree : {4u, 8u, 16u, 32u, 64u}) {
+    Xoshiro256pp rng(90 + degree);
+    AllocationInstance instance;
+    instance.graph = left_regular(n, n, degree, rng);
+    instance.capacities = uniform_capacities(n, 1, 5, rng);
+    const std::uint64_t input_words =
+        2 * instance.graph.num_edges() + instance.graph.num_vertices();
+
+    MpcDriverConfig config;
+    config.epsilon = eps;
+    config.alpha = 0.8;
+    config.samples_per_group = 4;
+    config.seed = 10;
+    config.lambda = degree / 2.0;
+    const MpcRunResult phased = run_mpc_phased(instance, config);
+
+    table.row(
+        {Table::integer(degree),
+         Table::integer(static_cast<long long>(instance.graph.num_edges())),
+         Table::integer(static_cast<long long>(phased.machine_words)),
+         Table::integer(static_cast<long long>(phased.peak_machine_words)),
+         Table::num(static_cast<double>(phased.peak_machine_words) /
+                        static_cast<double>(phased.machine_words),
+                    3),
+         Table::integer(static_cast<long long>(phased.peak_total_words)),
+         Table::num(static_cast<double>(phased.peak_total_words) /
+                        static_cast<double>(input_words),
+                    2),
+         Table::integer(static_cast<long long>(phased.max_ball_volume))});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: peak/S stays <= 1 (the Cluster throws "
+               "otherwise); total memory stays a small constant multiple of "
+               "the lambda*n-word input.\n";
+  return 0;
+}

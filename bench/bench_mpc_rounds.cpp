@@ -1,0 +1,76 @@
+// E5a — Theorem 3/10: MPC round complexity of the phased (Algorithm 2 +
+// graph exponentiation) driver vs the naive one-LOCAL-round-per-O(1)-MPC-
+// rounds baseline, across arboricity.
+//
+// Instances are degree-bounded left-regular graphs (λ ≈ d/2): eq. (4)'s
+// ball-volume constraint (d^B ≤ min(λ-ish, S)) is the real physics of the
+// algorithm, and unbounded-degree inputs at finite n overflow machines for
+// B ≥ 2 — the Cluster enforces this. Columns:
+//   * naive MPC rounds      — Θ(log λ), 8 charged rounds per LOCAL round;
+//   * phased, B per eq. (4) — the paper's safe choice at these (small) n;
+//   * phased, forced B = 2  — the compression the theorem buys once balls
+//                             fit, halving the per-LOCAL-round cost ("ball
+//                             overflow" if the S-word budget rejects it).
+#include "bench_common.hpp"
+
+#include <vector>
+
+int main() {
+  using namespace mpcalloc;
+  using namespace mpcalloc::bench;
+
+  const double eps = 0.25;
+  const std::size_t n = 1600;
+
+  print_preamble("E5a: MPC rounds, naive vs phased driver",
+                 "Theorem 3: O~(sqrt(log lambda)) MPC rounds in the sublinear "
+                 "regime vs O(log lambda) for the naive simulation");
+
+  Table table("left-regular L=R=1600, caps U[1,5], alpha=0.8, eps=0.25");
+  table.header({"degree", "lambda lb", "local rounds", "naive MPC",
+                "phased MPC (eq.4 B)", "phased MPC (B=2)", "ratio (B=2)"});
+
+  for (const std::uint32_t degree : {4u, 8u, 16u, 32u, 64u}) {
+    Xoshiro256pp rng(40 + degree);
+    AllocationInstance instance;
+    instance.graph = left_regular(n, n, degree, rng);
+    instance.capacities = uniform_capacities(n, 1, 5, rng);
+    const auto lambda_lb = estimate_arboricity(instance.graph).lower_bound;
+
+    MpcDriverConfig config;
+    config.epsilon = eps;
+    config.alpha = 0.8;
+    config.samples_per_group = 4;
+    config.seed = 9;
+    config.lambda = lambda_lb;
+
+    const MpcRunResult naive = run_mpc_naive(instance, config);
+    const MpcRunResult phased = run_mpc_phased(instance, config);
+
+    MpcDriverConfig forced = config;
+    forced.phase_length = 2;
+    std::string forced_rounds = "ball overflow";
+    std::string forced_ratio = "-";
+    try {
+      const MpcRunResult result = run_mpc_phased(instance, forced);
+      forced_rounds = Table::integer(static_cast<long long>(result.mpc_rounds));
+      forced_ratio = Table::num(fractional_ratio(instance, result.allocation), 3);
+    } catch (const mpc::MpcCapacityError&) {
+      // B exceeded eq. (4)'s safe value for this degree/S combination.
+    }
+
+    table.row({Table::integer(degree), Table::integer(lambda_lb),
+               Table::integer(static_cast<long long>(naive.local_rounds)),
+               Table::integer(static_cast<long long>(naive.mpc_rounds)),
+               Table::integer(static_cast<long long>(phased.mpc_rounds)),
+               forced_rounds, forced_ratio});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: the naive column grows ~linearly in log lambda "
+               "(Theta(log lambda) MPC rounds); phasing with B=2 cuts the "
+               "per-LOCAL-round cost roughly in half wherever the radius-2 "
+               "balls fit in S — the sqrt(log lambda) compression of Theorem "
+               "3, whose asymptotic B needs n (and S=n^alpha) far beyond a "
+               "laptop-scale simulation.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Online-ads scenario (the paper's motivating application, §1): impressions
+// (L side) must be assigned to advertisers (R side) whose budgets are the
+// capacities. Impression-advertiser eligibility follows a skewed power-law
+// graph — a few broad-targeting advertisers see most impressions.
+//
+// The example contrasts the proportional-allocation pipeline against the
+// greedy baseline on fill rate (fraction of budget spent) and allocation
+// size, and prints the per-advertiser fill distribution, since AZM18's
+// original motivation was *diverse* (high-entropy) allocations.
+//
+// Build & run:  ./build/examples/ad_allocation [--impressions=20000]
+#include "alloc/api.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace mpcalloc;
+
+  CliParser cli("ad allocation example");
+  cli.option("impressions", "20000", "number of impressions (L side)");
+  cli.option("advertisers", "400", "number of advertisers (R side)");
+  cli.option("eps", "0.25", "accuracy parameter");
+  cli.option("seed", "7", "RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto impressions = static_cast<std::size_t>(cli.get_int("impressions"));
+  const auto advertisers = static_cast<std::size_t>(cli.get_int("advertisers"));
+  const double eps = cli.get_double("eps");
+  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // Eligibility graph: power-law on both sides (broad advertisers early).
+  AllocationInstance instance;
+  instance.graph = power_law_bipartite(impressions, advertisers,
+                                       impressions * 4, 0.8, rng);
+  // Budgets proportional to reach, at ~40% of eligible volume.
+  instance.capacities = degree_proportional_capacities(instance.graph, 0.4);
+
+  const auto opt = optimal_allocation_value(instance);
+  const auto budget = instance.total_capacity();
+  std::printf("eligibility graph: %s\n", instance.graph.describe().c_str());
+  std::printf("total budget %llu, max sellable (OPT) %llu\n",
+              static_cast<unsigned long long>(budget),
+              static_cast<unsigned long long>(opt));
+
+  // Proportional pipeline.
+  const ProportionalResult frac = solve_adaptive(instance, eps);
+  BestOfRoundingResult rounded = round_best_of(instance, frac.allocation, rng);
+  make_maximal(instance, rounded.best);
+  const BoostResult boosted = boost_to_one_plus_eps(instance, rounded.best, eps);
+
+  // Greedy baseline.
+  const IntegralAllocation greedy = greedy_allocation(instance);
+
+  auto fill_rates = [&](const IntegralAllocation& m) {
+    std::vector<double> used(advertisers, 0.0);
+    for (const EdgeId e : m.edges) used[instance.graph.edge(e).v] += 1.0;
+    std::vector<double> rates;
+    for (Vertex v = 0; v < advertisers; ++v) {
+      rates.push_back(used[v] / static_cast<double>(instance.capacities[v]));
+    }
+    return rates;
+  };
+
+  Table table("impressions sold and budget fill");
+  table.header({"method", "sold", "ratio vs OPT", "mean fill", "p10 fill",
+                "p90 fill"});
+  auto add_row = [&](const char* name, const IntegralAllocation& m) {
+    const Summary s = summarize(fill_rates(m));
+    table.row({name, Table::integer(static_cast<long long>(m.size())),
+               Table::num(approximation_ratio(opt,
+                                              static_cast<double>(m.size())),
+                          4),
+               Table::pct(s.mean, 1), Table::pct(s.p10, 1),
+               Table::pct(s.p90, 1)});
+  };
+  add_row("greedy", greedy);
+  add_row("proportional+rounding", rounded.best);
+  add_row("proportional+boost", boosted.allocation);
+  table.print(std::cout);
+
+  std::printf("\nproportional converged in %zu rounds (lambda-oblivious); "
+              "greedy needs a full sequential pass over all impressions.\n",
+              frac.rounds_executed);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// alloc_solve — command-line allocation solver over the instance/solution
+// file formats of graph/io.hpp. The entry point a downstream user scripts
+// against without writing C++.
+//
+//   # generate a test instance, solve it, verify the solution
+//   ./build/examples/alloc_solve --generate=out.alloc --n=5000 --lambda=8
+//   ./build/examples/alloc_solve --instance=out.alloc --algorithm=pipeline \
+//       --solution=out.sol
+//   ./build/examples/alloc_solve --instance=out.alloc --verify=out.sol
+//
+// Algorithms: greedy | proportional (fractional report only) | pipeline
+// (proportional → round → maximal → boost) | exact (Dinic).
+#include "alloc/api.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace mpcalloc;
+
+int generate(const CliParser& cli) {
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto lambda = static_cast<std::uint32_t>(cli.get_int("lambda"));
+  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  AllocationInstance instance;
+  instance.graph = union_of_forests(n, n / 3, lambda, rng);
+  instance.capacities = uniform_capacities(
+      n / 3, 1, static_cast<std::uint32_t>(cli.get_int("max-capacity")), rng);
+  save_instance(cli.get("generate"), instance);
+  std::printf("wrote %s: %s\n", cli.get("generate").c_str(),
+              instance.graph.describe().c_str());
+  return 0;
+}
+
+int verify(const CliParser& cli, const AllocationInstance& instance) {
+  const IntegralAllocation solution =
+      load_solution(cli.get("verify"), instance);
+  const auto opt = optimal_allocation_value(instance);
+  std::printf("solution %s: %zu pairs, valid; OPT = %llu, ratio = %.4f\n",
+              cli.get("verify").c_str(), solution.size(),
+              static_cast<unsigned long long>(opt),
+              approximation_ratio(opt, static_cast<double>(solution.size())));
+  return 0;
+}
+
+int solve(const CliParser& cli, const AllocationInstance& instance) {
+  const std::string algorithm = cli.get("algorithm");
+  const double eps = cli.get_double("eps");
+  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  WallTimer timer;
+
+  IntegralAllocation solution;
+  if (algorithm == "greedy") {
+    solution = greedy_allocation(instance);
+  } else if (algorithm == "exact") {
+    solution = solve_optimal_allocation(instance).allocation;
+  } else if (algorithm == "proportional" || algorithm == "pipeline") {
+    const ProportionalResult frac = solve_adaptive(instance, eps);
+    std::printf("fractional: weight %.1f after %zu rounds (certified: %s)\n",
+                frac.allocation.weight(), frac.rounds_executed,
+                frac.stopped_by_condition ? "yes" : "no");
+    if (algorithm == "proportional") {
+      const auto opt = optimal_allocation_value(instance);
+      std::printf("fractional ratio vs OPT %llu: %.4f (%.2fs)\n",
+                  static_cast<unsigned long long>(opt),
+                  approximation_ratio(opt, frac.allocation.weight()),
+                  timer.seconds());
+      return 0;
+    }
+    BestOfRoundingResult rounded =
+        round_best_of(instance, frac.allocation, rng);
+    make_maximal(instance, rounded.best);
+    solution = boost_to_one_plus_eps(instance, rounded.best, eps).allocation;
+  } else {
+    std::fprintf(stderr, "unknown --algorithm=%s\n", algorithm.c_str());
+    return 1;
+  }
+
+  const auto opt = optimal_allocation_value(instance);
+  std::printf("%s: %zu pairs, ratio %.4f vs OPT %llu  (%.2fs)\n",
+              algorithm.c_str(), solution.size(),
+              approximation_ratio(opt, static_cast<double>(solution.size())),
+              static_cast<unsigned long long>(opt), timer.seconds());
+  if (!cli.get("solution").empty()) {
+    save_solution(cli.get("solution"), instance, solution);
+    std::printf("wrote %s\n", cli.get("solution").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpcalloc;
+  CliParser cli("mpc-alloc command-line solver");
+  cli.option("instance", "", "instance file to solve");
+  cli.option("algorithm", "pipeline", "greedy|proportional|pipeline|exact");
+  cli.option("solution", "", "write the integral solution here");
+  cli.option("verify", "", "verify this solution file against --instance");
+  cli.option("generate", "", "write a generated instance to this path");
+  cli.option("n", "5000", "generated |L|");
+  cli.option("lambda", "8", "generated arboricity");
+  cli.option("max-capacity", "6", "generated capacity upper bound");
+  cli.option("eps", "0.25", "accuracy parameter");
+  cli.option("seed", "1", "RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    if (!cli.get("generate").empty()) return generate(cli);
+    if (cli.get("instance").empty()) {
+      std::fprintf(stderr, "need --instance=<file> or --generate=<file>\n");
+      return 1;
+    }
+    const AllocationInstance instance = load_instance(cli.get("instance"));
+    if (!cli.get("verify").empty()) return verify(cli, instance);
+    return solve(cli, instance);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

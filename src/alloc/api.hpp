@@ -1,0 +1,37 @@
+// Umbrella public header for the mpc-alloc library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   #include "alloc/api.hpp"
+//   using namespace mpcalloc;
+//
+//   Xoshiro256pp rng(42);
+//   BipartiteGraph g = union_of_forests(10'000, 2'000, /*lambda=*/4, rng);
+//   AllocationInstance instance{std::move(g), uniform_capacities(2'000, 1, 8, rng)};
+//
+//   // (2+ε)-approximate fractional allocation in O(log λ) rounds (Thm 2):
+//   ProportionalResult frac = solve_adaptive(instance, /*epsilon=*/0.25);
+//
+//   // Round to an integral allocation (Section 6) and boost to 1+ε (Thm 1):
+//   auto rounded = round_best_of(instance, frac.allocation, rng);
+//   make_maximal(instance, rounded.best);
+//   auto boosted = boost_to_one_plus_eps(instance, rounded.best, 0.1);
+#pragma once
+
+#include "alloc/boosting.hpp"
+#include "alloc/levels.hpp"
+#include "alloc/local_host.hpp"
+#include "alloc/matching_reduction.hpp"
+#include "alloc/mpc_driver.hpp"
+#include "alloc/proportional.hpp"
+#include "alloc/rounding.hpp"
+#include "alloc/sampled.hpp"
+#include "alloc/sampling.hpp"
+#include "alloc/verify.hpp"
+#include "flow/greedy.hpp"
+#include "flow/optimal_allocation.hpp"
+#include "graph/allocation.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"

@@ -1,0 +1,366 @@
+#include "alloc/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+namespace {
+
+constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+/// Mutable view of an integral allocation supporting O(1) reassignment of an
+/// L vertex between R partners. Residual capacity of v is implicit:
+/// C_v − |matched_at[v]|.
+class AllocationState {
+ public:
+  AllocationState(const AllocationInstance& instance,
+                  const IntegralAllocation& initial)
+      : instance_(instance),
+        match_edge_(instance.graph.num_left(), kNoEdge),
+        matched_at_(instance.graph.num_right()),
+        position_(instance.graph.num_left(), 0) {
+    initial.check_valid(instance);
+    for (const EdgeId e : initial.edges) {
+      attach(instance.graph.edge(e).u, e);
+    }
+  }
+
+  [[nodiscard]] const AllocationInstance& instance() const { return instance_; }
+  [[nodiscard]] EdgeId match_edge(Vertex u) const { return match_edge_[u]; }
+  [[nodiscard]] bool is_free(Vertex u) const { return match_edge_[u] == kNoEdge; }
+  [[nodiscard]] std::uint32_t slack(Vertex v) const {
+    return instance_.capacities[v] -
+           static_cast<std::uint32_t>(matched_at_[v].size());
+  }
+  [[nodiscard]] const std::vector<Vertex>& matched_at(Vertex v) const {
+    return matched_at_[v];
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Move u's match to edge e (which must be incident to u); detaches from
+  /// the previous partner first. e == kNoEdge frees u.
+  void reassign(Vertex u, EdgeId e) {
+    if (match_edge_[u] != kNoEdge) detach(u);
+    if (e != kNoEdge) attach(u, e);
+  }
+
+  [[nodiscard]] IntegralAllocation extract() const {
+    IntegralAllocation out;
+    for (Vertex u = 0; u < match_edge_.size(); ++u) {
+      if (match_edge_[u] != kNoEdge) out.edges.push_back(match_edge_[u]);
+    }
+    return out;
+  }
+
+ private:
+  void attach(Vertex u, EdgeId e) {
+    const Vertex v = instance_.graph.edge(e).v;
+    match_edge_[u] = e;
+    position_[u] = matched_at_[v].size();
+    matched_at_[v].push_back(u);
+    ++size_;
+  }
+
+  void detach(Vertex u) {
+    const Vertex v = instance_.graph.edge(match_edge_[u]).v;
+    auto& list = matched_at_[v];
+    const std::size_t pos = position_[u];
+    list[pos] = list.back();
+    position_[list[pos]] = pos;
+    list.pop_back();
+    match_edge_[u] = kNoEdge;
+    --size_;
+  }
+
+  const AllocationInstance& instance_;
+  std::vector<EdgeId> match_edge_;
+  std::vector<std::vector<Vertex>> matched_at_;
+  std::vector<std::size_t> position_;  ///< index of u inside matched_at_[v]
+  std::size_t size_ = 0;
+};
+
+/// One Hopcroft–Karp phase over the residual structure with BFS depth cap
+/// `max_pairs` (a walk of 2d+1 edges visits d matched pairs). Returns the
+/// number of augmentations applied.
+class PathPhase {
+ public:
+  PathPhase(AllocationState& state, std::uint32_t max_pairs)
+      : state_(state),
+        graph_(state.instance().graph),
+        max_pairs_(max_pairs),
+        dist_(graph_.num_left(), kUnreached),
+        visited_(graph_.num_left(), 0) {}
+
+  std::size_t run() {
+    if (!bfs()) return 0;
+    std::size_t augmented = 0;
+    for (Vertex u = 0; u < graph_.num_left(); ++u) {
+      if (state_.is_free(u) && dist_[u] == 0 && !visited_[u]) {
+        visited_[u] = 1;
+        if (dfs(u)) ++augmented;
+      }
+    }
+    return augmented;
+  }
+
+ private:
+  /// Layer the L vertices by alternating-walk distance from the free ones.
+  /// Returns true iff some free-capacity R vertex is reachable in budget.
+  bool bfs() {
+    std::fill(dist_.begin(), dist_.end(), kUnreached);
+    std::queue<Vertex> queue;
+    for (Vertex u = 0; u < graph_.num_left(); ++u) {
+      if (state_.is_free(u)) {
+        dist_[u] = 0;
+        queue.push(u);
+      }
+    }
+    bool reachable = false;
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop();
+      for (const Incidence& inc : graph_.left_neighbors(u)) {
+        if (inc.edge == state_.match_edge(u)) continue;
+        const Vertex v = inc.to;
+        if (state_.slack(v) > 0) reachable = true;
+        // Displacing a partner of v adds one matched pair to the walk; only
+        // expand while the budget allows a deeper pair.
+        if (dist_[u] >= max_pairs_) continue;
+        for (const Vertex w : state_.matched_at(v)) {
+          if (dist_[w] == kUnreached) {
+            dist_[w] = dist_[u] + 1;
+            queue.push(w);
+          }
+        }
+      }
+    }
+    return reachable;
+  }
+
+  /// Augment along one walk: find v with slack (terminal) or displace a
+  /// matched partner one layer deeper, then claim v.
+  bool dfs(Vertex u) {
+    for (const Incidence& inc : graph_.left_neighbors(u)) {
+      if (inc.edge == state_.match_edge(u)) continue;
+      if (state_.slack(inc.to) > 0) {
+        state_.reassign(u, inc.edge);
+        return true;
+      }
+    }
+    if (dist_[u] >= max_pairs_) return false;
+    for (const Incidence& inc : graph_.left_neighbors(u)) {
+      if (inc.edge == state_.match_edge(u)) continue;
+      const Vertex v = inc.to;
+      // Local copy: recursive dfs calls mutate matched_at(v), and a member
+      // scratch buffer would be clobbered across recursion levels.
+      const std::vector<Vertex> partners(state_.matched_at(v).begin(),
+                                         state_.matched_at(v).end());
+      for (const Vertex w : partners) {
+        if (visited_[w] || dist_[w] != dist_[u] + 1) continue;
+        visited_[w] = 1;
+        if (dfs(w)) {
+          // w vacated one unit of v's capacity; u takes it.
+          state_.reassign(u, inc.edge);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  AllocationState& state_;
+  const BipartiteGraph& graph_;
+  std::uint32_t max_pairs_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::uint8_t> visited_;
+};
+
+}  // namespace
+
+BoostResult boost_path_limited(const AllocationInstance& instance,
+                               const IntegralAllocation& initial,
+                               std::size_t max_walk_length) {
+  instance.validate();
+  if (max_walk_length % 2 == 0 || max_walk_length == 0) {
+    throw std::invalid_argument(
+        "boost_path_limited: walk length must be odd (alternating walk)");
+  }
+  const auto max_pairs = static_cast<std::uint32_t>((max_walk_length - 1) / 2);
+  AllocationState state(instance, initial);
+
+  BoostResult result;
+  for (;;) {
+    PathPhase phase(state, max_pairs);
+    const std::size_t augmented = phase.run();
+    if (augmented == 0) break;
+    ++result.iterations;
+    result.augmentations_per_iteration.push_back(augmented);
+  }
+  result.allocation = state.extract();
+  result.allocation.check_valid(instance);
+  return result;
+}
+
+BoostResult boost_to_one_plus_eps(const AllocationInstance& instance,
+                                  const IntegralAllocation& initial,
+                                  double epsilon) {
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("boost_to_one_plus_eps: epsilon > 0");
+  }
+  const auto k = static_cast<std::size_t>(std::ceil(1.0 / epsilon));
+  return boost_path_limited(instance, initial, 2 * k + 1);
+}
+
+BoostResult boost_ggm22(const AllocationInstance& instance,
+                        const IntegralAllocation& initial, double epsilon,
+                        std::size_t iterations, Xoshiro256pp& rng) {
+  instance.validate();
+  if (!(epsilon > 0.0)) throw std::invalid_argument("boost_ggm22: epsilon > 0");
+  const auto k = static_cast<std::uint32_t>(std::ceil(1.0 / epsilon));
+  const auto& g = instance.graph;
+  AllocationState state(instance, initial);
+
+  BoostResult result;
+  result.augmentations_per_iteration.reserve(iterations);
+
+  // Arc bookkeeping per iteration: matched edge e sits in layer layer_of[e]
+  // (0 = unassigned), oriented tail v → head u, consumable once per layer
+  // graph. pred_* record the chaining so completed walks can be replayed.
+  std::vector<std::uint32_t> arc_layer(g.num_edges(), 0);
+  std::vector<std::uint8_t> arc_active(g.num_edges(), 0);
+  std::vector<EdgeId> pred_edge(g.num_edges(), kNoEdge);
+  std::vector<std::uint32_t> edge_slot(g.num_edges(), 0);
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    ++result.iterations;
+
+    // Walk-length parameter for this layer graph: a walk survives only if
+    // it spans every layer, so a fixed k preserves only length-(2k+1)
+    // walks. Sampling j ∈ {0..k} per iteration covers every length ≤ 2k+1
+    // across iterations (adaptation of Appendix B; see DESIGN.md §1).
+    const auto j = static_cast<std::uint32_t>(rng.uniform(k + 1));
+
+    // Step 3: every matched edge picks a uniform layer in [1, j].
+    std::vector<std::vector<EdgeId>> arcs_in_layer(j + 2);
+    for (Vertex u = 0; u < g.num_left(); ++u) {
+      const EdgeId e = state.match_edge(u);
+      if (e == kNoEdge) continue;
+      const auto layer =
+          j == 0 ? 0 : 1 + static_cast<std::uint32_t>(rng.uniform(j));
+      arc_layer[e] = layer;
+      arc_active[e] = 0;
+      pred_edge[e] = kNoEdge;
+      if (layer > 0) arcs_in_layer[layer].push_back(e);
+    }
+    // Step 4: every unmatched edge picks a uniform slot in [0, j]; slot i
+    // connects heads of layer i to tails of layer i+1.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      edge_slot[e] = static_cast<std::uint32_t>(rng.uniform(j + 1));
+    }
+
+    // Arc-multiplicity still consumable at each R vertex per layer, plus
+    // a pointer to one unconsumed arc (rebuilt per layer below).
+    std::vector<std::uint32_t> remaining_slack(g.num_right());
+    for (Vertex v = 0; v < g.num_right(); ++v) {
+      remaining_slack[v] = state.slack(v);
+    }
+
+    // Active heads of the current layer. Layer 0's heads are the free L
+    // vertices; deeper heads are the L endpoints of arcs reached by a walk.
+    std::vector<Vertex> heads;
+    for (Vertex u = 0; u < g.num_left(); ++u) {
+      if (state.is_free(u)) heads.push_back(u);
+    }
+    std::vector<EdgeId> head_via(g.num_left(), kNoEdge);  // arc that made u a head
+
+    std::vector<std::pair<Vertex, EdgeId>> completed;  // (final head, closing edge)
+
+    for (std::uint32_t layer = 0; layer <= j && !heads.empty(); ++layer) {
+      // Unconsumed arcs of layer+1 grouped by tail vertex.
+      std::vector<std::vector<EdgeId>> tails(g.num_right());
+      if (layer + 1 <= j) {
+        for (const EdgeId arc : arcs_in_layer[layer + 1]) {
+          tails[g.edge(arc).v].push_back(arc);
+        }
+      }
+      std::vector<Vertex> next_heads;
+      for (const Vertex u : heads) {
+        bool advanced = false;
+        for (const Incidence& inc : g.left_neighbors(u)) {
+          const EdgeId e = inc.edge;
+          if (e == state.match_edge(u)) continue;  // matched edges are arcs
+          if (edge_slot[e] != layer) continue;
+          const Vertex v = inc.to;
+          if (layer == j) {
+            // Terminal slot: v must have residual capacity.
+            if (remaining_slack[v] > 0) {
+              --remaining_slack[v];
+              completed.emplace_back(u, e);
+              advanced = true;
+              break;
+            }
+          } else if (!tails[v].empty()) {
+            const EdgeId arc = tails[v].back();
+            tails[v].pop_back();
+            arc_active[arc] = 1;
+            pred_edge[arc] = e;
+            const Vertex next_u = g.edge(arc).u;
+            head_via[next_u] = arc;
+            next_heads.push_back(next_u);
+            advanced = true;
+            break;
+          }
+        }
+        (void)advanced;
+      }
+      heads = std::move(next_heads);
+    }
+
+    // Replay completed walks backwards: the closing edge re-matches its
+    // head; each displaced head re-matches along the edge that reached it.
+    std::size_t augmentations = 0;
+    for (const auto& [final_head, closing_edge] : completed) {
+      // Collect the chain first (reassign invalidates match pointers).
+      // Walk backwards: u_t takes the closing edge; each shallower head
+      // u_{j} takes the connector edge that reached u_{j+1}'s arc.
+      std::vector<std::pair<Vertex, EdgeId>> chain;  // (u, new edge for u)
+      Vertex u = final_head;
+      EdgeId new_edge = closing_edge;
+      for (;;) {
+        chain.emplace_back(u, new_edge);
+        const EdgeId via = head_via[u];  // the arc (matched edge) owning u
+        if (via == kNoEdge) break;       // reached the free layer-0 head
+        new_edge = pred_edge[via];       // connector that consumed the arc
+        u = g.edge(new_edge).u;
+      }
+      // Apply from the deep end: the final head claims fresh capacity, every
+      // shallower vertex claims the unit its successor vacated.
+      for (const auto& [vertex, edge] : chain) {
+        state.reassign(vertex, edge);
+      }
+      augmentations += 1;
+    }
+    result.augmentations_per_iteration.push_back(augmentations);
+
+    // Reset per-iteration arc marks for matched edges (cheap sweep).
+    for (auto& layer_arcs : arcs_in_layer) {
+      for (const EdgeId e : layer_arcs) {
+        arc_layer[e] = 0;
+        arc_active[e] = 0;
+        pred_edge[e] = kNoEdge;
+      }
+    }
+    std::fill(head_via.begin(), head_via.end(), kNoEdge);
+  }
+
+  result.allocation = state.extract();
+  result.allocation.check_valid(instance);
+  return result;
+}
+
+}  // namespace mpcalloc

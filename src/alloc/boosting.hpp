@@ -1,0 +1,58 @@
+// Boosting a constant-factor allocation to (1+ε) (Theorem 1 / Appendix B).
+//
+// The paper plugs its (2+ε) algorithm into the Ghaffari–Grunau–Mitrović
+// [GGM22] b-matching framework, specialised to allocation in Appendix B.2:
+// free L vertices populate layer 0, free R capacity populates layer k+1,
+// matched edges land in a uniformly random intermediate layer (oriented
+// R → L), unmatched edges (oriented L → R) are assigned a random slot and
+// connect heads of layer i to tails of layer i+1; augmenting walks that
+// survive the random layering are found by chaining per-layer allocations
+// and applied.
+//
+// Two implementations are provided (see DESIGN.md §1 for the rationale):
+//
+//  * boost_path_limited — the deterministic certificate: eliminate every
+//    augmenting walk of length ≤ 2k+1 by Hopcroft–Karp-style phases on the
+//    residual structure. When none remain, |M| ≥ (k+1)/(k+2)·OPT, so
+//    k = ⌈1/ε⌉ certifies a (1+ε)-approximation outright.
+//
+//  * boost_ggm22 — the randomized layered-graph iteration of Appendix B,
+//    faithful in structure; its worst-case iteration count (exp(O(2^k))
+//    walk survival) is astronomically conservative, so callers run it for
+//    a fixed budget and bench E8 measures the actual convergence.
+#pragma once
+
+#include "graph/allocation.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcalloc {
+
+struct BoostResult {
+  IntegralAllocation allocation;
+  std::size_t iterations = 0;  ///< phases (path booster) / layer graphs (GGM22)
+  std::vector<std::size_t> augmentations_per_iteration;
+};
+
+/// Deterministic booster: repeatedly eliminates augmenting walks of length
+/// ≤ `max_walk_length` (odd; in edges). On return no such walk exists, so
+/// with max_walk_length = 2k+1 the result is a (1+1/(k+1))-approximation.
+[[nodiscard]] BoostResult boost_path_limited(const AllocationInstance& instance,
+                                             const IntegralAllocation& initial,
+                                             std::size_t max_walk_length);
+
+/// Convenience: (1+ε) certificate via boost_path_limited with k = ⌈1/ε⌉.
+[[nodiscard]] BoostResult boost_to_one_plus_eps(
+    const AllocationInstance& instance, const IntegralAllocation& initial,
+    double epsilon);
+
+/// Randomized GGM22 layered-graph booster (Appendix B.2 specialisation),
+/// run for `iterations` independent layer graphs with k = ⌈1/ε⌉ layers.
+[[nodiscard]] BoostResult boost_ggm22(const AllocationInstance& instance,
+                                      const IntegralAllocation& initial,
+                                      double epsilon, std::size_t iterations,
+                                      Xoshiro256pp& rng);
+
+}  // namespace mpcalloc

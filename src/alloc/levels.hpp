@@ -1,0 +1,79 @@
+// Priority values in integer log-space.
+//
+// Algorithm 1 only ever multiplies or divides β_v by (1+ε), so every
+// priority is exactly β_v = (1+ε)^{level_v} for an integer level_v. Storing
+// the level instead of the float value has two payoffs:
+//
+//  1. The level sets L_j of the analysis (Section 4) are exact integer
+//     buckets — no float-equality bucketing.
+//  2. For the (1+ε) regime τ reaches Θ(log(|R|/ε)/ε²) ≈ 10⁴ rounds, where
+//     (1+ε)^τ overflows double. All aggregations therefore exponentiate
+//     *level differences relative to the neighbourhood maximum*, which are
+//     ≤ 0, through a clamped lookup table.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mpcalloc {
+
+/// Fast, safe evaluation of (1+ε)^d for integer d ≤ 0 (d > 0 allowed up to
+/// a small positive range for estimator slack). Values below ~1e-300 clamp
+/// to 0 — exactly the regime where the paper's analysis (Theorem 9) argues
+/// the contribution is negligible (≤ ε/4λ per edge).
+class PowTable {
+ public:
+  explicit PowTable(double epsilon, int positive_range = 64);
+
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+
+  /// (1+ε)^d, clamped to 0 for very negative d; throws for d beyond the
+  /// positive range (callers always normalise by the max level first).
+  [[nodiscard]] double pow(std::int64_t d) const {
+    if (d >= 0) {
+      if (d > positive_range_) {
+        throw std::out_of_range("PowTable::pow: positive exponent too large");
+      }
+      return positive_[static_cast<std::size_t>(d)];
+    }
+    const std::int64_t idx = -d;
+    if (idx >= static_cast<std::int64_t>(negative_.size())) return 0.0;
+    return negative_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Number of representable negative steps before clamping to zero.
+  [[nodiscard]] std::int64_t underflow_depth() const {
+    return static_cast<std::int64_t>(negative_.size());
+  }
+
+ private:
+  double epsilon_;
+  int positive_range_;
+  std::vector<double> negative_;  ///< negative_[k] = (1+ε)^{-k}
+  std::vector<double> positive_;  ///< positive_[k] = (1+ε)^{+k}
+};
+
+inline PowTable::PowTable(double epsilon, int positive_range)
+    : epsilon_(epsilon), positive_range_(positive_range) {
+  if (!(epsilon > 0.0) || !(epsilon <= 1.0)) {
+    throw std::invalid_argument("PowTable: epsilon must be in (0, 1]");
+  }
+  const double log1p_eps = std::log1p(epsilon);
+  // (1+ε)^{-k} < 1e-300  ⇔  k > 300·ln(10)/ln(1+ε).
+  const auto depth = static_cast<std::size_t>(
+      std::ceil(300.0 * std::log(10.0) / log1p_eps)) + 2;
+  negative_.resize(depth);
+  positive_.resize(static_cast<std::size_t>(positive_range) + 1);
+  negative_[0] = 1.0;
+  for (std::size_t k = 1; k < depth; ++k) {
+    negative_[k] = negative_[k - 1] / (1.0 + epsilon);
+  }
+  positive_[0] = 1.0;
+  for (std::size_t k = 1; k < positive_.size(); ++k) {
+    positive_[k] = positive_[k - 1] * (1.0 + epsilon);
+  }
+}
+
+}  // namespace mpcalloc

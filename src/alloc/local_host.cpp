@@ -1,0 +1,111 @@
+#include "alloc/local_host.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+using local::LocalNetwork;
+using local::Message;
+using local::ProcessorContext;
+using local::Side;
+
+LocalHostResult run_proportional_local(const AllocationInstance& instance,
+                                       const ProportionalConfig& config) {
+  instance.validate();
+  if (config.stop_rule != StopRule::kFixedRounds) {
+    // The Section-4 remark itself notes the termination condition is not
+    // known to be checkable in O(1) LOCAL rounds; it is an MPC-side test.
+    throw std::invalid_argument(
+        "run_proportional_local: adaptive stop rule is MPC-only");
+  }
+  if (config.max_rounds == 0) {
+    throw std::invalid_argument("run_proportional_local: max_rounds >= 1");
+  }
+
+  const auto& g = instance.graph;
+  const PowTable pow_table(config.epsilon);
+  LocalNetwork net(g);
+
+  // Processor-private state. Indexed by vertex id, but each handler reads
+  // and writes only its own vertex's entries — locality is preserved.
+  std::vector<std::int32_t> levels(g.num_right(), 0);
+  std::vector<std::int32_t> start_levels(g.num_right(), 0);
+  std::vector<double> alloc(g.num_right(), 0.0);
+  // L-side processors remember the levels their neighbours announced.
+  std::vector<std::vector<std::int32_t>> known_levels(g.num_left());
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    known_levels[u].assign(g.left_degree(u), 0);
+  }
+
+  // Init round: every R processor announces its priority level.
+  net.step([&](ProcessorContext& ctx) {
+    if (ctx.side() == Side::kRight) {
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        ctx.send(i, Message{static_cast<double>(levels[ctx.vertex()])});
+      }
+    }
+  });
+
+  for (std::size_t round = 1; round <= config.max_rounds; ++round) {
+    // Step A: L processors absorb announced levels, compute the
+    // proportional fractions, and push each term to its R endpoint.
+    net.step([&](ProcessorContext& ctx) {
+      if (ctx.side() != Side::kLeft) return;
+      const Vertex u = ctx.vertex();
+      auto& known = known_levels[u];
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        const Message& msg = ctx.incoming(i);
+        if (!msg.empty()) known[i] = static_cast<std::int32_t>(msg[0]);
+      }
+      if (ctx.degree() == 0) return;
+      std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
+      for (const std::int32_t level : known) max_level = std::max(max_level, level);
+      double denom = 0.0;
+      for (const std::int32_t level : known) {
+        denom += pow_table.pow(level - max_level);
+      }
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        ctx.send(i, Message{pow_table.pow(known[i] - max_level) / denom});
+      }
+    });
+
+    // Step B: R processors sum the incoming terms (incidence order — the
+    // same order as compute_alloc), update their level, and re-announce.
+    net.step([&](ProcessorContext& ctx) {
+      if (ctx.side() != Side::kRight) return;
+      const Vertex v = ctx.vertex();
+      start_levels[v] = levels[v];
+      double total = 0.0;
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        const Message& msg = ctx.incoming(i);
+        if (!msg.empty()) total += msg[0];
+      }
+      alloc[v] = total;
+      const double k = config.threshold_k ? config.threshold_k(v, round) : 1.0;
+      const double cap = static_cast<double>(instance.capacities[v]);
+      if (total <= cap / (1.0 + k * config.epsilon)) {
+        ++levels[v];
+      } else if (total >= cap * (1.0 + k * config.epsilon)) {
+        --levels[v];
+      }
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        ctx.send(i, Message{static_cast<double>(levels[v])});
+      }
+    });
+  }
+
+  LocalHostResult out;
+  out.result.allocation =
+      materialize_allocation(instance, start_levels, alloc, pow_table);
+  out.result.match_weight = match_weight(instance, alloc);
+  out.result.rounds_executed = config.max_rounds;
+  out.result.final_levels = std::move(levels);
+  out.result.final_alloc = std::move(alloc);
+  out.local_rounds = net.rounds();
+  out.messages_sent = net.messages_sent();
+  out.max_message_words = net.max_message_words();
+  return out;
+}
+
+}  // namespace mpcalloc

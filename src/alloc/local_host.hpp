@@ -1,0 +1,29 @@
+// Algorithm 1 hosted on the LOCAL message-passing runtime.
+//
+// This is the paper's algorithm *as a distributed protocol*: one algorithm
+// round costs two LOCAL rounds (L-side fan-out of fractional terms, R-side
+// fan-out of updated priorities) plus one initial priority announcement.
+// Every message is O(1) words, which is what lets AZM18's algorithm port to
+// sublinear MPC (Section 1.2.1); tests assert both the message bound and
+// bit-for-bit agreement with the vectorised engine in proportional.cpp.
+#pragma once
+
+#include "alloc/proportional.hpp"
+#include "graph/allocation.hpp"
+#include "local/network.hpp"
+
+namespace mpcalloc {
+
+struct LocalHostResult {
+  ProportionalResult result;
+  std::size_t local_rounds = 0;        ///< LOCAL rounds consumed (2τ+1)
+  std::uint64_t messages_sent = 0;
+  std::size_t max_message_words = 0;   ///< should stay O(1)
+};
+
+/// Run `rounds` algorithm rounds of Algorithm 1 (threshold_k from config is
+/// honoured, stop rule must be kFixedRounds) through a LocalNetwork.
+[[nodiscard]] LocalHostResult run_proportional_local(
+    const AllocationInstance& instance, const ProportionalConfig& config);
+
+}  // namespace mpcalloc

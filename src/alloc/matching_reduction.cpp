@@ -1,0 +1,75 @@
+#include "alloc/matching_reduction.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+SplitGraph split_capacities(const AllocationInstance& instance,
+                            std::size_t max_edges) {
+  instance.validate();
+  const auto& g = instance.graph;
+
+  std::uint64_t total_copies = 0;
+  std::uint64_t total_edges = 0;
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    total_copies += instance.capacities[v];
+    total_edges +=
+        static_cast<std::uint64_t>(instance.capacities[v]) * g.right_degree(v);
+  }
+  if (total_edges > max_edges) {
+    throw std::length_error(
+        "split_capacities: reduced graph would have " +
+        std::to_string(total_edges) + " edges (limit " +
+        std::to_string(max_edges) + ") — this blow-up is Remark 1's point");
+  }
+
+  SplitGraph out;
+  out.first_copy.resize(g.num_right());
+  out.copy_owner.reserve(total_copies);
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    out.first_copy[v] = out.copy_owner.size();
+    for (std::uint32_t c = 0; c < instance.capacities[v]; ++c) {
+      out.copy_owner.push_back(v);
+    }
+  }
+
+  BipartiteGraphBuilder builder(g.num_left(), out.copy_owner.size());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const std::size_t first = out.first_copy[ed.v];
+    for (std::uint32_t c = 0; c < instance.capacities[ed.v]; ++c) {
+      builder.add_edge(ed.u, static_cast<Vertex>(first + c));
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+IntegralAllocation lift_matching(const AllocationInstance& instance,
+                                 const SplitGraph& split,
+                                 const IntegralAllocation& split_matching) {
+  // Map each matched split edge (u, copy) back to the original (u, v) edge.
+  // Distinct copies of the same v may match distinct u's — each becomes one
+  // unit of v's capacity, exactly the allocation semantics.
+  std::map<std::pair<Vertex, Vertex>, EdgeId> original_edge;
+  const auto& g = instance.graph;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    original_edge[{g.edge(e).u, g.edge(e).v}] = e;
+  }
+
+  IntegralAllocation out;
+  for (const EdgeId se : split_matching.edges) {
+    const Edge& sed = split.graph.edge(se);
+    const Vertex v = split.copy_owner[sed.v];
+    const auto it = original_edge.find({sed.u, v});
+    if (it == original_edge.end()) {
+      throw std::logic_error("lift_matching: split edge has no original");
+    }
+    out.edges.push_back(it->second);
+  }
+  out.check_valid(instance);
+  return out;
+}
+
+}  // namespace mpcalloc

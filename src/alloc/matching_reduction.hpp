@@ -1,0 +1,34 @@
+// The vertex-splitting reduction from allocation to maximum matching, and
+// why it fails on low-arboricity inputs (Remark 1 of the paper).
+//
+// The reduction replaces every v ∈ R by C_v copies, each adjacent to all of
+// N(v); allocations of G correspond to matchings of the split graph. The
+// paper's point: this can inflate arboricity from 1 to Θ(n) (a star whose
+// center has capacity n−1 becomes K_{n-1,n-1}), so arboricity-parameterised
+// matching algorithms gain nothing through it. Experiment E7 measures the
+// blow-up and compares solution quality.
+#pragma once
+
+#include "graph/allocation.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace mpcalloc {
+
+struct SplitGraph {
+  BipartiteGraph graph;                 ///< L unchanged; R side = capacity copies
+  std::vector<Vertex> copy_owner;       ///< split R index → original v
+  std::vector<std::size_t> first_copy;  ///< original v → first split index
+};
+
+/// Build the split graph. Size guard: throws std::length_error if the
+/// reduced edge count Σ_v C_v·deg(v) exceeds `max_edges`.
+[[nodiscard]] SplitGraph split_capacities(const AllocationInstance& instance,
+                                          std::size_t max_edges = 50'000'000);
+
+/// Map a matching of the split graph (as an allocation with unit caps on
+/// the split side) back to an allocation of the original instance.
+[[nodiscard]] IntegralAllocation lift_matching(
+    const AllocationInstance& instance, const SplitGraph& split,
+    const IntegralAllocation& split_matching);
+
+}  // namespace mpcalloc

@@ -1,0 +1,257 @@
+#include "alloc/mpc_driver.hpp"
+
+#include "alloc/proportional.hpp"
+#include "mpc/exponentiation.hpp"
+#include "mpc/primitives.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+namespace {
+
+using mpc::Cluster;
+using mpc::DistVec;
+using mpc::Word;
+
+/// Input footprint in words: every edge appears in both endpoint adjacency
+/// lists, plus one word per vertex of state.
+std::uint64_t input_words(const AllocationInstance& instance) {
+  return 2 * static_cast<std::uint64_t>(instance.graph.num_edges()) +
+         instance.graph.num_vertices();
+}
+
+double effective_lambda(const AllocationInstance& instance, double lambda) {
+  if (lambda >= 1.0) return lambda;
+  return static_cast<double>(std::max<std::size_t>(
+      instance.graph.num_vertices(), 2));
+}
+
+/// Double <-> Word bit bridging for DistVec payloads.
+Word pack(double d) { return std::bit_cast<Word>(d); }
+double unpack(Word w) { return std::bit_cast<double>(w); }
+
+void add_doubles(std::span<Word> accum, std::span<const Word> next) {
+  for (std::size_t i = 1; i < accum.size(); ++i) {
+    accum[i] = pack(unpack(accum[i]) + unpack(next[i]));
+  }
+}
+
+}  // namespace
+
+std::size_t phase_length_for(double lambda, double epsilon, double alpha,
+                             std::size_t n) {
+  const double log_n = std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
+  const double log_lambda = std::log2(std::max(lambda, 2.0));
+  const double budget = std::min(alpha * log_n, log_lambda);
+  const double b = std::sqrt(budget) / std::sqrt(8.0 * epsilon);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::floor(b)));
+}
+
+MpcRunResult run_mpc_naive(const AllocationInstance& instance,
+                           const MpcDriverConfig& config) {
+  instance.validate();
+  const auto& g = instance.graph;
+  const double lambda = effective_lambda(instance, config.lambda);
+  const std::size_t tau = tau_for_arboricity(lambda, config.epsilon);
+  const PowTable pow_table(config.epsilon);
+  Xoshiro256pp rng(config.seed);
+
+  Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
+  MpcRunResult result;
+  result.machine_words = cluster.machine_words();
+  result.num_machines = cluster.num_machines();
+
+  std::vector<std::int32_t> levels(g.num_right(), 0);
+  std::vector<std::int32_t> start_levels(g.num_right(), 0);
+  std::vector<double> alloc(g.num_right(), 0.0);
+
+  // The naive regime never runs longer than O(log λ) rounds at constant ε,
+  // so raw β values stay comfortably within double range and the records
+  // can carry them directly.
+  for (std::size_t round = 1; round <= tau; ++round) {
+    start_levels = levels;
+
+    // Aggregation 1: denominators β_u = Σ_{v∈N_u} β_v via (key=u, β_v)
+    // records flowing through the cluster. 3 MPC rounds (sample sort +
+    // boundary merge inside sum_by_key).
+    std::vector<Word> records;
+    records.reserve(2 * g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      records.push_back(ed.u);
+      records.push_back(pack(std::pow(1.0 + config.epsilon,
+                                      static_cast<double>(levels[ed.v]))));
+    }
+    DistVec denom_vec = cluster.scatter(records, 2);
+    mpc::reduce_by_key(cluster, denom_vec, add_doubles, rng);
+    std::vector<double> denom(g.num_left(), 0.0);
+    {
+      const std::vector<Word> flat = denom_vec.gather();
+      for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
+        denom[static_cast<Vertex>(flat[i])] = unpack(flat[i + 1]);
+      }
+    }
+    // Join: ship β_u back to the edge records — 1 round.
+    cluster.charge_rounds(1);
+
+    // Aggregation 2: alloc_v = Σ_{u∈N_v} β_v/β_u via (key=v, term) records.
+    records.clear();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      const double beta_v =
+          std::pow(1.0 + config.epsilon, static_cast<double>(levels[ed.v]));
+      records.push_back(ed.v);
+      records.push_back(pack(denom[ed.u] > 0.0 ? beta_v / denom[ed.u] : 0.0));
+    }
+    DistVec alloc_vec = cluster.scatter(records, 2);
+    mpc::reduce_by_key(cluster, alloc_vec, add_doubles, rng);
+    std::fill(alloc.begin(), alloc.end(), 0.0);
+    {
+      const std::vector<Word> flat = alloc_vec.gather();
+      for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
+        alloc[static_cast<Vertex>(flat[i])] = unpack(flat[i + 1]);
+      }
+    }
+    // Join alloc_v back to the R-vertex records — 1 round; the level update
+    // itself is machine-local (vertices are records).
+    cluster.charge_rounds(1);
+    apply_level_update(instance, alloc, config.epsilon, round, nullptr, levels);
+    result.local_rounds = round;
+
+    if (config.adaptive_termination) {
+      // The §4 test is O(1) MPC rounds (two aggregations + a broadcast).
+      cluster.charge_rounds(2);
+      const TerminationCheck check = check_termination(
+          instance, levels, alloc, round, config.epsilon);
+      if (check.satisfied) {
+        result.stopped_by_condition = true;
+        break;
+      }
+    }
+  }
+
+  result.allocation =
+      materialize_allocation(instance, start_levels, alloc, pow_table);
+  cluster.charge_rounds(2);  // materialisation = one more aggregation pass
+  result.match_weight = match_weight(instance, alloc);
+  result.mpc_rounds = cluster.rounds();
+  result.peak_machine_words = cluster.peak_machine_words();
+  result.peak_total_words = cluster.peak_total_words();
+  return result;
+}
+
+MpcRunResult run_mpc_phased(const AllocationInstance& instance,
+                            const MpcDriverConfig& config) {
+  instance.validate();
+  const double lambda = effective_lambda(instance, config.lambda);
+  const std::size_t b =
+      config.phase_length > 0
+          ? config.phase_length
+          : phase_length_for(lambda, config.epsilon, config.alpha,
+                             instance.graph.num_vertices());
+  const std::size_t tau = tau_for_arboricity(lambda, config.epsilon);
+
+  Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
+  MpcRunResult result;
+  result.machine_words = cluster.machine_words();
+  result.num_machines = cluster.num_machines();
+
+  // The input edge list is resident on the cluster for the whole run
+  // (input placement is free in the model, but the space it occupies is
+  // not): scatter it so the per-machine and total space accounting reflect
+  // the Õ(λn)-word input, not just the exponentiation balls.
+  {
+    std::vector<Word> flat;
+    flat.reserve(2 * instance.graph.num_edges());
+    for (const Edge& ed : instance.graph.edges()) {
+      flat.push_back(ed.u);
+      flat.push_back(ed.v);
+    }
+    (void)cluster.scatter(flat, 2);
+  }
+
+  Xoshiro256pp rng(config.seed);
+  SampledConfig sampled;
+  sampled.epsilon = config.epsilon;
+  sampled.phase_length = b;
+  sampled.samples_per_group = config.samples_per_group;
+  sampled.max_rounds = tau;
+  sampled.adaptive_termination = config.adaptive_termination;
+  sampled.on_phase_subgraph =
+      [&](const std::vector<std::vector<std::uint32_t>>& adjacency) {
+        // Per phase: level grouping + sampling = one sort pass (3 rounds);
+        // ball collection by exponentiation (charged inside, and each
+        // ball's volume is checked against S); write-back of updated
+        // priorities (1 round).
+        cluster.charge_rounds(3);
+        const mpc::BallCollection balls = mpc::collect_balls(
+            cluster, adjacency, static_cast<std::uint32_t>(b));
+        result.max_ball_volume =
+            std::max(result.max_ball_volume,
+                     static_cast<std::uint64_t>(balls.max_ball_vertices));
+        cluster.charge_rounds(1);
+        if (config.adaptive_termination) cluster.charge_rounds(2);
+      };
+
+  SampledResult run = run_sampled(instance, sampled, rng);
+  cluster.charge_rounds(2);  // exact output materialisation pass
+
+  result.allocation = std::move(run.allocation);
+  result.match_weight = run.match_weight;
+  result.local_rounds = run.rounds_executed;
+  result.phases = run.phases_executed;
+  result.stopped_by_condition = run.stopped_by_condition;
+  result.mpc_rounds = cluster.rounds();
+  result.peak_machine_words = cluster.peak_machine_words();
+  result.peak_total_words = cluster.peak_total_words();
+  return result;
+}
+
+MpcRunResult run_mpc_unknown_lambda(const AllocationInstance& instance,
+                                    const MpcDriverConfig& config) {
+  instance.validate();
+  const double n =
+      static_cast<double>(std::max<std::size_t>(instance.graph.num_vertices(), 2));
+
+  MpcRunResult total;
+  std::size_t trial = 0;
+  for (;;) {
+    ++trial;
+    // Trial i guesses √(log2 λ_i) = 2^i, i.e. log2 λ_i = 4^i.
+    const double log2_lambda = std::pow(4.0, static_cast<double>(trial));
+    const bool last_possible = log2_lambda >= std::log2(n);
+    const double lambda = last_possible ? n : std::exp2(log2_lambda);
+
+    MpcDriverConfig attempt = config;
+    attempt.lambda = lambda;
+    attempt.adaptive_termination = true;
+    attempt.seed = config.seed + trial;
+
+    MpcRunResult r = run_mpc_phased(instance, attempt);
+    total.mpc_rounds += r.mpc_rounds;
+    total.local_rounds += r.local_rounds;
+    total.phases += r.phases;
+    total.peak_machine_words =
+        std::max(total.peak_machine_words, r.peak_machine_words);
+    total.peak_total_words = std::max(total.peak_total_words, r.peak_total_words);
+    total.max_ball_volume = std::max(total.max_ball_volume, r.max_ball_volume);
+    total.machine_words = r.machine_words;
+    total.num_machines = r.num_machines;
+
+    if (r.stopped_by_condition || last_possible) {
+      total.allocation = std::move(r.allocation);
+      total.match_weight = r.match_weight;
+      total.stopped_by_condition = r.stopped_by_condition;
+      total.trials = trial;
+      return total;
+    }
+  }
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,78 @@
+// The sublinear-MPC allocation pipeline (Theorems 3 and 10).
+//
+// Two drivers, both running against the accounting Cluster of src/mpc/:
+//
+//  * run_mpc_naive — the baseline the paper improves on (Section 1.2.1):
+//    simulate Algorithm 1 one LOCAL round at a time; every round costs O(1)
+//    MPC rounds of sorting/aggregation (the per-edge β sums really flow
+//    through Cluster DistVecs), for O(log λ) (or O(log n)) MPC rounds total.
+//
+//  * run_mpc_phased — the paper's contribution: execute Algorithm 2 in
+//    phases of B LOCAL rounds; per phase, sample level groups (O(1) MPC
+//    rounds), collect radius-B balls of the sampled subgraph by graph
+//    exponentiation (⌈log2 B⌉+1 rounds, *enforcing* that each ball fits in
+//    S words — the constraint behind eq. (4)), simulate the B rounds
+//    machine-locally (free), write back (1 round), and optionally test the
+//    Section-4 termination condition (O(1) rounds). With B = Θ(√(log λ)),
+//    the total is Õ(√log λ) MPC rounds.
+//
+//  * run_mpc_unknown_lambda — the λ-oblivious wrapper (Section 3.2.2):
+//    trial i assumes √(log λ_i) = 2^i, runs the phased driver with the
+//    adaptive termination test, and doubles the guess when the test fails;
+//    total cost is a constant factor over the known-λ run.
+#pragma once
+
+#include "alloc/sampled.hpp"
+#include "graph/allocation.hpp"
+#include "mpc/cluster.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace mpcalloc {
+
+struct MpcDriverConfig {
+  double epsilon = 0.25;
+  double alpha = 0.7;              ///< S = (input words)^alpha
+  std::size_t samples_per_group = 8;  ///< t of Algorithm 2 (benches sweep)
+  std::uint64_t seed = 1;
+
+  /// Phased driver: override B (0 ⇒ derive from eq. (4) given lambda).
+  std::size_t phase_length = 0;
+  /// Known arboricity for τ / B selection (naive + phased drivers).
+  double lambda = 0.0;  ///< ≤ 0 ⇒ use n as the trivial upper bound
+  /// Run the Section-4 adaptive termination test at phase ends.
+  bool adaptive_termination = false;
+};
+
+struct MpcRunResult {
+  FractionalAllocation allocation;
+  double match_weight = 0.0;
+  std::size_t local_rounds = 0;     ///< Algorithm-1 rounds simulated
+  std::size_t phases = 0;           ///< phased driver only
+  std::size_t mpc_rounds = 0;       ///< Cluster round counter
+  std::uint64_t peak_machine_words = 0;
+  std::uint64_t peak_total_words = 0;
+  std::size_t machine_words = 0;    ///< S
+  std::size_t num_machines = 0;
+  std::size_t trials = 1;           ///< λ-doubling trials (unknown-λ driver)
+  bool stopped_by_condition = false;
+  std::uint64_t max_ball_volume = 0;  ///< largest exponentiation ball (vertices);
+                                      ///< its word volume is enforced ≤ S and
+                                      ///< folded into peak_machine_words
+};
+
+/// Derive eq. (4)'s phase length: B = max(1, ⌊min(√(α·log n), √(log λ))/√(8ε)⌋).
+[[nodiscard]] std::size_t phase_length_for(double lambda, double epsilon,
+                                           double alpha, std::size_t n);
+
+[[nodiscard]] MpcRunResult run_mpc_naive(const AllocationInstance& instance,
+                                         const MpcDriverConfig& config);
+
+[[nodiscard]] MpcRunResult run_mpc_phased(const AllocationInstance& instance,
+                                          const MpcDriverConfig& config);
+
+[[nodiscard]] MpcRunResult run_mpc_unknown_lambda(
+    const AllocationInstance& instance, const MpcDriverConfig& config);
+
+}  // namespace mpcalloc

@@ -1,0 +1,213 @@
+#include "alloc/proportional.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+LeftAggregate compute_left_aggregate(const BipartiteGraph& graph,
+                                     const std::vector<std::int32_t>& levels,
+                                     const PowTable& pow_table) {
+  LeftAggregate agg;
+  agg.max_level.assign(graph.num_left(), std::numeric_limits<std::int32_t>::min());
+  agg.scaled_denominator.assign(graph.num_left(), 0.0);
+  for (Vertex u = 0; u < graph.num_left(); ++u) {
+    const auto neighbors = graph.left_neighbors(u);
+    if (neighbors.empty()) continue;
+    std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
+    for (const Incidence& inc : neighbors) {
+      max_level = std::max(max_level, levels[inc.to]);
+    }
+    double denom = 0.0;
+    for (const Incidence& inc : neighbors) {
+      denom += pow_table.pow(levels[inc.to] - max_level);
+    }
+    agg.max_level[u] = max_level;
+    agg.scaled_denominator[u] = denom;
+  }
+  return agg;
+}
+
+std::vector<double> compute_alloc(const BipartiteGraph& graph,
+                                  const std::vector<std::int32_t>& levels,
+                                  const LeftAggregate& left,
+                                  const PowTable& pow_table) {
+  std::vector<double> alloc(graph.num_right(), 0.0);
+  for (Vertex v = 0; v < graph.num_right(); ++v) {
+    double total = 0.0;
+    for (const Incidence& inc : graph.right_neighbors(v)) {
+      const Vertex u = inc.to;
+      // x_{u,v} = (1+ε)^{level_v} / Σ_{v'} (1+ε)^{level_{v'}}, evaluated as
+      // (1+ε)^{level_v − max_u} / scaled_denominator_u to stay in range.
+      total += pow_table.pow(levels[v] - left.max_level[u]) /
+               left.scaled_denominator[u];
+    }
+    alloc[v] = total;
+  }
+  return alloc;
+}
+
+std::size_t apply_level_update(
+    const AllocationInstance& instance, const std::vector<double>& alloc,
+    double epsilon, std::size_t round,
+    const std::function<double(Vertex, std::size_t)>& threshold_k,
+    std::vector<std::int32_t>& levels) {
+  std::size_t changed = 0;
+  for (Vertex v = 0; v < instance.graph.num_right(); ++v) {
+    const double k = threshold_k ? threshold_k(v, round) : 1.0;
+    const double cap = static_cast<double>(instance.capacities[v]);
+    if (alloc[v] <= cap / (1.0 + k * epsilon)) {
+      ++levels[v];
+      ++changed;
+    } else if (alloc[v] >= cap * (1.0 + k * epsilon)) {
+      --levels[v];
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+FractionalAllocation materialize_allocation(
+    const AllocationInstance& instance,
+    const std::vector<std::int32_t>& start_levels,
+    const std::vector<double>& alloc, const PowTable& pow_table) {
+  const auto& g = instance.graph;
+  const LeftAggregate left = compute_left_aggregate(g, start_levels, pow_table);
+  FractionalAllocation out;
+  out.x.assign(g.num_edges(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (g.left_degree(ed.u) == 0) continue;
+    const double x = pow_table.pow(start_levels[ed.v] - left.max_level[ed.u]) /
+                     left.scaled_denominator[ed.u];
+    const double cap = static_cast<double>(instance.capacities[ed.v]);
+    const double scale = alloc[ed.v] > cap ? cap / alloc[ed.v] : 1.0;
+    out.x[e] = x * scale;
+  }
+  return out;
+}
+
+double match_weight(const AllocationInstance& instance,
+                    const std::vector<double>& alloc) {
+  double total = 0.0;
+  for (Vertex v = 0; v < instance.graph.num_right(); ++v) {
+    total += std::min(alloc[v], static_cast<double>(instance.capacities[v]));
+  }
+  return total;
+}
+
+TerminationCheck check_termination(const AllocationInstance& instance,
+                                   const std::vector<std::int32_t>& levels,
+                                   const std::vector<double>& alloc,
+                                   std::size_t round, double epsilon) {
+  const auto& g = instance.graph;
+  const auto top = static_cast<std::int32_t>(round);
+  const auto bottom = -static_cast<std::int32_t>(round);
+
+  TerminationCheck check;
+  std::vector<std::uint8_t> left_marked(g.num_left(), 0);
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    if (levels[v] == top) {
+      for (const Incidence& inc : g.right_neighbors(v)) {
+        if (!left_marked[inc.to]) {
+          left_marked[inc.to] = 1;
+          ++check.neighbors_of_top;
+        }
+      }
+    }
+    if (levels[v] == bottom) ++check.bottom_size;
+    if (levels[v] > bottom) check.mass_above_bottom += alloc[v];
+  }
+  const auto n_top = static_cast<double>(check.neighbors_of_top);
+  check.satisfied =
+      check.neighbors_of_top <= check.bottom_size ||
+      check.mass_above_bottom >= (1.0 - epsilon / 2.0) * n_top;
+  return check;
+}
+
+ProportionalResult run_proportional(const AllocationInstance& instance,
+                                    const ProportionalConfig& config) {
+  instance.validate();
+  if (config.max_rounds == 0) {
+    throw std::invalid_argument("run_proportional: max_rounds must be >= 1");
+  }
+  const PowTable pow_table(config.epsilon);
+  const auto& g = instance.graph;
+
+  ProportionalResult result;
+  std::vector<std::int32_t> levels(g.num_right(), 0);
+  std::vector<std::int32_t> start_levels;
+  std::vector<double> alloc;
+
+  for (std::size_t round = 1; round <= config.max_rounds; ++round) {
+    start_levels = levels;  // β values at the start of this round
+    const LeftAggregate left = compute_left_aggregate(g, levels, pow_table);
+    alloc = compute_alloc(g, levels, left, pow_table);
+    apply_level_update(instance, alloc, config.epsilon, round,
+                       config.threshold_k, levels);
+    result.rounds_executed = round;
+    if (config.track_weight_history) {
+      result.weight_history.push_back(match_weight(instance, alloc));
+    }
+    if (config.stop_rule == StopRule::kAdaptive) {
+      const TerminationCheck check =
+          check_termination(instance, levels, alloc, round, config.epsilon);
+      if (check.satisfied) {
+        result.stopped_by_condition = true;
+        break;
+      }
+    }
+  }
+
+  result.allocation =
+      materialize_allocation(instance, start_levels, alloc, pow_table);
+  result.match_weight = match_weight(instance, alloc);
+  result.final_levels = std::move(levels);
+  result.final_alloc = std::move(alloc);
+  return result;
+}
+
+std::size_t tau_for_arboricity(double lambda, double epsilon) {
+  if (lambda < 1.0) lambda = 1.0;
+  if (!(epsilon > 0.0)) throw std::invalid_argument("tau: epsilon > 0 required");
+  const double tau =
+      std::log(4.0 * lambda / epsilon) / std::log1p(epsilon) + 1.0;
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(tau)));
+}
+
+std::size_t tau_for_one_plus_eps(std::size_t num_right, double epsilon) {
+  if (!(epsilon > 0.0)) throw std::invalid_argument("tau: epsilon > 0 required");
+  const double r = static_cast<double>(std::max<std::size_t>(num_right, 2));
+  const double tau = 2.0 * std::log(2.0 * r / epsilon) / (epsilon * epsilon) +
+                     1.0 / epsilon;
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(tau)));
+}
+
+ProportionalResult solve_two_plus_eps(const AllocationInstance& instance,
+                                      double lambda, double epsilon) {
+  ProportionalConfig config;
+  config.epsilon = epsilon;
+  config.max_rounds = tau_for_arboricity(lambda, epsilon);
+  config.stop_rule = StopRule::kFixedRounds;
+  return run_proportional(instance, config);
+}
+
+ProportionalResult solve_adaptive(const AllocationInstance& instance,
+                                  double epsilon, std::size_t safety_cap) {
+  ProportionalConfig config;
+  config.epsilon = epsilon;
+  config.stop_rule = StopRule::kAdaptive;
+  // λ ≤ n always, so τ(n, ε) is a valid hard cap for the adaptive loop.
+  config.max_rounds =
+      safety_cap > 0
+          ? safety_cap
+          : tau_for_arboricity(
+                static_cast<double>(std::max<std::size_t>(
+                    instance.graph.num_vertices(), 2)),
+                epsilon);
+  return run_proportional(instance, config);
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,141 @@
+// The proportional allocation algorithm (Algorithm 1 of the paper, due to
+// Agrawal–Zadimoghaddam–Mirrokni [AZM18]) and its loose-threshold variant
+// (Algorithm 3, appendix A), in a vectorised engine.
+//
+// Per round r = 1..τ:
+//   each u ∈ L:  x_{u,v} = β_v / Σ_{v'∈N_u} β_{v'}          (line 2)
+//   each v ∈ R:  alloc_v = Σ_{u∈N_v} x_{u,v}                 (line 3)
+//   each v ∈ R:  β_v *= (1+ε)  if alloc_v ≤ C_v/(1+k_{v,r}ε) (line 4)
+//                β_v /= (1+ε)  if alloc_v ≥ C_v(1+k_{v,r}ε)
+// then lines 5–6 scale each v's incoming fractions by min(1, C_v/alloc_v).
+//
+// The paper's two analyses of the same loop:
+//   * Theorem 9:  τ ≥ log_{1+ε}(4λ/ε)+1  ⇒  (2+10ε)-approximation.
+//   * Theorem 20 (AZM18 + appendix A.3): τ ≥ 2·log(2|R|/ε)/ε² + 1/ε ⇒
+//     (1+18ε)-approximation.
+//
+// The engine also implements the Section-4 remark's λ-oblivious termination
+// rule: stop as soon as |N(L_top)| ≤ |L_bottom| or the allocation mass from
+// N(L_top) into non-bottom levels is ≥ (1−ε/2)|N(L_top)|; either certifies
+// a (2+10ε)-approximation without knowing λ.
+#pragma once
+
+#include "alloc/levels.hpp"
+#include "graph/allocation.hpp"
+#include "graph/bipartite_graph.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mpcalloc {
+
+/// How the round loop decides to stop.
+enum class StopRule : std::uint8_t {
+  kFixedRounds,   ///< run exactly `max_rounds` rounds
+  kAdaptive,      ///< Section-4 remark's condition (λ-oblivious); max_rounds
+                  ///< still acts as a hard safety cap
+};
+
+struct ProportionalConfig {
+  double epsilon = 0.25;
+  std::size_t max_rounds = 0;  ///< must be ≥ 1 for kFixedRounds
+  StopRule stop_rule = StopRule::kFixedRounds;
+
+  /// Algorithm 3's loose thresholds: k_{v,r} per vertex and round. Empty ⇒
+  /// Algorithm 1 (k ≡ 1). Values must lie in [1/k_bound, k_bound] for the
+  /// appendix-A guarantees to apply; the engine does not enforce this.
+  std::function<double(Vertex v, std::size_t round)> threshold_k;
+
+  /// Record MatchWeight after every round (costs one extra pass per round).
+  bool track_weight_history = false;
+};
+
+struct ProportionalResult {
+  FractionalAllocation allocation;      ///< feasible output of lines 5–6
+  double match_weight = 0.0;            ///< Σ_v min(C_v, alloc_v)
+  std::size_t rounds_executed = 0;
+  bool stopped_by_condition = false;    ///< true iff kAdaptive triggered
+  std::vector<std::int32_t> final_levels;  ///< β_v = (1+ε)^{level_v}, per v∈R
+  std::vector<double> final_alloc;      ///< alloc_v of the last round
+  std::vector<double> weight_history;   ///< per-round MatchWeight if tracked
+};
+
+/// Run the engine. Throws std::invalid_argument on bad config.
+[[nodiscard]] ProportionalResult run_proportional(
+    const AllocationInstance& instance, const ProportionalConfig& config);
+
+/// τ(λ, ε) = ⌈log_{1+ε}(4λ/ε)⌉ + 1 — Theorem 9's round budget.
+[[nodiscard]] std::size_t tau_for_arboricity(double lambda, double epsilon);
+
+/// τ(|R|, ε) = ⌈2·log(2|R|/ε)/ε²⌉ + ⌈1/ε⌉ — Theorem 20's round budget.
+[[nodiscard]] std::size_t tau_for_one_plus_eps(std::size_t num_right,
+                                               double epsilon);
+
+/// Convenience: Theorem 2 — (2+10ε) approximation with τ from λ.
+[[nodiscard]] ProportionalResult solve_two_plus_eps(
+    const AllocationInstance& instance, double lambda, double epsilon);
+
+/// Convenience: λ-oblivious run with the adaptive stop rule (the Section-4
+/// remark). `safety_cap` bounds the loop; 0 picks τ(|R| as λ upper bound).
+[[nodiscard]] ProportionalResult solve_adaptive(
+    const AllocationInstance& instance, double epsilon,
+    std::size_t safety_cap = 0);
+
+// ---------------------------------------------------------------------------
+// Internals shared with the sampled executor (Algorithm 2) and hosts.
+// ---------------------------------------------------------------------------
+
+/// Per-round left-side aggregation: for each u, the maximum neighbour level
+/// and the scaled denominator Σ_{v∈N_u} (1+ε)^{level_v − maxlevel_u} ∈ [1, deg].
+struct LeftAggregate {
+  std::vector<std::int32_t> max_level;   ///< per u; INT32_MIN for isolated u
+  std::vector<double> scaled_denominator;  ///< per u
+};
+
+[[nodiscard]] LeftAggregate compute_left_aggregate(
+    const BipartiteGraph& graph, const std::vector<std::int32_t>& levels,
+    const PowTable& pow_table);
+
+/// alloc_v = Σ_{u∈N_v} (1+ε)^{level_v − maxlevel_u} / denom_u, summed in
+/// right-CSR incidence order (so independent hosts can reproduce it
+/// bit-for-bit).
+[[nodiscard]] std::vector<double> compute_alloc(
+    const BipartiteGraph& graph, const std::vector<std::int32_t>& levels,
+    const LeftAggregate& left, const PowTable& pow_table);
+
+/// Apply line 4's threshold update in place; returns the number of vertices
+/// whose level changed.
+std::size_t apply_level_update(
+    const AllocationInstance& instance, const std::vector<double>& alloc,
+    double epsilon, std::size_t round,
+    const std::function<double(Vertex, std::size_t)>& threshold_k,
+    std::vector<std::int32_t>& levels);
+
+/// Materialise the feasible fractional allocation of lines 5–6 from the
+/// levels at the *start* of the final round and that round's alloc values.
+[[nodiscard]] FractionalAllocation materialize_allocation(
+    const AllocationInstance& instance,
+    const std::vector<std::int32_t>& start_levels,
+    const std::vector<double>& alloc, const PowTable& pow_table);
+
+/// MatchWeight = Σ_v min(C_v, alloc_v).
+[[nodiscard]] double match_weight(const AllocationInstance& instance,
+                                  const std::vector<double>& alloc);
+
+/// The Section-4 remark's termination test, evaluated on the levels *after*
+/// `round` updates (top level = +round, bottom level = −round) and the
+/// alloc values computed in that round.
+struct TerminationCheck {
+  bool satisfied = false;
+  std::size_t neighbors_of_top = 0;   ///< |N(L_top)|
+  std::size_t bottom_size = 0;        ///< |L_bottom|
+  double mass_above_bottom = 0.0;     ///< Σ_{v above bottom} alloc_v
+};
+[[nodiscard]] TerminationCheck check_termination(
+    const AllocationInstance& instance,
+    const std::vector<std::int32_t>& levels, const std::vector<double>& alloc,
+    std::size_t round, double epsilon);
+
+}  // namespace mpcalloc

@@ -1,0 +1,86 @@
+#include "alloc/rounding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+IntegralAllocation round_fractional(const AllocationInstance& instance,
+                                    const FractionalAllocation& fractional,
+                                    Xoshiro256pp& rng,
+                                    const RoundingConfig& config) {
+  if (fractional.x.size() != instance.graph.num_edges()) {
+    throw std::invalid_argument("round_fractional: size mismatch");
+  }
+  if (!(config.sample_divisor >= 1.0)) {
+    throw std::invalid_argument("round_fractional: sample_divisor >= 1");
+  }
+  const auto& g = instance.graph;
+
+  // Step 1: independent sampling at rate x_e / divisor.
+  std::vector<EdgeId> sampled;
+  std::vector<std::uint32_t> left_count(g.num_left(), 0);
+  std::vector<std::uint32_t> right_count(g.num_right(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (fractional.x[e] <= 0.0) continue;
+    if (rng.bernoulli(fractional.x[e] / config.sample_divisor)) {
+      sampled.push_back(e);
+      ++left_count[g.edge(e).u];
+      ++right_count[g.edge(e).v];
+    }
+  }
+
+  // Step 2: drop all sampled edges incident to a heavy vertex (sampled
+  // degree exceeding capacity; L-side capacity is 1).
+  IntegralAllocation out;
+  out.edges.reserve(sampled.size());
+  for (const EdgeId e : sampled) {
+    const Edge& ed = g.edge(e);
+    const bool left_heavy = left_count[ed.u] > 1;
+    const bool right_heavy = right_count[ed.v] > instance.capacities[ed.v];
+    if (!left_heavy && !right_heavy) out.edges.push_back(e);
+  }
+  return out;
+}
+
+BestOfRoundingResult round_best_of(const AllocationInstance& instance,
+                                   const FractionalAllocation& fractional,
+                                   Xoshiro256pp& rng, std::size_t copies,
+                                   const RoundingConfig& config) {
+  if (copies == 0) {
+    const double n =
+        static_cast<double>(std::max<std::size_t>(instance.graph.num_vertices(), 2));
+    copies = static_cast<std::size_t>(std::ceil(std::log2(n))) + 1;
+  }
+  BestOfRoundingResult result;
+  result.copies = copies;
+  for (std::size_t c = 0; c < copies; ++c) {
+    IntegralAllocation trial = round_fractional(instance, fractional, rng, config);
+    result.copy_sizes.push_back(trial.size());
+    if (trial.size() > result.best.size()) result.best = std::move(trial);
+  }
+  return result;
+}
+
+void make_maximal(const AllocationInstance& instance, IntegralAllocation& m) {
+  const auto& g = instance.graph;
+  std::vector<std::uint8_t> left_used(g.num_left(), 0);
+  std::vector<std::uint32_t> residual(instance.capacities);
+  for (const EdgeId e : m.edges) {
+    const Edge& ed = g.edge(e);
+    left_used[ed.u] = 1;
+    --residual[ed.v];
+  }
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    if (left_used[u]) continue;
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      if (residual[inc.to] > 0) {
+        --residual[inc.to];
+        m.edges.push_back(inc.edge);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mpcalloc

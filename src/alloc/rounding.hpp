@@ -1,0 +1,45 @@
+// Fractional → integral rounding (Section 6 of the paper).
+//
+// Procedure: sample each edge e independently with probability x_e/6; call a
+// vertex *heavy* if its sampled degree exceeds its capacity; drop every
+// sampled edge incident to a heavy vertex. The paper shows E[|M|] ≥ wt(x)/9,
+// hence a Θ(1)-approximate integral allocation in expectation, and a
+// constant success probability for |M| ≥ |M*|/450; running O(log n)
+// independent copies and keeping the best yields the w.h.p. guarantee in
+// MPC (the copies are independent machines-local coin flips).
+#pragma once
+
+#include "graph/allocation.hpp"
+#include "util/rng.hpp"
+
+namespace mpcalloc {
+
+struct RoundingConfig {
+  double sample_divisor = 6.0;  ///< the paper's 1/6 sampling rate
+};
+
+/// One rounding trial. The result is always a valid integral allocation.
+[[nodiscard]] IntegralAllocation round_fractional(
+    const AllocationInstance& instance, const FractionalAllocation& fractional,
+    Xoshiro256pp& rng, const RoundingConfig& config = {});
+
+struct BestOfRoundingResult {
+  IntegralAllocation best;
+  std::size_t copies = 0;
+  std::vector<std::size_t> copy_sizes;  ///< |M| per independent copy
+};
+
+/// Run `copies` independent trials (0 ⇒ ⌈log2 n⌉+1 copies, the paper's
+/// O(log n) w.h.p. recipe) and keep the largest.
+[[nodiscard]] BestOfRoundingResult round_best_of(
+    const AllocationInstance& instance, const FractionalAllocation& fractional,
+    Xoshiro256pp& rng, std::size_t copies = 0,
+    const RoundingConfig& config = {});
+
+/// Greedily extend an integral allocation to a maximal one (every free u is
+/// given any neighbour with residual capacity). Never decreases |M| and
+/// keeps validity; useful after rounding since dropped heavy-vertex edges
+/// leave easy wins on the table.
+void make_maximal(const AllocationInstance& instance, IntegralAllocation& m);
+
+}  // namespace mpcalloc

@@ -1,0 +1,241 @@
+#include "alloc/sampled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+namespace {
+
+/// (1+ε)^d for any signed d: table lookup in the common range, exp fallback
+/// (clamped against overflow) for large positive exponents that can appear
+/// transiently when an anchor lags behind a fast-rising level.
+double pow_signed(const PowTable& table, double log1p_eps, std::int64_t d) {
+  if (d <= 64 && d >= -table.underflow_depth()) return table.pow(d);
+  if (d < 0) return 0.0;
+  const double exponent = static_cast<double>(d) * log1p_eps;
+  if (exponent > 690.0) return 1e300;
+  return std::exp(exponent);
+}
+
+/// A sampled neighbour with its group rescale weight |group| / |sample|.
+struct WeightedSample {
+  std::uint32_t neighbor = 0;  ///< position-independent vertex id
+  double weight = 1.0;
+};
+
+/// Estimated left-side priority β̂_u = mantissa · (1+ε)^{anchor}.
+struct ScaledValue {
+  std::int64_t anchor = 0;
+  double mantissa = 0.0;  ///< 0 ⇒ undefined (isolated vertex)
+};
+
+}  // namespace
+
+SampledResult run_sampled(const AllocationInstance& instance,
+                          const SampledConfig& config, Xoshiro256pp& rng) {
+  instance.validate();
+  if (config.max_rounds == 0) {
+    throw std::invalid_argument("run_sampled: max_rounds must be >= 1");
+  }
+  if (config.phase_length == 0) {
+    throw std::invalid_argument("run_sampled: phase_length must be >= 1");
+  }
+  if (config.samples_per_group == 0) {
+    throw std::invalid_argument("run_sampled: samples_per_group must be >= 1");
+  }
+
+  const auto& g = instance.graph;
+  const std::size_t nl = g.num_left();
+  const std::size_t nr = g.num_right();
+  const PowTable pow_table(config.epsilon);
+  const double log1p_eps = std::log1p(config.epsilon);
+
+  SampledResult result;
+  std::vector<std::int32_t> levels(nr, 0);
+
+  // β̂_u state; exact at initialisation (β_u = Σ_{v∈N_u} β_v = deg(u)).
+  std::vector<ScaledValue> beta_left(nl);
+  for (Vertex u = 0; u < nl; ++u) {
+    beta_left[u] = ScaledValue{0, static_cast<double>(g.left_degree(u))};
+  }
+
+  // Group key for an L vertex: ⌊log_{1+ε} β̂_u⌋, anchored for range safety.
+  auto left_group_key = [&](Vertex u) -> std::int64_t {
+    const ScaledValue& b = beta_left[u];
+    if (b.mantissa <= 0.0) return std::numeric_limits<std::int64_t>::min();
+    return b.anchor +
+           static_cast<std::int64_t>(std::floor(std::log(b.mantissa) / log1p_eps + 1e-12));
+  };
+
+  // Per-round sampled views, rebuilt each phase:
+  //   left_samples[r][u]  — sampled R neighbours of u for phase round r
+  //   right_samples[r][v] — sampled L neighbours of v for phase round r
+  std::vector<std::vector<std::vector<WeightedSample>>> left_samples;
+  std::vector<std::vector<std::vector<WeightedSample>>> right_samples;
+
+  // Draw per-group fresh samples for each of the B rounds of a phase.
+  // `positions[g]` lists neighbour array positions belonging to group g.
+  auto draw_samples = [&](const std::map<std::int64_t, std::vector<std::uint32_t>>&
+                              groups,
+                          std::vector<std::vector<WeightedSample>>& per_round_out,
+                          std::size_t rounds_in_phase) {
+    for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+      auto& out = per_round_out[r];
+      for (const auto& [key, members] : groups) {
+        (void)key;
+        if (members.size() <= config.samples_per_group) {
+          // Small group: use it exactly — zero estimation error.
+          for (const std::uint32_t w : members) {
+            out.push_back(WeightedSample{w, 1.0});
+          }
+          result.samples_drawn += members.size();
+        } else {
+          const double weight = static_cast<double>(members.size()) /
+                                static_cast<double>(config.samples_per_group);
+          for (std::size_t k = 0; k < config.samples_per_group; ++k) {
+            out.push_back(
+                WeightedSample{members[rng.uniform(members.size())], weight});
+          }
+          result.samples_drawn += config.samples_per_group;
+        }
+      }
+    }
+  };
+
+  std::size_t round = 0;
+  while (round < config.max_rounds) {
+    const std::size_t rounds_in_phase =
+        std::min(config.phase_length, config.max_rounds - round);
+    ++result.phases_executed;
+
+    // ---- Phase start: group neighbourhoods by current priority level and
+    // draw fresh independent samples for every round of the phase.
+    left_samples.assign(rounds_in_phase, std::vector<std::vector<WeightedSample>>(nl));
+    right_samples.assign(rounds_in_phase, std::vector<std::vector<WeightedSample>>(nr));
+
+    for (Vertex u = 0; u < nl; ++u) {
+      std::map<std::int64_t, std::vector<std::uint32_t>> groups;
+      for (const Incidence& inc : g.left_neighbors(u)) {
+        groups[levels[inc.to]].push_back(inc.to);
+      }
+      std::vector<std::vector<WeightedSample>*> slots;
+      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+        slots.push_back(&left_samples[r][u]);
+      }
+      // draw into each round's slot
+      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+        std::vector<std::vector<WeightedSample>> tmp(1);
+        draw_samples(groups, tmp, 1);
+        *slots[r] = std::move(tmp[0]);
+      }
+    }
+    for (Vertex v = 0; v < nr; ++v) {
+      std::map<std::int64_t, std::vector<std::uint32_t>> groups;
+      for (const Incidence& inc : g.right_neighbors(v)) {
+        groups[left_group_key(inc.to)].push_back(inc.to);
+      }
+      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+        std::vector<std::vector<WeightedSample>> tmp(1);
+        draw_samples(groups, tmp, 1);
+        right_samples[r][v] = std::move(tmp[0]);
+      }
+    }
+
+    // Report the phase's sampled communication subgraph (union over the
+    // phase's rounds) to the observer — this is the graph H whose radius-B
+    // balls the MPC driver ships to machines.
+    if (config.on_phase_subgraph) {
+      std::vector<std::vector<std::uint32_t>> adjacency(nl + nr);
+      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+        for (Vertex u = 0; u < nl; ++u) {
+          for (const WeightedSample& s : left_samples[r][u]) {
+            adjacency[u].push_back(static_cast<std::uint32_t>(nl + s.neighbor));
+            adjacency[nl + s.neighbor].push_back(u);
+          }
+        }
+        for (Vertex v = 0; v < nr; ++v) {
+          for (const WeightedSample& s : right_samples[r][v]) {
+            adjacency[nl + v].push_back(s.neighbor);
+            adjacency[s.neighbor].push_back(static_cast<std::uint32_t>(nl + v));
+          }
+        }
+      }
+      for (auto& list : adjacency) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+      }
+      config.on_phase_subgraph(adjacency);
+    }
+
+    // ---- Execute the phase's rounds on the sampled views.
+    for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+      ++round;
+      // Estimate β̂_u from this round's samples (levels are current).
+      for (Vertex u = 0; u < nl; ++u) {
+        const auto& samples = left_samples[r][u];
+        if (samples.empty()) {
+          beta_left[u] = ScaledValue{0, 0.0};
+          continue;
+        }
+        std::int32_t anchor = std::numeric_limits<std::int32_t>::min();
+        for (const WeightedSample& s : samples) {
+          anchor = std::max(anchor, levels[s.neighbor]);
+        }
+        double mantissa = 0.0;
+        for (const WeightedSample& s : samples) {
+          mantissa += s.weight * pow_table.pow(levels[s.neighbor] - anchor);
+        }
+        beta_left[u] = ScaledValue{anchor, mantissa};
+      }
+      // Estimate alloc_v and apply the threshold update.
+      for (Vertex v = 0; v < nr; ++v) {
+        double alloc_estimate = 0.0;
+        for (const WeightedSample& s : right_samples[r][v]) {
+          const ScaledValue& b = beta_left[s.neighbor];
+          if (b.mantissa <= 0.0) continue;
+          alloc_estimate +=
+              s.weight *
+              pow_signed(pow_table, log1p_eps, levels[v] - b.anchor) /
+              b.mantissa;
+        }
+        const double cap = static_cast<double>(instance.capacities[v]);
+        if (alloc_estimate <= cap / (1.0 + config.epsilon)) {
+          ++levels[v];
+        } else if (alloc_estimate >= cap * (1.0 + config.epsilon)) {
+          --levels[v];
+        }
+      }
+    }
+    result.rounds_executed = round;
+
+    // ---- Phase-end termination test (exact, as the MPC-side O(1)-round
+    // test is): evaluate the §4 condition on the *current* state.
+    if (config.adaptive_termination) {
+      const LeftAggregate left = compute_left_aggregate(g, levels, pow_table);
+      const std::vector<double> exact_alloc =
+          compute_alloc(g, levels, left, pow_table);
+      const TerminationCheck check = check_termination(
+          instance, levels, exact_alloc, round, config.epsilon);
+      if (check.satisfied) {
+        result.stopped_by_condition = true;
+        break;
+      }
+    }
+  }
+
+  // ---- Exact output materialisation (one extra exact pass; see header).
+  const LeftAggregate left = compute_left_aggregate(g, levels, pow_table);
+  const std::vector<double> exact_alloc =
+      compute_alloc(g, levels, left, pow_table);
+  result.allocation =
+      materialize_allocation(instance, levels, exact_alloc, pow_table);
+  result.match_weight = match_weight(instance, exact_alloc);
+  result.final_levels = std::move(levels);
+  return result;
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,70 @@
+// The sampled, phase-compressed executor (Algorithm 2 of the paper).
+//
+// Rounds are grouped into phases of B rounds. At the start of a phase every
+// vertex partitions its neighbourhood into level groups L_x (neighbours
+// whose priority lies in ((1+ε)^{x−1}, (1+ε)^x]) and draws, for each round
+// of the phase and each group, a *fresh independent* uniform sample of up
+// to t edges. During the phase, the Algorithm-1 aggregations
+//   β_u    = Σ_{v∈N_u} β_v          (needed by L vertices)
+//   alloc_v = β_v · Σ_{u∈N_v} 1/β_u  (needed by R vertices)
+// are replaced by per-group rescaled-sample estimates (Lemma 11 with
+// t = (1+ε)^B; the rescaling is per group — |N_w ∩ L_x|/|sample| — which is
+// the form Lemma 11's proof actually supports). Appendix A shows the
+// resulting trajectory equals Algorithm 3 with thresholds k_{v,r} ∈ [1/4,4],
+// hence still O(1)-approximate (Theorem 17).
+//
+// The point of the construction: within a phase no communication crosses
+// unsampled edges, so a vertex's B-round behaviour depends only on its
+// radius-B ball in the *sampled* subgraph H — small enough to ship to one
+// MPC machine by graph exponentiation (see mpc_driver.*). The executor
+// reports each phase's sampled subgraph through `on_phase_subgraph` so the
+// MPC driver can account ball volumes and rounds.
+//
+// Output materialisation: after the final round the feasible fractional
+// allocation (lines 5–6 / line 8) is materialised *exactly* from the final
+// levels — one extra exact aggregation pass, O(1) MPC rounds — so the
+// returned allocation is always feasible even though the trajectory used
+// estimates. (Algorithm 2's line 8 uses estimated β_u; the exact pass is
+// the standard way to restore L-side feasibility and is accounted for in
+// the driver.)
+#pragma once
+
+#include "alloc/proportional.hpp"
+#include "graph/allocation.hpp"
+#include "util/rng.hpp"
+
+#include <functional>
+
+namespace mpcalloc {
+
+struct SampledConfig {
+  double epsilon = 0.25;
+  std::size_t phase_length = 4;     ///< B
+  std::size_t samples_per_group = 32;  ///< t (the paper's value is
+                                       ///< (1+ε)^{2B}ε^{-5}log n; benches sweep)
+  std::size_t max_rounds = 0;       ///< τ; must be ≥ 1
+  bool adaptive_termination = false;  ///< check the §4 rule at phase ends
+                                      ///< (uses one exact pass, as the MPC
+                                      ///< termination test does)
+
+  /// Optional observer invoked once per phase with the sampled communication
+  /// subgraph as adjacency over global ids (u ∈ [0,n_L), v ∈ n_L + [0,n_R)).
+  std::function<void(const std::vector<std::vector<std::uint32_t>>&)>
+      on_phase_subgraph;
+};
+
+struct SampledResult {
+  FractionalAllocation allocation;   ///< exact-materialised, always feasible
+  double match_weight = 0.0;         ///< from the exact final pass
+  std::size_t rounds_executed = 0;
+  std::size_t phases_executed = 0;
+  bool stopped_by_condition = false;
+  std::vector<std::int32_t> final_levels;
+  std::uint64_t samples_drawn = 0;   ///< total edge samples over the run
+};
+
+[[nodiscard]] SampledResult run_sampled(const AllocationInstance& instance,
+                                        const SampledConfig& config,
+                                        Xoshiro256pp& rng);
+
+}  // namespace mpcalloc

@@ -1,0 +1,27 @@
+#include "alloc/sampling.hpp"
+
+#include <cmath>
+
+namespace mpcalloc {
+
+SumEstimate estimate_sum(std::span<const double> values, std::size_t samples,
+                         Xoshiro256pp& rng) {
+  SumEstimate out;
+  if (values.empty() || samples == 0) return out;
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    total += values[rng.uniform(values.size())];
+  }
+  out.estimate =
+      total * static_cast<double>(values.size()) / static_cast<double>(samples);
+  out.samples_used = samples;
+  return out;
+}
+
+std::size_t lemma11_sample_count(double t, double epsilon, std::size_t n) {
+  const double logn = std::log(static_cast<double>(n < 2 ? 2 : n));
+  const double s = 20.0 * t * t * logn / std::pow(epsilon, 4.0);
+  return static_cast<std::size_t>(std::ceil(s));
+}
+
+}  // namespace mpcalloc

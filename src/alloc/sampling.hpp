@@ -1,0 +1,34 @@
+// The Lemma 11 estimator: approximating a sum by a rescaled uniform sample.
+//
+// Lemma 11: if every element of a sequence of n values lies in [V/t, V·t]
+// and s ≥ 20·t²·log n/ε⁴ samples are drawn uniformly at random, the
+// rescaled sample sum S_y = (n/s)·Σ y_i satisfies |S_y − S_x| ≤ 4εS_x with
+// probability ≥ 1 − n^{-10·log_{1+ε} t}.
+//
+// Algorithm 2 uses this with t = (1+ε)^B to estimate neighbourhood β-sums
+// from per-level-group samples; bench_sampling (E4) measures the actual
+// error/failure-rate curve.
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <cstddef>
+#include <span>
+
+namespace mpcalloc {
+
+struct SumEstimate {
+  double estimate = 0.0;
+  std::size_t samples_used = 0;
+};
+
+/// Rescaled-sum estimator: draws `samples` uniform (with replacement)
+/// samples from `values` and returns (n/s)·Σ y. samples == 0 returns 0.
+[[nodiscard]] SumEstimate estimate_sum(std::span<const double> values,
+                                       std::size_t samples, Xoshiro256pp& rng);
+
+/// Lemma 11's sufficient sample count: ⌈20·t²·log(n)/ε⁴⌉.
+[[nodiscard]] std::size_t lemma11_sample_count(double t, double epsilon,
+                                               std::size_t n);
+
+}  // namespace mpcalloc

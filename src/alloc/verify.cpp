@@ -1,0 +1,27 @@
+#include "alloc/verify.hpp"
+
+#include <limits>
+
+namespace mpcalloc {
+
+double approximation_ratio(std::uint64_t opt, double achieved) {
+  if (opt == 0) return 1.0;
+  if (achieved <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(opt) / achieved;
+}
+
+double fractional_ratio(const AllocationInstance& instance,
+                        const FractionalAllocation& fractional) {
+  fractional.check_valid(instance);
+  return approximation_ratio(optimal_allocation_value(instance),
+                             fractional.weight());
+}
+
+double integral_ratio(const AllocationInstance& instance,
+                      const IntegralAllocation& integral) {
+  integral.check_valid(instance);
+  return approximation_ratio(optimal_allocation_value(instance),
+                             static_cast<double>(integral.size()));
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,20 @@
+// Quality verification helpers: true approximation ratios against the
+// exact flow oracle, used by tests and every bench table.
+#pragma once
+
+#include "flow/optimal_allocation.hpp"
+#include "graph/allocation.hpp"
+
+namespace mpcalloc {
+
+/// OPT / achieved (≥ 1 for any feasible solution; 1 = optimal). A weight of
+/// zero with OPT > 0 yields +infinity.
+[[nodiscard]] double approximation_ratio(std::uint64_t opt, double achieved);
+
+/// Convenience wrappers that solve OPT internally (O(flow) cost).
+[[nodiscard]] double fractional_ratio(const AllocationInstance& instance,
+                                      const FractionalAllocation& fractional);
+[[nodiscard]] double integral_ratio(const AllocationInstance& instance,
+                                    const IntegralAllocation& integral);
+
+}  // namespace mpcalloc

@@ -1,0 +1,364 @@
+#include "bmatch/bmatching.hpp"
+
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace mpcalloc {
+
+namespace {
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::logic_error("b-matching validity: " + what);
+}
+}  // namespace
+
+std::uint64_t BMatchingInstance::total_left_capacity() const {
+  std::uint64_t total = 0;
+  for (const auto b : left_capacities) total += b;
+  return total;
+}
+
+std::uint64_t BMatchingInstance::total_right_capacity() const {
+  std::uint64_t total = 0;
+  for (const auto b : right_capacities) total += b;
+  return total;
+}
+
+void BMatchingInstance::validate() const {
+  if (left_capacities.size() != graph.num_left() ||
+      right_capacities.size() != graph.num_right()) {
+    throw std::invalid_argument("BMatchingInstance: capacity size mismatch");
+  }
+  for (const auto b : left_capacities) {
+    if (b == 0) throw std::invalid_argument("BMatchingInstance: b_u >= 1");
+  }
+  for (const auto b : right_capacities) {
+    if (b == 0) throw std::invalid_argument("BMatchingInstance: b_v >= 1");
+  }
+  graph.validate();
+}
+
+BMatchingInstance BMatchingInstance::from_allocation(
+    const AllocationInstance& instance) {
+  BMatchingInstance out;
+  out.graph = instance.graph;
+  out.left_capacities.assign(instance.graph.num_left(), 1);
+  out.right_capacities = instance.capacities;
+  return out;
+}
+
+bool BMatching::is_valid(const BMatchingInstance& instance) const {
+  try {
+    check_valid(instance);
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+void BMatching::check_valid(const BMatchingInstance& instance) const {
+  const auto& g = instance.graph;
+  std::vector<std::uint32_t> left_use(g.num_left(), 0);
+  std::vector<std::uint32_t> right_use(g.num_right(), 0);
+  std::vector<std::uint8_t> used(g.num_edges(), 0);
+  for (const EdgeId e : edges) {
+    if (e >= g.num_edges()) fail("edge id out of range");
+    if (used[e]) fail("edge repeated");
+    used[e] = 1;
+    const Edge& ed = g.edge(e);
+    if (++left_use[ed.u] > instance.left_capacities[ed.u]) {
+      fail("left vertex " + std::to_string(ed.u) + " exceeds b_u");
+    }
+    if (++right_use[ed.v] > instance.right_capacities[ed.v]) {
+      fail("right vertex " + std::to_string(ed.v) + " exceeds b_v");
+    }
+  }
+}
+
+double FractionalBMatching::weight() const {
+  double total = 0.0;
+  for (const double value : x) total += value;
+  return total;
+}
+
+bool FractionalBMatching::is_valid(const BMatchingInstance& instance,
+                                   double tolerance) const {
+  try {
+    check_valid(instance, tolerance);
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+void FractionalBMatching::check_valid(const BMatchingInstance& instance,
+                                      double tolerance) const {
+  const auto& g = instance.graph;
+  if (x.size() != g.num_edges()) fail("x size mismatch");
+  std::vector<double> left_load(g.num_left(), 0.0);
+  std::vector<double> right_load(g.num_right(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!(x[e] >= -tolerance) || !(x[e] <= 1.0 + tolerance)) {
+      fail("x outside [0,1]");
+    }
+    left_load[g.edge(e).u] += x[e];
+    right_load[g.edge(e).v] += x[e];
+  }
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    const auto cap = static_cast<double>(instance.left_capacities[u]);
+    if (left_load[u] > cap + tolerance * std::max(1.0, cap)) {
+      fail("left load exceeds b_u at " + std::to_string(u));
+    }
+  }
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    const auto cap = static_cast<double>(instance.right_capacities[v]);
+    if (right_load[v] > cap + tolerance * std::max(1.0, cap)) {
+      fail("right load exceeds b_v at " + std::to_string(v));
+    }
+  }
+}
+
+OptimalBMatchingResult solve_optimal_bmatching(
+    const BMatchingInstance& instance) {
+  instance.validate();
+  const auto& g = instance.graph;
+  const std::size_t nl = g.num_left(), nr = g.num_right();
+  const std::size_t source = 0, sink = 1 + nl + nr;
+  DinicMaxFlow flow(sink + 1);
+  for (Vertex u = 0; u < nl; ++u) {
+    flow.add_edge(source, 1 + u, instance.left_capacities[u]);
+  }
+  std::vector<std::size_t> handles;
+  handles.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    handles.push_back(flow.add_edge(1 + g.edge(e).u, 1 + nl + g.edge(e).v, 1));
+  }
+  for (Vertex v = 0; v < nr; ++v) {
+    flow.add_edge(1 + nl + v, sink, instance.right_capacities[v]);
+  }
+  OptimalBMatchingResult result;
+  result.value = static_cast<std::uint64_t>(flow.solve(source, sink));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (flow.flow_on(handles[e]) > 0) result.matching.edges.push_back(e);
+  }
+  result.matching.check_valid(instance);
+  return result;
+}
+
+std::uint64_t optimal_bmatching_value(const BMatchingInstance& instance) {
+  return solve_optimal_bmatching(instance).value;
+}
+
+BMatching greedy_bmatching(const BMatchingInstance& instance) {
+  instance.validate();
+  const auto& g = instance.graph;
+  std::vector<std::uint32_t> left_residual(instance.left_capacities);
+  std::vector<std::uint32_t> right_residual(instance.right_capacities);
+  BMatching out;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (left_residual[ed.u] > 0 && right_residual[ed.v] > 0) {
+      --left_residual[ed.u];
+      --right_residual[ed.v];
+      out.edges.push_back(e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Mutable b-matching with O(1) edge attach/detach. Residuals may go
+/// transiently negative on the L side during walk replay (the booster
+/// re-checks global validity at the end).
+class BMatchState {
+ public:
+  BMatchState(const BMatchingInstance& instance, const BMatching& initial)
+      : instance_(instance),
+        matched_(instance.graph.num_edges(), 0),
+        left_used_(instance.graph.num_left(), 0),
+        right_used_(instance.graph.num_right(), 0),
+        matched_at_(instance.graph.num_right()),
+        position_(instance.graph.num_edges(), 0) {
+    initial.check_valid(instance);
+    for (const EdgeId e : initial.edges) attach(e);
+  }
+
+  [[nodiscard]] bool is_matched(EdgeId e) const { return matched_[e] != 0; }
+  [[nodiscard]] std::int64_t left_residual(Vertex u) const {
+    return static_cast<std::int64_t>(instance_.left_capacities[u]) -
+           left_used_[u];
+  }
+  [[nodiscard]] std::int64_t right_residual(Vertex v) const {
+    return static_cast<std::int64_t>(instance_.right_capacities[v]) -
+           right_used_[v];
+  }
+  [[nodiscard]] const std::vector<EdgeId>& matched_at(Vertex v) const {
+    return matched_at_[v];
+  }
+
+  void attach(EdgeId e) {
+    const Edge& ed = instance_.graph.edge(e);
+    matched_[e] = 1;
+    ++left_used_[ed.u];
+    ++right_used_[ed.v];
+    position_[e] = matched_at_[ed.v].size();
+    matched_at_[ed.v].push_back(e);
+  }
+
+  void detach(EdgeId e) {
+    const Edge& ed = instance_.graph.edge(e);
+    matched_[e] = 0;
+    --left_used_[ed.u];
+    --right_used_[ed.v];
+    auto& list = matched_at_[ed.v];
+    const std::size_t pos = position_[e];
+    list[pos] = list.back();
+    position_[list[pos]] = pos;
+    list.pop_back();
+  }
+
+  [[nodiscard]] BMatching extract() const {
+    BMatching out;
+    for (EdgeId e = 0; e < matched_.size(); ++e) {
+      if (matched_[e]) out.edges.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  const BMatchingInstance& instance_;
+  std::vector<std::uint8_t> matched_;
+  std::vector<std::uint32_t> left_used_;
+  std::vector<std::uint32_t> right_used_;
+  std::vector<std::vector<EdgeId>> matched_at_;
+  std::vector<std::size_t> position_;
+};
+
+/// One Hopcroft–Karp-style phase of the b-matching booster.
+class BMatchPhase {
+ public:
+  BMatchPhase(BMatchState& state, const BMatchingInstance& instance,
+              std::uint32_t max_pairs)
+      : state_(state),
+        graph_(instance.graph),
+        max_pairs_(max_pairs),
+        dist_(graph_.num_left(), kUnreached),
+        visited_(graph_.num_left(), 0) {}
+
+  std::size_t run() {
+    if (!bfs()) return 0;
+    std::size_t augmented = 0;
+    for (Vertex u = 0; u < graph_.num_left(); ++u) {
+      // Roots: L vertices with residual capacity (may augment several times
+      // if b_u > used; each dfs claims one unit).
+      while (state_.left_residual(u) > 0 && dist_[u] == 0 && !visited_[u]) {
+        if (!dfs(u)) {
+          visited_[u] = 1;
+          break;
+        }
+        ++augmented;
+      }
+    }
+    return augmented;
+  }
+
+ private:
+  bool bfs() {
+    std::fill(dist_.begin(), dist_.end(), kUnreached);
+    std::queue<Vertex> queue;
+    for (Vertex u = 0; u < graph_.num_left(); ++u) {
+      if (state_.left_residual(u) > 0) {
+        dist_[u] = 0;
+        queue.push(u);
+      }
+    }
+    bool reachable = false;
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop();
+      for (const Incidence& inc : graph_.left_neighbors(u)) {
+        if (state_.is_matched(inc.edge)) continue;
+        if (state_.right_residual(inc.to) > 0) reachable = true;
+        if (dist_[u] >= max_pairs_) continue;
+        for (const EdgeId f : state_.matched_at(inc.to)) {
+          const Vertex w = graph_.edge(f).u;
+          if (dist_[w] == kUnreached) {
+            dist_[w] = dist_[u] + 1;
+            queue.push(w);
+          }
+        }
+      }
+    }
+    return reachable;
+  }
+
+  bool dfs(Vertex u) {
+    for (const Incidence& inc : graph_.left_neighbors(u)) {
+      if (state_.is_matched(inc.edge)) continue;
+      if (state_.right_residual(inc.to) > 0) {
+        state_.attach(inc.edge);
+        return true;
+      }
+    }
+    if (dist_[u] >= max_pairs_) return false;
+    for (const Incidence& inc : graph_.left_neighbors(u)) {
+      if (state_.is_matched(inc.edge)) continue;
+      const Vertex v = inc.to;
+      const std::vector<EdgeId> partners(state_.matched_at(v).begin(),
+                                         state_.matched_at(v).end());
+      for (const EdgeId f : partners) {
+        if (!state_.is_matched(f)) continue;  // displaced earlier in the loop
+        const Vertex w = graph_.edge(f).u;
+        if (visited_[w] || dist_[w] != dist_[u] + 1) continue;
+        visited_[w] = 1;
+        if (dfs(w)) {
+          // w gained a unit elsewhere; hand its unit of v to u.
+          state_.detach(f);
+          state_.attach(inc.edge);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  BMatchState& state_;
+  const BipartiteGraph& graph_;
+  std::uint32_t max_pairs_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::uint8_t> visited_;
+};
+
+}  // namespace
+
+BMatchBoostResult boost_bmatching(const BMatchingInstance& instance,
+                                  const BMatching& initial,
+                                  std::size_t max_walk_length) {
+  instance.validate();
+  if (max_walk_length % 2 == 0 || max_walk_length == 0) {
+    throw std::invalid_argument("boost_bmatching: walk length must be odd");
+  }
+  const auto max_pairs = static_cast<std::uint32_t>((max_walk_length - 1) / 2);
+  BMatchState state(instance, initial);
+
+  BMatchBoostResult result;
+  for (;;) {
+    BMatchPhase phase(state, instance, max_pairs);
+    const std::size_t augmented = phase.run();
+    if (augmented == 0) break;
+    ++result.phases;
+    result.augmentations_per_phase.push_back(augmented);
+  }
+  result.matching = state.extract();
+  result.matching.check_valid(instance);
+  return result;
+}
+
+}  // namespace mpcalloc

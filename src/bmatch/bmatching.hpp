@@ -1,0 +1,87 @@
+// General bipartite b-matching (Definition 21) — the paper's allocation
+// problem with capacities on *both* sides.
+//
+// Section 1.2.1 poses the open question whether Θ(1)-approximate b-matching
+// is solvable in o(log n) (or o(log λ)) sublinear-MPC rounds; the paper's
+// allocation result is "the first step towards answering that question in
+// the affirmative". This module supplies the substrate for that step —
+// exact oracle, greedy seeds, a length-bounded booster — plus an
+// *experimental* two-sided generalization of the proportional dynamics
+// (see proportional_bmatching.hpp) that bench_bmatching evaluates
+// empirically.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcalloc {
+
+/// A b-matching instance: capacities b_u on L and b_v on R (all ≥ 1).
+/// Allocation (Definition 5) is the special case left_capacities ≡ 1.
+struct BMatchingInstance {
+  BipartiteGraph graph;
+  Capacities left_capacities;   ///< size == graph.num_left()
+  Capacities right_capacities;  ///< size == graph.num_right()
+
+  [[nodiscard]] std::uint64_t total_left_capacity() const;
+  [[nodiscard]] std::uint64_t total_right_capacity() const;
+
+  /// Throws std::invalid_argument on size mismatch or zero capacities.
+  void validate() const;
+
+  /// View an allocation instance as a b-matching instance (b_u ≡ 1).
+  [[nodiscard]] static BMatchingInstance from_allocation(
+      const AllocationInstance& instance);
+};
+
+/// An integral b-matching: a multiset-free edge subset respecting both
+/// capacity vectors.
+struct BMatching {
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] std::size_t size() const { return edges.size(); }
+  [[nodiscard]] bool is_valid(const BMatchingInstance& instance) const;
+  void check_valid(const BMatchingInstance& instance) const;
+};
+
+/// A fractional b-matching: x_e ∈ [0,1], Σ_{v} x_{u,v} ≤ b_u, Σ_u x ≤ b_v.
+struct FractionalBMatching {
+  std::vector<double> x;
+
+  [[nodiscard]] double weight() const;
+  [[nodiscard]] bool is_valid(const BMatchingInstance& instance,
+                              double tolerance = 1e-9) const;
+  void check_valid(const BMatchingInstance& instance,
+                   double tolerance = 1e-9) const;
+};
+
+/// Exact maximum b-matching via max flow (LP-integral, so this is also the
+/// fractional optimum).
+struct OptimalBMatchingResult {
+  std::uint64_t value = 0;
+  BMatching matching;
+};
+[[nodiscard]] OptimalBMatchingResult solve_optimal_bmatching(
+    const BMatchingInstance& instance);
+[[nodiscard]] std::uint64_t optimal_bmatching_value(
+    const BMatchingInstance& instance);
+
+/// Maximal greedy b-matching (scan edges; take while both endpoints have
+/// residual capacity). Any maximal b-matching is a 2-approximation.
+[[nodiscard]] BMatching greedy_bmatching(const BMatchingInstance& instance);
+
+/// Eliminate every augmenting walk of length ≤ max_walk_length (odd) in the
+/// b-matching residual structure; with 2⌈1/ε⌉+1 this certifies (1+ε).
+/// Generalizes alloc/boosting.cpp's booster to capacities on both sides.
+struct BMatchBoostResult {
+  BMatching matching;
+  std::size_t phases = 0;
+  std::vector<std::size_t> augmentations_per_phase;
+};
+[[nodiscard]] BMatchBoostResult boost_bmatching(
+    const BMatchingInstance& instance, const BMatching& initial,
+    std::size_t max_walk_length);
+
+}  // namespace mpcalloc

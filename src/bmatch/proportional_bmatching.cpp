@@ -1,0 +1,111 @@
+#include "bmatch/proportional_bmatching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+namespace {
+
+/// Per-round L-side aggregation, as in alloc/proportional.cpp but weighted
+/// by b_u at consumption time.
+struct LeftAgg {
+  std::vector<std::int32_t> max_level;
+  std::vector<double> scaled_denominator;
+};
+
+LeftAgg left_aggregate(const BipartiteGraph& g,
+                       const std::vector<std::int32_t>& levels,
+                       const PowTable& pow_table) {
+  LeftAgg agg;
+  agg.max_level.assign(g.num_left(), std::numeric_limits<std::int32_t>::min());
+  agg.scaled_denominator.assign(g.num_left(), 0.0);
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    const auto neighbors = g.left_neighbors(u);
+    if (neighbors.empty()) continue;
+    std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
+    for (const Incidence& inc : neighbors) {
+      max_level = std::max(max_level, levels[inc.to]);
+    }
+    double denom = 0.0;
+    for (const Incidence& inc : neighbors) {
+      denom += pow_table.pow(levels[inc.to] - max_level);
+    }
+    agg.max_level[u] = max_level;
+    agg.scaled_denominator[u] = denom;
+  }
+  return agg;
+}
+
+}  // namespace
+
+ProportionalBMatchingResult run_proportional_bmatching(
+    const BMatchingInstance& instance,
+    const ProportionalBMatchingConfig& config) {
+  instance.validate();
+  if (config.rounds == 0) {
+    throw std::invalid_argument("run_proportional_bmatching: rounds >= 1");
+  }
+  const auto& g = instance.graph;
+  const PowTable pow_table(config.epsilon);
+
+  ProportionalBMatchingResult result;
+  std::vector<std::int32_t> levels(g.num_right(), 0);
+  std::vector<std::int32_t> start_levels(g.num_right(), 0);
+  std::vector<double> alloc(g.num_right(), 0.0);
+
+  auto edge_x = [&](EdgeId e, const LeftAgg& agg,
+                    const std::vector<std::int32_t>& lv) {
+    const Edge& ed = g.edge(e);
+    const double proportional =
+        static_cast<double>(instance.left_capacities[ed.u]) *
+        pow_table.pow(lv[ed.v] - agg.max_level[ed.u]) /
+        agg.scaled_denominator[ed.u];
+    return std::min(1.0, proportional);  // per-edge LP cap x_e <= 1
+  };
+
+  LeftAgg agg;
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    start_levels = levels;
+    agg = left_aggregate(g, levels, pow_table);
+    std::fill(alloc.begin(), alloc.end(), 0.0);
+    for (Vertex v = 0; v < g.num_right(); ++v) {
+      for (const Incidence& inc : g.right_neighbors(v)) {
+        alloc[v] += edge_x(inc.edge, agg, levels);
+      }
+    }
+    for (Vertex v = 0; v < g.num_right(); ++v) {
+      const auto cap = static_cast<double>(instance.right_capacities[v]);
+      if (alloc[v] <= cap / (1.0 + config.epsilon)) {
+        ++levels[v];
+      } else if (alloc[v] >= cap * (1.0 + config.epsilon)) {
+        --levels[v];
+      }
+    }
+    result.rounds_executed = round;
+  }
+
+  // Materialise: scale each v's incoming mass to its capacity; the per-edge
+  // clamp and the b_u-proportional split keep the L side feasible.
+  const LeftAgg final_agg = left_aggregate(g, start_levels, pow_table);
+  result.matching.x.assign(g.num_edges(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (g.left_degree(ed.u) == 0) continue;
+    const double x = edge_x(e, final_agg, start_levels);
+    const auto cap = static_cast<double>(instance.right_capacities[ed.v]);
+    const double scale = alloc[ed.v] > cap ? cap / alloc[ed.v] : 1.0;
+    result.matching.x[e] = x * scale;
+  }
+  double weight = 0.0;
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    weight += std::min(alloc[v],
+                       static_cast<double>(instance.right_capacities[v]));
+  }
+  result.match_weight = weight;
+  result.final_levels = std::move(levels);
+  return result;
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,43 @@
+// EXPERIMENTAL: two-sided proportional dynamics for general b-matching.
+//
+// Section 1.2.1 of the paper leaves open whether Θ(1)-approximate
+// b-matching is solvable in o(log n) (or o(log λ)) sublinear-MPC rounds and
+// calls the allocation result "the first step towards answering that
+// question in the affirmative". This module takes the natural next step the
+// paper hints at: run the AZM18 priority dynamics with every u ∈ L spreading
+// b_u units proportionally to the R-side priorities,
+//
+//     x_{u,v} = min(1, b_u · β_v / Σ_{v'∈N_u} β_{v'}),
+//
+// and the usual multiplicative β update against the C_v thresholds. There
+// is no proven bound for this generalization — bench_bmatching measures the
+// empirical approximation ratio against the exact flow oracle across
+// arboricity and round budgets, and the booster supplies a certified
+// integral (1+ε) endpoint for comparison.
+#pragma once
+
+#include "alloc/levels.hpp"
+#include "bmatch/bmatching.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcalloc {
+
+struct ProportionalBMatchingConfig {
+  double epsilon = 0.25;
+  std::size_t rounds = 0;  ///< must be ≥ 1
+};
+
+struct ProportionalBMatchingResult {
+  FractionalBMatching matching;  ///< feasible (clamped + scaled) output
+  double match_weight = 0.0;     ///< Σ_v min(C_v, alloc_v)
+  std::size_t rounds_executed = 0;
+  std::vector<std::int32_t> final_levels;  ///< R-side priority levels
+};
+
+[[nodiscard]] ProportionalBMatchingResult run_proportional_bmatching(
+    const BMatchingInstance& instance,
+    const ProportionalBMatchingConfig& config);
+
+}  // namespace mpcalloc

@@ -1,0 +1,85 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+DinicMaxFlow::DinicMaxFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t DinicMaxFlow::add_edge(std::size_t from, std::size_t to,
+                                   FlowValue capacity) {
+  if (from >= graph_.size() || to >= graph_.size()) {
+    throw std::out_of_range("DinicMaxFlow::add_edge: node out of range");
+  }
+  if (capacity < 0) {
+    throw std::invalid_argument("DinicMaxFlow::add_edge: negative capacity");
+  }
+  if (solved_) throw std::logic_error("DinicMaxFlow: add_edge after solve");
+  graph_[from].push_back(Arc{to, graph_[to].size(), capacity});
+  graph_[to].push_back(Arc{from, graph_[from].size() - 1, 0});
+  handles_.emplace_back(from, graph_[from].size() - 1);
+  initial_capacity_.push_back(capacity);
+  return handles_.size() - 1;
+}
+
+bool DinicMaxFlow::bfs(std::size_t source, std::size_t sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (const Arc& arc : graph_[v]) {
+      if (arc.capacity > 0 && level_[arc.to] < 0) {
+        level_[arc.to] = level_[v] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+DinicMaxFlow::FlowValue DinicMaxFlow::dfs(std::size_t v, std::size_t sink,
+                                          FlowValue pushed) {
+  if (v == sink) return pushed;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Arc& arc = graph_[v][i];
+    if (arc.capacity > 0 && level_[v] < level_[arc.to]) {
+      const FlowValue d = dfs(arc.to, sink, std::min(pushed, arc.capacity));
+      if (d > 0) {
+        arc.capacity -= d;
+        graph_[arc.to][arc.rev].capacity += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+DinicMaxFlow::FlowValue DinicMaxFlow::solve(std::size_t source,
+                                            std::size_t sink) {
+  if (solved_) throw std::logic_error("DinicMaxFlow::solve called twice");
+  if (source == sink) throw std::invalid_argument("DinicMaxFlow: source == sink");
+  solved_ = true;
+  FlowValue total = 0;
+  while (bfs(source, sink)) {
+    iter_.assign(graph_.size(), 0);
+    while (const FlowValue pushed = dfs(source, sink, kInfinity)) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+DinicMaxFlow::FlowValue DinicMaxFlow::flow_on(std::size_t edge_handle) const {
+  if (edge_handle >= handles_.size()) {
+    throw std::out_of_range("DinicMaxFlow::flow_on: bad handle");
+  }
+  const auto [node, idx] = handles_[edge_handle];
+  return initial_capacity_[edge_handle] - graph_[node][idx].capacity;
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,71 @@
+#include "flow/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mpcalloc {
+
+namespace {
+
+IntegralAllocation greedy_over_order(const AllocationInstance& instance,
+                                     const std::vector<Vertex>& order) {
+  const auto& g = instance.graph;
+  std::vector<std::uint32_t> residual(instance.capacities);
+  IntegralAllocation result;
+  result.edges.reserve(std::min<std::size_t>(g.num_left(), g.num_edges()));
+  for (const Vertex u : order) {
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      if (residual[inc.to] > 0) {
+        --residual[inc.to];
+        result.edges.push_back(inc.edge);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+IntegralAllocation greedy_allocation(const AllocationInstance& instance) {
+  std::vector<Vertex> order(instance.graph.num_left());
+  std::iota(order.begin(), order.end(), 0);
+  return greedy_over_order(instance, order);
+}
+
+IntegralAllocation randomized_greedy_allocation(
+    const AllocationInstance& instance, Xoshiro256pp& rng) {
+  std::vector<Vertex> order(instance.graph.num_left());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  return greedy_over_order(instance, order);
+}
+
+IntegralAllocation degree_aware_greedy_allocation(
+    const AllocationInstance& instance) {
+  const auto& g = instance.graph;
+  std::vector<Vertex> order(g.num_left());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&g](Vertex a, Vertex b) {
+    return g.left_degree(a) < g.left_degree(b);
+  });
+
+  std::vector<std::uint32_t> residual(instance.capacities);
+  IntegralAllocation result;
+  for (const Vertex u : order) {
+    const Incidence* best = nullptr;
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      if (residual[inc.to] == 0) continue;
+      if (best == nullptr || residual[inc.to] > residual[best->to]) {
+        best = &inc;
+      }
+    }
+    if (best != nullptr) {
+      --residual[best->to];
+      result.edges.push_back(best->edge);
+    }
+  }
+  return result;
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,30 @@
+// Greedy baselines for the allocation problem.
+//
+// These are the natural sequential heuristics a practitioner would try
+// first; experiment E7 compares them against the proportional-allocation
+// algorithm. Any maximal allocation is a 2-approximation (standard
+// argument: each chosen edge blocks at most two OPT edges), so these also
+// serve as cheap constant-approximation seeds for the booster.
+#pragma once
+
+#include "graph/allocation.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "util/rng.hpp"
+
+namespace mpcalloc {
+
+/// Scan L vertices in index order; give each u the first neighbour with
+/// residual capacity. Output is a maximal allocation (2-approximation).
+[[nodiscard]] IntegralAllocation greedy_allocation(
+    const AllocationInstance& instance);
+
+/// Same, but L vertices are visited in a uniformly random order.
+[[nodiscard]] IntegralAllocation randomized_greedy_allocation(
+    const AllocationInstance& instance, Xoshiro256pp& rng);
+
+/// Visit L vertices in increasing degree order and pick the neighbour with
+/// the largest residual capacity (a "least-constrained-first" heuristic).
+[[nodiscard]] IntegralAllocation degree_aware_greedy_allocation(
+    const AllocationInstance& instance);
+
+}  // namespace mpcalloc

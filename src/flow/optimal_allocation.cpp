@@ -1,0 +1,59 @@
+#include "flow/optimal_allocation.hpp"
+
+#include "flow/dinic.hpp"
+
+namespace mpcalloc {
+
+namespace {
+
+OptimalAllocationResult solve_impl(const AllocationInstance& instance,
+                                   bool want_witness) {
+  instance.validate();
+  const auto& g = instance.graph;
+  const std::size_t nl = g.num_left();
+  const std::size_t nr = g.num_right();
+  // Node layout: source, L block, R block, sink.
+  const std::size_t source = 0;
+  const std::size_t sink = 1 + nl + nr;
+  DinicMaxFlow flow(sink + 1);
+
+  for (Vertex u = 0; u < nl; ++u) {
+    flow.add_edge(source, 1 + u, 1);
+  }
+  // Edge handles for the middle arcs start after the nl source arcs; keep
+  // their handles to recover the witness allocation.
+  std::vector<std::size_t> middle_handles;
+  middle_handles.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    middle_handles.push_back(flow.add_edge(1 + ed.u, 1 + nl + ed.v, 1));
+  }
+  for (Vertex v = 0; v < nr; ++v) {
+    flow.add_edge(1 + nl + v, sink, instance.capacities[v]);
+  }
+
+  OptimalAllocationResult result;
+  result.value = static_cast<std::uint64_t>(flow.solve(source, sink));
+  if (want_witness) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (flow.flow_on(middle_handles[e]) > 0) {
+        result.allocation.edges.push_back(e);
+      }
+    }
+    result.allocation.check_valid(instance);
+  }
+  return result;
+}
+
+}  // namespace
+
+OptimalAllocationResult solve_optimal_allocation(
+    const AllocationInstance& instance) {
+  return solve_impl(instance, /*want_witness=*/true);
+}
+
+std::uint64_t optimal_allocation_value(const AllocationInstance& instance) {
+  return solve_impl(instance, /*want_witness=*/false).value;
+}
+
+}  // namespace mpcalloc

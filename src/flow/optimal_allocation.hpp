@@ -1,0 +1,29 @@
+// Exact optimal allocation via max flow.
+//
+// Network: source → every u ∈ L with capacity 1; u → v with capacity 1 for
+// every edge (u,v); v → sink with capacity C_v. By LP total unimodularity,
+// max-flow == maximum integral allocation == maximum fractional allocation,
+// so this single oracle serves both OPT definitions used in the paper.
+#pragma once
+
+#include "graph/allocation.hpp"
+#include "graph/bipartite_graph.hpp"
+
+#include <cstdint>
+
+namespace mpcalloc {
+
+struct OptimalAllocationResult {
+  std::uint64_t value = 0;          ///< |OPT|
+  IntegralAllocation allocation;    ///< a witness optimal allocation
+};
+
+/// Solve the instance exactly. O(E·√V)-ish in practice (unit-capacity core).
+[[nodiscard]] OptimalAllocationResult solve_optimal_allocation(
+    const AllocationInstance& instance);
+
+/// Value-only variant (skips witness extraction).
+[[nodiscard]] std::uint64_t optimal_allocation_value(
+    const AllocationInstance& instance);
+
+}  // namespace mpcalloc

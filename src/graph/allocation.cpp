@@ -1,0 +1,102 @@
+#include "graph/allocation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mpcalloc {
+
+namespace {
+[[noreturn]] void fail(const std::string& what) {
+  throw std::logic_error("allocation validity: " + what);
+}
+}  // namespace
+
+bool IntegralAllocation::is_valid(const AllocationInstance& instance) const {
+  try {
+    check_valid(instance);
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+void IntegralAllocation::check_valid(const AllocationInstance& instance) const {
+  const auto& g = instance.graph;
+  std::vector<std::uint32_t> left_use(g.num_left(), 0);
+  std::vector<std::uint32_t> right_use(g.num_right(), 0);
+  std::vector<std::uint8_t> used(g.num_edges(), 0);
+  for (const EdgeId e : edges) {
+    if (e >= g.num_edges()) fail("edge id out of range");
+    if (used[e]) fail("edge " + std::to_string(e) + " repeated");
+    used[e] = 1;
+    const Edge& ed = g.edge(e);
+    if (++left_use[ed.u] > 1) {
+      fail("left vertex " + std::to_string(ed.u) + " matched twice");
+    }
+    if (++right_use[ed.v] > instance.capacities[ed.v]) {
+      fail("right vertex " + std::to_string(ed.v) + " exceeds capacity");
+    }
+  }
+}
+
+double FractionalAllocation::weight() const {
+  double total = 0.0;
+  for (const double value : x) total += value;
+  return total;
+}
+
+std::vector<double> FractionalAllocation::right_loads(
+    const AllocationInstance& instance) const {
+  const auto& g = instance.graph;
+  std::vector<double> loads(g.num_right(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) loads[g.edge(e).v] += x[e];
+  return loads;
+}
+
+std::vector<double> FractionalAllocation::left_loads(
+    const AllocationInstance& instance) const {
+  const auto& g = instance.graph;
+  std::vector<double> loads(g.num_left(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) loads[g.edge(e).u] += x[e];
+  return loads;
+}
+
+bool FractionalAllocation::is_valid(const AllocationInstance& instance,
+                                    double tolerance) const {
+  try {
+    check_valid(instance, tolerance);
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+void FractionalAllocation::check_valid(const AllocationInstance& instance,
+                                       double tolerance) const {
+  const auto& g = instance.graph;
+  if (x.size() != g.num_edges()) fail("x size != num_edges");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!(x[e] >= -tolerance) || !(x[e] <= 1.0 + tolerance) || std::isnan(x[e])) {
+      fail("x[" + std::to_string(e) + "] outside [0,1]");
+    }
+  }
+  const auto lload = left_loads(instance);
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    if (lload[u] > 1.0 + tolerance * std::max(1.0, lload[u])) {
+      fail("left vertex " + std::to_string(u) + " load " +
+           std::to_string(lload[u]) + " exceeds 1");
+    }
+  }
+  const auto rload = right_loads(instance);
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    const auto cap = static_cast<double>(instance.capacities[v]);
+    if (rload[v] > cap + tolerance * std::max(1.0, cap)) {
+      fail("right vertex " + std::to_string(v) + " load " +
+           std::to_string(rload[v]) + " exceeds capacity " +
+           std::to_string(instance.capacities[v]));
+    }
+  }
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,48 @@
+// Solution types for the allocation problem (Definitions 5 and 6) and their
+// validity / quality checkers. These live next to the graph types because
+// every layer (flow oracle, LOCAL/MPC algorithms, boosting) consumes them.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcalloc {
+
+/// An integral allocation: a subset of edges M ⊆ E such that every u ∈ L is
+/// incident to ≤ 1 edge of M and every v ∈ R to ≤ C_v edges (Definition 5).
+struct IntegralAllocation {
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] std::size_t size() const { return edges.size(); }
+
+  /// True iff M satisfies both degree constraints for `instance`.
+  [[nodiscard]] bool is_valid(const AllocationInstance& instance) const;
+
+  /// Throws std::logic_error naming the first violated constraint.
+  void check_valid(const AllocationInstance& instance) const;
+};
+
+/// A fractional allocation: x_e ∈ [0,1] per edge with Σ_{v∈N_u} x_{u,v} ≤ 1
+/// and Σ_{u∈N_v} x_{u,v} ≤ C_v (Definition 6).
+struct FractionalAllocation {
+  std::vector<double> x;  ///< indexed by EdgeId; size == graph.num_edges()
+
+  /// Total weight Σ_e x_e (the objective of Definition 6).
+  [[nodiscard]] double weight() const;
+
+  /// Feasibility with a small numeric slack (default 1e-9 relative).
+  [[nodiscard]] bool is_valid(const AllocationInstance& instance,
+                              double tolerance = 1e-9) const;
+  void check_valid(const AllocationInstance& instance,
+                   double tolerance = 1e-9) const;
+
+  /// Per-vertex loads: alloc_v = Σ_{u∈N_v} x_{u,v} and load_u = Σ_v x_{u,v}.
+  [[nodiscard]] std::vector<double> right_loads(
+      const AllocationInstance& instance) const;
+  [[nodiscard]] std::vector<double> left_loads(
+      const AllocationInstance& instance) const;
+};
+
+}  // namespace mpcalloc

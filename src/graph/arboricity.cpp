@@ -1,0 +1,130 @@
+#include "graph/arboricity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcalloc {
+
+namespace {
+
+/// Flattened undirected adjacency over global vertex ids:
+/// L vertices are [0, n_L), R vertices are [n_L, n_L + n_R).
+struct FlatGraph {
+  std::size_t n = 0;
+  std::vector<std::size_t> offsets;
+  std::vector<Vertex> neighbors;
+};
+
+FlatGraph flatten(const BipartiteGraph& g) {
+  FlatGraph f;
+  const auto nl = g.num_left();
+  f.n = g.num_vertices();
+  f.offsets.assign(f.n + 1, 0);
+  for (Vertex u = 0; u < nl; ++u) f.offsets[u + 1] = g.left_degree(u);
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    f.offsets[nl + v + 1] = g.right_degree(v);
+  }
+  for (std::size_t i = 1; i <= f.n; ++i) f.offsets[i] += f.offsets[i - 1];
+  f.neighbors.resize(2 * g.num_edges());
+  std::vector<std::size_t> pos(f.offsets.begin(), f.offsets.end() - 1);
+  for (Vertex u = 0; u < nl; ++u) {
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      f.neighbors[pos[u]++] = static_cast<Vertex>(nl + inc.to);
+    }
+  }
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    for (const Incidence& inc : g.right_neighbors(v)) {
+      f.neighbors[pos[nl + v]++] = inc.to;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+ArboricityEstimate estimate_arboricity(const BipartiteGraph& g) {
+  ArboricityEstimate est;
+  const FlatGraph f = flatten(g);
+  const std::size_t n = f.n;
+  if (n == 0 || g.num_edges() == 0) {
+    est.peel_order.resize(n);
+    for (Vertex i = 0; i < n; ++i) est.peel_order[i] = i;
+    return est;
+  }
+
+  // Matula–Beck bucket-queue core decomposition.
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(f.offsets[v + 1] - f.offsets[v]);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // bucket[d] holds vertices whose current degree is d.
+  std::vector<std::vector<Vertex>> bucket(max_degree + 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    bucket[degree[v]].push_back(static_cast<Vertex>(v));
+  }
+
+  std::vector<std::uint8_t> removed(n, 0);
+  est.peel_order.reserve(n);
+  std::uint64_t edges_remaining = g.num_edges();
+  std::size_t vertices_remaining = n;
+  std::uint32_t degeneracy = 0;
+  double best_density = 0.0;
+  std::uint32_t cursor = 0;
+
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    // Find the minimum non-empty bucket. The cursor only needs to back up by
+    // at most 1 per removed edge, so total work is O(n + m).
+    while (cursor <= max_degree && bucket[cursor].empty()) ++cursor;
+    // Stale entries (vertices whose degree dropped) may still sit in higher
+    // buckets; pop until a live vertex with matching degree appears.
+    Vertex v = 0;
+    for (;;) {
+      auto& b = bucket[cursor];
+      if (b.empty()) {
+        ++cursor;
+        while (cursor <= max_degree && bucket[cursor].empty()) ++cursor;
+        continue;
+      }
+      v = b.back();
+      b.pop_back();
+      if (!removed[v] && degree[v] == cursor) break;
+    }
+
+    // Density witness for the still-remaining induced subgraph (before
+    // removing v): Nash–Williams gives λ ≥ ⌈m_H/(n_H−1)⌉.
+    if (vertices_remaining >= 2) {
+      best_density = std::max(
+          best_density, static_cast<double>(edges_remaining) /
+                            static_cast<double>(vertices_remaining - 1));
+    }
+
+    degeneracy = std::max(degeneracy, cursor);
+    removed[v] = 1;
+    est.peel_order.push_back(v);
+    --vertices_remaining;
+    for (std::size_t i = f.offsets[v]; i < f.offsets[v + 1]; ++i) {
+      const Vertex w = f.neighbors[i];
+      if (removed[w]) continue;
+      --edges_remaining;
+      --degree[w];
+      bucket[degree[w]].push_back(w);
+      if (degree[w] < cursor) cursor = degree[w];
+    }
+  }
+
+  est.degeneracy = degeneracy;
+  est.max_subgraph_density = best_density;
+  const auto density_lb = static_cast<std::uint32_t>(std::ceil(best_density - 1e-12));
+  const std::uint32_t degen_lb = (degeneracy + 1) / 2;
+  est.lower_bound = std::max<std::uint32_t>({1, density_lb, degen_lb});
+  est.upper_bound = std::max<std::uint32_t>(1, degeneracy);
+  return est;
+}
+
+bool is_forest(const BipartiteGraph& g) {
+  return g.num_edges() == 0 || estimate_arboricity(g).degeneracy <= 1;
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,40 @@
+// Arboricity and degeneracy estimation (Definition 4).
+//
+// Exact arboricity is computable in polynomial time (matroid union) but is
+// unnecessary here: the paper's bounds only need the order of magnitude, and
+// the classical sandwich
+//
+//      ⌈(d+1)/2⌉  ≤  λ(G)  ≤  d          (d = degeneracy)
+//
+// together with the Nash–Williams density witness
+//
+//      λ(G) ≥ ⌈ m_H / (n_H − 1) ⌉        for any subgraph H
+//
+// brackets λ within a factor 2. We compute the degeneracy exactly with the
+// linear-time bucket-queue core decomposition (Matula–Beck), and extract the
+// best density witness from the peeling order as a certified lower bound.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+
+#include <cstdint>
+
+namespace mpcalloc {
+
+struct ArboricityEstimate {
+  std::uint32_t degeneracy = 0;          ///< exact degeneracy d
+  std::uint32_t lower_bound = 0;         ///< certified λ lower bound
+  std::uint32_t upper_bound = 0;         ///< certified λ upper bound (= d, or 1 for forests)
+  double max_subgraph_density = 0.0;     ///< max m_H/(n_H−1) over peel suffixes
+  std::vector<Vertex> peel_order;        ///< global ids (L: u, R: num_left+v)
+};
+
+/// Degeneracy + arboricity bracketing for the bipartite graph viewed as a
+/// general undirected graph. O(n + m) time.
+[[nodiscard]] ArboricityEstimate estimate_arboricity(const BipartiteGraph& g);
+
+/// True iff the graph is a forest (m < n over every component; equivalently
+/// no peel suffix has average degree ≥ 2). Forests have arboricity ≤ 1.
+[[nodiscard]] bool is_forest(const BipartiteGraph& g);
+
+}  // namespace mpcalloc

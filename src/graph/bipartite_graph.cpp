@@ -1,0 +1,141 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace mpcalloc {
+
+std::size_t BipartiteGraph::max_left_degree() const {
+  std::size_t best = 0;
+  for (Vertex u = 0; u < num_left(); ++u) best = std::max(best, left_degree(u));
+  return best;
+}
+
+std::size_t BipartiteGraph::max_right_degree() const {
+  std::size_t best = 0;
+  for (Vertex v = 0; v < num_right(); ++v) best = std::max(best, right_degree(v));
+  return best;
+}
+
+double BipartiteGraph::average_degree() const {
+  const std::size_t n = num_vertices();
+  if (n == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(n);
+}
+
+void BipartiteGraph::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::logic_error(std::string("BipartiteGraph::validate: ") + what);
+  };
+  check(left_offsets_.empty() == right_offsets_.empty(), "offset arrays inconsistent");
+  if (left_offsets_.empty()) {
+    check(edges_.empty(), "edges without offsets");
+    return;
+  }
+  check(left_offsets_.front() == 0 && right_offsets_.front() == 0, "offsets must start at 0");
+  check(std::is_sorted(left_offsets_.begin(), left_offsets_.end()), "left offsets not monotone");
+  check(std::is_sorted(right_offsets_.begin(), right_offsets_.end()), "right offsets not monotone");
+  check(left_offsets_.back() == edges_.size(), "left adjacency size mismatch");
+  check(right_offsets_.back() == edges_.size(), "right adjacency size mismatch");
+  check(adj_left_.size() == edges_.size(), "adj_left size");
+  check(adj_right_.size() == edges_.size(), "adj_right size");
+
+  std::vector<std::uint8_t> seen(edges_.size(), 0);
+  for (Vertex u = 0; u < num_left(); ++u) {
+    for (const Incidence& inc : left_neighbors(u)) {
+      check(inc.edge < edges_.size(), "edge id out of range");
+      check(edges_[inc.edge].u == u && edges_[inc.edge].v == inc.to,
+            "left incidence does not match edge record");
+      check(!seen[inc.edge], "edge id repeated in left adjacency");
+      seen[inc.edge] = 1;
+    }
+  }
+  std::fill(seen.begin(), seen.end(), 0);
+  for (Vertex v = 0; v < num_right(); ++v) {
+    for (const Incidence& inc : right_neighbors(v)) {
+      check(inc.edge < edges_.size(), "edge id out of range");
+      check(edges_[inc.edge].v == v && edges_[inc.edge].u == inc.to,
+            "right incidence does not match edge record");
+      check(!seen[inc.edge], "edge id repeated in right adjacency");
+      seen[inc.edge] = 1;
+    }
+  }
+  // No duplicate (u,v) pairs.
+  std::vector<Edge> sorted(edges_);
+  std::sort(sorted.begin(), sorted.end());
+  check(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "duplicate edges present");
+}
+
+std::string BipartiteGraph::describe() const {
+  std::ostringstream os;
+  os << "BipartiteGraph{n_L=" << num_left() << ", n_R=" << num_right()
+     << ", m=" << num_edges() << "}";
+  return os.str();
+}
+
+BipartiteGraphBuilder::BipartiteGraphBuilder(std::size_t num_left,
+                                             std::size_t num_right)
+    : num_left_(num_left), num_right_(num_right) {}
+
+void BipartiteGraphBuilder::add_edge(Vertex u, Vertex v) {
+  if (u >= num_left_) throw std::out_of_range("add_edge: left vertex out of range");
+  if (v >= num_right_) throw std::out_of_range("add_edge: right vertex out of range");
+  edges_.push_back(Edge{u, v});
+}
+
+void BipartiteGraphBuilder::deduplicate() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+BipartiteGraph BipartiteGraphBuilder::build() {
+  BipartiteGraph g;
+  g.edges_ = std::move(edges_);
+  edges_.clear();
+
+  g.left_offsets_.assign(num_left_ + 1, 0);
+  g.right_offsets_.assign(num_right_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.left_offsets_[e.u + 1];
+    ++g.right_offsets_[e.v + 1];
+  }
+  std::partial_sum(g.left_offsets_.begin(), g.left_offsets_.end(),
+                   g.left_offsets_.begin());
+  std::partial_sum(g.right_offsets_.begin(), g.right_offsets_.end(),
+                   g.right_offsets_.begin());
+
+  g.adj_left_.resize(g.edges_.size());
+  g.adj_right_.resize(g.edges_.size());
+  std::vector<std::size_t> lpos(g.left_offsets_.begin(), g.left_offsets_.end() - 1);
+  std::vector<std::size_t> rpos(g.right_offsets_.begin(), g.right_offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const Edge& ed = g.edges_[e];
+    g.adj_left_[lpos[ed.u]++] = Incidence{ed.v, e};
+    g.adj_right_[rpos[ed.v]++] = Incidence{ed.u, e};
+  }
+  return g;
+}
+
+std::uint64_t AllocationInstance::total_capacity() const {
+  std::uint64_t total = 0;
+  for (const auto c : capacities) total += c;
+  return total;
+}
+
+void AllocationInstance::validate() const {
+  if (capacities.size() != graph.num_right()) {
+    throw std::invalid_argument(
+        "AllocationInstance: capacity vector size != num_right");
+  }
+  for (const auto c : capacities) {
+    if (c == 0) {
+      throw std::invalid_argument(
+          "AllocationInstance: capacities must be >= 1 (Definition 5)");
+    }
+  }
+  graph.validate();
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,128 @@
+// Bipartite graph representation for the allocation problem.
+//
+// The allocation problem (Definition 5 of the paper) is defined on a
+// bipartite graph G = (L ∪ R, E) with capacities C_v ≥ 1 on the R side and
+// implicit capacity 1 on the L side. Vertices on each side are indexed
+// independently: u ∈ [0, num_left) and v ∈ [0, num_right).
+//
+// The graph is stored in CSR form for *both* sides, with every adjacency
+// entry carrying the global edge id, so per-edge quantities (the fractional
+// values x_{u,v}) are plain arrays indexed by edge id.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpcalloc {
+
+using Vertex = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// An undirected bipartite edge (u on the L side, v on the R side).
+struct Edge {
+  Vertex u = 0;  ///< index into the L side
+  Vertex v = 0;  ///< index into the R side
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Adjacency entry: neighbouring vertex on the opposite side + edge id.
+struct Incidence {
+  Vertex to = 0;
+  EdgeId edge = 0;
+};
+
+/// Immutable CSR bipartite graph. Construct through BipartiteGraphBuilder.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  [[nodiscard]] std::size_t num_left() const { return left_offsets_.empty() ? 0 : left_offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_right() const { return right_offsets_.empty() ? 0 : right_offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_vertices() const { return num_left() + num_right(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  [[nodiscard]] std::span<const Incidence> left_neighbors(Vertex u) const {
+    return {adj_left_.data() + left_offsets_[u],
+            adj_left_.data() + left_offsets_[u + 1]};
+  }
+  [[nodiscard]] std::span<const Incidence> right_neighbors(Vertex v) const {
+    return {adj_right_.data() + right_offsets_[v],
+            adj_right_.data() + right_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t left_degree(Vertex u) const {
+    return left_offsets_[u + 1] - left_offsets_[u];
+  }
+  [[nodiscard]] std::size_t right_degree(Vertex v) const {
+    return right_offsets_[v + 1] - right_offsets_[v];
+  }
+
+  [[nodiscard]] std::size_t max_left_degree() const;
+  [[nodiscard]] std::size_t max_right_degree() const;
+  [[nodiscard]] double average_degree() const;
+
+  /// Structural self-check (offsets monotone, edge ids consistent, no
+  /// duplicate edges). Throws std::logic_error on violation; used by tests
+  /// and generator post-conditions.
+  void validate() const;
+
+  /// Human-readable one-line description ("n_L=..., n_R=..., m=...").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class BipartiteGraphBuilder;
+
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> left_offsets_;
+  std::vector<std::size_t> right_offsets_;
+  std::vector<Incidence> adj_left_;
+  std::vector<Incidence> adj_right_;
+};
+
+/// Mutable edge accumulator; `build()` produces the CSR structure.
+class BipartiteGraphBuilder {
+ public:
+  BipartiteGraphBuilder(std::size_t num_left, std::size_t num_right);
+
+  /// Add an edge; out-of-range endpoints throw.
+  void add_edge(Vertex u, Vertex v);
+
+  /// Number of edges currently accumulated (before dedup).
+  [[nodiscard]] std::size_t pending_edges() const { return edges_.size(); }
+
+  /// Remove duplicate edges (keeps first occurrence order-independent).
+  void deduplicate();
+
+  /// Build the immutable CSR graph. The builder is left empty.
+  [[nodiscard]] BipartiteGraph build();
+
+ private:
+  std::size_t num_left_;
+  std::size_t num_right_;
+  std::vector<Edge> edges_;
+};
+
+/// Capacity vector for the R side; values are ≥ 1 per Definition 5.
+using Capacities = std::vector<std::uint32_t>;
+
+/// A full instance of the allocation problem.
+struct AllocationInstance {
+  BipartiteGraph graph;
+  Capacities capacities;  ///< size == graph.num_right()
+
+  [[nodiscard]] std::uint64_t total_capacity() const;
+
+  /// Throws std::invalid_argument if sizes disagree or any C_v == 0.
+  void validate() const;
+};
+
+}  // namespace mpcalloc

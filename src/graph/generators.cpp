@@ -1,0 +1,303 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mpcalloc {
+
+namespace {
+
+/// Key for an edge in a hash set (u in the high word, v in the low word).
+constexpr std::uint64_t edge_key(Vertex u, Vertex v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Append one uniformly random bipartite forest's edges to the builder.
+///
+/// Vertices are inserted in random order; each newly inserted vertex
+/// attaches to a uniformly random previously inserted vertex of the
+/// *opposite* side (if any exists yet). Every vertex gains at most one edge
+/// towards earlier vertices, so the result is acyclic, i.e. a forest.
+void add_random_forest(BipartiteGraphBuilder& builder, std::size_t num_left,
+                       std::size_t num_right, Xoshiro256pp& rng) {
+  // Encode L vertices as [0, num_left) and R vertices as
+  // [num_left, num_left+num_right) in a single insertion order.
+  std::vector<std::uint32_t> order(num_left + num_right);
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  std::vector<Vertex> placed_left;
+  std::vector<Vertex> placed_right;
+  placed_left.reserve(num_left);
+  placed_right.reserve(num_right);
+
+  for (const std::uint32_t id : order) {
+    const bool is_left = id < num_left;
+    if (is_left) {
+      const Vertex u = id;
+      if (!placed_right.empty()) {
+        const Vertex v = placed_right[rng.uniform(placed_right.size())];
+        builder.add_edge(u, v);
+      }
+      placed_left.push_back(u);
+    } else {
+      const Vertex v = id - static_cast<Vertex>(num_left);
+      if (!placed_left.empty()) {
+        const Vertex u = placed_left[rng.uniform(placed_left.size())];
+        builder.add_edge(u, v);
+      }
+      placed_right.push_back(v);
+    }
+  }
+}
+
+/// Cumulative-weight sampler: picks index i with probability w_i / Σw.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::vector<double> weights)
+      : cumulative_(std::move(weights)) {
+    for (std::size_t i = 1; i < cumulative_.size(); ++i) {
+      cumulative_[i] += cumulative_[i - 1];
+    }
+    if (cumulative_.empty() || cumulative_.back() <= 0.0) {
+      throw std::invalid_argument("WeightedSampler: weights must be positive");
+    }
+  }
+
+  std::size_t sample(Xoshiro256pp& rng) const {
+    const double target = rng.uniform_double() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(it - cumulative_.begin()),
+        cumulative_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+BipartiteGraph union_of_forests(std::size_t num_left, std::size_t num_right,
+                                std::uint32_t lambda, Xoshiro256pp& rng) {
+  if (lambda == 0) throw std::invalid_argument("union_of_forests: lambda >= 1");
+  BipartiteGraphBuilder builder(num_left, num_right);
+  for (std::uint32_t f = 0; f < lambda; ++f) {
+    add_random_forest(builder, num_left, num_right, rng);
+  }
+  builder.deduplicate();
+  return builder.build();
+}
+
+BipartiteGraph dense_core_sparse_fringe(std::size_t num_left,
+                                        std::size_t num_right,
+                                        std::uint32_t core,
+                                        Xoshiro256pp& rng) {
+  const auto c = static_cast<std::uint32_t>(
+      std::min<std::size_t>({core, num_left, num_right}));
+  if (c == 0) {
+    throw std::invalid_argument("dense_core_sparse_fringe: empty core");
+  }
+  BipartiteGraphBuilder builder(num_left, num_right);
+  // Complete bipartite core on the first c vertices of each side.
+  for (Vertex u = 0; u < c; ++u) {
+    for (Vertex v = 0; v < c; ++v) builder.add_edge(u, v);
+  }
+  // Forest fringe: every remaining vertex hangs off one random vertex of the
+  // opposite side among those already wired in.
+  for (Vertex u = c; u < num_left; ++u) {
+    builder.add_edge(u, static_cast<Vertex>(rng.uniform(num_right)));
+  }
+  for (Vertex v = c; v < num_right; ++v) {
+    builder.add_edge(static_cast<Vertex>(rng.uniform(num_left)), v);
+  }
+  builder.deduplicate();
+  return builder.build();
+}
+
+BipartiteGraph star_graph(std::size_t leaves) {
+  BipartiteGraphBuilder builder(leaves, 1);
+  for (Vertex u = 0; u < leaves; ++u) builder.add_edge(u, 0);
+  return builder.build();
+}
+
+BipartiteGraph left_regular(std::size_t num_left, std::size_t num_right,
+                            std::uint32_t degree, Xoshiro256pp& rng) {
+  if (degree > num_right) {
+    throw std::invalid_argument("left_regular: degree exceeds |R|");
+  }
+  BipartiteGraphBuilder builder(num_left, num_right);
+  for (Vertex u = 0; u < num_left; ++u) {
+    for (const auto v :
+         rng.sample_indices(static_cast<std::uint32_t>(num_right), degree)) {
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+BipartiteGraph erdos_renyi_bipartite(std::size_t num_left,
+                                     std::size_t num_right,
+                                     std::size_t num_edges,
+                                     Xoshiro256pp& rng) {
+  const std::uint64_t possible =
+      static_cast<std::uint64_t>(num_left) * num_right;
+  if (num_edges > possible) {
+    throw std::invalid_argument("erdos_renyi_bipartite: too many edges");
+  }
+  BipartiteGraphBuilder builder(num_left, num_right);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(num_edges * 2);
+  while (chosen.size() < num_edges) {
+    const auto u = static_cast<Vertex>(rng.uniform(num_left));
+    const auto v = static_cast<Vertex>(rng.uniform(num_right));
+    if (chosen.insert(edge_key(u, v)).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+BipartiteGraph power_law_bipartite(std::size_t num_left, std::size_t num_right,
+                                   std::size_t target_edges, double beta,
+                                   Xoshiro256pp& rng) {
+  if (num_left == 0 || num_right == 0) {
+    throw std::invalid_argument("power_law_bipartite: empty side");
+  }
+  auto make_weights = [beta](std::size_t n) {
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = std::pow(static_cast<double>(i + 1), -beta);
+    }
+    return w;
+  };
+  const WeightedSampler left_sampler(make_weights(num_left));
+  const WeightedSampler right_sampler(make_weights(num_right));
+
+  BipartiteGraphBuilder builder(num_left, num_right);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(target_edges * 2);
+  // Pair independent weighted draws; duplicates are rejected. Cap the number
+  // of attempts so adversarial parameters (tiny graphs, huge targets) cannot
+  // loop forever — the achieved edge count is then below target, which is
+  // the standard Chung–Lu behaviour anyway.
+  const std::size_t max_attempts = 20 * target_edges + 1000;
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && chosen.size() < target_edges; ++attempt) {
+    const auto u = static_cast<Vertex>(left_sampler.sample(rng));
+    const auto v = static_cast<Vertex>(right_sampler.sample(rng));
+    if (chosen.insert(edge_key(u, v)).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+AllocationInstance oversubscribed_core_instance(std::size_t core,
+                                                std::size_t load_factor,
+                                                std::size_t copies) {
+  if (core == 0 || load_factor == 0 || copies == 0) {
+    throw std::invalid_argument(
+        "oversubscribed_core_instance: core, load_factor, copies >= 1");
+  }
+  const std::size_t left_per_copy = load_factor * core;
+  const std::size_t right_per_copy = core + left_per_copy;  // core + privates
+  BipartiteGraphBuilder builder(left_per_copy * copies,
+                                right_per_copy * copies);
+  for (std::size_t copy = 0; copy < copies; ++copy) {
+    const auto l0 = static_cast<Vertex>(copy * left_per_copy);
+    const auto r0 = static_cast<Vertex>(copy * right_per_copy);
+    for (Vertex u = 0; u < left_per_copy; ++u) {
+      for (Vertex v = 0; v < core; ++v) {
+        builder.add_edge(l0 + u, r0 + v);
+      }
+      // Private partner: R index core + u within the copy.
+      builder.add_edge(l0 + u, r0 + static_cast<Vertex>(core) + u);
+    }
+  }
+  AllocationInstance instance;
+  instance.graph = builder.build();
+  instance.capacities = unit_capacities(right_per_copy * copies);
+  return instance;
+}
+
+PlantedInstance planted_instance(std::size_t num_left, std::size_t num_right,
+                                 std::uint32_t capacity,
+                                 std::uint32_t noise_per_left,
+                                 Xoshiro256pp& rng) {
+  if (capacity == 0) throw std::invalid_argument("planted_instance: capacity >= 1");
+  if (static_cast<std::uint64_t>(num_right) * capacity < num_left) {
+    throw std::invalid_argument(
+        "planted_instance: total capacity below |L|; no perfect allocation");
+  }
+  // Build the multiset of capacity slots, shuffle, and hand one to each u.
+  std::vector<Vertex> slots;
+  slots.reserve(num_right * capacity);
+  for (Vertex v = 0; v < num_right; ++v) {
+    for (std::uint32_t k = 0; k < capacity; ++k) slots.push_back(v);
+  }
+  rng.shuffle(slots);
+
+  PlantedInstance out;
+  out.planted_partner.resize(num_left);
+  BipartiteGraphBuilder builder(num_left, num_right);
+  for (Vertex u = 0; u < num_left; ++u) {
+    out.planted_partner[u] = slots[u];
+    builder.add_edge(u, slots[u]);
+    for (std::uint32_t k = 0; k < noise_per_left; ++k) {
+      builder.add_edge(u, static_cast<Vertex>(rng.uniform(num_right)));
+    }
+  }
+  builder.deduplicate();
+  out.instance.graph = builder.build();
+  out.instance.capacities.assign(num_right, capacity);
+  return out;
+}
+
+Capacities unit_capacities(std::size_t num_right) {
+  return Capacities(num_right, 1);
+}
+
+Capacities uniform_capacities(std::size_t num_right, std::uint32_t lo,
+                              std::uint32_t hi, Xoshiro256pp& rng) {
+  if (lo == 0 || lo > hi) {
+    throw std::invalid_argument("uniform_capacities: need 1 <= lo <= hi");
+  }
+  Capacities caps(num_right);
+  for (auto& c : caps) {
+    c = lo + static_cast<std::uint32_t>(rng.uniform(hi - lo + 1));
+  }
+  return caps;
+}
+
+Capacities degree_proportional_capacities(const BipartiteGraph& graph,
+                                          double fraction) {
+  if (fraction <= 0.0) {
+    throw std::invalid_argument("degree_proportional_capacities: fraction > 0");
+  }
+  Capacities caps(graph.num_right());
+  for (Vertex v = 0; v < graph.num_right(); ++v) {
+    const double target = fraction * static_cast<double>(graph.right_degree(v));
+    caps[v] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::llround(target)));
+  }
+  return caps;
+}
+
+Capacities zipf_capacities(std::size_t num_right, std::uint32_t max_capacity,
+                           double s, Xoshiro256pp& rng) {
+  if (max_capacity == 0) {
+    throw std::invalid_argument("zipf_capacities: max_capacity >= 1");
+  }
+  std::vector<double> weights(max_capacity);
+  for (std::uint32_t k = 0; k < max_capacity; ++k) {
+    weights[k] = std::pow(static_cast<double>(k + 1), -s);
+  }
+  const WeightedSampler sampler(std::move(weights));
+  Capacities caps(num_right);
+  for (auto& c : caps) {
+    c = static_cast<std::uint32_t>(sampler.sample(rng)) + 1;
+  }
+  return caps;
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,113 @@
+// Synthetic workload generators.
+//
+// The paper's guarantees are parameterised by n, m, the arboricity λ, the
+// accuracy ε, and the capacity profile {C_v}. These generators sweep exactly
+// those parameters:
+//
+//  * union_of_forests          — arboricity ≤ λ by construction (Def. 4)
+//  * dense_core_sparse_fringe  — arboricity Θ(λ): a K_{λ,λ} core forces
+//                                λ(G) ≥ ⌈λ²/(2λ−1)⌉ ≈ λ/2, a forest fringe
+//                                keeps the rest uniformly sparse
+//  * star_instance             — Remark 1's adversarial example for the
+//                                matching reduction (center capacity n−1)
+//  * left_regular              — every L vertex has degree d
+//  * erdos_renyi_bipartite     — m uniform random distinct edges
+//  * power_law_bipartite       — Chung–Lu with weight exponent `beta`
+//  * planted_instance          — instance with a known perfect allocation
+//                                (OPT = |L|), plus distractor edges
+//
+// Capacity profiles: unit, uniform range, degree-proportional, Zipf.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+namespace mpcalloc {
+
+/// Union of `lambda` independent uniformly random bipartite forests over
+/// (num_left + num_right) vertices, deduplicated. Guarantees λ(G) ≤ lambda.
+[[nodiscard]] BipartiteGraph union_of_forests(std::size_t num_left,
+                                              std::size_t num_right,
+                                              std::uint32_t lambda,
+                                              Xoshiro256pp& rng);
+
+/// A complete bipartite K_{core,core} "dense core" embedded in a forest
+/// fringe. The core pins arboricity to Θ(core); the fringe is trees.
+[[nodiscard]] BipartiteGraph dense_core_sparse_fringe(std::size_t num_left,
+                                                      std::size_t num_right,
+                                                      std::uint32_t core,
+                                                      Xoshiro256pp& rng);
+
+/// Remark 1's star: one R-side center adjacent to all `leaves` L vertices.
+/// Arboricity 1. Pair with capacity C_center = leaves (or any value) to
+/// exhibit the Θ(n) arboricity blow-up of the vertex-splitting reduction.
+[[nodiscard]] BipartiteGraph star_graph(std::size_t leaves);
+
+/// Every L vertex picks `degree` distinct R neighbours uniformly at random.
+[[nodiscard]] BipartiteGraph left_regular(std::size_t num_left,
+                                          std::size_t num_right,
+                                          std::uint32_t degree,
+                                          Xoshiro256pp& rng);
+
+/// `num_edges` distinct uniform random edges.
+[[nodiscard]] BipartiteGraph erdos_renyi_bipartite(std::size_t num_left,
+                                                   std::size_t num_right,
+                                                   std::size_t num_edges,
+                                                   Xoshiro256pp& rng);
+
+/// Chung–Lu bipartite graph: vertex weights w_i ∝ (i+1)^{-beta} scaled so
+/// the expected edge count is `target_edges`.
+[[nodiscard]] BipartiteGraph power_law_bipartite(std::size_t num_left,
+                                                 std::size_t num_right,
+                                                 std::size_t target_edges,
+                                                 double beta,
+                                                 Xoshiro256pp& rng);
+
+/// The adversarial instance on which Theorem 9's Θ(log λ) convergence is
+/// tight: `copies` disjoint gadgets, each a K_{load·core, core} core of
+/// unit-capacity R vertices (over-subscribed by a factor load·core) plus a
+/// private unit-capacity partner for every L vertex. The proportional
+/// dynamics start by drowning the core and need Θ(log_{1+ε} core) rounds of
+/// multiplicative updates before the private partners absorb the load;
+/// λ(G) = Θ(core) while OPT = |L| (everyone matches their private partner).
+[[nodiscard]] AllocationInstance oversubscribed_core_instance(
+    std::size_t core, std::size_t load_factor, std::size_t copies = 1);
+
+/// Instance with a planted perfect allocation: every u ∈ L is assigned a
+/// planted partner v with spare capacity, then `noise_per_left` distractor
+/// edges are added per L vertex. OPT == num_left by construction.
+struct PlantedInstance {
+  AllocationInstance instance;
+  std::vector<Vertex> planted_partner;  ///< planted v for each u
+};
+[[nodiscard]] PlantedInstance planted_instance(std::size_t num_left,
+                                               std::size_t num_right,
+                                               std::uint32_t capacity,
+                                               std::uint32_t noise_per_left,
+                                               Xoshiro256pp& rng);
+
+// ---------------------------------------------------------------------------
+// Capacity profiles
+// ---------------------------------------------------------------------------
+
+/// All capacities 1 (the allocation problem degenerates to bipartite
+/// maximum matching).
+[[nodiscard]] Capacities unit_capacities(std::size_t num_right);
+
+/// Uniform in [lo, hi].
+[[nodiscard]] Capacities uniform_capacities(std::size_t num_right,
+                                            std::uint32_t lo, std::uint32_t hi,
+                                            Xoshiro256pp& rng);
+
+/// C_v = max(1, round(fraction * deg(v))).
+[[nodiscard]] Capacities degree_proportional_capacities(
+    const BipartiteGraph& graph, double fraction);
+
+/// Zipf-distributed capacities over [1, max_capacity] with exponent s.
+[[nodiscard]] Capacities zipf_capacities(std::size_t num_right,
+                                         std::uint32_t max_capacity, double s,
+                                         Xoshiro256pp& rng);
+
+}  // namespace mpcalloc

@@ -1,0 +1,159 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+void write_instance(std::ostream& os, const AllocationInstance& instance) {
+  instance.validate();
+  const auto& g = instance.graph;
+  os << "# mpc-alloc allocation instance\n";
+  os << "alloc " << g.num_left() << ' ' << g.num_right() << ' '
+     << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    if (instance.capacities[v] != 1) {
+      os << "c " << v << ' ' << instance.capacities[v] << '\n';
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << "e " << e.u << ' ' << e.v << '\n';
+  }
+}
+
+AllocationInstance read_instance(std::istream& is) {
+  std::string line;
+  std::size_t num_left = 0, num_right = 0, num_edges = 0;
+  bool saw_header = false;
+  AllocationInstance out;
+  BipartiteGraphBuilder builder(0, 0);
+  std::size_t edges_seen = 0;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "alloc") {
+      if (saw_header) throw std::runtime_error("read_instance: duplicate header");
+      if (!(ls >> num_left >> num_right >> num_edges)) {
+        throw std::runtime_error("read_instance: malformed header");
+      }
+      saw_header = true;
+      builder = BipartiteGraphBuilder(num_left, num_right);
+      out.capacities.assign(num_right, 1);
+    } else if (tag == "c") {
+      if (!saw_header) throw std::runtime_error("read_instance: 'c' before header");
+      std::size_t v = 0;
+      std::uint32_t cap = 0;
+      if (!(ls >> v >> cap) || v >= num_right || cap == 0) {
+        throw std::runtime_error("read_instance: malformed capacity line");
+      }
+      out.capacities[v] = cap;
+    } else if (tag == "e") {
+      if (!saw_header) throw std::runtime_error("read_instance: 'e' before header");
+      std::size_t u = 0, v = 0;
+      if (!(ls >> u >> v) || u >= num_left || v >= num_right) {
+        throw std::runtime_error("read_instance: malformed edge line");
+      }
+      builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+      ++edges_seen;
+    } else {
+      throw std::runtime_error("read_instance: unknown line tag '" + tag + "'");
+    }
+  }
+  if (!saw_header) throw std::runtime_error("read_instance: missing header");
+  if (edges_seen != num_edges) {
+    throw std::runtime_error("read_instance: edge count mismatch with header");
+  }
+  out.graph = builder.build();
+  out.validate();
+  return out;
+}
+
+void write_solution(std::ostream& os, const AllocationInstance& instance,
+                    const IntegralAllocation& allocation) {
+  allocation.check_valid(instance);
+  os << "# mpc-alloc solution\n";
+  os << "solution " << allocation.edges.size() << '\n';
+  for (const EdgeId e : allocation.edges) {
+    const Edge& ed = instance.graph.edge(e);
+    os << "m " << ed.u << ' ' << ed.v << '\n';
+  }
+}
+
+IntegralAllocation read_solution(std::istream& is,
+                                 const AllocationInstance& instance) {
+  // Pair → edge id lookup.
+  std::map<std::pair<Vertex, Vertex>, EdgeId> by_pair;
+  for (EdgeId e = 0; e < instance.graph.num_edges(); ++e) {
+    const Edge& ed = instance.graph.edge(e);
+    by_pair[{ed.u, ed.v}] = e;
+  }
+
+  IntegralAllocation out;
+  std::string line;
+  bool saw_header = false;
+  std::size_t expected = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "solution") {
+      if (saw_header) throw std::runtime_error("read_solution: duplicate header");
+      if (!(ls >> expected)) {
+        throw std::runtime_error("read_solution: malformed header");
+      }
+      saw_header = true;
+    } else if (tag == "m") {
+      if (!saw_header) throw std::runtime_error("read_solution: 'm' before header");
+      std::size_t u = 0, v = 0;
+      if (!(ls >> u >> v)) throw std::runtime_error("read_solution: malformed pair");
+      const auto it = by_pair.find({static_cast<Vertex>(u), static_cast<Vertex>(v)});
+      if (it == by_pair.end()) {
+        throw std::runtime_error("read_solution: pair (" + std::to_string(u) +
+                                 "," + std::to_string(v) + ") is not an edge");
+      }
+      out.edges.push_back(it->second);
+    } else {
+      throw std::runtime_error("read_solution: unknown tag '" + tag + "'");
+    }
+  }
+  if (!saw_header) throw std::runtime_error("read_solution: missing header");
+  if (out.edges.size() != expected) {
+    throw std::runtime_error("read_solution: pair count mismatch with header");
+  }
+  out.check_valid(instance);
+  return out;
+}
+
+void save_solution(const std::string& path, const AllocationInstance& instance,
+                   const IntegralAllocation& allocation) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_solution: cannot open " + path);
+  write_solution(os, instance, allocation);
+}
+
+IntegralAllocation load_solution(const std::string& path,
+                                 const AllocationInstance& instance) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_solution: cannot open " + path);
+  return read_solution(is, instance);
+}
+
+void save_instance(const std::string& path, const AllocationInstance& instance) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_instance: cannot open " + path);
+  write_instance(os, instance);
+}
+
+AllocationInstance load_instance(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_instance: cannot open " + path);
+  return read_instance(is);
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,38 @@
+// Plain-text serialization of allocation instances.
+//
+// Format (line-oriented, '#' comments allowed):
+//   alloc <num_left> <num_right> <num_edges>
+//   c <v> <capacity>          (one per R vertex; missing vertices get C=1)
+//   e <u> <v>                 (one per edge)
+#pragma once
+
+#include "graph/allocation.hpp"
+#include "graph/bipartite_graph.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace mpcalloc {
+
+void write_instance(std::ostream& os, const AllocationInstance& instance);
+[[nodiscard]] AllocationInstance read_instance(std::istream& is);
+
+void save_instance(const std::string& path, const AllocationInstance& instance);
+[[nodiscard]] AllocationInstance load_instance(const std::string& path);
+
+// Solution format (one matched pair per line):
+//   solution <num_pairs>
+//   m <u> <v>
+void write_solution(std::ostream& os, const AllocationInstance& instance,
+                    const IntegralAllocation& allocation);
+/// Reads a solution and resolves each (u,v) pair to its edge id; throws if
+/// a pair is not an edge of the instance or the solution is infeasible.
+[[nodiscard]] IntegralAllocation read_solution(
+    std::istream& is, const AllocationInstance& instance);
+
+void save_solution(const std::string& path, const AllocationInstance& instance,
+                   const IntegralAllocation& allocation);
+[[nodiscard]] IntegralAllocation load_solution(
+    const std::string& path, const AllocationInstance& instance);
+
+}  // namespace mpcalloc

@@ -1,0 +1,59 @@
+#include "local/network.hpp"
+
+#include <algorithm>
+
+namespace mpcalloc::local {
+
+const Message& ProcessorContext::incoming(std::size_t i) const {
+  return net_.incoming(side_, incidences_[i].edge);
+}
+
+void ProcessorContext::send(std::size_t i, Message message) {
+  net_.post(side_, incidences_[i].edge, std::move(message));
+}
+
+LocalNetwork::LocalNetwork(const BipartiteGraph& graph)
+    : graph_(graph),
+      current_to_left_(graph.num_edges()),
+      current_to_right_(graph.num_edges()),
+      next_to_left_(graph.num_edges()),
+      next_to_right_(graph.num_edges()) {}
+
+const Message& LocalNetwork::incoming(Side receiver_side, EdgeId e) const {
+  return receiver_side == Side::kLeft ? current_to_left_[e]
+                                      : current_to_right_[e];
+}
+
+void LocalNetwork::post(Side sender_side, EdgeId e, Message message) {
+  ++messages_sent_;
+  words_sent_ += message.size();
+  max_message_words_ = std::max(max_message_words_, message.size());
+  // A message sent by an L-side processor is addressed to the R endpoint.
+  auto& slot =
+      sender_side == Side::kLeft ? next_to_right_[e] : next_to_left_[e];
+  slot = std::move(message);
+}
+
+void LocalNetwork::step(const Handler& handler) {
+  for (Vertex u = 0; u < graph_.num_left(); ++u) {
+    ProcessorContext ctx(*this, Side::kLeft, u, graph_.left_neighbors(u));
+    handler(ctx);
+  }
+  for (Vertex v = 0; v < graph_.num_right(); ++v) {
+    ProcessorContext ctx(*this, Side::kRight, v, graph_.right_neighbors(v));
+    handler(ctx);
+  }
+  // Deliver: the accumulated next-round messages become current; the old
+  // current buffers are recycled (cleared) as the new accumulation target.
+  std::swap(current_to_left_, next_to_left_);
+  std::swap(current_to_right_, next_to_right_);
+  for (auto& m : next_to_left_) m.clear();
+  for (auto& m : next_to_right_) m.clear();
+  ++rounds_;
+}
+
+void LocalNetwork::run(std::size_t num_rounds, const Handler& handler) {
+  for (std::size_t r = 0; r < num_rounds; ++r) step(handler);
+}
+
+}  // namespace mpcalloc::local

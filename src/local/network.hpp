@@ -1,0 +1,104 @@
+// LOCAL model runtime (Section 2.2 of the paper).
+//
+// The communication graph *is* the input bipartite graph; each vertex hosts
+// a processor; computation proceeds in synchronous rounds. In every round a
+// processor (1) reads the messages delivered at the start of the round,
+// (2) computes arbitrarily, and (3) posts messages to its neighbours, which
+// arrive at the beginning of the next round.
+//
+// The runtime is generic over the hosted algorithm: callers supply a
+// per-vertex handler invoked once per vertex per round. Message delivery is
+// double-buffered so that within a round every processor observes only the
+// previous round's messages — the defining property of the model. The
+// runtime also keeps the accounting the model cares about: round count,
+// message count, and maximum message size (the paper's Section 1.2.1 notes
+// the AZM18 algorithm only ever needs polylog-size messages, which is what
+// makes it portable to sublinear MPC; tests verify our host respects that).
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mpcalloc::local {
+
+/// Which bipartition side a processor lives on.
+enum class Side : std::uint8_t { kLeft, kRight };
+
+/// A message is a small vector of words (doubles). Empty = no message.
+using Message = std::vector<double>;
+
+class LocalNetwork;
+
+/// Per-vertex view handed to the round handler.
+class ProcessorContext {
+ public:
+  [[nodiscard]] Side side() const { return side_; }
+  [[nodiscard]] Vertex vertex() const { return vertex_; }
+  [[nodiscard]] std::size_t degree() const { return incidences_.size(); }
+  [[nodiscard]] Vertex neighbor(std::size_t i) const { return incidences_[i].to; }
+  [[nodiscard]] EdgeId edge(std::size_t i) const { return incidences_[i].edge; }
+
+  /// Message delivered this round along the i-th incident edge (possibly
+  /// empty if the neighbour sent nothing last round).
+  [[nodiscard]] const Message& incoming(std::size_t i) const;
+
+  /// Post a message along the i-th incident edge; delivered next round.
+  void send(std::size_t i, Message message);
+
+ private:
+  friend class LocalNetwork;
+  ProcessorContext(LocalNetwork& net, Side side, Vertex vertex,
+                   std::span<const Incidence> incidences)
+      : net_(net), side_(side), vertex_(vertex), incidences_(incidences) {}
+
+  LocalNetwork& net_;
+  Side side_;
+  Vertex vertex_;
+  std::span<const Incidence> incidences_;
+};
+
+class LocalNetwork {
+ public:
+  explicit LocalNetwork(const BipartiteGraph& graph);
+
+  using Handler = std::function<void(ProcessorContext&)>;
+
+  /// Execute one synchronous round: every processor sees last round's
+  /// messages and posts next round's. Handlers for all vertices run within
+  /// the same round (order is immaterial by double-buffering).
+  void step(const Handler& handler);
+
+  /// Convenience: run `rounds` rounds of the same handler.
+  void run(std::size_t rounds, const Handler& handler);
+
+  // -- accounting ------------------------------------------------------
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t words_sent() const { return words_sent_; }
+  [[nodiscard]] std::size_t max_message_words() const { return max_message_words_; }
+
+  [[nodiscard]] const BipartiteGraph& graph() const { return graph_; }
+
+ private:
+  friend class ProcessorContext;
+
+  const Message& incoming(Side receiver_side, EdgeId e) const;
+  void post(Side sender_side, EdgeId e, Message message);
+
+  const BipartiteGraph& graph_;
+  // inbox[0]: messages addressed to L endpoints; inbox[1]: to R endpoints.
+  // Double buffered: `current_` delivered this round, `next_` accumulating.
+  std::vector<Message> current_to_left_, current_to_right_;
+  std::vector<Message> next_to_left_, next_to_right_;
+
+  std::size_t rounds_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t words_sent_ = 0;
+  std::size_t max_message_words_ = 0;
+};
+
+}  // namespace mpcalloc::local

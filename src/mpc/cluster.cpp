@@ -1,0 +1,147 @@
+#include "mpc/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcalloc::mpc {
+
+std::size_t DistVec::num_records() const {
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  return width == 0 ? 0 : total / width;
+}
+
+std::size_t DistVec::num_words() const {
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  return total;
+}
+
+std::vector<Word> DistVec::gather() const {
+  std::vector<Word> flat;
+  flat.reserve(num_words());
+  for (const auto& s : shards) flat.insert(flat.end(), s.begin(), s.end());
+  return flat;
+}
+
+Cluster::Cluster(std::size_t num_machines, std::size_t machine_words)
+    : num_machines_(num_machines), machine_words_(machine_words) {
+  if (num_machines == 0) throw std::invalid_argument("Cluster: need >= 1 machine");
+  if (machine_words == 0) throw std::invalid_argument("Cluster: need S >= 1");
+}
+
+Cluster Cluster::for_input(std::uint64_t input_words, double alpha,
+                           double slack, std::size_t min_words) {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument("Cluster::for_input: alpha must be in (0,1)");
+  }
+  const double s_real =
+      std::pow(static_cast<double>(std::max<std::uint64_t>(input_words, 2)), alpha);
+  const auto s = std::max<std::size_t>(
+      min_words, static_cast<std::size_t>(std::ceil(s_real)));
+  const auto machines = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(slack * static_cast<double>(input_words) /
+                       static_cast<double>(s))));
+  return Cluster(machines, s);
+}
+
+void Cluster::note_machine_load(std::uint64_t words) {
+  peak_machine_words_ = std::max(peak_machine_words_, words);
+  if (words > machine_words_) {
+    throw MpcCapacityError("machine holds " + std::to_string(words) +
+                           " words, S = " + std::to_string(machine_words_));
+  }
+}
+
+void Cluster::account_resident(std::size_t machine, std::uint64_t words) {
+  if (machine >= num_machines_) {
+    throw std::out_of_range("account_resident: machine index");
+  }
+  note_machine_load(words);
+  peak_total_words_ = std::max(peak_total_words_, words_moved_ + words);
+}
+
+DistVec Cluster::scatter(std::span<const Word> flat, std::size_t width) {
+  if (width == 0 || flat.size() % width != 0) {
+    throw std::invalid_argument("scatter: flat size not a multiple of width");
+  }
+  const std::size_t records = flat.size() / width;
+  DistVec out;
+  out.width = width;
+  out.shards.assign(num_machines_, {});
+  // Block partition: as even as possible.
+  const std::size_t per_machine = (records + num_machines_ - 1) /
+                                  std::max<std::size_t>(num_machines_, 1);
+  std::size_t r = 0;
+  for (std::size_t m = 0; m < num_machines_ && r < records; ++m) {
+    const std::size_t take = std::min(per_machine, records - r);
+    out.shards[m].assign(flat.begin() + static_cast<std::ptrdiff_t>(r * width),
+                         flat.begin() + static_cast<std::ptrdiff_t>((r + take) * width));
+    note_machine_load(out.shards[m].size());
+    r += take;
+  }
+  std::uint64_t total = 0;
+  for (const auto& s : out.shards) total += s.size();
+  peak_total_words_ = std::max(peak_total_words_, total);
+  return out;
+}
+
+void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination) {
+  if (data.shards.size() != num_machines_) {
+    throw std::invalid_argument("shuffle: DistVec does not belong to cluster");
+  }
+  if (destination.size() != data.num_records()) {
+    throw std::invalid_argument("shuffle: destination size != record count");
+  }
+
+  std::vector<std::uint64_t> sent(num_machines_, 0);
+  std::vector<std::uint64_t> received(num_machines_, 0);
+  std::vector<std::vector<Word>> next(num_machines_);
+
+  std::size_t record_index = 0;
+  for (std::size_t m = 0; m < num_machines_; ++m) {
+    const auto& shard = data.shards[m];
+    const std::size_t records_here = shard.size() / data.width;
+    for (std::size_t r = 0; r < records_here; ++r, ++record_index) {
+      const std::uint32_t dest = destination[record_index];
+      if (dest >= num_machines_) {
+        throw std::out_of_range("shuffle: destination machine out of range");
+      }
+      const auto* begin = shard.data() + r * data.width;
+      next[dest].insert(next[dest].end(), begin, begin + data.width);
+      if (dest != m) {
+        sent[m] += data.width;
+        received[dest] += data.width;
+      }
+    }
+  }
+
+  ++rounds_;
+  std::uint64_t total = 0;
+  for (std::size_t m = 0; m < num_machines_; ++m) {
+    if (sent[m] > machine_words_) {
+      throw MpcCapacityError("machine " + std::to_string(m) + " sends " +
+                             std::to_string(sent[m]) + " words in one round");
+    }
+    if (received[m] > machine_words_) {
+      throw MpcCapacityError("machine " + std::to_string(m) + " receives " +
+                             std::to_string(received[m]) +
+                             " words in one round");
+    }
+    words_moved_ += sent[m];
+    note_machine_load(next[m].size());
+    total += next[m].size();
+  }
+  peak_total_words_ = std::max(peak_total_words_, total);
+  data.shards = std::move(next);
+}
+
+void Cluster::reset_counters() {
+  rounds_ = 0;
+  words_moved_ = 0;
+  peak_machine_words_ = 0;
+  peak_total_words_ = 0;
+}
+
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,107 @@
+// MPC model runtime (Section 2.3 of the paper).
+//
+// An MPC instance has N machines, each with S words of memory; computation
+// proceeds in synchronous rounds; per round a machine may send and receive
+// at most S words in total; within a round computation is free. The
+// sublinear regime sets S = n^α for a constant α ∈ (0,1).
+//
+// This Cluster is a *faithful accounting simulator*: data really lives in
+// per-machine shards, every communication step goes through `shuffle`,
+// and `shuffle` enforces the model's three capacity rules —
+//   (1) per-machine words sent   ≤ S,
+//   (2) per-machine words received ≤ S,
+//   (3) per-machine resident words ≤ S after delivery —
+// throwing MpcCapacityError on violation. The quantities the paper's
+// Theorem 3 bounds (round count, per-machine space high-watermark, total
+// space) are exposed as counters, which is what bench/bench_mpc_* report.
+//
+// Higher-level primitives (sort by sampled splitters, reduce-by-key,
+// broadcast) live in primitives.hpp and are built on shuffle with their
+// textbook O(1/α) round costs. Where the driver simulates a step centrally
+// for convenience (e.g. splitter selection), it charges the documented
+// number of rounds via `charge_rounds` — see DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpcalloc::mpc {
+
+using Word = std::uint64_t;
+
+/// Thrown when an operation would exceed a machine's S-word budget.
+class MpcCapacityError : public std::runtime_error {
+ public:
+  explicit MpcCapacityError(const std::string& what)
+      : std::runtime_error("MPC capacity violation: " + what) {}
+};
+
+/// A dataset of fixed-width records sharded across machines. Records are
+/// flattened: shard[m] holds records back to back, each `width` words.
+struct DistVec {
+  std::size_t width = 1;
+  std::vector<std::vector<Word>> shards;
+
+  [[nodiscard]] std::size_t num_records() const;
+  [[nodiscard]] std::size_t num_words() const;
+
+  /// Collect all records into one flat vector (simulator-side inspection —
+  /// not an MPC operation; use for verification/tests only).
+  [[nodiscard]] std::vector<Word> gather() const;
+};
+
+class Cluster {
+ public:
+  /// num_machines ≥ 1 machines of `machine_words` (= S) words each.
+  Cluster(std::size_t num_machines, std::size_t machine_words);
+
+  /// Build a cluster in the sublinear regime for an input of `input_words`
+  /// total words: S = ceil(input_words^alpha) (clamped below by min_words)
+  /// and enough machines to hold `slack` times the input.
+  static Cluster for_input(std::uint64_t input_words, double alpha,
+                           double slack = 4.0, std::size_t min_words = 64);
+
+  [[nodiscard]] std::size_t num_machines() const { return num_machines_; }
+  [[nodiscard]] std::size_t machine_words() const { return machine_words_; }
+
+  /// Load an input dataset, block-partitioned across machines. Input
+  /// placement is free in the MPC model (data starts adversarially
+  /// partitioned); capacity rule (3) is still enforced.
+  [[nodiscard]] DistVec scatter(std::span<const Word> flat, std::size_t width);
+
+  /// One communication round: record i of `data` moves to machine
+  /// `destination[i]` (indexed in record order across shards). Enforces all
+  /// three capacity rules and advances the round counter.
+  void shuffle(DistVec& data, std::span<const std::uint32_t> destination);
+
+  /// Explicitly charge `k` rounds for a primitive whose data movement is
+  /// simulated centrally (documented per call site).
+  void charge_rounds(std::size_t k) { rounds_ += k; }
+
+  /// Account `words` of resident data on machine `m` without moving records
+  /// through a DistVec (used by ball-collection space accounting).
+  void account_resident(std::size_t machine, std::uint64_t words);
+
+  // -- counters ----------------------------------------------------------
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t total_words_moved() const { return words_moved_; }
+  [[nodiscard]] std::uint64_t peak_machine_words() const { return peak_machine_words_; }
+  [[nodiscard]] std::uint64_t peak_total_words() const { return peak_total_words_; }
+
+  void reset_counters();
+
+ private:
+  void note_machine_load(std::uint64_t words);
+
+  std::size_t num_machines_;
+  std::size_t machine_words_;
+  std::size_t rounds_ = 0;
+  std::uint64_t words_moved_ = 0;
+  std::uint64_t peak_machine_words_ = 0;
+  std::uint64_t peak_total_words_ = 0;
+};
+
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,44 @@
+// Graph exponentiation (Lenzen–Wattenhofer / Ghaffari–Uitto).
+//
+// To simulate B LOCAL rounds in o(B) MPC rounds, every vertex gathers its
+// radius-B ball in the (sparsified) communication graph onto one machine by
+// repeated doubling: after k doubling steps a vertex knows its 2^k-ball, so
+// ⌈log2 B⌉ rounds suffice — provided each ball fits in machine memory.
+//
+// `collect_balls` returns the radius-B balls, charges ⌈log2 B⌉+1 rounds on
+// the cluster, and *enforces the memory requirement*: if any ball's volume
+// (vertices + adjacency words) exceeds S it throws MpcCapacityError — this
+// is exactly the constraint that forces the paper's choice of
+// B = Θ(min(√(α log n), √(log λ))) in eq. (4), and tests exercise both the
+// fitting and the overflowing regime.
+#pragma once
+
+#include "mpc/cluster.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcalloc::mpc {
+
+struct BallCollection {
+  /// balls[v] = all vertices at distance ≤ radius from v (including v),
+  /// sorted ascending.
+  std::vector<std::vector<std::uint32_t>> balls;
+  std::size_t max_ball_vertices = 0;
+  std::uint64_t total_ball_words = 0;  ///< Σ_v volume(ball(v)) — the Õ(λn) term
+  std::size_t rounds_charged = 0;
+};
+
+/// adjacency: per-vertex neighbour lists over [0, n) (directed edges are
+/// fine; reachability follows arcs). radius ≥ 1.
+[[nodiscard]] BallCollection collect_balls(
+    Cluster& cluster, const std::vector<std::vector<std::uint32_t>>& adjacency,
+    std::uint32_t radius);
+
+/// Volume (in words) that the ball occupies on a machine: one word per
+/// member vertex plus one per adjacency entry among members.
+[[nodiscard]] std::uint64_t ball_volume_words(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    const std::vector<std::uint32_t>& ball);
+
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,176 @@
+#include "mpc/primitives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mpcalloc::mpc {
+
+namespace {
+
+/// View a shard as records and sort them locally by key (word 0).
+void local_sort(std::vector<Word>& shard, std::size_t width) {
+  const std::size_t records = shard.size() / width;
+  std::vector<std::size_t> order(records);
+  for (std::size_t i = 0; i < records; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return shard[a * width] < shard[b * width];
+  });
+  std::vector<Word> sorted;
+  sorted.reserve(shard.size());
+  for (const std::size_t i : order) {
+    sorted.insert(sorted.end(), shard.begin() + static_cast<std::ptrdiff_t>(i * width),
+                  shard.begin() + static_cast<std::ptrdiff_t>((i + 1) * width));
+  }
+  shard = std::move(sorted);
+}
+
+/// Locally merge equal-key runs of a sorted shard.
+void local_combine_sorted(std::vector<Word>& shard, std::size_t width,
+                          const CombineFn& combine) {
+  std::vector<Word> out;
+  out.reserve(shard.size());
+  const std::size_t records = shard.size() / width;
+  for (std::size_t i = 0; i < records; ++i) {
+    const auto* rec = shard.data() + i * width;
+    if (!out.empty() && out[out.size() - width] == rec[0]) {
+      combine(std::span<Word>(out.data() + out.size() - width, width),
+              std::span<const Word>(rec, width));
+    } else {
+      out.insert(out.end(), rec, rec + width);
+    }
+  }
+  shard = std::move(out);
+}
+
+}  // namespace
+
+void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
+  const std::size_t width = data.width;
+  const std::size_t total_records = data.num_records();
+  if (total_records == 0) {
+    cluster.charge_rounds(2);
+    return;
+  }
+
+  // Round 1 (charged): every machine contributes a key sample; splitters are
+  // the evenly spaced order statistics of the sample. Oversampling by 8x
+  // log keeps buckets balanced w.h.p.
+  const std::size_t machines = cluster.num_machines();
+  const std::size_t oversample = 8 * (1 + static_cast<std::size_t>(
+      std::log2(static_cast<double>(total_records) + 2.0)));
+  std::vector<Word> sample;
+  for (const auto& shard : data.shards) {
+    const std::size_t records_here = shard.size() / width;
+    for (std::size_t k = 0; k < oversample && records_here > 0; ++k) {
+      const std::size_t r = rng.uniform(records_here);
+      sample.push_back(shard[r * width]);
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  std::vector<Word> splitters;  // machines-1 upper-exclusive boundaries
+  for (std::size_t i = 1; i < machines; ++i) {
+    const std::size_t idx = i * sample.size() / machines;
+    splitters.push_back(sample[std::min(idx, sample.size() - 1)]);
+  }
+  cluster.charge_rounds(1);
+
+  // Round 2: shuffle each record to its splitter bucket.
+  std::vector<std::uint32_t> destination(total_records);
+  std::size_t record_index = 0;
+  for (const auto& shard : data.shards) {
+    const std::size_t records_here = shard.size() / width;
+    for (std::size_t r = 0; r < records_here; ++r, ++record_index) {
+      const Word key = shard[r * width];
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(), key);
+      destination[record_index] =
+          static_cast<std::uint32_t>(it - splitters.begin());
+    }
+  }
+  cluster.shuffle(data, destination);
+
+  // Local sort is free (within-round computation).
+  for (auto& shard : data.shards) local_sort(shard, width);
+}
+
+void reduce_by_key(Cluster& cluster, DistVec& data, const CombineFn& combine,
+                   Xoshiro256pp& rng) {
+  const std::size_t width = data.width;
+  // Free local pre-aggregation: shrink skewed keys before sorting so a
+  // heavy key cannot overflow one machine's bucket.
+  for (auto& shard : data.shards) {
+    local_sort(shard, width);
+    local_combine_sorted(shard, width, combine);
+  }
+  sample_sort(cluster, data, rng);
+  for (auto& shard : data.shards) local_combine_sorted(shard, width, combine);
+
+  // Boundary merge (1 round): a key's records can still straddle adjacent
+  // machines after the sort; push each machine's first run to its left
+  // neighbour when the keys match. Simulated centrally, charged as 1 round.
+  cluster.charge_rounds(1);
+  for (std::size_t m = cluster.num_machines(); m-- > 1;) {
+    auto& right = data.shards[m];
+    if (right.empty()) continue;
+    // Find the previous non-empty shard.
+    std::size_t left_idx = m;
+    while (left_idx > 0 && data.shards[left_idx - 1].empty()) --left_idx;
+    if (left_idx == 0) continue;
+    auto& left = data.shards[left_idx - 1];
+    if (left.empty()) continue;
+    if (left[left.size() - width] == right[0]) {
+      combine(std::span<Word>(left.data() + left.size() - width, width),
+              std::span<const Word>(right.data(), width));
+      right.erase(right.begin(), right.begin() + static_cast<std::ptrdiff_t>(width));
+    }
+  }
+}
+
+void sum_by_key(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
+  reduce_by_key(
+      cluster, data,
+      [](std::span<Word> accum, std::span<const Word> next) {
+        for (std::size_t i = 1; i < accum.size(); ++i) accum[i] += next[i];
+      },
+      rng);
+}
+
+std::size_t broadcast_cost(const Cluster& cluster, std::size_t message_words) {
+  if (message_words > cluster.machine_words()) {
+    throw MpcCapacityError("broadcast message exceeds S");
+  }
+  const double fanout = std::max(
+      2.0, static_cast<double>(cluster.machine_words()) /
+               static_cast<double>(std::max<std::size_t>(1, message_words)));
+  const double machines = static_cast<double>(cluster.num_machines());
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(std::log(machines + 1) / std::log(fanout))));
+}
+
+void charge_broadcast(Cluster& cluster, std::size_t message_words) {
+  cluster.charge_rounds(broadcast_cost(cluster, message_words));
+}
+
+void exclusive_prefix_sum(Cluster& cluster, DistVec& data) {
+  if (cluster.num_machines() > cluster.machine_words()) {
+    throw MpcCapacityError(
+        "prefix sum aggregate exchange needs N <= S machines");
+  }
+  const std::size_t width = data.width;
+  // Per-machine totals are exchanged in one round; then each machine applies
+  // its global offset locally.
+  Word running = 0;
+  cluster.charge_rounds(1);
+  for (auto& shard : data.shards) {
+    Word local = 0;
+    const std::size_t records = shard.size() / width;
+    for (std::size_t r = 0; r < records; ++r) {
+      const Word value = shard[r * width];
+      shard[r * width] = running + local;
+      local += value;
+    }
+    running += local;
+  }
+}
+
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,49 @@
+// Standard O(1/α)-round MPC primitives built on Cluster::shuffle:
+// distributed sample sort (Goodrich–Sitchinava–Zhang style), reduce-by-key,
+// broadcast, and prefix sums. These are the "known primitives" the paper's
+// Section 5 leans on ("can be implemented from standard primitives such as
+// graph exponentiation and sorting, which are by now standard in the MPC
+// literature").
+//
+// Record convention: a record is `width` words; word 0 is the key.
+// Splitter selection samples keys and computes the splitters centrally —
+// that stands in for the one sample-and-broadcast round of TeraSort and is
+// charged as such (see DESIGN.md §1 on accounting fidelity).
+#pragma once
+
+#include "mpc/cluster.hpp"
+#include "util/rng.hpp"
+
+#include <functional>
+
+namespace mpcalloc::mpc {
+
+/// Globally sort records by key (word 0), ascending; after the call the
+/// concatenation of shards in machine order is sorted. Charges:
+///   1 round (sample + splitter broadcast) + 1 round (bucket shuffle).
+/// Throws MpcCapacityError if a bucket overflows its machine.
+void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng);
+
+/// Combine all records sharing a key into one, using `combine` to merge the
+/// value words (in-place into the first argument). Requires nothing of the
+/// input order. Charges: local pre-combine (free) + sample_sort (2 rounds)
+/// + boundary merge between adjacent machines (1 round).
+using CombineFn = std::function<void(std::span<Word> accum, std::span<const Word> next)>;
+void reduce_by_key(Cluster& cluster, DistVec& data, const CombineFn& combine,
+                   Xoshiro256pp& rng);
+
+/// Sum-combine convenience: value words add up.
+void sum_by_key(Cluster& cluster, DistVec& data, Xoshiro256pp& rng);
+
+/// Broadcast a small message (≤ S words) to all machines. Returns the
+/// number of rounds charged: ⌈log_f N⌉ with fan-out f = max(2, S/|msg|).
+std::size_t broadcast_cost(const Cluster& cluster, std::size_t message_words);
+void charge_broadcast(Cluster& cluster, std::size_t message_words);
+
+/// Exclusive prefix sums of the key word across the global record order
+/// (records keep their positions; word 0 is replaced by the prefix sum).
+/// Charges 1 round for the per-machine aggregate exchange (valid while
+/// N ≤ S, which Cluster::for_input guarantees for our regimes).
+void exclusive_prefix_sum(Cluster& cluster, DistVec& data);
+
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,120 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+CliParser& CliParser::option(std::string name, std::string default_value,
+                             std::string help) {
+  options_[std::move(name)] =
+      Option{std::move(default_value), std::move(help), /*is_flag=*/false};
+  return *this;
+}
+
+CliParser& CliParser::flag(std::string name, std::string help) {
+  options_[std::move(name)] = Option{"0", std::move(help), /*is_flag=*/true};
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string key, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+    }
+    const auto it = options_.find(key);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown option: --" + key);
+    }
+    if (it->second.is_flag) {
+      if (eq != std::string::npos) {
+        throw std::invalid_argument("flag --" + key + " does not take a value");
+      }
+      values_[key] = "1";
+    } else if (eq != std::string::npos) {
+      values_[key] = value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("option --" + key + " needs a value");
+      }
+      values_[key] = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto declared = options_.find(name);
+  if (declared == options_.end()) {
+    throw std::logic_error("option not declared: --" + name);
+  }
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : declared->second.default_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get(name) == "1";
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(
+    const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(get(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+void CliParser::print_usage() const {
+  std::printf("%s\n\nUsage: %s [options]\n\nOptions:\n", description_.c_str(),
+              program_name_.c_str());
+  for (const auto& [name, opt] : options_) {
+    if (opt.is_flag) {
+      std::printf("  --%-24s %s\n", name.c_str(), opt.help.c_str());
+    } else {
+      std::printf("  --%-24s %s (default: %s)\n", (name + "=<v>").c_str(),
+                  opt.help.c_str(), opt.default_value.c_str());
+    }
+  }
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,55 @@
+// Minimal command-line option parser shared by examples and benches.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+// Unknown options are an error so that typos in experiment sweeps fail
+// loudly instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Declare an option with a default value (all values carried as strings).
+  CliParser& option(std::string name, std::string default_value,
+                    std::string help);
+  CliParser& flag(std::string name, std::string help);
+
+  /// Parse argv. Returns false (after printing usage) when --help was given.
+  /// Throws std::invalid_argument on unknown or malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Parse a comma-separated list of integers ("1,2,4,8").
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string description_;
+  std::string program_name_ = "program";
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mpcalloc

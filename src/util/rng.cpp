@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+namespace mpcalloc {
+
+std::vector<std::uint32_t> Xoshiro256pp::sample_indices(std::uint32_t n,
+                                                        std::uint32_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  std::vector<std::uint32_t> result;
+  result.reserve(k);
+  if (k == 0) return result;
+  // For dense requests, a partial Fisher–Yates over an index array is
+  // cheaper than rejection; for sparse requests use Floyd's algorithm.
+  if (k * 3 >= n) {
+    std::vector<std::uint32_t> all(n);
+    for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(uniform(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::uint32_t>(uniform(j + 1));
+    if (!chosen.insert(t).second) {
+      chosen.insert(j);
+      t = j;
+    }
+    result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace mpcalloc

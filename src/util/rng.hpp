@@ -1,0 +1,131 @@
+// Deterministic pseudo-random number generation for all simulators.
+//
+// Everything stochastic in this repository (graph generators, the sampled
+// MPC executor of Algorithm 2, the Section-6 rounding step, the GGM22
+// layered-graph booster) draws from a seeded Xoshiro256++ stream so that
+// every experiment is reproducible from the seed it prints.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mpcalloc {
+
+/// SplitMix64 — used to expand a single 64-bit seed into a full
+/// Xoshiro256++ state, and occasionally as a cheap standalone mixer.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ by Blackman & Vigna. Fast, high-quality, 256-bit state.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be positive. Uses Lemire's
+  /// nearly-divisionless method.
+  std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("uniform: bound must be > 0");
+    const std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: empty range");
+    const auto width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (width == 0) return static_cast<std::int64_t>((*this)());  // full range
+    return lo + static_cast<std::int64_t>(uniform(width));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_double() < p;
+  }
+
+  /// Fisher–Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> data) {
+    for (std::size_t i = data.size(); i > 1; --i) {
+      const std::size_t j = uniform(i);
+      using std::swap;
+      swap(data[i - 1], data[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& data) {
+    shuffle(std::span<T>(data));
+  }
+
+  /// Sample `k` distinct indices from [0, n) uniformly at random.
+  /// Uses Floyd's algorithm; O(k) expected time, result unsorted.
+  std::vector<std::uint32_t> sample_indices(std::uint32_t n, std::uint32_t k);
+
+  /// Fork an independent stream (for per-copy parallel experiments).
+  Xoshiro256pp fork() { return Xoshiro256pp((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mpcalloc

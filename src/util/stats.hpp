@@ -1,0 +1,52 @@
+// Descriptive statistics and simple regression fits used by the benchmark
+// harness to report experiment tables (means, spreads, scaling slopes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+};
+
+/// Compute summary statistics. Empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Percentile via linear interpolation on the sorted sample; q in [0,1].
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Ordinary least-squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Fit y = a + b*log2(x). Useful for verifying O(log λ) round-count claims:
+/// the slope b is the per-doubling round increment.
+[[nodiscard]] LinearFit log2_fit(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Pearson correlation coefficient.
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Human-readable "mean ± stddev" with the given precision.
+[[nodiscard]] std::string mean_pm_std(const Summary& s, int precision = 2);
+
+}  // namespace mpcalloc

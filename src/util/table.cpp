@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpcalloc {
+
+Table& Table::header(std::vector<std::string> columns) {
+  if (!rows_.empty()) throw std::logic_error("Table::header after rows added");
+  header_ = std::move(columns);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::row: arity mismatch with header");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(long long v) { return std::to_string(v); }
+
+std::string Table::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+namespace {
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::size_t ncols = header.size();
+  for (const auto& r : rows) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> w(ncols, 0);
+  for (std::size_t c = 0; c < header.size(); ++c) w[c] = header[c].size();
+  for (const auto& r : rows) {
+    for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+  }
+  return w;
+}
+
+void print_rule(std::ostream& os, const std::vector<std::size_t>& w) {
+  os << '+';
+  for (std::size_t width : w) {
+    for (std::size_t i = 0; i < width + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void print_cells(std::ostream& os, const std::vector<std::size_t>& w,
+                 const std::vector<std::string>& cells) {
+  os << '|';
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+    os << ' ' << cell;
+    for (std::size_t i = cell.size(); i < w[c] + 1; ++i) os << ' ';
+    os << '|';
+  }
+  os << '\n';
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  const auto w = column_widths(header_, rows_);
+  if (w.empty()) return;
+  print_rule(os, w);
+  if (!header_.empty()) {
+    print_cells(os, w, header_);
+    print_rule(os, w);
+  }
+  for (const auto& r : rows_) print_cells(os, w, r);
+  print_rule(os, w);
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  if (!title_.empty()) os << "### " << title_ << "\n\n";
+  if (header_.empty() && rows_.empty()) return;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << (c + 1 < cells.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+    os << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,42 @@
+// ASCII / markdown table printer for the benchmark harness. Every bench
+// binary prints its experiment as one or more of these tables so that
+// EXPERIMENTS.md rows can be regenerated verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  Table& header(std::vector<std::string> columns);
+
+  /// Append a row; pads or throws on arity mismatch per `strict`.
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formatted cell helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with box-drawing alignment.
+  void print(std::ostream& os) const;
+
+  /// Render as a GitHub-flavoured markdown table.
+  void print_markdown(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpcalloc

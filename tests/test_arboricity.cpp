@@ -1,0 +1,112 @@
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcalloc {
+namespace {
+
+TEST(Arboricity, EmptyGraph) {
+  BipartiteGraphBuilder b(3, 3);
+  const ArboricityEstimate est = estimate_arboricity(b.build());
+  EXPECT_EQ(est.degeneracy, 0u);
+  EXPECT_EQ(est.peel_order.size(), 6u);
+}
+
+TEST(Arboricity, SingleEdge) {
+  BipartiteGraphBuilder b(1, 1);
+  b.add_edge(0, 0);
+  const ArboricityEstimate est = estimate_arboricity(b.build());
+  EXPECT_EQ(est.degeneracy, 1u);
+  EXPECT_EQ(est.lower_bound, 1u);
+  EXPECT_EQ(est.upper_bound, 1u);
+}
+
+TEST(Arboricity, StarIsForest) {
+  const BipartiteGraph g = star_graph(100);
+  const ArboricityEstimate est = estimate_arboricity(g);
+  EXPECT_EQ(est.degeneracy, 1u);
+  EXPECT_EQ(est.upper_bound, 1u);
+  EXPECT_TRUE(is_forest(g));
+}
+
+TEST(Arboricity, CompleteBipartiteDegeneracy) {
+  // K_{c,c}: degeneracy = c; Nash–Williams λ = ⌈c²/(2c−1)⌉.
+  for (const std::uint32_t c : {2u, 4u, 8u, 16u}) {
+    BipartiteGraphBuilder b(c, c);
+    for (Vertex u = 0; u < c; ++u) {
+      for (Vertex v = 0; v < c; ++v) b.add_edge(u, v);
+    }
+    const ArboricityEstimate est = estimate_arboricity(b.build());
+    EXPECT_EQ(est.degeneracy, c);
+    const std::uint32_t nash_williams = (c * c + 2 * c - 2) / (2 * c - 1);
+    EXPECT_GE(est.lower_bound, nash_williams);
+    EXPECT_LE(est.lower_bound, est.upper_bound);
+    EXPECT_EQ(est.upper_bound, c);
+  }
+}
+
+TEST(Arboricity, PathGraph) {
+  // Alternating path u0-v0-u1-v1-...: a tree, degeneracy 1.
+  BipartiteGraphBuilder b(50, 50);
+  for (Vertex i = 0; i < 50; ++i) {
+    b.add_edge(i, i);
+    if (i + 1 < 50) b.add_edge(i + 1, i);
+  }
+  const BipartiteGraph g = b.build();
+  EXPECT_TRUE(is_forest(g));
+  EXPECT_EQ(estimate_arboricity(g).degeneracy, 1u);
+}
+
+TEST(Arboricity, EvenCycleHasDegeneracyTwo) {
+  // u0-v0-u1-v1-u0: a 4-cycle.
+  BipartiteGraphBuilder b(2, 2);
+  b.add_edge(0, 0);
+  b.add_edge(1, 0);
+  b.add_edge(1, 1);
+  b.add_edge(0, 1);
+  const BipartiteGraph g = b.build();
+  EXPECT_FALSE(is_forest(g));
+  const ArboricityEstimate est = estimate_arboricity(g);
+  EXPECT_EQ(est.degeneracy, 2u);
+  // A cycle needs 2 forests: λ = 2... actually a single even cycle has
+  // arboricity 2 (it is connected with m = n, exceeding the tree bound).
+  EXPECT_GE(est.lower_bound, 1u);
+  EXPECT_LE(est.lower_bound, 2u);
+}
+
+TEST(Arboricity, PeelOrderIsPermutation) {
+  Xoshiro256pp rng(21);
+  const BipartiteGraph g = union_of_forests(100, 100, 3, rng);
+  const ArboricityEstimate est = estimate_arboricity(g);
+  std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+  for (const Vertex v : est.peel_order) {
+    ASSERT_LT(v, g.num_vertices());
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+  EXPECT_EQ(est.peel_order.size(), g.num_vertices());
+}
+
+TEST(Arboricity, DensityWitnessBelowUpperBound) {
+  Xoshiro256pp rng(22);
+  const BipartiteGraph g = erdos_renyi_bipartite(200, 200, 3000, rng);
+  const ArboricityEstimate est = estimate_arboricity(g);
+  EXPECT_GE(est.max_subgraph_density, 3000.0 / 399.0);
+  EXPECT_LE(est.lower_bound, est.upper_bound);
+  EXPECT_GE(est.degeneracy, est.lower_bound);
+}
+
+TEST(Arboricity, SandwichHoldsOnRandomInstances) {
+  Xoshiro256pp rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto lambda = static_cast<std::uint32_t>(1 + rng.uniform(10));
+    const BipartiteGraph g = union_of_forests(150, 150, lambda, rng);
+    const ArboricityEstimate est = estimate_arboricity(g);
+    EXPECT_LE(est.lower_bound, lambda) << "trial " << trial;
+    EXPECT_GE(2 * est.upper_bound, est.degeneracy);
+  }
+}
+
+}  // namespace
+}  // namespace mpcalloc

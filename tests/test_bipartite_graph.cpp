@@ -1,0 +1,200 @@
+#include "graph/allocation.hpp"
+#include "graph/bipartite_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mpcalloc {
+namespace {
+
+BipartiteGraph triangle_ish() {
+  // L = {0,1,2}, R = {0,1}; edges: (0,0) (0,1) (1,0) (2,1)
+  BipartiteGraphBuilder b(3, 2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(2, 1);
+  return b.build();
+}
+
+TEST(BipartiteGraph, BasicCounts) {
+  const BipartiteGraph g = triangle_ish();
+  EXPECT_EQ(g.num_left(), 3u);
+  EXPECT_EQ(g.num_right(), 2u);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.left_degree(0), 2u);
+  EXPECT_EQ(g.left_degree(1), 1u);
+  EXPECT_EQ(g.right_degree(0), 2u);
+  EXPECT_EQ(g.right_degree(1), 2u);
+  EXPECT_EQ(g.max_left_degree(), 2u);
+  EXPECT_EQ(g.max_right_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 8.0 / 5.0);
+}
+
+TEST(BipartiteGraph, AdjacencyIsConsistentWithEdges) {
+  const BipartiteGraph g = triangle_ish();
+  g.validate();  // must not throw
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      EXPECT_EQ(g.edge(inc.edge).u, u);
+      EXPECT_EQ(g.edge(inc.edge).v, inc.to);
+    }
+  }
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    for (const Incidence& inc : g.right_neighbors(v)) {
+      EXPECT_EQ(g.edge(inc.edge).v, v);
+      EXPECT_EQ(g.edge(inc.edge).u, inc.to);
+    }
+  }
+}
+
+TEST(BipartiteGraph, EmptyGraph) {
+  BipartiteGraphBuilder b(0, 0);
+  const BipartiteGraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  g.validate();
+}
+
+TEST(BipartiteGraph, IsolatedVerticesAllowed) {
+  BipartiteGraphBuilder b(5, 5);
+  b.add_edge(0, 0);
+  const BipartiteGraph g = b.build();
+  EXPECT_EQ(g.left_degree(4), 0u);
+  EXPECT_EQ(g.right_degree(4), 0u);
+  g.validate();
+}
+
+TEST(BipartiteGraphBuilder, OutOfRangeThrows) {
+  BipartiteGraphBuilder b(2, 2);
+  EXPECT_THROW(b.add_edge(2, 0), std::out_of_range);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(BipartiteGraphBuilder, DeduplicateRemovesCopies) {
+  BipartiteGraphBuilder b(2, 2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  b.add_edge(0, 0);
+  EXPECT_EQ(b.pending_edges(), 4u);
+  b.deduplicate();
+  const BipartiteGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  g.validate();
+}
+
+TEST(BipartiteGraph, ValidateDetectsDuplicates) {
+  BipartiteGraphBuilder b(2, 2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 0);
+  const BipartiteGraph g = b.build();
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(BipartiteGraph, DescribeMentionsSizes) {
+  const std::string d = triangle_ish().describe();
+  EXPECT_NE(d.find("n_L=3"), std::string::npos);
+  EXPECT_NE(d.find("m=4"), std::string::npos);
+}
+
+TEST(AllocationInstance, ValidateChecksCapacities) {
+  AllocationInstance instance;
+  instance.graph = triangle_ish();
+  instance.capacities = {1, 0};
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+  instance.capacities = {1};
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+  instance.capacities = {1, 2};
+  instance.validate();
+  EXPECT_EQ(instance.total_capacity(), 3u);
+}
+
+TEST(IntegralAllocation, AcceptsValidSubset) {
+  AllocationInstance instance{triangle_ish(), {1, 2}};
+  // Edge ids after CSR build are in sorted (u,v) order: (0,0)=0 (0,1)=1
+  // (1,0)=2 (2,1)=3.
+  IntegralAllocation m{{0, 3}};
+  EXPECT_TRUE(m.is_valid(instance));
+}
+
+TEST(IntegralAllocation, RejectsLeftDoubleMatch) {
+  AllocationInstance instance{triangle_ish(), {2, 2}};
+  IntegralAllocation m{{0, 1}};  // both edges of u=0
+  EXPECT_FALSE(m.is_valid(instance));
+}
+
+TEST(IntegralAllocation, RejectsCapacityOverflow) {
+  AllocationInstance instance{triangle_ish(), {1, 2}};
+  IntegralAllocation m{{0, 2}};  // two edges into v=0 with C=1
+  EXPECT_FALSE(m.is_valid(instance));
+}
+
+TEST(IntegralAllocation, RejectsRepeatedEdge) {
+  AllocationInstance instance{triangle_ish(), {2, 2}};
+  IntegralAllocation m{{0, 0}};
+  EXPECT_FALSE(m.is_valid(instance));
+}
+
+TEST(IntegralAllocation, RejectsOutOfRangeEdge) {
+  AllocationInstance instance{triangle_ish(), {2, 2}};
+  IntegralAllocation m{{99}};
+  EXPECT_FALSE(m.is_valid(instance));
+}
+
+TEST(FractionalAllocation, WeightAndLoads) {
+  AllocationInstance instance{triangle_ish(), {1, 2}};
+  FractionalAllocation f;
+  f.x = {0.5, 0.5, 0.25, 1.0};
+  EXPECT_DOUBLE_EQ(f.weight(), 2.25);
+  const auto lload = f.left_loads(instance);
+  EXPECT_DOUBLE_EQ(lload[0], 1.0);
+  EXPECT_DOUBLE_EQ(lload[1], 0.25);
+  EXPECT_DOUBLE_EQ(lload[2], 1.0);
+  const auto rload = f.right_loads(instance);
+  EXPECT_DOUBLE_EQ(rload[0], 0.75);
+  EXPECT_DOUBLE_EQ(rload[1], 1.5);
+  EXPECT_TRUE(f.is_valid(instance));
+}
+
+TEST(FractionalAllocation, RejectsLeftOverload) {
+  AllocationInstance instance{triangle_ish(), {5, 5}};
+  FractionalAllocation f;
+  f.x = {0.8, 0.8, 0.0, 0.0};  // u=0 carries 1.6
+  EXPECT_FALSE(f.is_valid(instance));
+}
+
+TEST(FractionalAllocation, RejectsCapacityOverload) {
+  AllocationInstance instance{triangle_ish(), {1, 5}};
+  FractionalAllocation f;
+  f.x = {0.9, 0.0, 0.9, 0.0};  // v=0 carries 1.8 > C=1
+  EXPECT_FALSE(f.is_valid(instance));
+}
+
+TEST(FractionalAllocation, RejectsValueOutsideUnitInterval) {
+  AllocationInstance instance{triangle_ish(), {5, 5}};
+  FractionalAllocation f;
+  f.x = {1.5, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(f.is_valid(instance));
+  f.x = {-0.2, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(f.is_valid(instance));
+}
+
+TEST(FractionalAllocation, SizeMismatchRejected) {
+  AllocationInstance instance{triangle_ish(), {1, 1}};
+  FractionalAllocation f;
+  f.x = {0.1};
+  EXPECT_FALSE(f.is_valid(instance));
+}
+
+TEST(FractionalAllocation, ToleranceAbsorbsRoundoff) {
+  AllocationInstance instance{triangle_ish(), {1, 1}};
+  FractionalAllocation f;
+  f.x = {0.5 + 1e-12, 0.5, 0.0, 0.0};
+  EXPECT_TRUE(f.is_valid(instance, 1e-9));
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,215 @@
+#include "bmatch/bmatching.hpp"
+#include "bmatch/proportional_bmatching.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+BMatchingInstance random_bmatching(std::size_t num_left, std::size_t num_right,
+                                   std::uint32_t lambda, std::uint32_t cap_hi,
+                                   std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  BMatchingInstance instance;
+  instance.graph = union_of_forests(num_left, num_right, lambda, rng);
+  instance.left_capacities = uniform_capacities(num_left, 1, cap_hi, rng);
+  instance.right_capacities = uniform_capacities(num_right, 1, cap_hi, rng);
+  return instance;
+}
+
+TEST(BMatchingInstance, ValidationGuards) {
+  BMatchingInstance instance;
+  instance.graph = star_graph(3);
+  instance.left_capacities = {1, 1};  // wrong size
+  instance.right_capacities = {2};
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+  instance.left_capacities = {1, 1, 0};
+  EXPECT_THROW(instance.validate(), std::invalid_argument);
+  instance.left_capacities = {1, 1, 1};
+  instance.validate();
+  EXPECT_EQ(instance.total_left_capacity(), 3u);
+  EXPECT_EQ(instance.total_right_capacity(), 2u);
+}
+
+TEST(BMatchingInstance, FromAllocationMatchesSemantics) {
+  AllocationInstance alloc{star_graph(5), {3}};
+  const BMatchingInstance bm = BMatchingInstance::from_allocation(alloc);
+  bm.validate();
+  EXPECT_EQ(bm.left_capacities, Capacities(5, 1));
+  EXPECT_EQ(bm.right_capacities, alloc.capacities);
+  EXPECT_EQ(optimal_bmatching_value(bm), 3u);
+}
+
+TEST(BMatching, ValidityChecksBothSides) {
+  BMatchingInstance instance;
+  BipartiteGraphBuilder b(2, 2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  instance.graph = b.build();
+  instance.left_capacities = {2, 1};
+  instance.right_capacities = {1, 1};
+
+  BMatching ok{{0, 1}};  // u0 uses both slots
+  EXPECT_TRUE(ok.is_valid(instance));
+  BMatching right_overflow{{0, 2}};  // v0 gets 2 with b_v=1
+  EXPECT_FALSE(right_overflow.is_valid(instance));
+  instance.left_capacities = {1, 1};
+  EXPECT_FALSE(ok.is_valid(instance));  // now u0 over its b_u
+}
+
+TEST(FractionalBMatching, ValidityChecksLoads) {
+  BMatchingInstance instance;
+  BipartiteGraphBuilder b(1, 2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  instance.graph = b.build();
+  instance.left_capacities = {1};
+  instance.right_capacities = {1, 1};
+
+  FractionalBMatching f;
+  f.x = {0.5, 0.5};
+  EXPECT_TRUE(f.is_valid(instance));
+  EXPECT_DOUBLE_EQ(f.weight(), 1.0);
+  f.x = {0.9, 0.9};  // u0 load 1.8 > 1
+  EXPECT_FALSE(f.is_valid(instance));
+  instance.left_capacities = {2};
+  EXPECT_TRUE(f.is_valid(instance));
+}
+
+TEST(OptimalBMatching, HandComputedExample) {
+  // K_{2,2}, all b = 2: every edge can be used.
+  BipartiteGraphBuilder b(2, 2);
+  for (Vertex u = 0; u < 2; ++u) {
+    for (Vertex v = 0; v < 2; ++v) b.add_edge(u, v);
+  }
+  BMatchingInstance instance{b.build(), {2, 2}, {2, 2}};
+  EXPECT_EQ(optimal_bmatching_value(instance), 4u);
+  instance.right_capacities = {1, 1};
+  EXPECT_EQ(optimal_bmatching_value(instance), 2u);
+}
+
+class BMatchingSuite
+    : public ::testing::TestWithParam<mpcalloc::testing::InstanceSpec> {};
+
+TEST_P(BMatchingSuite, GreedyIsValidMaximalAndHalfOptimal) {
+  const auto& spec = GetParam();
+  const BMatchingInstance instance = random_bmatching(
+      spec.num_left, spec.num_right, spec.lambda, spec.cap_hi, spec.seed);
+  const BMatching greedy = greedy_bmatching(instance);
+  greedy.check_valid(instance);
+  const auto opt = optimal_bmatching_value(instance);
+  EXPECT_GE(2 * greedy.size() + 1, opt) << spec.name;
+}
+
+TEST_P(BMatchingSuite, BoosterReachesExactOptimumUnbounded) {
+  const auto& spec = GetParam();
+  const BMatchingInstance instance = random_bmatching(
+      spec.num_left, spec.num_right, spec.lambda, spec.cap_hi, spec.seed + 1);
+  const BMatching seed = greedy_bmatching(instance);
+  const std::size_t huge = 2 * instance.graph.num_vertices() + 1;
+  const BMatchBoostResult boosted = boost_bmatching(instance, seed, huge);
+  EXPECT_EQ(boosted.matching.size(), optimal_bmatching_value(instance))
+      << spec.name;
+}
+
+TEST_P(BMatchingSuite, BoosterOnePlusEpsCertificate) {
+  const auto& spec = GetParam();
+  const BMatchingInstance instance = random_bmatching(
+      spec.num_left, spec.num_right, spec.lambda, spec.cap_hi, spec.seed + 2);
+  const BMatching seed = greedy_bmatching(instance);
+  // k = 5 pairs ⇒ no augmenting walk of length ≤ 11 ⇒ ratio ≤ 1+1/6.
+  const BMatchBoostResult boosted = boost_bmatching(instance, seed, 11);
+  boosted.matching.check_valid(instance);
+  const auto opt = optimal_bmatching_value(instance);
+  EXPECT_GE(static_cast<double>(boosted.matching.size()) * (1.0 + 1.0 / 6.0),
+            static_cast<double>(opt))
+      << spec.name;
+}
+
+TEST_P(BMatchingSuite, ProportionalDynamicsProduceFeasibleFraction) {
+  const auto& spec = GetParam();
+  const BMatchingInstance instance = random_bmatching(
+      spec.num_left, spec.num_right, spec.lambda, spec.cap_hi, spec.seed + 3);
+  ProportionalBMatchingConfig config;
+  config.epsilon = 0.25;
+  config.rounds = 30;
+  const ProportionalBMatchingResult result =
+      run_proportional_bmatching(instance, config);
+  result.matching.check_valid(instance);
+  // No proven bound (open question) — but it must beat a trivial fraction
+  // of OPT on these benign instances.
+  const auto opt = optimal_bmatching_value(instance);
+  EXPECT_GE(result.matching.weight() * 6.0, static_cast<double>(opt))
+      << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, BMatchingSuite,
+    ::testing::ValuesIn(mpcalloc::testing::default_specs()),
+    [](const ::testing::TestParamInfo<mpcalloc::testing::InstanceSpec>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(ProportionalBMatching, ReducesToAllocationWhenLeftUnit) {
+  // With b_u ≡ 1 the two-sided dynamics must coincide with Algorithm 1's
+  // level trajectory.
+  const AllocationInstance alloc =
+      mpcalloc::testing::make_instance(mpcalloc::testing::default_specs()[2]);
+  const BMatchingInstance bm = BMatchingInstance::from_allocation(alloc);
+
+  ProportionalBMatchingConfig bconfig;
+  bconfig.epsilon = 0.25;
+  bconfig.rounds = 12;
+  const ProportionalBMatchingResult two_sided =
+      run_proportional_bmatching(bm, bconfig);
+
+  ProportionalConfig aconfig;
+  aconfig.epsilon = 0.25;
+  aconfig.max_rounds = 12;
+  const ProportionalResult one_sided = run_proportional(alloc, aconfig);
+
+  ASSERT_EQ(two_sided.final_levels.size(), one_sided.final_levels.size());
+  for (Vertex v = 0; v < one_sided.final_levels.size(); ++v) {
+    EXPECT_EQ(two_sided.final_levels[v], one_sided.final_levels[v]) << v;
+  }
+}
+
+TEST(ProportionalBMatching, GuardsConfig) {
+  BMatchingInstance instance;
+  instance.graph = star_graph(2);
+  instance.left_capacities = {1, 1};
+  instance.right_capacities = {1};
+  ProportionalBMatchingConfig config;
+  config.rounds = 0;
+  EXPECT_THROW(run_proportional_bmatching(instance, config),
+               std::invalid_argument);
+}
+
+TEST(BoostBMatching, GuardsWalkLength) {
+  BMatchingInstance instance;
+  instance.graph = star_graph(2);
+  instance.left_capacities = {1, 1};
+  instance.right_capacities = {2};
+  BMatching empty;
+  EXPECT_THROW(boost_bmatching(instance, empty, 2), std::invalid_argument);
+  const BMatchBoostResult r = boost_bmatching(instance, empty, 1);
+  EXPECT_EQ(r.matching.size(), 2u);
+}
+
+TEST(BoostBMatching, LeftCapacityRootsAugmentMultipleTimes) {
+  // One L vertex with b_u=3 and three R partners: length-1 walks must fire
+  // three times from the same root.
+  BipartiteGraphBuilder b(1, 3);
+  for (Vertex v = 0; v < 3; ++v) b.add_edge(0, v);
+  BMatchingInstance instance{b.build(), {3}, {1, 1, 1}};
+  BMatching empty;
+  const BMatchBoostResult r = boost_bmatching(instance, empty, 1);
+  EXPECT_EQ(r.matching.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,151 @@
+#include "alloc/boosting.hpp"
+#include "alloc/rounding.hpp"
+#include "alloc/verify.hpp"
+#include "flow/greedy.hpp"
+#include "flow/optimal_allocation.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+using mpcalloc::testing::InstanceSpec;
+using mpcalloc::testing::default_specs;
+using mpcalloc::testing::make_instance;
+
+TEST(PathBooster, RejectsEvenWalkLength) {
+  AllocationInstance instance{star_graph(3), {1}};
+  IntegralAllocation empty;
+  EXPECT_THROW(boost_path_limited(instance, empty, 4), std::invalid_argument);
+  EXPECT_THROW(boost_path_limited(instance, empty, 0), std::invalid_argument);
+}
+
+TEST(PathBooster, LengthOneIsGreedyCompletion) {
+  // Walks of length 1 just match free u's to spare capacity.
+  AllocationInstance instance{star_graph(6), {4}};
+  IntegralAllocation empty;
+  const BoostResult result = boost_path_limited(instance, empty, 1);
+  EXPECT_EQ(result.allocation.size(), 4u);
+}
+
+TEST(PathBooster, ResolvesClassicAugmentingPath) {
+  // u0-v0, u1-{v0,v1}: greedy can match u1→v0 and strand u0; one length-3
+  // walk fixes it.
+  BipartiteGraphBuilder b(2, 2);
+  b.add_edge(0, 0);
+  b.add_edge(1, 0);
+  b.add_edge(1, 1);
+  AllocationInstance instance{b.build(), {1, 1}};
+  IntegralAllocation bad;
+  bad.edges = {1};  // (1,0): strands u0
+  const BoostResult result = boost_path_limited(instance, bad, 3);
+  EXPECT_EQ(result.allocation.size(), 2u);
+}
+
+class BoosterSuite : public ::testing::TestWithParam<InstanceSpec> {};
+
+TEST_P(BoosterSuite, OnePlusEpsCertificateAgainstExactOpt) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const IntegralAllocation seed = greedy_allocation(instance);
+  const double eps = 0.2;
+  const BoostResult result = boost_to_one_plus_eps(instance, seed, eps);
+  result.allocation.check_valid(instance);
+  const auto opt = optimal_allocation_value(instance);
+  EXPECT_GE(static_cast<double>(result.allocation.size()) * (1.0 + eps),
+            static_cast<double>(opt))
+      << GetParam().name;
+}
+
+TEST_P(BoosterSuite, UnboundedLengthReachesExactOptimum) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const IntegralAllocation seed = greedy_allocation(instance);
+  // Walk length ≥ 2n+1 cannot be binding: this is plain augmentation to
+  // optimality, cross-validating the booster against Dinic.
+  const std::size_t huge = 2 * instance.graph.num_vertices() + 1;
+  const BoostResult result = boost_path_limited(instance, seed, huge);
+  EXPECT_EQ(result.allocation.size(), optimal_allocation_value(instance))
+      << GetParam().name;
+}
+
+TEST_P(BoosterSuite, BoostingNeverShrinks) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const IntegralAllocation seed = greedy_allocation(instance);
+  const BoostResult result = boost_path_limited(instance, seed, 5);
+  EXPECT_GE(result.allocation.size(), seed.size());
+}
+
+TEST_P(BoosterSuite, Ggm22IsValidAndMonotone) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const IntegralAllocation seed = greedy_allocation(instance);
+  Xoshiro256pp rng(GetParam().seed + 77);
+  const BoostResult result = boost_ggm22(instance, seed, 0.25, 30, rng);
+  result.allocation.check_valid(instance);
+  EXPECT_GE(result.allocation.size(), seed.size());
+  EXPECT_EQ(result.iterations, 30u);
+  EXPECT_EQ(result.augmentations_per_iteration.size(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, BoosterSuite,
+                         ::testing::ValuesIn(default_specs()),
+                         [](const ::testing::TestParamInfo<InstanceSpec>& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(Ggm22, ClosesTheGapOnPlantedInstances) {
+  // With a perfect allocation available, GGM22 iterations should keep
+  // finding augmenting walks and approach OPT from a greedy seed.
+  const auto planted = mpcalloc::testing::make_planted(300, 80, 4, 3, 55);
+  const AllocationInstance& instance = planted.instance;
+  IntegralAllocation seed = greedy_allocation(instance);
+  Xoshiro256pp rng(56);
+  const BoostResult result = boost_ggm22(instance, seed, 0.34, 200, rng);
+  const auto opt = optimal_allocation_value(instance);
+  EXPECT_GE(static_cast<double>(result.allocation.size()),
+            0.95 * static_cast<double>(opt));
+}
+
+TEST(Ggm22, FromEmptySeedStillProgresses) {
+  const AllocationInstance instance = make_instance(default_specs()[2]);
+  IntegralAllocation empty;
+  Xoshiro256pp rng(57);
+  const BoostResult result = boost_ggm22(instance, empty, 0.34, 50, rng);
+  result.allocation.check_valid(instance);
+  EXPECT_GT(result.allocation.size(), 0u);
+}
+
+TEST(PathBooster, PhasesReportAugmentations) {
+  const AllocationInstance instance = make_instance(default_specs()[3]);
+  IntegralAllocation empty;
+  const BoostResult result = boost_path_limited(instance, empty, 3);
+  std::size_t total = 0;
+  for (const std::size_t a : result.augmentations_per_iteration) {
+    EXPECT_GT(a, 0u);  // phases that find nothing terminate the loop
+    total += a;
+  }
+  EXPECT_EQ(total, result.allocation.size());
+}
+
+TEST(Booster, InvalidSeedRejected) {
+  AllocationInstance instance{star_graph(4), {1}};
+  IntegralAllocation overfull;
+  overfull.edges = {0, 1};  // two edges into C=1 center
+  EXPECT_THROW(boost_path_limited(instance, overfull, 3), std::logic_error);
+  Xoshiro256pp rng(1);
+  EXPECT_THROW(boost_ggm22(instance, overfull, 0.5, 5, rng), std::logic_error);
+}
+
+TEST(Booster, EpsilonGuards) {
+  AllocationInstance instance{star_graph(4), {1}};
+  IntegralAllocation empty;
+  EXPECT_THROW(boost_to_one_plus_eps(instance, empty, 0.0),
+               std::invalid_argument);
+  Xoshiro256pp rng(1);
+  EXPECT_THROW(boost_ggm22(instance, empty, -1.0, 5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,148 @@
+#include "flow/dinic.hpp"
+#include "flow/greedy.hpp"
+#include "flow/optimal_allocation.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+TEST(Dinic, TrivialTwoNodeFlow) {
+  DinicMaxFlow flow(2);
+  const auto e = flow.add_edge(0, 1, 5);
+  EXPECT_EQ(flow.solve(0, 1), 5);
+  EXPECT_EQ(flow.flow_on(e), 5);
+}
+
+TEST(Dinic, BottleneckPath) {
+  DinicMaxFlow flow(4);
+  flow.add_edge(0, 1, 10);
+  flow.add_edge(1, 2, 3);
+  flow.add_edge(2, 3, 10);
+  EXPECT_EQ(flow.solve(0, 3), 3);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  DinicMaxFlow flow(4);
+  flow.add_edge(0, 1, 4);
+  flow.add_edge(1, 3, 4);
+  flow.add_edge(0, 2, 6);
+  flow.add_edge(2, 3, 5);
+  EXPECT_EQ(flow.solve(0, 3), 9);
+}
+
+TEST(Dinic, RequiresAugmentingThroughBackEdge) {
+  // Classic diamond where the naive greedy path must be re-routed.
+  DinicMaxFlow flow(4);
+  flow.add_edge(0, 1, 1);
+  flow.add_edge(0, 2, 1);
+  flow.add_edge(1, 2, 1);
+  flow.add_edge(1, 3, 1);
+  flow.add_edge(2, 3, 1);
+  EXPECT_EQ(flow.solve(0, 3), 2);
+}
+
+TEST(Dinic, DisconnectedSinkIsZero) {
+  DinicMaxFlow flow(3);
+  flow.add_edge(0, 1, 5);
+  EXPECT_EQ(flow.solve(0, 2), 0);
+}
+
+TEST(Dinic, GuardsMisuse) {
+  DinicMaxFlow flow(2);
+  EXPECT_THROW(flow.add_edge(0, 5, 1), std::out_of_range);
+  EXPECT_THROW(flow.add_edge(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW(flow.solve(0, 0), std::invalid_argument);
+  flow.add_edge(0, 1, 1);
+  flow.solve(0, 1);
+  EXPECT_THROW(flow.solve(0, 1), std::logic_error);
+  EXPECT_THROW(flow.add_edge(0, 1, 1), std::logic_error);
+  EXPECT_THROW((void)flow.flow_on(99), std::out_of_range);
+}
+
+TEST(OptimalAllocation, StarRespectsCenterCapacity) {
+  AllocationInstance instance{star_graph(10), {3}};
+  EXPECT_EQ(optimal_allocation_value(instance), 3u);
+  const auto result = solve_optimal_allocation(instance);
+  EXPECT_EQ(result.value, 3u);
+  EXPECT_EQ(result.allocation.size(), 3u);
+  result.allocation.check_valid(instance);
+}
+
+TEST(OptimalAllocation, StarWithFullCapacity) {
+  AllocationInstance instance{star_graph(10), {10}};
+  EXPECT_EQ(optimal_allocation_value(instance), 10u);
+}
+
+TEST(OptimalAllocation, PlantedInstanceIsPerfect) {
+  const auto planted = mpcalloc::testing::make_planted(400, 100, 5, 4);
+  const auto result = solve_optimal_allocation(planted.instance);
+  EXPECT_EQ(result.value, 400u);
+  result.allocation.check_valid(planted.instance);
+}
+
+TEST(OptimalAllocation, WitnessValueMatches) {
+  for (const auto& spec : mpcalloc::testing::default_specs()) {
+    const AllocationInstance instance = mpcalloc::testing::make_instance(spec);
+    const auto result = solve_optimal_allocation(instance);
+    EXPECT_EQ(result.allocation.size(), result.value) << spec.name;
+    result.allocation.check_valid(instance);
+  }
+}
+
+TEST(OptimalAllocation, BoundedByCapacityAndLeftSide) {
+  for (const auto& spec : mpcalloc::testing::default_specs()) {
+    const AllocationInstance instance = mpcalloc::testing::make_instance(spec);
+    const auto value = optimal_allocation_value(instance);
+    EXPECT_LE(value, instance.graph.num_left()) << spec.name;
+    EXPECT_LE(value, instance.total_capacity()) << spec.name;
+  }
+}
+
+class GreedySuite
+    : public ::testing::TestWithParam<mpcalloc::testing::InstanceSpec> {};
+
+TEST_P(GreedySuite, GreedyIsValidAndHalfOptimal) {
+  const AllocationInstance instance = mpcalloc::testing::make_instance(GetParam());
+  const auto opt = optimal_allocation_value(instance);
+  const IntegralAllocation greedy = greedy_allocation(instance);
+  greedy.check_valid(instance);
+  // Any maximal allocation is a 2-approximation.
+  EXPECT_GE(2 * greedy.size() + 1, opt);
+}
+
+TEST_P(GreedySuite, RandomizedGreedyIsValidAndHalfOptimal) {
+  const AllocationInstance instance = mpcalloc::testing::make_instance(GetParam());
+  Xoshiro256pp rng(GetParam().seed + 1000);
+  const auto opt = optimal_allocation_value(instance);
+  const IntegralAllocation greedy = randomized_greedy_allocation(instance, rng);
+  greedy.check_valid(instance);
+  EXPECT_GE(2 * greedy.size() + 1, opt);
+}
+
+TEST_P(GreedySuite, DegreeAwareGreedyIsValidAndHalfOptimal) {
+  const AllocationInstance instance = mpcalloc::testing::make_instance(GetParam());
+  const auto opt = optimal_allocation_value(instance);
+  const IntegralAllocation greedy = degree_aware_greedy_allocation(instance);
+  greedy.check_valid(instance);
+  EXPECT_GE(2 * greedy.size() + 1, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, GreedySuite,
+    ::testing::ValuesIn(mpcalloc::testing::default_specs()),
+    [](const ::testing::TestParamInfo<mpcalloc::testing::InstanceSpec>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(Greedy, MaximalityOnStar) {
+  AllocationInstance instance{star_graph(10), {4}};
+  const IntegralAllocation greedy = greedy_allocation(instance);
+  EXPECT_EQ(greedy.size(), 4u);  // fills the center's capacity
+}
+
+}  // namespace
+}  // namespace mpcalloc

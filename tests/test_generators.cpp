@@ -1,0 +1,197 @@
+#include "flow/optimal_allocation.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcalloc {
+namespace {
+
+TEST(Generators, UnionOfForestsRespectsArboricityBound) {
+  Xoshiro256pp rng(1);
+  for (const std::uint32_t lambda : {1u, 2u, 4u, 8u}) {
+    const BipartiteGraph g = union_of_forests(400, 200, lambda, rng);
+    g.validate();
+    const ArboricityEstimate est = estimate_arboricity(g);
+    // λ(G) ≤ lambda by construction, and degeneracy ≤ 2λ−1.
+    EXPECT_LE(est.degeneracy, 2 * lambda - 1) << "lambda=" << lambda;
+    EXPECT_LE(est.lower_bound, lambda);
+  }
+}
+
+TEST(Generators, UnionOfForestsSingleForestIsForest) {
+  Xoshiro256pp rng(2);
+  const BipartiteGraph g = union_of_forests(300, 150, 1, rng);
+  EXPECT_TRUE(is_forest(g));
+  // A forest on ≤ 450 vertices has < 450 edges.
+  EXPECT_LT(g.num_edges(), g.num_vertices());
+}
+
+TEST(Generators, UnionOfForestsGrowsDenserWithLambda) {
+  Xoshiro256pp rng(3);
+  const auto m1 = union_of_forests(500, 250, 1, rng).num_edges();
+  const auto m8 = union_of_forests(500, 250, 8, rng).num_edges();
+  EXPECT_GT(m8, 3 * m1);
+}
+
+TEST(Generators, UnionOfForestsZeroLambdaThrows) {
+  Xoshiro256pp rng(4);
+  EXPECT_THROW(union_of_forests(10, 10, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, DenseCoreHasExpectedDensity) {
+  Xoshiro256pp rng(5);
+  const std::uint32_t core = 16;
+  const BipartiteGraph g = dense_core_sparse_fringe(300, 300, core, rng);
+  g.validate();
+  const ArboricityEstimate est = estimate_arboricity(g);
+  // K_{16,16} forces λ ≥ ⌈256/31⌉ = 9; fringe adds little.
+  EXPECT_GE(est.lower_bound, core / 2);
+  EXPECT_LE(est.upper_bound, 2 * core);
+}
+
+TEST(Generators, StarGraphShape) {
+  const BipartiteGraph g = star_graph(50);
+  g.validate();
+  EXPECT_EQ(g.num_left(), 50u);
+  EXPECT_EQ(g.num_right(), 1u);
+  EXPECT_EQ(g.num_edges(), 50u);
+  EXPECT_EQ(g.right_degree(0), 50u);
+  EXPECT_TRUE(is_forest(g));
+}
+
+TEST(Generators, LeftRegularDegrees) {
+  Xoshiro256pp rng(6);
+  const BipartiteGraph g = left_regular(100, 40, 5, rng);
+  g.validate();
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    EXPECT_EQ(g.left_degree(u), 5u);
+  }
+}
+
+TEST(Generators, LeftRegularDegreeTooLargeThrows) {
+  Xoshiro256pp rng(6);
+  EXPECT_THROW(left_regular(10, 4, 5, rng), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  Xoshiro256pp rng(7);
+  const BipartiteGraph g = erdos_renyi_bipartite(50, 60, 500, rng);
+  g.validate();
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(Generators, ErdosRenyiCompleteGraph) {
+  Xoshiro256pp rng(7);
+  const BipartiteGraph g = erdos_renyi_bipartite(8, 9, 72, rng);
+  EXPECT_EQ(g.num_edges(), 72u);
+  EXPECT_THROW(erdos_renyi_bipartite(8, 9, 73, rng), std::invalid_argument);
+}
+
+TEST(Generators, PowerLawIsSkewed) {
+  Xoshiro256pp rng(8);
+  const BipartiteGraph g = power_law_bipartite(2000, 2000, 6000, 0.9, rng);
+  g.validate();
+  EXPECT_GT(g.num_edges(), 4000u);
+  // The first (heaviest) vertices should dominate the degree distribution.
+  std::size_t head_degree = 0;
+  for (Vertex v = 0; v < 20; ++v) head_degree += g.right_degree(v);
+  EXPECT_GT(head_degree, g.num_edges() / 10);
+}
+
+TEST(Generators, PlantedInstanceHasPerfectAllocation) {
+  Xoshiro256pp rng(9);
+  const PlantedInstance planted = planted_instance(300, 80, 4, 3, rng);
+  planted.instance.validate();
+  EXPECT_EQ(optimal_allocation_value(planted.instance), 300u);
+  // The planted partner edges must exist.
+  const auto& g = planted.instance.graph;
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    bool found = false;
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      found |= inc.to == planted.planted_partner[u];
+    }
+    EXPECT_TRUE(found) << "u=" << u;
+  }
+}
+
+TEST(Generators, PlantedInstanceInsufficientCapacityThrows) {
+  Xoshiro256pp rng(9);
+  EXPECT_THROW(planted_instance(100, 10, 5, 0, rng), std::invalid_argument);
+}
+
+TEST(Capacities, UnitCapacities) {
+  const Capacities c = unit_capacities(5);
+  EXPECT_EQ(c, (Capacities{1, 1, 1, 1, 1}));
+}
+
+TEST(Capacities, UniformRange) {
+  Xoshiro256pp rng(10);
+  const Capacities c = uniform_capacities(1000, 2, 7, rng);
+  for (const auto v : c) {
+    EXPECT_GE(v, 2u);
+    EXPECT_LE(v, 7u);
+  }
+  EXPECT_THROW(uniform_capacities(10, 0, 5, rng), std::invalid_argument);
+  EXPECT_THROW(uniform_capacities(10, 5, 2, rng), std::invalid_argument);
+}
+
+TEST(Capacities, DegreeProportional) {
+  const BipartiteGraph g = star_graph(30);
+  const Capacities c = degree_proportional_capacities(g, 0.5);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 15u);
+  // Fractions below 1 still clamp to C ≥ 1 on low-degree vertices.
+  BipartiteGraphBuilder b(1, 1);
+  b.add_edge(0, 0);
+  const Capacities c2 = degree_proportional_capacities(b.build(), 0.1);
+  EXPECT_EQ(c2[0], 1u);
+}
+
+TEST(Capacities, ZipfStaysInRange) {
+  Xoshiro256pp rng(11);
+  const Capacities c = zipf_capacities(2000, 16, 1.2, rng);
+  std::size_t ones = 0;
+  for (const auto v : c) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 16u);
+    ones += v == 1 ? 1 : 0;
+  }
+  // Zipf(1.2) concentrates on small values.
+  EXPECT_GT(ones, c.size() / 3);
+}
+
+
+TEST(Generators, OversubscribedCoreShape) {
+  const AllocationInstance instance = oversubscribed_core_instance(8, 4, 2);
+  instance.validate();
+  // Per copy: 32 L vertices, 8 core + 32 private R vertices.
+  EXPECT_EQ(instance.graph.num_left(), 64u);
+  EXPECT_EQ(instance.graph.num_right(), 80u);
+  // Per copy: 32*8 core edges + 32 private edges.
+  EXPECT_EQ(instance.graph.num_edges(), 2u * (32 * 8 + 32));
+  for (const auto c : instance.capacities) EXPECT_EQ(c, 1u);
+}
+
+TEST(Generators, OversubscribedCoreHasPerfectOpt) {
+  const AllocationInstance instance = oversubscribed_core_instance(16, 4, 3);
+  EXPECT_EQ(optimal_allocation_value(instance), instance.graph.num_left());
+}
+
+TEST(Generators, OversubscribedCoreArboricityTracksCore) {
+  for (const std::size_t core : {8u, 32u}) {
+    const AllocationInstance instance = oversubscribed_core_instance(core, 4, 1);
+    const ArboricityEstimate est = estimate_arboricity(instance.graph);
+    EXPECT_GE(est.lower_bound, core / 2) << core;
+    EXPECT_LE(est.upper_bound, 2 * core) << core;
+  }
+}
+
+TEST(Generators, OversubscribedCoreGuards) {
+  EXPECT_THROW(oversubscribed_core_instance(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(oversubscribed_core_instance(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(oversubscribed_core_instance(4, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcalloc

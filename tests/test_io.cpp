@@ -1,0 +1,142 @@
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mpcalloc {
+namespace {
+
+AllocationInstance sample_instance() {
+  Xoshiro256pp rng(3);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(30, 20, 2, rng);
+  instance.capacities = uniform_capacities(20, 1, 5, rng);
+  return instance;
+}
+
+TEST(Io, RoundTripPreservesInstance) {
+  const AllocationInstance original = sample_instance();
+  std::stringstream stream;
+  write_instance(stream, original);
+  const AllocationInstance loaded = read_instance(stream);
+
+  EXPECT_EQ(loaded.graph.num_left(), original.graph.num_left());
+  EXPECT_EQ(loaded.graph.num_right(), original.graph.num_right());
+  EXPECT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+  EXPECT_EQ(loaded.capacities, original.capacities);
+  for (EdgeId e = 0; e < original.graph.num_edges(); ++e) {
+    EXPECT_EQ(loaded.graph.edge(e), original.graph.edge(e));
+  }
+}
+
+TEST(Io, CommentsAndDefaultsAccepted) {
+  std::stringstream stream(
+      "# hello\n"
+      "alloc 2 2 1\n"
+      "# capacity of v=0 defaults to 1\n"
+      "c 1 7\n"
+      "e 0 1\n");
+  const AllocationInstance instance = read_instance(stream);
+  EXPECT_EQ(instance.capacities[0], 1u);
+  EXPECT_EQ(instance.capacities[1], 7u);
+  EXPECT_EQ(instance.graph.num_edges(), 1u);
+}
+
+TEST(Io, MissingHeaderRejected) {
+  std::stringstream stream("e 0 0\n");
+  EXPECT_THROW(read_instance(stream), std::runtime_error);
+}
+
+TEST(Io, EdgeCountMismatchRejected) {
+  std::stringstream stream("alloc 2 2 2\ne 0 0\n");
+  EXPECT_THROW(read_instance(stream), std::runtime_error);
+}
+
+TEST(Io, OutOfRangeVertexRejected) {
+  std::stringstream stream("alloc 2 2 1\ne 0 5\n");
+  EXPECT_THROW(read_instance(stream), std::runtime_error);
+}
+
+TEST(Io, ZeroCapacityRejected) {
+  std::stringstream stream("alloc 2 2 1\nc 0 0\ne 0 0\n");
+  EXPECT_THROW(read_instance(stream), std::runtime_error);
+}
+
+TEST(Io, UnknownTagRejected) {
+  std::stringstream stream("alloc 2 2 1\nq 0 0\ne 0 0\n");
+  EXPECT_THROW(read_instance(stream), std::runtime_error);
+}
+
+TEST(Io, FileSaveLoad) {
+  const AllocationInstance original = sample_instance();
+  const std::string path = ::testing::TempDir() + "/mpcalloc_io_test.txt";
+  save_instance(path, original);
+  const AllocationInstance loaded = load_instance(path);
+  EXPECT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+  EXPECT_EQ(loaded.capacities, original.capacities);
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW(load_instance("/nonexistent/path/file.txt"), std::runtime_error);
+}
+
+
+TEST(SolutionIo, RoundTrip) {
+  const AllocationInstance instance = sample_instance();
+  const auto opt = [&] {
+    // Cheap valid solution: greedy-style first-fit.
+    IntegralAllocation m;
+    std::vector<std::uint32_t> residual(instance.capacities);
+    for (Vertex u = 0; u < instance.graph.num_left(); ++u) {
+      for (const Incidence& inc : instance.graph.left_neighbors(u)) {
+        if (residual[inc.to] > 0) {
+          --residual[inc.to];
+          m.edges.push_back(inc.edge);
+          break;
+        }
+      }
+    }
+    return m;
+  }();
+  std::stringstream stream;
+  write_solution(stream, instance, opt);
+  const IntegralAllocation loaded = read_solution(stream, instance);
+  auto sorted_a = opt.edges, sorted_b = loaded.edges;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  EXPECT_EQ(sorted_a, sorted_b);
+}
+
+TEST(SolutionIo, RejectsNonEdgePair) {
+  AllocationInstance instance{star_graph(3), {2}};
+  std::stringstream stream("solution 1\nm 0 5\n");
+  EXPECT_THROW((void)read_solution(stream, instance), std::runtime_error);
+}
+
+TEST(SolutionIo, RejectsCountMismatch) {
+  AllocationInstance instance{star_graph(3), {2}};
+  std::stringstream stream("solution 2\nm 0 0\n");
+  EXPECT_THROW((void)read_solution(stream, instance), std::runtime_error);
+}
+
+TEST(SolutionIo, RejectsInfeasibleSolution) {
+  AllocationInstance instance{star_graph(3), {1}};
+  std::stringstream stream("solution 2\nm 0 0\nm 1 0\n");
+  EXPECT_THROW((void)read_solution(stream, instance), std::logic_error);
+}
+
+TEST(SolutionIo, FileRoundTrip) {
+  AllocationInstance instance{star_graph(4), {2}};
+  IntegralAllocation m{{0, 1}};
+  const std::string path = ::testing::TempDir() + "/mpcalloc_sol_test.txt";
+  save_solution(path, instance, m);
+  const IntegralAllocation loaded = load_solution(path, instance);
+  EXPECT_EQ(loaded.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mpcalloc

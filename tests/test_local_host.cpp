@@ -1,0 +1,103 @@
+#include "alloc/local_host.hpp"
+#include "alloc/proportional.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+using mpcalloc::testing::InstanceSpec;
+using mpcalloc::testing::default_specs;
+using mpcalloc::testing::make_instance;
+
+class LocalHostSuite : public ::testing::TestWithParam<InstanceSpec> {};
+
+TEST_P(LocalHostSuite, AgreesWithVectorisedEngine) {
+  const AllocationInstance instance = make_instance(GetParam());
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 20;
+
+  const ProportionalResult engine = run_proportional(instance, config);
+  const LocalHostResult host = run_proportional_local(instance, config);
+
+  ASSERT_EQ(host.result.final_levels.size(), engine.final_levels.size());
+  for (Vertex v = 0; v < engine.final_levels.size(); ++v) {
+    EXPECT_EQ(host.result.final_levels[v], engine.final_levels[v])
+        << "level diverged at v=" << v;
+  }
+  for (Vertex v = 0; v < engine.final_alloc.size(); ++v) {
+    EXPECT_DOUBLE_EQ(host.result.final_alloc[v], engine.final_alloc[v]);
+  }
+  ASSERT_EQ(host.result.allocation.x.size(), engine.allocation.x.size());
+  for (EdgeId e = 0; e < engine.allocation.x.size(); ++e) {
+    EXPECT_DOUBLE_EQ(host.result.allocation.x[e], engine.allocation.x[e]);
+  }
+  EXPECT_DOUBLE_EQ(host.result.match_weight, engine.match_weight);
+}
+
+TEST_P(LocalHostSuite, UsesConstantSizeMessages) {
+  const AllocationInstance instance = make_instance(GetParam());
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 8;
+  const LocalHostResult host = run_proportional_local(instance, config);
+  // The sublinear-MPC portability argument (Section 1.2.1) rests on O(1)
+  // words per edge per round.
+  EXPECT_LE(host.max_message_words, 1u);
+}
+
+TEST_P(LocalHostSuite, ConsumesTwoLocalRoundsPerAlgorithmRound) {
+  const AllocationInstance instance = make_instance(GetParam());
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 10;
+  const LocalHostResult host = run_proportional_local(instance, config);
+  EXPECT_EQ(host.local_rounds, 2 * config.max_rounds + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, LocalHostSuite,
+                         ::testing::ValuesIn(default_specs()),
+                         [](const ::testing::TestParamInfo<InstanceSpec>& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(LocalHost, HonoursAlgorithm3Thresholds) {
+  Xoshiro256pp rng(41);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(100, 50, 3, rng);
+  instance.capacities = uniform_capacities(50, 1, 3, rng);
+
+  ProportionalConfig config;
+  config.epsilon = 0.2;
+  config.max_rounds = 12;
+  config.threshold_k = [](Vertex v, std::size_t round) {
+    return (v + round) % 3 == 0 ? 2.0 : 0.5;
+  };
+  const ProportionalResult engine = run_proportional(instance, config);
+  const LocalHostResult host = run_proportional_local(instance, config);
+  for (Vertex v = 0; v < engine.final_levels.size(); ++v) {
+    EXPECT_EQ(host.result.final_levels[v], engine.final_levels[v]);
+  }
+}
+
+TEST(LocalHost, RejectsAdaptiveStopRule) {
+  AllocationInstance instance{star_graph(3), {1}};
+  ProportionalConfig config;
+  config.max_rounds = 5;
+  config.stop_rule = StopRule::kAdaptive;
+  EXPECT_THROW(run_proportional_local(instance, config), std::invalid_argument);
+}
+
+TEST(LocalHost, RejectsZeroRounds) {
+  AllocationInstance instance{star_graph(3), {1}};
+  ProportionalConfig config;
+  config.max_rounds = 0;
+  EXPECT_THROW(run_proportional_local(instance, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,160 @@
+#include "graph/generators.hpp"
+#include "local/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcalloc {
+namespace {
+
+using local::LocalNetwork;
+using local::Message;
+using local::ProcessorContext;
+using local::Side;
+
+BipartiteGraph path_graph() {
+  // u0 - v0 - u1 (bipartite path of 3 vertices)
+  BipartiteGraphBuilder b(2, 1);
+  b.add_edge(0, 0);
+  b.add_edge(1, 0);
+  return b.build();
+}
+
+TEST(LocalNetwork, MessagesArriveNextRound) {
+  const BipartiteGraph g = path_graph();
+  LocalNetwork net(g);
+  std::vector<double> received;
+
+  // Round 1: u0 sends 42 to v0. v0 must see nothing yet.
+  net.step([&](ProcessorContext& ctx) {
+    if (ctx.side() == Side::kLeft && ctx.vertex() == 0) {
+      ctx.send(0, Message{42.0});
+    }
+    if (ctx.side() == Side::kRight) {
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        EXPECT_TRUE(ctx.incoming(i).empty());
+      }
+    }
+  });
+
+  // Round 2: v0 sees the message.
+  net.step([&](ProcessorContext& ctx) {
+    if (ctx.side() == Side::kRight) {
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        if (!ctx.incoming(i).empty()) received.push_back(ctx.incoming(i)[0]);
+      }
+    }
+  });
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_DOUBLE_EQ(received[0], 42.0);
+  EXPECT_EQ(net.rounds(), 2u);
+}
+
+TEST(LocalNetwork, DoubleBufferingPreventsSameRoundDelivery) {
+  // Both endpoints of an edge send in the same round; each must see only
+  // the *previous* round's (empty) inbox, then both receive next round.
+  const BipartiteGraph g = path_graph();
+  LocalNetwork net(g);
+  int seen_in_round1 = 0;
+  net.step([&](ProcessorContext& ctx) {
+    for (std::size_t i = 0; i < ctx.degree(); ++i) {
+      if (!ctx.incoming(i).empty()) ++seen_in_round1;
+      ctx.send(i, Message{1.0});
+    }
+  });
+  EXPECT_EQ(seen_in_round1, 0);
+  int seen_in_round2 = 0;
+  net.step([&](ProcessorContext& ctx) {
+    for (std::size_t i = 0; i < ctx.degree(); ++i) {
+      if (!ctx.incoming(i).empty()) ++seen_in_round2;
+    }
+  });
+  // 2 edges × 2 directions = 4 deliveries.
+  EXPECT_EQ(seen_in_round2, 4);
+}
+
+TEST(LocalNetwork, MessagesClearAfterOneRound) {
+  const BipartiteGraph g = path_graph();
+  LocalNetwork net(g);
+  net.step([&](ProcessorContext& ctx) {
+    if (ctx.side() == Side::kLeft) ctx.send(0, Message{7.0});
+  });
+  net.step([](ProcessorContext&) {});  // consume round: nobody resends
+  int seen = 0;
+  net.step([&](ProcessorContext& ctx) {
+    for (std::size_t i = 0; i < ctx.degree(); ++i) {
+      if (!ctx.incoming(i).empty()) ++seen;
+    }
+  });
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(LocalNetwork, AccountingCountsWordsAndMessages) {
+  const BipartiteGraph g = path_graph();
+  LocalNetwork net(g);
+  net.step([&](ProcessorContext& ctx) {
+    if (ctx.side() == Side::kLeft) {
+      ctx.send(0, Message{1.0, 2.0, 3.0});  // 3 words
+    }
+  });
+  EXPECT_EQ(net.messages_sent(), 2u);  // two L vertices
+  EXPECT_EQ(net.words_sent(), 6u);
+  EXPECT_EQ(net.max_message_words(), 3u);
+}
+
+TEST(LocalNetwork, ContextExposesTopology) {
+  const BipartiteGraph g = path_graph();
+  LocalNetwork net(g);
+  net.step([&](ProcessorContext& ctx) {
+    if (ctx.side() == Side::kRight) {
+      EXPECT_EQ(ctx.degree(), 2u);
+      EXPECT_EQ(ctx.neighbor(0), 0u);
+      EXPECT_EQ(ctx.neighbor(1), 1u);
+    } else {
+      EXPECT_EQ(ctx.degree(), 1u);
+      EXPECT_EQ(ctx.neighbor(0), 0u);
+    }
+  });
+}
+
+TEST(LocalNetwork, RunExecutesRequestedRounds) {
+  const BipartiteGraph g = path_graph();
+  LocalNetwork net(g);
+  int calls = 0;
+  net.run(5, [&](ProcessorContext& ctx) {
+    if (ctx.side() == Side::kLeft && ctx.vertex() == 0) ++calls;
+  });
+  EXPECT_EQ(net.rounds(), 5u);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(LocalNetwork, FloodingReachesDiameterHops) {
+  // A longer path: u0-v0-u1-v1-u2; flood a token from u0 and count rounds
+  // until u2 hears it — must equal the graph distance (4 hops).
+  BipartiteGraphBuilder b(3, 2);
+  b.add_edge(0, 0);
+  b.add_edge(1, 0);
+  b.add_edge(1, 1);
+  b.add_edge(2, 1);
+  const BipartiteGraph g = b.build();
+  LocalNetwork net(g);
+
+  std::vector<std::uint8_t> left_has(3, 0), right_has(2, 0);
+  left_has[0] = 1;
+  int rounds_until_reached = -1;
+  for (int round = 1; round <= 10 && rounds_until_reached < 0; ++round) {
+    net.step([&](ProcessorContext& ctx) {
+      auto& has = (ctx.side() == Side::kLeft ? left_has : right_has)[ctx.vertex()];
+      for (std::size_t i = 0; i < ctx.degree(); ++i) {
+        if (!ctx.incoming(i).empty()) has = 1;
+      }
+      if (has) {
+        for (std::size_t i = 0; i < ctx.degree(); ++i) ctx.send(i, Message{1.0});
+      }
+    });
+    if (left_has[2]) rounds_until_reached = round;
+  }
+  EXPECT_EQ(rounds_until_reached, 5);  // 4 hops + 1 delivery round
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,79 @@
+#include "alloc/matching_reduction.hpp"
+#include "flow/optimal_allocation.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+TEST(MatchingReduction, SplitCountsCopies) {
+  AllocationInstance instance{star_graph(5), {3}};
+  const SplitGraph split = split_capacities(instance);
+  EXPECT_EQ(split.graph.num_left(), 5u);
+  EXPECT_EQ(split.graph.num_right(), 3u);
+  EXPECT_EQ(split.graph.num_edges(), 15u);  // 5 leaves × 3 copies
+  EXPECT_EQ(split.copy_owner, (std::vector<Vertex>{0, 0, 0}));
+  split.graph.validate();
+}
+
+TEST(MatchingReduction, StarBlowUpMatchesRemarkOne) {
+  // Remark 1: a star with center capacity n−1 becomes (nearly) complete
+  // bipartite; arboricity jumps from 1 to Θ(n).
+  const std::size_t n = 60;
+  AllocationInstance instance{star_graph(n), {static_cast<std::uint32_t>(n - 1)}};
+  EXPECT_TRUE(is_forest(instance.graph));
+
+  const SplitGraph split = split_capacities(instance);
+  EXPECT_EQ(split.graph.num_edges(), n * (n - 1));
+  const ArboricityEstimate est = estimate_arboricity(split.graph);
+  EXPECT_GE(est.lower_bound, static_cast<std::uint32_t>(n / 4));
+}
+
+TEST(MatchingReduction, SizeGuardTriggers) {
+  AllocationInstance instance{star_graph(1000), {999}};
+  EXPECT_THROW(split_capacities(instance, 10'000), std::length_error);
+}
+
+TEST(MatchingReduction, SplitOptEqualsOriginalOpt) {
+  for (const auto& spec : mpcalloc::testing::default_specs()) {
+    const AllocationInstance instance = mpcalloc::testing::make_instance(spec);
+    const SplitGraph split = split_capacities(instance);
+    AllocationInstance split_instance{split.graph,
+                                      unit_capacities(split.graph.num_right())};
+    EXPECT_EQ(optimal_allocation_value(split_instance),
+              optimal_allocation_value(instance))
+        << spec.name;
+  }
+}
+
+TEST(MatchingReduction, LiftPreservesSizeAndValidity) {
+  const AllocationInstance instance =
+      mpcalloc::testing::make_instance(mpcalloc::testing::default_specs()[2]);
+  const SplitGraph split = split_capacities(instance);
+  AllocationInstance split_instance{split.graph,
+                                    unit_capacities(split.graph.num_right())};
+  const auto split_opt = solve_optimal_allocation(split_instance);
+  const IntegralAllocation lifted =
+      lift_matching(instance, split, split_opt.allocation);
+  lifted.check_valid(instance);
+  EXPECT_EQ(lifted.size(), split_opt.allocation.size());
+  EXPECT_EQ(lifted.size(), optimal_allocation_value(instance));
+}
+
+TEST(MatchingReduction, FirstCopyIndexing) {
+  BipartiteGraphBuilder b(1, 3);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  AllocationInstance instance{b.build(), {2, 1, 3}};
+  const SplitGraph split = split_capacities(instance);
+  EXPECT_EQ(split.first_copy, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(split.copy_owner, (std::vector<Vertex>{0, 0, 1, 2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,231 @@
+#include "mpc/cluster.hpp"
+#include "mpc/exponentiation.hpp"
+#include "mpc/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace mpcalloc::mpc {
+namespace {
+
+TEST(Cluster, ConstructionGuards) {
+  EXPECT_THROW(Cluster(0, 10), std::invalid_argument);
+  EXPECT_THROW(Cluster(10, 0), std::invalid_argument);
+}
+
+TEST(Cluster, ForInputSizesSublinearly) {
+  const Cluster c = Cluster::for_input(1'000'000, 0.5);
+  EXPECT_GE(c.machine_words(), 1000u);
+  EXPECT_LE(c.machine_words(), 1100u);
+  // Enough machines for 4x the input.
+  EXPECT_GE(static_cast<std::uint64_t>(c.num_machines()) * c.machine_words(),
+            4'000'000u);
+  EXPECT_THROW(Cluster::for_input(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(Cluster::for_input(100, 1.0), std::invalid_argument);
+}
+
+TEST(Cluster, ScatterPartitionsEvenly) {
+  Cluster c(4, 100);
+  std::vector<Word> flat(200);
+  std::iota(flat.begin(), flat.end(), 0);
+  const DistVec d = c.scatter(flat, 2);
+  EXPECT_EQ(d.num_records(), 100u);
+  EXPECT_EQ(d.num_words(), 200u);
+  EXPECT_EQ(d.gather(), flat);
+  for (const auto& shard : d.shards) EXPECT_LE(shard.size(), 100u);
+}
+
+TEST(Cluster, ScatterRejectsOversizedInput) {
+  Cluster c(2, 10);
+  std::vector<Word> flat(100, 0);
+  EXPECT_THROW(c.scatter(flat, 2), MpcCapacityError);
+}
+
+TEST(Cluster, ScatterRejectsBadWidth) {
+  Cluster c(2, 100);
+  std::vector<Word> flat(3, 0);
+  EXPECT_THROW(c.scatter(flat, 2), std::invalid_argument);
+}
+
+TEST(Cluster, ShuffleMovesRecordsAndCountsRound) {
+  Cluster c(2, 100);
+  std::vector<Word> flat{10, 11, 20, 21};
+  DistVec d = c.scatter(flat, 2);
+  EXPECT_EQ(c.rounds(), 0u);
+  const std::vector<std::uint32_t> dest{1, 0};
+  c.shuffle(d, dest);
+  EXPECT_EQ(c.rounds(), 1u);
+  // Record 0 (10,11) moved to machine 1, record 1 (20,21) to machine 0.
+  EXPECT_EQ(d.shards[0], (std::vector<Word>{20, 21}));
+  EXPECT_EQ(d.shards[1], (std::vector<Word>{10, 11}));
+  EXPECT_GT(c.total_words_moved(), 0u);
+}
+
+TEST(Cluster, ShuffleEnforcesReceiveCap) {
+  Cluster c(4, 8);
+  // 4 records of width 2 spread over machines; route all to machine 0:
+  // it would receive more than S=8 words from others once resident data
+  // is included... craft: 6 records width 2 = 12 words > 8.
+  std::vector<Word> flat(12, 1);
+  DistVec d = c.scatter(flat, 2);
+  const std::vector<std::uint32_t> dest(6, 0);
+  EXPECT_THROW(c.shuffle(d, dest), MpcCapacityError);
+}
+
+TEST(Cluster, ShuffleValidatesArguments) {
+  Cluster c(2, 100);
+  std::vector<Word> flat{1, 2};
+  DistVec d = c.scatter(flat, 2);
+  std::vector<std::uint32_t> wrong_size{0, 1};
+  EXPECT_THROW(c.shuffle(d, wrong_size), std::invalid_argument);
+  std::vector<std::uint32_t> bad_dest{9};
+  EXPECT_THROW(c.shuffle(d, bad_dest), std::out_of_range);
+}
+
+TEST(Cluster, AccountResidentTracksPeak) {
+  Cluster c(2, 50);
+  c.account_resident(0, 30);
+  EXPECT_EQ(c.peak_machine_words(), 30u);
+  EXPECT_THROW(c.account_resident(1, 51), MpcCapacityError);
+  EXPECT_THROW(c.account_resident(5, 1), std::out_of_range);
+}
+
+TEST(Cluster, ResetCountersZeroesEverything) {
+  Cluster c(2, 100);
+  c.charge_rounds(5);
+  c.account_resident(0, 10);
+  c.reset_counters();
+  EXPECT_EQ(c.rounds(), 0u);
+  EXPECT_EQ(c.peak_machine_words(), 0u);
+  EXPECT_EQ(c.total_words_moved(), 0u);
+}
+
+TEST(Primitives, SampleSortOrdersGlobally) {
+  Cluster c(8, 200);
+  Xoshiro256pp rng(3);
+  std::vector<Word> flat;
+  for (int i = 0; i < 300; ++i) {
+    flat.push_back(rng.uniform(1000));  // key
+    flat.push_back(i);                  // payload
+  }
+  DistVec d = c.scatter(flat, 2);
+  sample_sort(c, d, rng);
+  const std::vector<Word> out = d.gather();
+  ASSERT_EQ(out.size(), flat.size());
+  for (std::size_t i = 2; i < out.size(); i += 2) {
+    EXPECT_LE(out[i - 2], out[i]);
+  }
+  EXPECT_GE(c.rounds(), 2u);  // sample round + shuffle round
+}
+
+TEST(Primitives, SumByKeyMatchesMap) {
+  Cluster c(6, 400);
+  Xoshiro256pp rng(4);
+  std::vector<Word> flat;
+  std::map<Word, Word> expected;
+  for (int i = 0; i < 500; ++i) {
+    const Word key = rng.uniform(17);
+    const Word value = rng.uniform(100);
+    flat.push_back(key);
+    flat.push_back(value);
+    expected[key] += value;
+  }
+  DistVec d = c.scatter(flat, 2);
+  sum_by_key(c, d, rng);
+  const std::vector<Word> out = d.gather();
+  std::map<Word, Word> got;
+  for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+    EXPECT_EQ(got.count(out[i]), 0u) << "key duplicated after reduce";
+    got[out[i]] = out[i + 1];
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Primitives, ReduceByKeyHandlesHeavyKeySkew) {
+  // All records share one key: local pre-aggregation must prevent a bucket
+  // overflow that raw sorting would cause.
+  Cluster c(8, 64);
+  Xoshiro256pp rng(5);
+  std::vector<Word> flat;
+  for (int i = 0; i < 200; ++i) {
+    flat.push_back(7);
+    flat.push_back(1);
+  }
+  DistVec d = c.scatter(flat, 2);
+  sum_by_key(c, d, rng);
+  const std::vector<Word> out = d.gather();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 200u);
+}
+
+TEST(Primitives, BroadcastCostIsLogarithmic) {
+  const Cluster small(4, 1000);
+  EXPECT_EQ(broadcast_cost(small, 10), 1u);
+  const Cluster large(1'000'000, 4);
+  EXPECT_GT(broadcast_cost(large, 2), 1u);
+  EXPECT_THROW(broadcast_cost(small, 2000), MpcCapacityError);
+}
+
+TEST(Primitives, ExclusivePrefixSum) {
+  Cluster c(3, 100);
+  std::vector<Word> flat{1, 0, 2, 0, 3, 0, 4, 0};
+  DistVec d = c.scatter(flat, 2);
+  exclusive_prefix_sum(c, d);
+  const std::vector<Word> out = d.gather();
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[2], 1u);
+  EXPECT_EQ(out[4], 3u);
+  EXPECT_EQ(out[6], 6u);
+}
+
+TEST(Exponentiation, PathBallsHaveExpectedRadius) {
+  // Path 0-1-2-3-4.
+  std::vector<std::vector<std::uint32_t>> adj{{1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+  Cluster c(2, 1000);
+  const BallCollection balls = collect_balls(c, adj, 2);
+  EXPECT_EQ(balls.balls[0], (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(balls.balls[2], (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(balls.max_ball_vertices, 5u);
+  EXPECT_GE(c.rounds(), balls.rounds_charged);
+}
+
+TEST(Exponentiation, RoundsAreLogarithmicInRadius) {
+  std::vector<std::vector<std::uint32_t>> adj{{1}, {0}};
+  Cluster c(2, 1000);
+  const BallCollection b8 = collect_balls(c, adj, 8);
+  EXPECT_EQ(b8.rounds_charged, 4u);  // ⌈log2 8⌉ + 1
+  const BallCollection b9 = collect_balls(c, adj, 9);
+  EXPECT_EQ(b9.rounds_charged, 5u);  // ⌈log2 9⌉ + 1
+}
+
+TEST(Exponentiation, OverflowingBallThrows) {
+  // A star of 100 leaves: radius-2 ball at a leaf = whole graph, volume
+  // ≈ 300 words > S = 64.
+  std::vector<std::vector<std::uint32_t>> adj(101);
+  for (std::uint32_t leaf = 1; leaf <= 100; ++leaf) {
+    adj[0].push_back(leaf);
+    adj[leaf].push_back(0);
+  }
+  Cluster c(64, 64);
+  EXPECT_THROW(collect_balls(c, adj, 2), MpcCapacityError);
+}
+
+TEST(Exponentiation, BallVolumeCountsMembersAndArcs) {
+  std::vector<std::vector<std::uint32_t>> adj{{1}, {0, 2}, {1}};
+  const std::vector<std::uint32_t> ball{0, 1, 2};
+  // 3 member words + arcs 0→1,1→0,1→2,2→1 all internal = 4.
+  EXPECT_EQ(ball_volume_words(adj, ball), 7u);
+}
+
+TEST(Exponentiation, RadiusZeroRejected) {
+  std::vector<std::vector<std::uint32_t>> adj{{}};
+  Cluster c(1, 10);
+  EXPECT_THROW(collect_balls(c, adj, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,147 @@
+#include "alloc/mpc_driver.hpp"
+#include "alloc/verify.hpp"
+#include "graph/generators.hpp"
+#include "mpc/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+AllocationInstance medium_instance(std::uint32_t lambda, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(1500, 600, lambda, rng);
+  instance.capacities = uniform_capacities(600, 1, 5, rng);
+  return instance;
+}
+
+MpcDriverConfig base_config() {
+  MpcDriverConfig config;
+  config.epsilon = 0.25;
+  config.alpha = 0.7;
+  config.samples_per_group = 6;
+  config.seed = 3;
+  return config;
+}
+
+TEST(PhaseLength, FollowsEquationFour) {
+  // B = ⌊min(√(α log n), √(log λ))/√(8ε)⌋, floored at 1.
+  EXPECT_EQ(phase_length_for(/*lambda=*/2.0, 0.25, 0.5, 1 << 20), 1u);
+  EXPECT_GE(phase_length_for(/*lambda=*/1 << 16, 0.25, 0.9, 1 << 20), 2u);
+  // Tiny λ caps B regardless of n.
+  EXPECT_LE(phase_length_for(2.0, 0.25, 0.9, 1 << 30), 1u);
+}
+
+TEST(MpcNaive, ChargesConstantRoundsPerLocalRound) {
+  const AllocationInstance instance = medium_instance(4, 11);
+  MpcDriverConfig config = base_config();
+  config.lambda = 4.0;
+  const MpcRunResult result = run_mpc_naive(instance, config);
+  result.allocation.check_valid(instance);
+  EXPECT_EQ(result.local_rounds, tau_for_arboricity(4.0, 0.25));
+  // 8 charged rounds per simulated LOCAL round + 2 materialisation.
+  EXPECT_EQ(result.mpc_rounds, 8 * result.local_rounds + 2);
+  EXPECT_LE(result.peak_machine_words, result.machine_words);
+}
+
+TEST(MpcNaive, QualityMatchesTheoremNine) {
+  const AllocationInstance instance = medium_instance(4, 12);
+  MpcDriverConfig config = base_config();
+  config.lambda = 4.0;
+  const MpcRunResult result = run_mpc_naive(instance, config);
+  EXPECT_LE(fractional_ratio(instance, result.allocation), 4.5 + 1e-6);
+}
+
+TEST(MpcNaive, AdaptiveStopReducesRounds) {
+  AllocationInstance instance{star_graph(400), {40}};
+  MpcDriverConfig config = base_config();
+  config.lambda = 400.0;  // deliberately pessimistic guess
+  MpcDriverConfig adaptive = config;
+  adaptive.adaptive_termination = true;
+  const MpcRunResult fixed = run_mpc_naive(instance, config);
+  const MpcRunResult early = run_mpc_naive(instance, adaptive);
+  EXPECT_TRUE(early.stopped_by_condition);
+  EXPECT_LT(early.local_rounds, fixed.local_rounds);
+}
+
+TEST(MpcPhased, ProducesFeasibleConstantFactorAllocation) {
+  const AllocationInstance instance = medium_instance(8, 13);
+  MpcDriverConfig config = base_config();
+  config.lambda = 8.0;
+  const MpcRunResult result = run_mpc_phased(instance, config);
+  result.allocation.check_valid(instance);
+  EXPECT_LE(fractional_ratio(instance, result.allocation), 6.0);
+  EXPECT_GT(result.phases, 0u);
+  EXPECT_EQ(result.local_rounds, tau_for_arboricity(8.0, 0.25));
+}
+
+TEST(MpcPhased, UsesFewerMpcRoundsThanNaive) {
+  // With the eq.-(4) phase length, the phased driver's per-LOCAL-round MPC
+  // cost (6/B + o(1)) undercuts the naive driver's 8.
+  const AllocationInstance instance = medium_instance(8, 14);
+  MpcDriverConfig config = base_config();
+  config.lambda = 8.0;
+  const MpcRunResult naive = run_mpc_naive(instance, config);
+  const MpcRunResult phased = run_mpc_phased(instance, config);
+  EXPECT_LT(phased.mpc_rounds, naive.mpc_rounds);
+  EXPECT_EQ(phased.local_rounds, naive.local_rounds);
+}
+
+TEST(MpcPhased, BallVolumesRespectMachineMemory) {
+  const AllocationInstance instance = medium_instance(8, 15);
+  MpcDriverConfig config = base_config();
+  config.lambda = 8.0;
+  const MpcRunResult result = run_mpc_phased(instance, config);
+  EXPECT_GT(result.max_ball_volume, 0u);
+  EXPECT_LE(result.peak_machine_words, result.machine_words);
+}
+
+TEST(MpcPhased, OversizedPhaseLengthOverflowsMachines) {
+  // Forcing B far beyond eq. (4) must blow the per-machine ball budget —
+  // this is exactly the constraint that makes B = Θ(√log λ) necessary.
+  const AllocationInstance instance = medium_instance(8, 16);
+  MpcDriverConfig config = base_config();
+  config.lambda = 8.0;
+  config.alpha = 0.35;       // small machines
+  config.phase_length = 12;  // enormous balls
+  config.samples_per_group = 16;
+  EXPECT_THROW(run_mpc_phased(instance, config), mpc::MpcCapacityError);
+}
+
+TEST(MpcUnknownLambda, TerminatesWithCertificate) {
+  const AllocationInstance instance = medium_instance(4, 17);
+  MpcDriverConfig config = base_config();
+  const MpcRunResult result = run_mpc_unknown_lambda(instance, config);
+  result.allocation.check_valid(instance);
+  EXPECT_GE(result.trials, 1u);
+  EXPECT_TRUE(result.stopped_by_condition);
+  EXPECT_LE(fractional_ratio(instance, result.allocation), 6.0);
+}
+
+TEST(MpcUnknownLambda, CostsConstantFactorOverKnownLambda) {
+  const AllocationInstance instance = medium_instance(4, 18);
+  MpcDriverConfig known = base_config();
+  known.lambda = 4.0;
+  known.adaptive_termination = true;
+  const MpcRunResult with_lambda = run_mpc_phased(instance, known);
+  const MpcRunResult oblivious = run_mpc_unknown_lambda(instance, base_config());
+  EXPECT_LE(oblivious.mpc_rounds, 8 * with_lambda.mpc_rounds + 64);
+}
+
+TEST(MpcDriver, TotalMemoryScalesWithInput) {
+  const AllocationInstance instance = medium_instance(4, 19);
+  MpcDriverConfig config = base_config();
+  config.lambda = 4.0;
+  const MpcRunResult result = run_mpc_naive(instance, config);
+  // Peak total resident words should stay within a small multiple of the
+  // input size (Õ(λn) claim; here m ≈ λn by construction).
+  const std::uint64_t input =
+      2 * instance.graph.num_edges() + instance.graph.num_vertices();
+  EXPECT_LE(result.peak_total_words, 4 * input);
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,186 @@
+// Randomized property sweep for the MPC substrate: sort/reduce/prefix-sum
+// against their sequential references over random cluster geometries,
+// record widths, and key distributions — including the skew regimes that
+// stress bucket balance.
+#include "mpc/cluster.hpp"
+#include "mpc/exponentiation.hpp"
+#include "mpc/primitives.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace mpcalloc::mpc {
+namespace {
+
+class MpcPrimitiveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpcPrimitiveSweep, SampleSortMatchesStdSort) {
+  Xoshiro256pp rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t machines = 1 + rng.uniform(16);
+    const std::size_t records = rng.uniform(400);
+    const std::size_t width = 1 + rng.uniform(3);
+    // Cluster sized generously so geometry, not capacity, is under test.
+    Cluster cluster(machines, 16 * (records + 4) * width);
+
+    std::vector<Word> flat(records * width);
+    const std::uint64_t key_space = 1 + rng.uniform(50);  // forces ties
+    for (std::size_t r = 0; r < records; ++r) {
+      flat[r * width] = rng.uniform(key_space);
+      for (std::size_t w = 1; w < width; ++w) flat[r * width + w] = rng();
+    }
+    DistVec data = cluster.scatter(flat, width);
+    sample_sort(cluster, data, rng);
+
+    const std::vector<Word> out = data.gather();
+    ASSERT_EQ(out.size(), flat.size());
+    // Keys globally non-decreasing.
+    for (std::size_t r = 1; r < records; ++r) {
+      EXPECT_LE(out[(r - 1) * width], out[r * width]);
+    }
+    // Same multiset of records.
+    auto canonicalize = [width, records](std::vector<Word> v) {
+      std::vector<std::vector<Word>> recs(records);
+      for (std::size_t r = 0; r < records; ++r) {
+        recs[r].assign(v.begin() + static_cast<std::ptrdiff_t>(r * width),
+                       v.begin() + static_cast<std::ptrdiff_t>((r + 1) * width));
+      }
+      std::sort(recs.begin(), recs.end());
+      return recs;
+    };
+    EXPECT_EQ(canonicalize(out), canonicalize(flat));
+  }
+}
+
+TEST_P(MpcPrimitiveSweep, SumByKeyMatchesReferenceMap) {
+  Xoshiro256pp rng(GetParam() + 100);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t machines = 1 + rng.uniform(12);
+    const std::size_t records = rng.uniform(600);
+    // Skew knob: small key spaces concentrate everything on few keys.
+    const std::uint64_t key_space = 1 + rng.uniform(trial % 2 == 0 ? 3 : 200);
+    Cluster cluster(machines, 8 * (records + 8) * 2);
+
+    std::vector<Word> flat;
+    std::map<Word, Word> expected;
+    for (std::size_t r = 0; r < records; ++r) {
+      const Word key = rng.uniform(key_space);
+      const Word value = rng.uniform(1000);
+      flat.push_back(key);
+      flat.push_back(value);
+      expected[key] += value;
+    }
+    DistVec data = cluster.scatter(flat, 2);
+    sum_by_key(cluster, data, rng);
+
+    std::map<Word, Word> got;
+    const std::vector<Word> out = data.gather();
+    for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+      EXPECT_TRUE(got.emplace(out[i], out[i + 1]).second)
+          << "duplicate key after reduce";
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_P(MpcPrimitiveSweep, PrefixSumMatchesReference) {
+  Xoshiro256pp rng(GetParam() + 200);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t machines = 1 + rng.uniform(8);
+    const std::size_t records = rng.uniform(300);
+    Cluster cluster(machines, 8 * (records + 8));
+
+    std::vector<Word> flat(records);
+    for (auto& w : flat) w = rng.uniform(100);
+    DistVec data = cluster.scatter(flat, 1);
+    exclusive_prefix_sum(cluster, data);
+
+    const std::vector<Word> out = data.gather();
+    Word running = 0;
+    for (std::size_t r = 0; r < records; ++r) {
+      EXPECT_EQ(out[r], running) << "position " << r;
+      running += flat[r];
+    }
+  }
+}
+
+TEST_P(MpcPrimitiveSweep, BallsMatchReferenceBfs) {
+  Xoshiro256pp rng(GetParam() + 300);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 2 + rng.uniform(60);
+    std::vector<std::vector<std::uint32_t>> adjacency(n);
+    const std::size_t arcs = rng.uniform(3 * n);
+    for (std::size_t i = 0; i < arcs; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.uniform(n));
+      const auto b = static_cast<std::uint32_t>(rng.uniform(n));
+      adjacency[a].push_back(b);
+      adjacency[b].push_back(a);
+    }
+    const auto radius = static_cast<std::uint32_t>(1 + rng.uniform(4));
+    Cluster cluster(4, 1u << 20);
+    const BallCollection balls = collect_balls(cluster, adjacency, radius);
+
+    // Reference BFS per vertex.
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::vector<std::uint32_t> dist(n, UINT32_MAX);
+      std::vector<std::uint32_t> queue{v};
+      dist[v] = 0;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const std::uint32_t u = queue[head];
+        if (dist[u] == radius) continue;
+        for (const std::uint32_t w : adjacency[u]) {
+          if (dist[w] == UINT32_MAX) {
+            dist[w] = dist[u] + 1;
+            queue.push_back(w);
+          }
+        }
+      }
+      std::vector<std::uint32_t> expected;
+      for (std::uint32_t w = 0; w < n; ++w) {
+        if (dist[w] <= radius) expected.push_back(w);
+      }
+      EXPECT_EQ(balls.balls[v], expected) << "ball of " << v;
+    }
+  }
+}
+
+TEST_P(MpcPrimitiveSweep, ShuffleConservesRecords) {
+  Xoshiro256pp rng(GetParam() + 400);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t machines = 1 + rng.uniform(10);
+    const std::size_t records = rng.uniform(200);
+    Cluster cluster(machines, 8 * (records + 4) * 2);
+    std::vector<Word> flat(records * 2);
+    for (auto& w : flat) w = rng();
+    DistVec data = cluster.scatter(flat, 2);
+
+    std::vector<std::uint32_t> destination(records);
+    for (auto& d : destination) {
+      d = static_cast<std::uint32_t>(rng.uniform(machines));
+    }
+    cluster.shuffle(data, destination);
+    EXPECT_EQ(data.num_records(), records);
+
+    auto sorted = data.gather();
+    auto reference = flat;
+    // Compare as multisets of 2-word records.
+    auto canon = [](std::vector<Word>& v) {
+      std::vector<std::pair<Word, Word>> pairs;
+      for (std::size_t i = 0; i + 1 < v.size(); i += 2) {
+        pairs.emplace_back(v[i], v[i + 1]);
+      }
+      std::sort(pairs.begin(), pairs.end());
+      return pairs;
+    };
+    EXPECT_EQ(canon(sorted), canon(reference));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpcPrimitiveSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,170 @@
+// Randomized cross-validation sweep: many small random instances, every
+// pipeline stage checked against its invariant and against the exact flow
+// oracle. This is the suite most likely to catch subtle interaction bugs
+// (mismatched edge ids, residual bookkeeping, scaling slips) that the
+// per-module tests can miss.
+#include "alloc/api.hpp"
+#include "bmatch/bmatching.hpp"
+#include "bmatch/proportional_bmatching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcalloc {
+namespace {
+
+/// A random small instance drawn from a mixed family (forest unions,
+/// Erdős–Rényi, power law, stars, planted) with random capacities.
+AllocationInstance random_instance(Xoshiro256pp& rng) {
+  const std::size_t num_left = 10 + rng.uniform(120);
+  const std::size_t num_right = 5 + rng.uniform(60);
+  AllocationInstance instance;
+  switch (rng.uniform(5)) {
+    case 0:
+      instance.graph = union_of_forests(
+          num_left, num_right, 1 + static_cast<std::uint32_t>(rng.uniform(6)),
+          rng);
+      break;
+    case 1: {
+      const std::size_t max_edges = num_left * num_right;
+      instance.graph = erdos_renyi_bipartite(
+          num_left, num_right,
+          std::min<std::size_t>(max_edges, 2 * num_left), rng);
+      break;
+    }
+    case 2:
+      instance.graph =
+          power_law_bipartite(num_left, num_right, 3 * num_left, 0.7, rng);
+      break;
+    case 3:
+      instance.graph = star_graph(num_left);
+      break;
+    default:
+      instance.graph = left_regular(
+          num_left, num_right,
+          1 + static_cast<std::uint32_t>(rng.uniform(
+                  std::min<std::size_t>(num_right, 5))),
+          rng);
+      break;
+  }
+  const std::size_t actual_right = instance.graph.num_right();
+  switch (rng.uniform(3)) {
+    case 0:
+      instance.capacities = unit_capacities(actual_right);
+      break;
+    case 1:
+      instance.capacities = uniform_capacities(actual_right, 1, 8, rng);
+      break;
+    default:
+      instance.capacities = zipf_capacities(actual_right, 10, 1.1, rng);
+      break;
+  }
+  return instance;
+}
+
+class RandomInstanceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstanceSweep, AllPipelineInvariantsHold) {
+  Xoshiro256pp rng(GetParam());
+  constexpr int kInstancesPerSeed = 12;
+  for (int trial = 0; trial < kInstancesPerSeed; ++trial) {
+    const AllocationInstance instance = random_instance(rng);
+    instance.validate();
+    const auto opt = optimal_allocation_value(instance);
+    const double eps = 0.25;
+
+    // Stage 1: proportional allocation (λ-oblivious) — feasible, bounded.
+    const ProportionalResult frac = solve_adaptive(instance, eps);
+    frac.allocation.check_valid(instance);
+    if (opt > 0) {
+      EXPECT_LE(approximation_ratio(opt, frac.allocation.weight()),
+                2.0 + 10.0 * eps + 1e-6)
+          << "trial " << trial;
+    }
+
+    // Stage 2: rounding — always valid; maximal completion never hurts.
+    BestOfRoundingResult rounded =
+        round_best_of(instance, frac.allocation, rng, 6);
+    rounded.best.check_valid(instance);
+    const std::size_t before = rounded.best.size();
+    make_maximal(instance, rounded.best);
+    rounded.best.check_valid(instance);
+    EXPECT_GE(rounded.best.size(), before);
+
+    // Stage 3: booster — certificate vs exact OPT.
+    const BoostResult boosted =
+        boost_to_one_plus_eps(instance, rounded.best, eps);
+    boosted.allocation.check_valid(instance);
+    EXPECT_GE(static_cast<double>(boosted.allocation.size()) * (1.0 + eps),
+              static_cast<double>(opt))
+        << "trial " << trial;
+
+    // Unbounded booster must reach OPT exactly (cross-validates Dinic).
+    const BoostResult exact = boost_path_limited(
+        instance, rounded.best, 2 * instance.graph.num_vertices() + 1);
+    EXPECT_EQ(exact.allocation.size(), opt) << "trial " << trial;
+  }
+}
+
+TEST_P(RandomInstanceSweep, SampledExecutorStaysFeasible) {
+  Xoshiro256pp rng(GetParam() + 1000);
+  for (int trial = 0; trial < 6; ++trial) {
+    const AllocationInstance instance = random_instance(rng);
+    SampledConfig config;
+    config.epsilon = 0.25;
+    config.phase_length = 1 + rng.uniform(4);
+    config.samples_per_group = 1 + rng.uniform(8);
+    config.max_rounds = 5 + rng.uniform(20);
+    const SampledResult result = run_sampled(instance, config, rng);
+    result.allocation.check_valid(instance);
+  }
+}
+
+TEST_P(RandomInstanceSweep, LocalHostMatchesEngine) {
+  Xoshiro256pp rng(GetParam() + 2000);
+  for (int trial = 0; trial < 4; ++trial) {
+    const AllocationInstance instance = random_instance(rng);
+    ProportionalConfig config;
+    config.epsilon = 0.2;
+    config.max_rounds = 4 + rng.uniform(10);
+    const ProportionalResult engine = run_proportional(instance, config);
+    const LocalHostResult host = run_proportional_local(instance, config);
+    EXPECT_EQ(host.result.final_levels, engine.final_levels) << trial;
+  }
+}
+
+TEST_P(RandomInstanceSweep, BMatchingBoosterMatchesOracle) {
+  Xoshiro256pp rng(GetParam() + 3000);
+  for (int trial = 0; trial < 6; ++trial) {
+    const AllocationInstance alloc = random_instance(rng);
+    BMatchingInstance instance = BMatchingInstance::from_allocation(alloc);
+    instance.left_capacities =
+        uniform_capacities(instance.graph.num_left(), 1, 4, rng);
+    const BMatching seed = greedy_bmatching(instance);
+    seed.check_valid(instance);
+    const BMatchBoostResult boosted = boost_bmatching(
+        instance, seed, 2 * instance.graph.num_vertices() + 1);
+    EXPECT_EQ(boosted.matching.size(), optimal_bmatching_value(instance))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(RandomInstanceSweep, RoundingRespectsDistribution) {
+  Xoshiro256pp rng(GetParam() + 4000);
+  const AllocationInstance instance = random_instance(rng);
+  const ProportionalResult frac = solve_adaptive(instance, 0.25);
+  // Sampling at rate x/6 can never produce more edges than 6·weight in
+  // expectation; check a generous tail bound over repeats.
+  for (int trial = 0; trial < 20; ++trial) {
+    const IntegralAllocation m =
+        round_fractional(instance, frac.allocation, rng);
+    EXPECT_LE(static_cast<double>(m.size()),
+              frac.allocation.weight() + 12.0 * std::sqrt(
+                  frac.allocation.weight() + 1.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace mpcalloc

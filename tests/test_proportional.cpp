@@ -1,0 +1,265 @@
+#include "alloc/proportional.hpp"
+#include "alloc/verify.hpp"
+#include "flow/optimal_allocation.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+using mpcalloc::testing::InstanceSpec;
+using mpcalloc::testing::default_specs;
+using mpcalloc::testing::make_instance;
+
+TEST(PowTable, MatchesDirectPow) {
+  const PowTable table(0.25);
+  for (int d = 0; d >= -200; --d) {
+    EXPECT_NEAR(table.pow(d), std::pow(1.25, d), std::pow(1.25, d) * 1e-12);
+  }
+  for (int d = 0; d <= 64; ++d) {
+    EXPECT_NEAR(table.pow(d), std::pow(1.25, d), std::pow(1.25, d) * 1e-12);
+  }
+}
+
+TEST(PowTable, DeepNegativeClampsToZero) {
+  const PowTable table(0.5);
+  EXPECT_EQ(table.pow(-10'000'000), 0.0);
+}
+
+TEST(PowTable, GuardsInputs) {
+  EXPECT_THROW(PowTable(0.0), std::invalid_argument);
+  EXPECT_THROW(PowTable(-0.1), std::invalid_argument);
+  EXPECT_THROW(PowTable(1.5), std::invalid_argument);
+  const PowTable table(0.25, 8);
+  EXPECT_THROW((void)table.pow(9), std::out_of_range);
+}
+
+TEST(Tau, GrowsLogarithmicallyInLambda) {
+  const double eps = 0.25;
+  const std::size_t t1 = tau_for_arboricity(1, eps);
+  const std::size_t t16 = tau_for_arboricity(16, eps);
+  const std::size_t t256 = tau_for_arboricity(256, eps);
+  EXPECT_LT(t1, t16);
+  EXPECT_LT(t16, t256);
+  // Doubling log λ adds ~log_{1+ε}(16)=constant rounds: check additivity.
+  const auto step1 = static_cast<double>(t16 - t1);
+  const auto step2 = static_cast<double>(t256 - t16);
+  EXPECT_NEAR(step1, step2, 3.0);
+}
+
+TEST(Tau, OnePlusEpsBudgetDominates) {
+  EXPECT_GT(tau_for_one_plus_eps(1000, 0.25),
+            tau_for_arboricity(1000, 0.25));
+}
+
+TEST(Proportional, RejectsBadConfig) {
+  AllocationInstance instance{star_graph(3), {1}};
+  ProportionalConfig config;
+  config.max_rounds = 0;
+  EXPECT_THROW(run_proportional(instance, config), std::invalid_argument);
+}
+
+TEST(Proportional, StarSaturatesCenter) {
+  AllocationInstance instance{star_graph(20), {5}};
+  const ProportionalResult result = solve_two_plus_eps(instance, 1.0, 0.25);
+  result.allocation.check_valid(instance);
+  // OPT = 5; a 2+10ε=4.5 approximation must achieve ≥ 5/4.5 ≈ 1.11.
+  EXPECT_GE(result.allocation.weight(), 5.0 / 4.5 - 1e-9);
+}
+
+TEST(Proportional, SingleEdgeIsExact) {
+  BipartiteGraphBuilder b(1, 1);
+  b.add_edge(0, 0);
+  AllocationInstance instance{b.build(), {1}};
+  const ProportionalResult result = solve_two_plus_eps(instance, 1.0, 0.25);
+  EXPECT_NEAR(result.allocation.weight(), 1.0, 1e-9);
+}
+
+class ProportionalSuite : public ::testing::TestWithParam<InstanceSpec> {};
+
+TEST_P(ProportionalSuite, OutputIsAlwaysFeasible) {
+  const AllocationInstance instance = make_instance(GetParam());
+  for (const double eps : {0.1, 0.25, 0.5}) {
+    const ProportionalResult result =
+        solve_two_plus_eps(instance, GetParam().lambda, eps);
+    result.allocation.check_valid(instance);
+  }
+}
+
+TEST_P(ProportionalSuite, Theorem9ApproximationBound) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const double eps = 0.25;
+  const ProportionalResult result =
+      solve_two_plus_eps(instance, GetParam().lambda, eps);
+  const double ratio = fractional_ratio(instance, result.allocation);
+  EXPECT_LE(ratio, 2.0 + 10.0 * eps + 1e-6) << GetParam().name;
+}
+
+TEST_P(ProportionalSuite, MatchWeightLowerBoundsOutput) {
+  // MatchWeight = Σ min(C_v, alloc_v) is exactly the weight of the scaled
+  // output of lines 5–6 *when* no vertex is over-allocated; in general the
+  // output weight is within (1+3ε) of it (Lemma 7's bounded over-allocation).
+  const AllocationInstance instance = make_instance(GetParam());
+  const double eps = 0.25;
+  const ProportionalResult result =
+      solve_two_plus_eps(instance, GetParam().lambda, eps);
+  EXPECT_LE(result.allocation.weight(), result.match_weight + 1e-6);
+  EXPECT_GE(result.allocation.weight(),
+            result.match_weight / (1.0 + 3.0 * eps) - 1e-6);
+}
+
+TEST_P(ProportionalSuite, AdaptiveStopCertifiesSameBound) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const double eps = 0.25;
+  const ProportionalResult result = solve_adaptive(instance, eps);
+  result.allocation.check_valid(instance);
+  const double ratio = fractional_ratio(instance, result.allocation);
+  EXPECT_LE(ratio, 2.0 + 10.0 * eps + 1e-6) << GetParam().name;
+  // The λ-oblivious run must not exceed the λ-aware budget (Theorem 9's
+  // proof shows the condition must hold by round τ(λ)).
+  const ArboricityEstimate est = estimate_arboricity(instance.graph);
+  EXPECT_LE(result.rounds_executed,
+            tau_for_arboricity(est.upper_bound, eps))
+      << GetParam().name;
+}
+
+TEST_P(ProportionalSuite, Lemma7UnderAndOverAllocationBounds) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const double eps = 0.25;
+  ProportionalConfig config;
+  config.epsilon = eps;
+  config.max_rounds = tau_for_arboricity(GetParam().lambda, eps);
+  const ProportionalResult result = run_proportional(instance, config);
+
+  const auto top = static_cast<std::int32_t>(result.rounds_executed);
+  const auto bottom = -static_cast<std::int32_t>(result.rounds_executed);
+  for (Vertex v = 0; v < instance.graph.num_right(); ++v) {
+    const double cap = static_cast<double>(instance.capacities[v]);
+    if (result.final_levels[v] < top) {
+      EXPECT_GE(result.final_alloc[v], cap / (1.0 + 3.0 * eps) - 1e-9)
+          << "v=" << v;
+    }
+    if (result.final_levels[v] > bottom) {
+      EXPECT_LE(result.final_alloc[v], cap * (1.0 + 3.0 * eps) + 1e-9)
+          << "v=" << v;
+    }
+  }
+}
+
+TEST_P(ProportionalSuite, Algorithm3LooseThresholdsStayConstantFactor) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const double eps = 0.1;
+  const double k = 4.0;
+  ProportionalConfig config;
+  config.epsilon = eps;
+  config.max_rounds = tau_for_arboricity(GetParam().lambda, eps);
+  // Adversarial-ish k_{v,r} pattern within [1/4, 4].
+  config.threshold_k = [k](Vertex v, std::size_t round) {
+    return (v + round) % 2 == 0 ? k : 1.0 / k;
+  };
+  const ProportionalResult result = run_proportional(instance, config);
+  result.allocation.check_valid(instance);
+  const double ratio = fractional_ratio(instance, result.allocation);
+  // Theorem 16: (2 + (2k+8)ε)-approximation.
+  EXPECT_LE(ratio, 2.0 + (2.0 * k + 8.0) * eps + 1e-6) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ProportionalSuite,
+                         ::testing::ValuesIn(default_specs()),
+                         [](const ::testing::TestParamInfo<InstanceSpec>& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(Proportional, Theorem20OnePlusEpsRegime) {
+  // Small instance so the Θ(log(|R|)/ε²) budget is cheap.
+  Xoshiro256pp rng(33);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(120, 40, 3, rng);
+  instance.capacities = uniform_capacities(40, 1, 4, rng);
+  const double eps = 0.25;
+  ProportionalConfig config;
+  config.epsilon = eps;
+  config.max_rounds = tau_for_one_plus_eps(instance.graph.num_right(), eps);
+  const ProportionalResult result = run_proportional(instance, config);
+  const double ratio = fractional_ratio(instance, result.allocation);
+  EXPECT_LE(ratio, 1.0 + 18.0 * eps + 1e-6);
+  // Empirically this regime should land well under the 2+10ε bound too.
+  EXPECT_LE(ratio, 2.0);
+}
+
+TEST(Proportional, UnitCapacitiesBehaveLikeMatching) {
+  Xoshiro256pp rng(34);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(300, 300, 2, rng);
+  instance.capacities = unit_capacities(300);
+  const ProportionalResult result = solve_two_plus_eps(instance, 2.0, 0.25);
+  result.allocation.check_valid(instance);
+  EXPECT_LE(fractional_ratio(instance, result.allocation), 4.5);
+}
+
+TEST(Proportional, WeightHistoryHasOneEntryPerRound) {
+  AllocationInstance instance{star_graph(20), {5}};
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 12;
+  config.track_weight_history = true;
+  const ProportionalResult result = run_proportional(instance, config);
+  EXPECT_EQ(result.weight_history.size(), result.rounds_executed);
+}
+
+TEST(Proportional, LevelsStayWithinRoundBounds) {
+  const AllocationInstance instance = make_instance(default_specs()[2]);
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 15;
+  const ProportionalResult result = run_proportional(instance, config);
+  for (const auto level : result.final_levels) {
+    EXPECT_LE(std::abs(level), 15);
+  }
+}
+
+TEST(Proportional, IsolatedVerticesAreHarmless) {
+  BipartiteGraphBuilder b(4, 3);
+  b.add_edge(0, 0);
+  // u1..u3 and v1..v2 are isolated.
+  AllocationInstance instance{b.build(), {2, 1, 1}};
+  const ProportionalResult result = solve_two_plus_eps(instance, 1.0, 0.25);
+  result.allocation.check_valid(instance);
+  EXPECT_NEAR(result.allocation.weight(), 1.0, 1e-9);
+}
+
+TEST(TerminationCheck, EmptyTopLevelAlwaysSatisfies) {
+  // If no vertex sits at the top level, N(L_top)=∅ and the condition holds.
+  AllocationInstance instance{star_graph(4), {2}};
+  const std::vector<std::int32_t> levels{0};  // round=3, top=3: not at top
+  const std::vector<double> alloc{2.0};
+  const TerminationCheck check =
+      check_termination(instance, levels, alloc, 3, 0.25);
+  EXPECT_TRUE(check.satisfied);
+  EXPECT_EQ(check.neighbors_of_top, 0u);
+}
+
+TEST(TerminationCheck, CountsNeighborsOfTopOnce) {
+  // Two top-level R vertices sharing all L neighbours.
+  BipartiteGraphBuilder b(3, 2);
+  for (Vertex u = 0; u < 3; ++u) {
+    b.add_edge(u, 0);
+    b.add_edge(u, 1);
+  }
+  AllocationInstance instance{b.build(), {1, 1}};
+  const std::vector<std::int32_t> levels{1, 1};
+  const std::vector<double> alloc{0.1, 0.1};
+  const TerminationCheck check =
+      check_termination(instance, levels, alloc, 1, 0.25);
+  EXPECT_EQ(check.neighbors_of_top, 3u);
+  EXPECT_EQ(check.bottom_size, 0u);
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,149 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256pp a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformRespectsBound) {
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(7), 7u);
+  }
+}
+
+TEST(Xoshiro, UniformBoundOneIsAlwaysZero) {
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Xoshiro, UniformZeroBoundThrows) {
+  Xoshiro256pp rng(5);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Xoshiro, UniformIntCoversInclusiveRange) {
+  Xoshiro256pp rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro, UniformIntEmptyRangeThrows) {
+  Xoshiro256pp rng(9);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Xoshiro, UniformDoubleInUnitInterval) {
+  Xoshiro256pp rng(17);
+  double sum = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double d = rng.uniform_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256pp rng(31);
+  int hits = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256pp rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Xoshiro, ShuffleIsPermutation) {
+  Xoshiro256pp rng(77);
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto shuffled = data;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, data);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, data);
+}
+
+TEST(Xoshiro, SampleIndicesAreDistinctAndInRange) {
+  Xoshiro256pp rng(88);
+  for (std::uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto sample = rng.sample_indices(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (const auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Xoshiro, SampleIndicesKEqualsN) {
+  Xoshiro256pp rng(88);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Xoshiro, SampleIndicesTooManyThrows) {
+  Xoshiro256pp rng(88);
+  EXPECT_THROW(rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+TEST(Xoshiro, SampleIndicesIsRoughlyUniform) {
+  Xoshiro256pp rng(99);
+  std::vector<int> counts(20, 0);
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (const auto i : rng.sample_indices(20, 3)) ++counts[i];
+  }
+  // Each index expected 5000 * 3/20 = 750 times.
+  for (const int c : counts) {
+    EXPECT_GT(c, 600);
+    EXPECT_LT(c, 900);
+  }
+}
+
+TEST(Xoshiro, ForkProducesIndependentStream) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b = a.fork();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a() != b());
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mpcalloc

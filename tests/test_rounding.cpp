@@ -1,0 +1,136 @@
+#include "alloc/proportional.hpp"
+#include "alloc/rounding.hpp"
+#include "alloc/verify.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+using mpcalloc::testing::InstanceSpec;
+using mpcalloc::testing::default_specs;
+using mpcalloc::testing::make_instance;
+
+FractionalAllocation fractional_for(const AllocationInstance& instance,
+                                    std::uint32_t lambda) {
+  return solve_two_plus_eps(instance, lambda, 0.25).allocation;
+}
+
+class RoundingSuite : public ::testing::TestWithParam<InstanceSpec> {};
+
+TEST_P(RoundingSuite, RoundedAllocationIsAlwaysValid) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const FractionalAllocation frac = fractional_for(instance, GetParam().lambda);
+  Xoshiro256pp rng(GetParam().seed + 100);
+  for (int trial = 0; trial < 10; ++trial) {
+    const IntegralAllocation rounded = round_fractional(instance, frac, rng);
+    rounded.check_valid(instance);
+  }
+}
+
+TEST_P(RoundingSuite, ExpectedSizeMatchesSectionSixBound) {
+  // Section 6: E[|M|] ≥ wt(M_f)/9. Check the empirical mean with slack.
+  const AllocationInstance instance = make_instance(GetParam());
+  const FractionalAllocation frac = fractional_for(instance, GetParam().lambda);
+  Xoshiro256pp rng(GetParam().seed + 200);
+  double total = 0.0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    total += static_cast<double>(round_fractional(instance, frac, rng).size());
+  }
+  const double mean = total / kTrials;
+  EXPECT_GE(mean, frac.weight() / 9.0 * 0.8) << GetParam().name;
+}
+
+TEST_P(RoundingSuite, BestOfCopiesAtLeastSingleTrial) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const FractionalAllocation frac = fractional_for(instance, GetParam().lambda);
+  Xoshiro256pp rng(GetParam().seed + 300);
+  const BestOfRoundingResult best = round_best_of(instance, frac, rng, 12);
+  EXPECT_EQ(best.copies, 12u);
+  EXPECT_EQ(best.copy_sizes.size(), 12u);
+  for (const std::size_t size : best.copy_sizes) {
+    EXPECT_LE(size, best.best.size());
+  }
+  best.best.check_valid(instance);
+}
+
+TEST_P(RoundingSuite, MakeMaximalNeverShrinksAndStaysValid) {
+  const AllocationInstance instance = make_instance(GetParam());
+  const FractionalAllocation frac = fractional_for(instance, GetParam().lambda);
+  Xoshiro256pp rng(GetParam().seed + 400);
+  IntegralAllocation rounded = round_fractional(instance, frac, rng);
+  const std::size_t before = rounded.size();
+  make_maximal(instance, rounded);
+  rounded.check_valid(instance);
+  EXPECT_GE(rounded.size(), before);
+  // Maximality: every free u must have no neighbour with residual capacity.
+  std::vector<std::uint8_t> left_used(instance.graph.num_left(), 0);
+  std::vector<std::uint32_t> residual(instance.capacities);
+  for (const EdgeId e : rounded.edges) {
+    left_used[instance.graph.edge(e).u] = 1;
+    --residual[instance.graph.edge(e).v];
+  }
+  for (Vertex u = 0; u < instance.graph.num_left(); ++u) {
+    if (left_used[u]) continue;
+    for (const Incidence& inc : instance.graph.left_neighbors(u)) {
+      EXPECT_EQ(residual[inc.to], 0u) << "u=" << u << " has a free neighbour";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, RoundingSuite,
+                         ::testing::ValuesIn(default_specs()),
+                         [](const ::testing::TestParamInfo<InstanceSpec>& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(Rounding, DefaultCopiesAreLogarithmic) {
+  const AllocationInstance instance = make_instance(default_specs()[1]);
+  const FractionalAllocation frac = fractional_for(instance, 1);
+  Xoshiro256pp rng(1);
+  const BestOfRoundingResult best = round_best_of(instance, frac, rng);
+  const double n = static_cast<double>(instance.graph.num_vertices());
+  EXPECT_EQ(best.copies,
+            static_cast<std::size_t>(std::ceil(std::log2(n))) + 1);
+}
+
+TEST(Rounding, ZeroFractionalGivesEmptyRounding) {
+  AllocationInstance instance{star_graph(5), {2}};
+  FractionalAllocation frac;
+  frac.x.assign(instance.graph.num_edges(), 0.0);
+  Xoshiro256pp rng(2);
+  EXPECT_EQ(round_fractional(instance, frac, rng).size(), 0u);
+}
+
+TEST(Rounding, RejectsMismatchedInput) {
+  AllocationInstance instance{star_graph(5), {2}};
+  FractionalAllocation frac;
+  frac.x.assign(3, 0.5);
+  Xoshiro256pp rng(3);
+  EXPECT_THROW(round_fractional(instance, frac, rng), std::invalid_argument);
+  frac.x.assign(instance.graph.num_edges(), 0.5);
+  RoundingConfig config;
+  config.sample_divisor = 0.5;
+  EXPECT_THROW(round_fractional(instance, frac, rng, config),
+               std::invalid_argument);
+}
+
+TEST(Rounding, EndToEndConstantApproximation) {
+  // The full pipeline of Theorem 2 + Section 6 (+ greedy completion) should
+  // land a small-constant integral approximation w.h.p. over copies.
+  const auto planted = mpcalloc::testing::make_planted(600, 150, 5, 4);
+  const AllocationInstance& instance = planted.instance;
+  const FractionalAllocation frac = fractional_for(instance, 8);
+  Xoshiro256pp rng(4);
+  BestOfRoundingResult best = round_best_of(instance, frac, rng);
+  make_maximal(instance, best.best);
+  const double ratio = integral_ratio(instance, best.best);
+  EXPECT_LE(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace mpcalloc

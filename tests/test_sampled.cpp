@@ -1,0 +1,173 @@
+#include "alloc/proportional.hpp"
+#include "alloc/sampled.hpp"
+#include "alloc/verify.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+using mpcalloc::testing::InstanceSpec;
+using mpcalloc::testing::default_specs;
+using mpcalloc::testing::make_instance;
+
+SampledConfig base_config(std::size_t rounds) {
+  SampledConfig config;
+  config.epsilon = 0.25;
+  config.phase_length = 3;
+  config.samples_per_group = 1u << 20;  // larger than any degree ⇒ exact
+  config.max_rounds = rounds;
+  return config;
+}
+
+TEST(Sampled, RejectsBadConfig) {
+  AllocationInstance instance{star_graph(3), {1}};
+  Xoshiro256pp rng(1);
+  SampledConfig config = base_config(5);
+  config.max_rounds = 0;
+  EXPECT_THROW((void)run_sampled(instance, config, rng), std::invalid_argument);
+  config = base_config(5);
+  config.phase_length = 0;
+  EXPECT_THROW((void)run_sampled(instance, config, rng), std::invalid_argument);
+  config = base_config(5);
+  config.samples_per_group = 0;
+  EXPECT_THROW((void)run_sampled(instance, config, rng), std::invalid_argument);
+}
+
+class SampledSuite : public ::testing::TestWithParam<InstanceSpec> {};
+
+TEST_P(SampledSuite, ExactSamplingReproducesEngineTrajectory) {
+  // With samples_per_group larger than every group, each "sample" is the
+  // whole group with weight 1, so the executor must follow Algorithm 1's
+  // trajectory level-for-level.
+  const AllocationInstance instance = make_instance(GetParam());
+  Xoshiro256pp rng(GetParam().seed);
+
+  const std::size_t rounds = 15;
+  const SampledResult sampled =
+      run_sampled(instance, base_config(rounds), rng);
+
+  ProportionalConfig engine_config;
+  engine_config.epsilon = 0.25;
+  engine_config.max_rounds = rounds;
+  const ProportionalResult engine = run_proportional(instance, engine_config);
+
+  ASSERT_EQ(sampled.final_levels.size(), engine.final_levels.size());
+  for (Vertex v = 0; v < engine.final_levels.size(); ++v) {
+    EXPECT_EQ(sampled.final_levels[v], engine.final_levels[v]) << "v=" << v;
+  }
+}
+
+TEST_P(SampledSuite, OutputIsAlwaysFeasibleEvenWithTinySamples) {
+  const AllocationInstance instance = make_instance(GetParam());
+  Xoshiro256pp rng(GetParam().seed + 5);
+  SampledConfig config = base_config(20);
+  config.samples_per_group = 2;  // aggressively noisy
+  const SampledResult result = run_sampled(instance, config, rng);
+  result.allocation.check_valid(instance);
+}
+
+TEST_P(SampledSuite, ModerateSamplingStaysConstantFactor) {
+  // Appendix A (Theorem 17): estimate noise amounts to Algorithm 3 with
+  // k ∈ [1/4, 4], so with enough rounds the result is still a constant
+  // approximation. We check a generous constant against exact OPT.
+  const AllocationInstance instance = make_instance(GetParam());
+  Xoshiro256pp rng(GetParam().seed + 9);
+  SampledConfig config = base_config(
+      tau_for_arboricity(GetParam().lambda, 0.25) + 10);
+  config.samples_per_group = 16;
+  const SampledResult result = run_sampled(instance, config, rng);
+  const double ratio = fractional_ratio(instance, result.allocation);
+  // Theorem 17's bound at ε=0.25 is 2+16ε = 6; empirically it is far lower.
+  EXPECT_LE(ratio, 6.0) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, SampledSuite,
+                         ::testing::ValuesIn(default_specs()),
+                         [](const ::testing::TestParamInfo<InstanceSpec>& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(Sampled, PhaseCountMatchesCeiling) {
+  const AllocationInstance instance = make_instance(default_specs()[1]);
+  Xoshiro256pp rng(7);
+  SampledConfig config = base_config(10);
+  config.phase_length = 4;
+  const SampledResult result = run_sampled(instance, config, rng);
+  EXPECT_EQ(result.phases_executed, 3u);  // ⌈10/4⌉
+  EXPECT_EQ(result.rounds_executed, 10u);
+}
+
+TEST(Sampled, ObserverSeesOnePhaseSubgraphPerPhase) {
+  const AllocationInstance instance = make_instance(default_specs()[2]);
+  Xoshiro256pp rng(8);
+  SampledConfig config = base_config(9);
+  config.phase_length = 3;
+  std::size_t calls = 0;
+  std::size_t total_vertices = 0;
+  config.on_phase_subgraph =
+      [&](const std::vector<std::vector<std::uint32_t>>& adjacency) {
+        ++calls;
+        total_vertices = adjacency.size();
+        // Adjacency must be symmetric and deduplicated.
+        for (std::uint32_t v = 0; v < adjacency.size(); ++v) {
+          for (const std::uint32_t w : adjacency[v]) {
+            ASSERT_LT(w, adjacency.size());
+            EXPECT_TRUE(std::binary_search(adjacency[w].begin(),
+                                           adjacency[w].end(), v));
+          }
+          EXPECT_TRUE(std::is_sorted(adjacency[v].begin(), adjacency[v].end()));
+        }
+      };
+  (void)run_sampled(instance, config, rng);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(total_vertices,
+            instance.graph.num_left() + instance.graph.num_right());
+}
+
+TEST(Sampled, SampledSubgraphDegreeIsBounded) {
+  // Per round per group at most t samples; the union over a phase of B
+  // rounds has degree ≤ B · t · (#groups) on each side of every vertex.
+  const AllocationInstance instance = make_instance(default_specs()[3]);
+  Xoshiro256pp rng(9);
+  SampledConfig config = base_config(6);
+  config.phase_length = 3;
+  config.samples_per_group = 4;
+  std::size_t max_degree = 0;
+  config.on_phase_subgraph =
+      [&](const std::vector<std::vector<std::uint32_t>>& adjacency) {
+        for (const auto& list : adjacency) {
+          max_degree = std::max(max_degree, list.size());
+        }
+      };
+  (void)run_sampled(instance, config, rng);
+  // Level groups possible at round ≤ 6 span ≤ 13 levels; the bound below is
+  // deliberately loose but still far below the max graph degree.
+  EXPECT_LE(max_degree, 3u * 4u * 13u * 2u);
+}
+
+TEST(Sampled, AdaptiveTerminationStopsEarly) {
+  AllocationInstance instance{star_graph(40), {8}};
+  Xoshiro256pp rng(10);
+  SampledConfig config = base_config(200);
+  config.adaptive_termination = true;
+  const SampledResult result = run_sampled(instance, config, rng);
+  EXPECT_TRUE(result.stopped_by_condition);
+  EXPECT_LT(result.rounds_executed, 200u);
+  const double ratio = fractional_ratio(instance, result.allocation);
+  EXPECT_LE(ratio, 4.5);
+}
+
+TEST(Sampled, SamplesDrawnAccumulate) {
+  const AllocationInstance instance = make_instance(default_specs()[1]);
+  Xoshiro256pp rng(11);
+  SampledConfig config = base_config(5);
+  const SampledResult result = run_sampled(instance, config, rng);
+  EXPECT_GT(result.samples_drawn, 0u);
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,102 @@
+#include "alloc/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+TEST(Lemma11, SampleCountFormula) {
+  // s = ⌈20 t² log n / ε⁴⌉.
+  const double t = 2.0, eps = 0.5;
+  const std::size_t n = 1000;
+  const double expected = 20.0 * 4.0 * std::log(1000.0) / 0.0625;
+  EXPECT_EQ(lemma11_sample_count(t, eps, n),
+            static_cast<std::size_t>(std::ceil(expected)));
+}
+
+TEST(Lemma11, SampleCountGrowsWithSpread) {
+  EXPECT_LT(lemma11_sample_count(1.5, 0.25, 100),
+            lemma11_sample_count(3.0, 0.25, 100));
+  EXPECT_LT(lemma11_sample_count(2.0, 0.5, 100),
+            lemma11_sample_count(2.0, 0.25, 100));
+}
+
+TEST(Estimator, EmptyAndZeroSampleAreZero) {
+  Xoshiro256pp rng(1);
+  EXPECT_EQ(estimate_sum({}, 10, rng).estimate, 0.0);
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_EQ(estimate_sum(v, 0, rng).estimate, 0.0);
+}
+
+TEST(Estimator, ConstantSequenceIsExact) {
+  Xoshiro256pp rng(2);
+  const std::vector<double> v(100, 3.0);
+  const SumEstimate est = estimate_sum(v, 10, rng);
+  EXPECT_DOUBLE_EQ(est.estimate, 300.0);
+  EXPECT_EQ(est.samples_used, 10u);
+}
+
+TEST(Estimator, IsUnbiasedOverManyTrials) {
+  Xoshiro256pp rng(3);
+  std::vector<double> v(200);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 1.0 + static_cast<double>(i % 7);
+  }
+  const double truth = std::accumulate(v.begin(), v.end(), 0.0);
+  double mean = 0.0;
+  constexpr int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    mean += estimate_sum(v, 20, rng).estimate;
+  }
+  mean /= kTrials;
+  EXPECT_NEAR(mean, truth, truth * 0.02);
+}
+
+TEST(Estimator, Lemma11ErrorBoundHoldsEmpirically) {
+  // Values within [V/t, V·t] for t = (1+ε)^B with ε=0.5, B=2 → t = 2.25.
+  const double eps = 0.5;
+  const double t = std::pow(1.0 + eps, 2.0);
+  Xoshiro256pp rng(4);
+  const std::size_t n = 500;
+  std::vector<double> v(n);
+  for (auto& value : v) {
+    // Spread across [1/t, t] around V = 1.
+    value = (1.0 / t) * std::pow(t * t, rng.uniform_double());
+  }
+  const double truth = std::accumulate(v.begin(), v.end(), 0.0);
+  const std::size_t s = lemma11_sample_count(t, eps, n);
+
+  int failures = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const double est = estimate_sum(v, s, rng).estimate;
+    if (std::abs(est - truth) > 4.0 * eps * truth) ++failures;
+  }
+  // Lemma 11 promises failure probability ≪ 1; the empirical rate with the
+  // prescribed (very conservative) sample count should be zero.
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(Estimator, SmallSamplesAreNoisierThanLargeSamples) {
+  Xoshiro256pp rng(5);
+  std::vector<double> v(300);
+  for (auto& value : v) value = rng.uniform_double() * 10.0;
+  const double truth = std::accumulate(v.begin(), v.end(), 0.0);
+
+  auto mean_abs_error = [&](std::size_t samples) {
+    double total = 0.0;
+    constexpr int kTrials = 400;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      total += std::abs(estimate_sum(v, samples, rng).estimate - truth);
+    }
+    return total / kTrials;
+  };
+  EXPECT_GT(mean_abs_error(4), mean_abs_error(256));
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,184 @@
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeSingleton) {
+  const std::vector<double> v{7.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Stats, PercentileRejectsBadQ) {
+  const std::vector<double> v{1, 2};
+  EXPECT_THROW((void)percentile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitSizeMismatchThrows) {
+  const std::vector<double> x{1, 2, 3}, y{1, 2};
+  EXPECT_THROW((void)linear_fit(x, y), std::invalid_argument);
+}
+
+TEST(Stats, Log2FitRecoversLogLaw) {
+  // y = 5 + 1.5*log2(x): the shape of an O(log λ) round-count curve.
+  std::vector<double> x, y;
+  for (const double v : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0}) {
+    x.push_back(v);
+    y.push_back(5.0 + 1.5 * std::log2(v));
+  }
+  const LinearFit fit = log2_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-9);
+}
+
+TEST(Stats, Log2FitRejectsNonPositiveX) {
+  const std::vector<double> x{0.0, 1.0}, y{1.0, 2.0};
+  EXPECT_THROW((void)log2_fit(x, y), std::invalid_argument);
+}
+
+TEST(Stats, CorrelationSigns) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> up{2, 4, 6, 8};
+  const std::vector<double> down{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, down), -1.0, 1e-12);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("demo");
+  t.header({"a", "long_column"});
+  t.row({"1", "x"});
+  t.row({Table::num(3.14159, 2), Table::integer(42)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("long_column"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Table, MarkdownOutput) {
+  Table t;
+  t.header({"x", "y"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_NE(os.str().find("| x | y |"), std::string::npos);
+  EXPECT_NE(os.str().find("|---|---|"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderAfterRowsThrows) {
+  Table t;
+  t.row({"x"});
+  EXPECT_THROW(t.header({"a"}), std::logic_error);
+}
+
+TEST(Table, FormattingHelpers) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::integer(-5), "-5");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli("test");
+  cli.option("n", "10", "count").option("eps", "0.25", "accuracy").flag("verbose", "talk");
+  const char* argv[] = {"prog", "--n=20", "--eps", "0.5", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("n"), 20);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps"), 0.5);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("test");
+  cli.option("n", "10", "count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 10);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("test");
+  cli.option("n", "10", "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, ListParsing) {
+  CliParser cli("test");
+  cli.option("lambdas", "1,2,4", "sweep");
+  const char* argv[] = {"prog", "--lambdas=8,16,32"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int_list("lambdas"),
+            (std::vector<std::int64_t>{8, 16, 32}));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -1,0 +1,56 @@
+// Shared fixtures/factories for the mpc-alloc test suite.
+#pragma once
+
+#include "alloc/api.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcalloc::testing {
+
+/// A small matrix of instance shapes used by parameterized suites.
+struct InstanceSpec {
+  std::string name;
+  std::size_t num_left;
+  std::size_t num_right;
+  std::uint32_t lambda;      ///< arboricity knob for union_of_forests
+  std::uint32_t cap_lo;      ///< uniform capacity range
+  std::uint32_t cap_hi;
+  std::uint64_t seed;
+};
+
+inline AllocationInstance make_instance(const InstanceSpec& spec) {
+  Xoshiro256pp rng(spec.seed);
+  AllocationInstance instance;
+  instance.graph =
+      union_of_forests(spec.num_left, spec.num_right, spec.lambda, rng);
+  instance.capacities =
+      spec.cap_lo == spec.cap_hi
+          ? Capacities(spec.num_right, spec.cap_lo)
+          : uniform_capacities(spec.num_right, spec.cap_lo, spec.cap_hi, rng);
+  return instance;
+}
+
+inline std::vector<InstanceSpec> default_specs() {
+  return {
+      {"tiny_unit", 40, 20, 1, 1, 1, 11},
+      {"small_forest", 200, 80, 1, 1, 3, 12},
+      {"small_lam4", 300, 120, 4, 1, 4, 13},
+      {"medium_lam8", 800, 300, 8, 1, 6, 14},
+      {"wide_caps", 500, 50, 4, 2, 20, 15},
+      {"skewed", 600, 200, 2, 1, 2, 16},
+  };
+}
+
+/// An instance with OPT == num_left by construction.
+inline PlantedInstance make_planted(std::size_t num_left = 500,
+                                    std::size_t num_right = 120,
+                                    std::uint32_t capacity = 5,
+                                    std::uint32_t noise = 3,
+                                    std::uint64_t seed = 7) {
+  Xoshiro256pp rng(seed);
+  return planted_instance(num_left, num_right, capacity, noise, rng);
+}
+
+}  // namespace mpcalloc::testing

@@ -1,0 +1,50 @@
+#include "alloc/verify.hpp"
+#include "flow/greedy.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+TEST(Verify, RatioBasics) {
+  EXPECT_DOUBLE_EQ(approximation_ratio(10, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(approximation_ratio(10, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(approximation_ratio(0, 0.0), 1.0);
+  EXPECT_TRUE(std::isinf(approximation_ratio(5, 0.0)));
+}
+
+TEST(Verify, IntegralRatioOnStar) {
+  AllocationInstance instance{star_graph(10), {4}};
+  IntegralAllocation half{{0, 1}};
+  EXPECT_DOUBLE_EQ(integral_ratio(instance, half), 2.0);
+}
+
+TEST(Verify, IntegralRatioRejectsInvalid) {
+  AllocationInstance instance{star_graph(10), {1}};
+  IntegralAllocation bad{{0, 1}};
+  EXPECT_THROW((void)integral_ratio(instance, bad), std::logic_error);
+}
+
+TEST(Verify, FractionalRatioRejectsInvalid) {
+  AllocationInstance instance{star_graph(3), {1}};
+  FractionalAllocation bad;
+  bad.x = {1.0, 1.0, 1.0};  // 3 units into capacity 1
+  EXPECT_THROW((void)fractional_ratio(instance, bad), std::logic_error);
+}
+
+TEST(Verify, GreedyRatioIsAtMostTwoPlusSlack) {
+  for (const auto& spec : mpcalloc::testing::default_specs()) {
+    const AllocationInstance instance = mpcalloc::testing::make_instance(spec);
+    const double ratio = integral_ratio(instance, greedy_allocation(instance));
+    EXPECT_GE(ratio, 1.0) << spec.name;
+    EXPECT_LE(ratio, 2.0 + 1e-9) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace mpcalloc
