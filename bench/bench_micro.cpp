@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
 namespace {
 
 using namespace mpcalloc;
@@ -87,4 +91,32 @@ BENCHMARK(BM_PathBoosterFromGreedy)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN() so CTest can run `--smoke`:
+// a fast sanity run (~1ms time budget per benchmark, so a handful of
+// iterations each) that finishes in seconds and fails loudly if a
+// hot-path entry point crashes or asserts.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.001";
+  if (smoke) {
+    args.push_back(min_time_flag);
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);  // argv[argc] == nullptr, as for a real main()
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,8 +4,7 @@
 //
 //   # generate a test instance, solve it, verify the solution
 //   ./build/examples/alloc_solve --generate=out.alloc --n=5000 --lambda=8
-//   ./build/examples/alloc_solve --instance=out.alloc --algorithm=pipeline \
-//       --solution=out.sol
+//   ./build/examples/alloc_solve --instance=out.alloc --algorithm=pipeline --solution=out.sol
 //   ./build/examples/alloc_solve --instance=out.alloc --verify=out.sol
 //
 // Algorithms: greedy | proportional (fractional report only) | pipeline

@@ -49,14 +49,17 @@ bool CliParser::parse(int argc, const char* const* argv) {
       if (eq != std::string::npos) {
         throw std::invalid_argument("flag --" + key + " does not take a value");
       }
-      values_[key] = "1";
+      // Materialise the literal as a std::string before it reaches the map:
+      // GCC 12 emits a spurious -Wrestrict (PR105329) when the char* assign
+      // path is inlined into a map-held string.
+      values_.insert_or_assign(key, std::string("1"));
     } else if (eq != std::string::npos) {
       values_[key] = value;
     } else {
       if (i + 1 >= argc) {
         throw std::invalid_argument("option --" + key + " needs a value");
       }
-      values_[key] = argv[++i];
+      values_[key] = std::string(argv[++i]);
     }
   }
   return true;

@@ -1,0 +1,107 @@
+// Exhaustive write→read round-trip checks for graph/io: the loaded
+// instance must reproduce the original BipartiteGraph adjacency (both CSR
+// sides, including edge ids) and Capacities exactly, across the default
+// spec matrix and the degenerate shapes (empty graph, single edge).
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+void expect_identical(const AllocationInstance& a, const AllocationInstance& b) {
+  ASSERT_EQ(a.graph.num_left(), b.graph.num_left());
+  ASSERT_EQ(a.graph.num_right(), b.graph.num_right());
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  ASSERT_EQ(a.capacities, b.capacities);
+  for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edge(e), b.graph.edge(e)) << "edge id " << e;
+  }
+  for (Vertex u = 0; u < a.graph.num_left(); ++u) {
+    const auto lhs = a.graph.left_neighbors(u);
+    const auto rhs = b.graph.left_neighbors(u);
+    ASSERT_EQ(lhs.size(), rhs.size()) << "left degree of u=" << u;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].to, rhs[i].to) << "u=" << u << " slot " << i;
+      EXPECT_EQ(lhs[i].edge, rhs[i].edge) << "u=" << u << " slot " << i;
+    }
+  }
+  for (Vertex v = 0; v < a.graph.num_right(); ++v) {
+    const auto lhs = a.graph.right_neighbors(v);
+    const auto rhs = b.graph.right_neighbors(v);
+    ASSERT_EQ(lhs.size(), rhs.size()) << "right degree of v=" << v;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].to, rhs[i].to) << "v=" << v << " slot " << i;
+      EXPECT_EQ(lhs[i].edge, rhs[i].edge) << "v=" << v << " slot " << i;
+    }
+  }
+}
+
+AllocationInstance round_trip(const AllocationInstance& instance) {
+  std::stringstream stream;
+  write_instance(stream, instance);
+  return read_instance(stream);
+}
+
+TEST(IoRoundTrip, DefaultSpecMatrix) {
+  for (const auto& spec : testing::default_specs()) {
+    SCOPED_TRACE(spec.name);
+    const AllocationInstance original = testing::make_instance(spec);
+    const AllocationInstance loaded = round_trip(original);
+    expect_identical(original, loaded);
+    loaded.graph.validate();
+  }
+}
+
+TEST(IoRoundTrip, EmptyGraphNoVertices) {
+  AllocationInstance original;
+  original.graph = BipartiteGraphBuilder(0, 0).build();
+  const AllocationInstance loaded = round_trip(original);
+  expect_identical(original, loaded);
+  EXPECT_EQ(loaded.graph.num_vertices(), 0u);
+  EXPECT_EQ(loaded.graph.num_edges(), 0u);
+}
+
+TEST(IoRoundTrip, EmptyGraphWithIsolatedVertices) {
+  AllocationInstance original;
+  original.graph = BipartiteGraphBuilder(3, 2).build();
+  original.capacities = {4, 1};
+  const AllocationInstance loaded = round_trip(original);
+  expect_identical(original, loaded);
+  EXPECT_EQ(loaded.graph.num_left(), 3u);
+  EXPECT_EQ(loaded.graph.left_degree(0), 0u);
+}
+
+TEST(IoRoundTrip, SingleEdge) {
+  BipartiteGraphBuilder builder(1, 1);
+  builder.add_edge(0, 0);
+  AllocationInstance original;
+  original.graph = builder.build();
+  original.capacities = {9};
+  const AllocationInstance loaded = round_trip(original);
+  expect_identical(original, loaded);
+  ASSERT_EQ(loaded.graph.num_edges(), 1u);
+  EXPECT_EQ(loaded.graph.edge(0), (Edge{0, 0}));
+  EXPECT_EQ(loaded.capacities[0], 9u);
+}
+
+TEST(IoRoundTrip, DoubleRoundTripIsStable) {
+  // write(read(write(g))) must emit the same bytes as write(g): the text
+  // format is canonical for a fixed instance.
+  const AllocationInstance original =
+      testing::make_instance(testing::default_specs().front());
+  std::stringstream first;
+  write_instance(first, original);
+  const AllocationInstance loaded = read_instance(first);
+  std::stringstream second;
+  write_instance(second, loaded);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -4,6 +4,7 @@
 #include "alloc/api.hpp"
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,15 @@ inline std::vector<InstanceSpec> default_specs() {
       {"wide_caps", 500, 50, 4, 2, 20, 15},
       {"skewed", 600, 200, 2, 1, 2, 16},
   };
+}
+
+/// Look up a default spec by name; throws if absent so that renaming or
+/// reordering the matrix fails loudly instead of silently retargeting tests.
+inline InstanceSpec spec_by_name(const std::string& name) {
+  for (const auto& spec : default_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("no default spec named " + name);
 }
 
 /// An instance with OPT == num_left by construction.
