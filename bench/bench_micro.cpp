@@ -58,6 +58,29 @@ void BM_ProportionalRound(benchmark::State& state) {
 }
 BENCHMARK(BM_ProportionalRound)->Arg(1000)->Arg(10000)->Arg(50000);
 
+void BM_ProportionalRoundThreaded(benchmark::State& state) {
+  // The same round on the deterministic parallel executor; items/sec across
+  // the thread column exposes the scaling efficiency of the dominant sweep.
+  const AllocationInstance instance =
+      instance_for(static_cast<std::size_t>(state.range(0)), 8);
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const PowTable pow_table(0.25);
+  std::vector<std::int32_t> levels(instance.graph.num_right(), 0);
+  std::size_t round = 1;
+  for (auto _ : state) {
+    const LeftAggregate left =
+        compute_left_aggregate(instance.graph, levels, pow_table, threads);
+    const std::vector<double> alloc =
+        compute_alloc(instance.graph, levels, left, pow_table, threads);
+    apply_level_update(instance, alloc, 0.25, round++, nullptr, levels,
+                       threads);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(instance.graph.num_edges()));
+}
+BENCHMARK(BM_ProportionalRoundThreaded)
+    ->ArgsProduct({{10000, 50000}, {1, 2, 4, 8}});
+
 void BM_DinicOptimal(benchmark::State& state) {
   const AllocationInstance instance =
       instance_for(static_cast<std::size_t>(state.range(0)), 8);

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cli.option("advertisers", "400", "number of advertisers (R side)");
   cli.option("eps", "0.25", "accuracy parameter");
   cli.option("seed", "7", "RNG seed");
+  cli.threads_option();
   if (!cli.parse(argc, argv)) return 0;
 
   const auto impressions = static_cast<std::size_t>(cli.get_int("impressions"));
@@ -47,7 +48,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt));
 
   // Proportional pipeline.
-  const ProportionalResult frac = solve_adaptive(instance, eps);
+  const ProportionalResult frac = solve_adaptive(instance, eps, /*safety_cap=*/0,
+                     static_cast<std::size_t>(cli.get_int("threads")));
   BestOfRoundingResult rounded = round_best_of(instance, frac.allocation, rng);
   make_maximal(instance, rounded.best);
   const BoostResult boosted = boost_to_one_plus_eps(instance, rounded.best, eps);

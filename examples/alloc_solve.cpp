@@ -48,6 +48,7 @@ int verify(const CliParser& cli, const AllocationInstance& instance) {
 int solve(const CliParser& cli, const AllocationInstance& instance) {
   const std::string algorithm = cli.get("algorithm");
   const double eps = cli.get_double("eps");
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
   Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
   WallTimer timer;
 
@@ -57,7 +58,8 @@ int solve(const CliParser& cli, const AllocationInstance& instance) {
   } else if (algorithm == "exact") {
     solution = solve_optimal_allocation(instance).allocation;
   } else if (algorithm == "proportional" || algorithm == "pipeline") {
-    const ProportionalResult frac = solve_adaptive(instance, eps);
+    const ProportionalResult frac =
+        solve_adaptive(instance, eps, /*safety_cap=*/0, threads);
     std::printf("fractional: weight %.1f after %zu rounds (certified: %s)\n",
                 frac.allocation.weight(), frac.rounds_executed,
                 frac.stopped_by_condition ? "yes" : "no");
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
   cli.option("max-capacity", "6", "generated capacity upper bound");
   cli.option("eps", "0.25", "accuracy parameter");
   cli.option("seed", "1", "RNG seed");
+  cli.threads_option();
   if (!cli.parse(argc, argv)) return 0;
 
   try {

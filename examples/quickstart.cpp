@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   cli.option("lambda", "8", "arboricity of the generated instance");
   cli.option("eps", "0.25", "accuracy parameter");
   cli.option("seed", "42", "RNG seed");
+  cli.threads_option();
   if (!cli.parse(argc, argv)) return 0;
 
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
@@ -41,7 +42,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt));
 
   // 2. Proportional allocation, λ-oblivious.
-  const ProportionalResult frac = solve_adaptive(instance, eps);
+  const ProportionalResult frac = solve_adaptive(instance, eps, /*safety_cap=*/0,
+                     static_cast<std::size_t>(cli.get_int("threads")));
   std::printf("proportional allocation: weight %.1f after %zu rounds "
               "(certified: %s)  ratio %.4f\n",
               frac.allocation.weight(), frac.rounds_executed,

@@ -19,10 +19,13 @@ int main(int argc, char** argv) {
   CliParser cli("lambda-oblivious allocation");
   cli.option("core", "64", "gadget core size (lambda ~ core/2)");
   cli.option("eps", "0.25", "accuracy parameter");
+  cli.threads_option();
   if (!cli.parse(argc, argv)) return 0;
 
   const auto core = static_cast<std::size_t>(cli.get_int("core"));
   const double eps = cli.get_double("eps");
+  const auto threads =
+      resolve_num_threads(static_cast<std::size_t>(cli.get_int("threads")));
 
   const AllocationInstance instance = oversubscribed_core_instance(core, 4, 1);
   const ArboricityEstimate est = estimate_arboricity(instance.graph);
@@ -37,14 +40,15 @@ int main(int argc, char** argv) {
   const PowTable pow_table(eps);
   std::vector<std::int32_t> levels(instance.graph.num_right(), 0);
   std::printf("round | |N(L_top)| | |L_bottom| | mass>bottom | certified\n");
+  TerminationScratch scratch;
   for (std::size_t round = 1; round <= 64; ++round) {
     const LeftAggregate left =
-        compute_left_aggregate(instance.graph, levels, pow_table);
+        compute_left_aggregate(instance.graph, levels, pow_table, threads);
     const std::vector<double> alloc =
-        compute_alloc(instance.graph, levels, left, pow_table);
-    apply_level_update(instance, alloc, eps, round, nullptr, levels);
+        compute_alloc(instance.graph, levels, left, pow_table, threads);
+    apply_level_update(instance, alloc, eps, round, nullptr, levels, threads);
     const TerminationCheck check =
-        check_termination(instance, levels, alloc, round, eps);
+        check_termination(instance, levels, alloc, round, eps, scratch, threads);
     std::printf("%5zu | %10zu | %10zu | %11.1f | %s\n", round,
                 check.neighbors_of_top, check.bottom_size,
                 check.mass_above_bottom, check.satisfied ? "YES" : "no");
@@ -52,7 +56,8 @@ int main(int argc, char** argv) {
   }
 
   // The packaged λ-oblivious solver (identical loop + safety cap).
-  const ProportionalResult result = solve_adaptive(instance, eps);
+  const ProportionalResult result =
+      solve_adaptive(instance, eps, /*safety_cap=*/0, threads);
   std::printf("\nsolve_adaptive: %zu rounds, weight %.1f, ratio %.4f vs OPT\n",
               result.rounds_executed, result.allocation.weight(),
               fractional_ratio(instance, result.allocation));

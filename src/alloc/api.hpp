@@ -35,3 +35,4 @@
 #include "graph/bipartite_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "util/parallel.hpp"

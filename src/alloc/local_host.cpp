@@ -24,8 +24,9 @@ LocalHostResult run_proportional_local(const AllocationInstance& instance,
   }
 
   const auto& g = instance.graph;
+  const std::size_t num_threads = resolve_num_threads(config.num_threads);
   const PowTable pow_table(config.epsilon);
-  LocalNetwork net(g);
+  LocalNetwork net(g, num_threads);
 
   // Processor-private state. Indexed by vertex id, but each handler reads
   // and writes only its own vertex's entries — locality is preserved.
@@ -65,8 +66,11 @@ LocalHostResult run_proportional_local(const AllocationInstance& instance,
       for (const std::int32_t level : known) {
         denom += pow_table.pow(level - max_level);
       }
+      // One reciprocal per processor, then a multiply per edge — the same
+      // arithmetic (bit for bit) as compute_left_aggregate + compute_alloc.
+      const double inv_denom = 1.0 / denom;
       for (std::size_t i = 0; i < ctx.degree(); ++i) {
-        ctx.send(i, Message{pow_table.pow(known[i] - max_level) / denom});
+        ctx.send(i, Message{pow_table.pow(known[i] - max_level) * inv_denom});
       }
     });
 
@@ -96,9 +100,9 @@ LocalHostResult run_proportional_local(const AllocationInstance& instance,
   }
 
   LocalHostResult out;
-  out.result.allocation =
-      materialize_allocation(instance, start_levels, alloc, pow_table);
-  out.result.match_weight = match_weight(instance, alloc);
+  out.result.allocation = materialize_allocation(instance, start_levels, alloc,
+                                                 pow_table, num_threads);
+  out.result.match_weight = match_weight(instance, alloc, num_threads);
   out.result.rounds_executed = config.max_rounds;
   out.result.final_levels = std::move(levels);
   out.result.final_alloc = std::move(alloc);

@@ -1,7 +1,9 @@
 #include "alloc/proportional.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 
@@ -9,122 +11,251 @@ namespace mpcalloc {
 
 LeftAggregate compute_left_aggregate(const BipartiteGraph& graph,
                                      const std::vector<std::int32_t>& levels,
-                                     const PowTable& pow_table) {
+                                     const PowTable& pow_table,
+                                     std::size_t num_threads) {
   LeftAggregate agg;
   agg.max_level.assign(graph.num_left(), std::numeric_limits<std::int32_t>::min());
-  agg.scaled_denominator.assign(graph.num_left(), 0.0);
-  for (Vertex u = 0; u < graph.num_left(); ++u) {
-    const auto neighbors = graph.left_neighbors(u);
-    if (neighbors.empty()) continue;
-    std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
-    for (const Incidence& inc : neighbors) {
-      max_level = std::max(max_level, levels[inc.to]);
+  agg.inv_scaled_denominator.assign(graph.num_left(), 0.0);
+  parallel_for(0, graph.num_left(), kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (Vertex u = static_cast<Vertex>(tile_begin); u < tile_end; ++u) {
+      const auto neighbors = graph.left_neighbors(u);
+      if (neighbors.empty()) continue;
+      std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
+      for (const Incidence& inc : neighbors) {
+        max_level = std::max(max_level, levels[inc.to]);
+      }
+      double denom = 0.0;
+      for (const Incidence& inc : neighbors) {
+        denom += pow_table.pow(levels[inc.to] - max_level);
+      }
+      agg.max_level[u] = max_level;
+      // denom ≥ 1 (the max-level neighbour contributes (1+ε)^0 = 1), so the
+      // reciprocal is well defined and in (0, 1].
+      agg.inv_scaled_denominator[u] = 1.0 / denom;
     }
-    double denom = 0.0;
-    for (const Incidence& inc : neighbors) {
-      denom += pow_table.pow(levels[inc.to] - max_level);
-    }
-    agg.max_level[u] = max_level;
-    agg.scaled_denominator[u] = denom;
-  }
+  });
   return agg;
 }
 
 std::vector<double> compute_alloc(const BipartiteGraph& graph,
                                   const std::vector<std::int32_t>& levels,
                                   const LeftAggregate& left,
-                                  const PowTable& pow_table) {
+                                  const PowTable& pow_table,
+                                  std::size_t num_threads) {
   std::vector<double> alloc(graph.num_right(), 0.0);
-  for (Vertex v = 0; v < graph.num_right(); ++v) {
-    double total = 0.0;
-    for (const Incidence& inc : graph.right_neighbors(v)) {
-      const Vertex u = inc.to;
-      // x_{u,v} = (1+ε)^{level_v} / Σ_{v'} (1+ε)^{level_{v'}}, evaluated as
-      // (1+ε)^{level_v − max_u} / scaled_denominator_u to stay in range.
-      total += pow_table.pow(levels[v] - left.max_level[u]) /
-               left.scaled_denominator[u];
+  parallel_for(0, graph.num_right(), kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+      double total = 0.0;
+      for (const Incidence& inc : graph.right_neighbors(v)) {
+        const Vertex u = inc.to;
+        // x_{u,v} = (1+ε)^{level_v} / Σ_{v'} (1+ε)^{level_{v'}}, evaluated as
+        // (1+ε)^{level_v − max_u} · inv_scaled_denominator_u to stay in
+        // range and to trade the per-edge divide for a multiply.
+        total += pow_table.pow(levels[v] - left.max_level[u]) *
+                 left.inv_scaled_denominator[u];
+      }
+      alloc[v] = total;
     }
-    alloc[v] = total;
-  }
+  });
   return alloc;
+}
+
+std::size_t apply_level_update(
+    std::span<const std::uint32_t> capacities, const std::vector<double>& alloc,
+    double epsilon, std::size_t round,
+    const std::function<double(Vertex, std::size_t)>& threshold_k,
+    std::vector<std::int32_t>& levels, std::size_t num_threads,
+    std::vector<std::int8_t>* level_deltas) {
+  return parallel_reduce<std::size_t>(
+      0, capacities.size(), kParallelTile, num_threads, 0,
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        std::size_t changed = 0;
+        for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+          const double k = threshold_k ? threshold_k(v, round) : 1.0;
+          const double cap = static_cast<double>(capacities[v]);
+          std::int8_t delta = 0;
+          if (alloc[v] <= cap / (1.0 + k * epsilon)) {
+            ++levels[v];
+            delta = 1;
+            ++changed;
+          } else if (alloc[v] >= cap * (1.0 + k * epsilon)) {
+            --levels[v];
+            delta = -1;
+            ++changed;
+          }
+          if (level_deltas) (*level_deltas)[v] = delta;
+        }
+        return changed;
+      },
+      std::plus<>());
 }
 
 std::size_t apply_level_update(
     const AllocationInstance& instance, const std::vector<double>& alloc,
     double epsilon, std::size_t round,
     const std::function<double(Vertex, std::size_t)>& threshold_k,
-    std::vector<std::int32_t>& levels) {
-  std::size_t changed = 0;
-  for (Vertex v = 0; v < instance.graph.num_right(); ++v) {
-    const double k = threshold_k ? threshold_k(v, round) : 1.0;
-    const double cap = static_cast<double>(instance.capacities[v]);
-    if (alloc[v] <= cap / (1.0 + k * epsilon)) {
-      ++levels[v];
-      ++changed;
-    } else if (alloc[v] >= cap * (1.0 + k * epsilon)) {
-      --levels[v];
-      ++changed;
+    std::vector<std::int32_t>& levels, std::size_t num_threads,
+    std::vector<std::int8_t>* level_deltas) {
+  return apply_level_update(std::span<const std::uint32_t>(instance.capacities),
+                            alloc, epsilon, round, threshold_k, levels,
+                            num_threads, level_deltas);
+}
+
+std::vector<std::int32_t> reconstruct_start_levels(
+    const std::vector<std::int32_t>& levels,
+    const std::vector<std::int8_t>& deltas, std::size_t num_threads) {
+  std::vector<std::int32_t> start_levels(levels.size());
+  parallel_for(0, levels.size(), kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (std::size_t v = tile_begin; v < tile_end; ++v) {
+      start_levels[v] = levels[v] - deltas[v];
     }
-  }
-  return changed;
+  });
+  return start_levels;
+}
+
+FractionalAllocation materialize_allocation(
+    const AllocationInstance& instance,
+    const std::vector<std::int32_t>& start_levels, const LeftAggregate& left,
+    const std::vector<double>& alloc, const PowTable& pow_table,
+    std::size_t num_threads) {
+  const auto& g = instance.graph;
+  FractionalAllocation out;
+  out.x.assign(g.num_edges(), 0.0);
+  parallel_for(0, g.num_edges(), kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (EdgeId e = static_cast<EdgeId>(tile_begin); e < tile_end; ++e) {
+      const Edge& ed = g.edge(e);
+      if (g.left_degree(ed.u) == 0) continue;
+      const double x = pow_table.pow(start_levels[ed.v] - left.max_level[ed.u]) *
+                       left.inv_scaled_denominator[ed.u];
+      const double cap = static_cast<double>(instance.capacities[ed.v]);
+      const double scale = alloc[ed.v] > cap ? cap / alloc[ed.v] : 1.0;
+      out.x[e] = x * scale;
+    }
+  });
+  return out;
 }
 
 FractionalAllocation materialize_allocation(
     const AllocationInstance& instance,
     const std::vector<std::int32_t>& start_levels,
-    const std::vector<double>& alloc, const PowTable& pow_table) {
-  const auto& g = instance.graph;
-  const LeftAggregate left = compute_left_aggregate(g, start_levels, pow_table);
-  FractionalAllocation out;
-  out.x.assign(g.num_edges(), 0.0);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& ed = g.edge(e);
-    if (g.left_degree(ed.u) == 0) continue;
-    const double x = pow_table.pow(start_levels[ed.v] - left.max_level[ed.u]) /
-                     left.scaled_denominator[ed.u];
-    const double cap = static_cast<double>(instance.capacities[ed.v]);
-    const double scale = alloc[ed.v] > cap ? cap / alloc[ed.v] : 1.0;
-    out.x[e] = x * scale;
-  }
-  return out;
+    const std::vector<double>& alloc, const PowTable& pow_table,
+    std::size_t num_threads) {
+  const LeftAggregate left = compute_left_aggregate(
+      instance.graph, start_levels, pow_table, num_threads);
+  return materialize_allocation(instance, start_levels, left, alloc, pow_table,
+                                num_threads);
 }
 
 double match_weight(const AllocationInstance& instance,
-                    const std::vector<double>& alloc) {
-  double total = 0.0;
-  for (Vertex v = 0; v < instance.graph.num_right(); ++v) {
-    total += std::min(alloc[v], static_cast<double>(instance.capacities[v]));
+                    const std::vector<double>& alloc,
+                    std::size_t num_threads) {
+  return parallel_reduce<double>(
+      0, instance.graph.num_right(), kParallelTile, num_threads, 0.0,
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        double total = 0.0;
+        for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+          total += std::min(alloc[v],
+                            static_cast<double>(instance.capacities[v]));
+        }
+        return total;
+      },
+      std::plus<>());
+}
+
+TerminationCheck check_termination(const AllocationInstance& instance,
+                                   const std::vector<std::int32_t>& levels,
+                                   const std::vector<double>& alloc,
+                                   std::size_t round, double epsilon,
+                                   TerminationScratch& scratch,
+                                   std::size_t num_threads) {
+  const auto& g = instance.graph;
+  const auto top = static_cast<std::int32_t>(round);
+  const auto bottom = -static_cast<std::int32_t>(round);
+
+  // Pass 1 (adjacency-free): bottom size, the mass above the bottom level,
+  // and whether any vertex reached the top level at all.
+  struct RightStats {
+    std::size_t bottom_size = 0;
+    double mass_above_bottom = 0.0;
+    bool has_top = false;
+  };
+  const RightStats stats = parallel_reduce<RightStats>(
+      0, g.num_right(), kParallelTile, num_threads, RightStats{},
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        RightStats partial;
+        for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+          if (levels[v] == top) partial.has_top = true;
+          if (levels[v] == bottom) ++partial.bottom_size;
+          if (levels[v] > bottom) partial.mass_above_bottom += alloc[v];
+        }
+        return partial;
+      },
+      [](RightStats acc, const RightStats& partial) {
+        acc.bottom_size += partial.bottom_size;
+        acc.mass_above_bottom += partial.mass_above_bottom;
+        acc.has_top = acc.has_top || partial.has_top;
+        return acc;
+      });
+
+  TerminationCheck check;
+  check.bottom_size = stats.bottom_size;
+  check.mass_above_bottom = stats.mass_above_bottom;
+
+  // Pass 2 (only when some vertex is at the top level — +round requires a
+  // vertex that levelled up every single round, so this dies out quickly on
+  // converging instances): mark and count N(L_top) without double counting.
+  if (stats.has_top) {
+    if (scratch.left_marked.size() != g.num_left()) {
+      scratch.left_marked.assign(g.num_left(), 0);
+    }
+    std::uint8_t* const marked = scratch.left_marked.data();
+    parallel_for(0, g.num_right(), kParallelTile, num_threads,
+                 [&](std::size_t tile_begin, std::size_t tile_end) {
+      for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+        if (levels[v] != top) continue;
+        for (const Incidence& inc : g.right_neighbors(v)) {
+          // Concurrent marking is an idempotent store of 1; the final
+          // marked *set* (and hence the count below) is schedule-free.
+          const std::atomic_ref<std::uint8_t> flag(marked[inc.to]);
+          if (flag.load(std::memory_order_relaxed) == 0) {
+            flag.store(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+    // Count and re-zero in the same sweep, leaving the scratch all-clear
+    // for the next round.
+    check.neighbors_of_top = parallel_reduce<std::size_t>(
+        0, g.num_left(), kParallelTile, num_threads, 0,
+        [&](std::size_t tile_begin, std::size_t tile_end) {
+          std::size_t count = 0;
+          for (std::size_t u = tile_begin; u < tile_end; ++u) {
+            count += marked[u];
+            marked[u] = 0;
+          }
+          return count;
+        },
+        std::plus<>());
   }
-  return total;
+
+  const auto n_top = static_cast<double>(check.neighbors_of_top);
+  check.satisfied =
+      check.neighbors_of_top <= check.bottom_size ||
+      check.mass_above_bottom >= (1.0 - epsilon / 2.0) * n_top;
+  return check;
 }
 
 TerminationCheck check_termination(const AllocationInstance& instance,
                                    const std::vector<std::int32_t>& levels,
                                    const std::vector<double>& alloc,
                                    std::size_t round, double epsilon) {
-  const auto& g = instance.graph;
-  const auto top = static_cast<std::int32_t>(round);
-  const auto bottom = -static_cast<std::int32_t>(round);
-
-  TerminationCheck check;
-  std::vector<std::uint8_t> left_marked(g.num_left(), 0);
-  for (Vertex v = 0; v < g.num_right(); ++v) {
-    if (levels[v] == top) {
-      for (const Incidence& inc : g.right_neighbors(v)) {
-        if (!left_marked[inc.to]) {
-          left_marked[inc.to] = 1;
-          ++check.neighbors_of_top;
-        }
-      }
-    }
-    if (levels[v] == bottom) ++check.bottom_size;
-    if (levels[v] > bottom) check.mass_above_bottom += alloc[v];
-  }
-  const auto n_top = static_cast<double>(check.neighbors_of_top);
-  check.satisfied =
-      check.neighbors_of_top <= check.bottom_size ||
-      check.mass_above_bottom >= (1.0 - epsilon / 2.0) * n_top;
-  return check;
+  TerminationScratch scratch;
+  return check_termination(instance, levels, alloc, round, epsilon, scratch,
+                           /*num_threads=*/1);
 }
 
 ProportionalResult run_proportional(const AllocationInstance& instance,
@@ -133,27 +264,31 @@ ProportionalResult run_proportional(const AllocationInstance& instance,
   if (config.max_rounds == 0) {
     throw std::invalid_argument("run_proportional: max_rounds must be >= 1");
   }
+  const std::size_t num_threads = resolve_num_threads(config.num_threads);
   const PowTable pow_table(config.epsilon);
   const auto& g = instance.graph;
 
   ProportionalResult result;
   std::vector<std::int32_t> levels(g.num_right(), 0);
-  std::vector<std::int32_t> start_levels;
+  std::vector<std::int8_t> last_deltas(g.num_right(), 0);
   std::vector<double> alloc;
+  LeftAggregate left;
+  TerminationScratch scratch;
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
-    start_levels = levels;  // β values at the start of this round
-    const LeftAggregate left = compute_left_aggregate(g, levels, pow_table);
-    alloc = compute_alloc(g, levels, left, pow_table);
+    left = compute_left_aggregate(g, levels, pow_table, num_threads);
+    alloc = compute_alloc(g, levels, left, pow_table, num_threads);
     apply_level_update(instance, alloc, config.epsilon, round,
-                       config.threshold_k, levels);
+                       config.threshold_k, levels, num_threads, &last_deltas);
     result.rounds_executed = round;
     if (config.track_weight_history) {
-      result.weight_history.push_back(match_weight(instance, alloc));
+      result.weight_history.push_back(
+          match_weight(instance, alloc, num_threads));
     }
     if (config.stop_rule == StopRule::kAdaptive) {
       const TerminationCheck check =
-          check_termination(instance, levels, alloc, round, config.epsilon);
+          check_termination(instance, levels, alloc, round, config.epsilon,
+                            scratch, num_threads);
       if (check.satisfied) {
         result.stopped_by_condition = true;
         break;
@@ -161,9 +296,14 @@ ProportionalResult run_proportional(const AllocationInstance& instance,
     }
   }
 
-  result.allocation =
-      materialize_allocation(instance, start_levels, alloc, pow_table);
-  result.match_weight = match_weight(instance, alloc);
+  // `left` is the final round's aggregate, computed from that round's start
+  // levels; undo the final update step to recover them (one O(|R|) pass)
+  // instead of snapshotting the whole level vector every round.
+  const std::vector<std::int32_t> start_levels =
+      reconstruct_start_levels(levels, last_deltas, num_threads);
+  result.allocation = materialize_allocation(instance, start_levels, left,
+                                             alloc, pow_table, num_threads);
+  result.match_weight = match_weight(instance, alloc, num_threads);
   result.final_levels = std::move(levels);
   result.final_alloc = std::move(alloc);
   return result;
@@ -186,19 +326,23 @@ std::size_t tau_for_one_plus_eps(std::size_t num_right, double epsilon) {
 }
 
 ProportionalResult solve_two_plus_eps(const AllocationInstance& instance,
-                                      double lambda, double epsilon) {
+                                      double lambda, double epsilon,
+                                      std::size_t num_threads) {
   ProportionalConfig config;
   config.epsilon = epsilon;
   config.max_rounds = tau_for_arboricity(lambda, epsilon);
   config.stop_rule = StopRule::kFixedRounds;
+  config.num_threads = num_threads;
   return run_proportional(instance, config);
 }
 
 ProportionalResult solve_adaptive(const AllocationInstance& instance,
-                                  double epsilon, std::size_t safety_cap) {
+                                  double epsilon, std::size_t safety_cap,
+                                  std::size_t num_threads) {
   ProportionalConfig config;
   config.epsilon = epsilon;
   config.stop_rule = StopRule::kAdaptive;
+  config.num_threads = num_threads;
   // λ ≤ n always, so τ(n, ε) is a valid hard cap for the adaptive loop.
   config.max_rounds =
       safety_cap > 0

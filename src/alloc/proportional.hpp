@@ -23,10 +23,12 @@
 #include "alloc/levels.hpp"
 #include "graph/allocation.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "util/parallel.hpp"
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace mpcalloc {
@@ -50,6 +52,14 @@ struct ProportionalConfig {
 
   /// Record MatchWeight after every round (costs one extra pass per round).
   bool track_weight_history = false;
+
+  /// Worker threads for the per-round sweeps. 0 = auto (the
+  /// MPCALLOC_THREADS environment variable if set, else
+  /// hardware_concurrency). Results are bitwise identical across thread
+  /// counts: the sweeps use a fixed tile decomposition with ordered
+  /// reductions (see util/parallel.hpp). A non-empty `threshold_k` must be
+  /// safe to invoke concurrently (pure functions are).
+  std::size_t num_threads = 0;
 };
 
 struct ProportionalResult {
@@ -74,55 +84,93 @@ struct ProportionalResult {
                                                double epsilon);
 
 /// Convenience: Theorem 2 — (2+10ε) approximation with τ from λ.
+/// `num_threads` as in ProportionalConfig (0 = auto).
 [[nodiscard]] ProportionalResult solve_two_plus_eps(
-    const AllocationInstance& instance, double lambda, double epsilon);
+    const AllocationInstance& instance, double lambda, double epsilon,
+    std::size_t num_threads = 0);
 
 /// Convenience: λ-oblivious run with the adaptive stop rule (the Section-4
 /// remark). `safety_cap` bounds the loop; 0 picks τ(|R| as λ upper bound).
+/// `num_threads` as in ProportionalConfig (0 = auto).
 [[nodiscard]] ProportionalResult solve_adaptive(
     const AllocationInstance& instance, double epsilon,
-    std::size_t safety_cap = 0);
+    std::size_t safety_cap = 0, std::size_t num_threads = 0);
 
 // ---------------------------------------------------------------------------
 // Internals shared with the sampled executor (Algorithm 2) and hosts.
 // ---------------------------------------------------------------------------
 
 /// Per-round left-side aggregation: for each u, the maximum neighbour level
-/// and the scaled denominator Σ_{v∈N_u} (1+ε)^{level_v − maxlevel_u} ∈ [1, deg].
+/// and the *reciprocal* of the scaled denominator
+/// Σ_{v∈N_u} (1+ε)^{level_v − maxlevel_u} ∈ [1, deg], so the per-edge
+/// consumers (compute_alloc, materialize_allocation) do one multiply
+/// instead of one divide per edge.
 struct LeftAggregate {
   std::vector<std::int32_t> max_level;   ///< per u; INT32_MIN for isolated u
-  std::vector<double> scaled_denominator;  ///< per u
+  std::vector<double> inv_scaled_denominator;  ///< 1/denom; 0 for isolated u
 };
 
 [[nodiscard]] LeftAggregate compute_left_aggregate(
     const BipartiteGraph& graph, const std::vector<std::int32_t>& levels,
-    const PowTable& pow_table);
+    const PowTable& pow_table, std::size_t num_threads = 1);
 
-/// alloc_v = Σ_{u∈N_v} (1+ε)^{level_v − maxlevel_u} / denom_u, summed in
+/// alloc_v = Σ_{u∈N_v} (1+ε)^{level_v − maxlevel_u} · inv_denom_u, summed in
 /// right-CSR incidence order (so independent hosts can reproduce it
-/// bit-for-bit).
+/// bit-for-bit; the tiling never splits a vertex's sum).
 [[nodiscard]] std::vector<double> compute_alloc(
     const BipartiteGraph& graph, const std::vector<std::int32_t>& levels,
-    const LeftAggregate& left, const PowTable& pow_table);
+    const LeftAggregate& left, const PowTable& pow_table,
+    std::size_t num_threads = 1);
 
 /// Apply line 4's threshold update in place; returns the number of vertices
-/// whose level changed.
+/// whose level changed. If `level_deltas` is non-null (sized |R|) it
+/// records the per-vertex step {-1, 0, +1} taken this round, letting the
+/// driver reconstruct the round's start levels without snapshotting the
+/// whole level vector (see reconstruct_start_levels). A non-empty
+/// threshold_k must be concurrency-safe when num_threads > 1.
 std::size_t apply_level_update(
     const AllocationInstance& instance, const std::vector<double>& alloc,
     double epsilon, std::size_t round,
     const std::function<double(Vertex, std::size_t)>& threshold_k,
-    std::vector<std::int32_t>& levels);
+    std::vector<std::int32_t>& levels, std::size_t num_threads = 1,
+    std::vector<std::int8_t>* level_deltas = nullptr);
+
+/// The same sweep over an explicit capacity span (the b-matching driver
+/// runs it against its R-side capacities).
+std::size_t apply_level_update(
+    std::span<const std::uint32_t> capacities, const std::vector<double>& alloc,
+    double epsilon, std::size_t round,
+    const std::function<double(Vertex, std::size_t)>& threshold_k,
+    std::vector<std::int32_t>& levels, std::size_t num_threads = 1,
+    std::vector<std::int8_t>* level_deltas = nullptr);
+
+/// Undo one apply_level_update step: start_levels[v] = levels[v] - deltas[v]
+/// — the levels at the start of the round that recorded `deltas`.
+[[nodiscard]] std::vector<std::int32_t> reconstruct_start_levels(
+    const std::vector<std::int32_t>& levels,
+    const std::vector<std::int8_t>& deltas, std::size_t num_threads = 1);
 
 /// Materialise the feasible fractional allocation of lines 5–6 from the
 /// levels at the *start* of the final round and that round's alloc values.
 [[nodiscard]] FractionalAllocation materialize_allocation(
     const AllocationInstance& instance,
     const std::vector<std::int32_t>& start_levels,
-    const std::vector<double>& alloc, const PowTable& pow_table);
+    const std::vector<double>& alloc, const PowTable& pow_table,
+    std::size_t num_threads = 1);
+
+/// As above, but reusing an already-computed LeftAggregate of
+/// `start_levels` instead of re-deriving it (the driver has the final
+/// round's aggregate in hand).
+[[nodiscard]] FractionalAllocation materialize_allocation(
+    const AllocationInstance& instance,
+    const std::vector<std::int32_t>& start_levels, const LeftAggregate& left,
+    const std::vector<double>& alloc, const PowTable& pow_table,
+    std::size_t num_threads = 1);
 
 /// MatchWeight = Σ_v min(C_v, alloc_v).
 [[nodiscard]] double match_weight(const AllocationInstance& instance,
-                                  const std::vector<double>& alloc);
+                                  const std::vector<double>& alloc,
+                                  std::size_t num_threads = 1);
 
 /// The Section-4 remark's termination test, evaluated on the levels *after*
 /// `round` updates (top level = +round, bottom level = −round) and the
@@ -133,9 +181,26 @@ struct TerminationCheck {
   std::size_t bottom_size = 0;        ///< |L_bottom|
   double mass_above_bottom = 0.0;     ///< Σ_{v above bottom} alloc_v
 };
+
+/// Reusable buffers for check_termination, so the adaptive driver does not
+/// allocate an |L|-sized vector every round. The marked vector is all-zero
+/// between calls (the check re-clears only when it marked anything).
+struct TerminationScratch {
+  std::vector<std::uint8_t> left_marked;
+};
+
 [[nodiscard]] TerminationCheck check_termination(
     const AllocationInstance& instance,
     const std::vector<std::int32_t>& levels, const std::vector<double>& alloc,
     std::size_t round, double epsilon);
+
+/// As above with caller-owned scratch and a thread count. The N(L_top)
+/// marking sweep is skipped outright when no vertex sits at level +round
+/// (|N(L_top)| = 0 certifies termination by itself).
+[[nodiscard]] TerminationCheck check_termination(
+    const AllocationInstance& instance,
+    const std::vector<std::int32_t>& levels, const std::vector<double>& alloc,
+    std::size_t round, double epsilon, TerminationScratch& scratch,
+    std::size_t num_threads);
 
 }  // namespace mpcalloc

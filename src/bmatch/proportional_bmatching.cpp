@@ -1,44 +1,12 @@
 #include "bmatch/proportional_bmatching.hpp"
 
+#include "alloc/proportional.hpp"
+#include "util/parallel.hpp"
+
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 
 namespace mpcalloc {
-
-namespace {
-
-/// Per-round L-side aggregation, as in alloc/proportional.cpp but weighted
-/// by b_u at consumption time.
-struct LeftAgg {
-  std::vector<std::int32_t> max_level;
-  std::vector<double> scaled_denominator;
-};
-
-LeftAgg left_aggregate(const BipartiteGraph& g,
-                       const std::vector<std::int32_t>& levels,
-                       const PowTable& pow_table) {
-  LeftAgg agg;
-  agg.max_level.assign(g.num_left(), std::numeric_limits<std::int32_t>::min());
-  agg.scaled_denominator.assign(g.num_left(), 0.0);
-  for (Vertex u = 0; u < g.num_left(); ++u) {
-    const auto neighbors = g.left_neighbors(u);
-    if (neighbors.empty()) continue;
-    std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
-    for (const Incidence& inc : neighbors) {
-      max_level = std::max(max_level, levels[inc.to]);
-    }
-    double denom = 0.0;
-    for (const Incidence& inc : neighbors) {
-      denom += pow_table.pow(levels[inc.to] - max_level);
-    }
-    agg.max_level[u] = max_level;
-    agg.scaled_denominator[u] = denom;
-  }
-  return agg;
-}
-
-}  // namespace
 
 ProportionalBMatchingResult run_proportional_bmatching(
     const BMatchingInstance& instance,
@@ -48,62 +16,75 @@ ProportionalBMatchingResult run_proportional_bmatching(
     throw std::invalid_argument("run_proportional_bmatching: rounds >= 1");
   }
   const auto& g = instance.graph;
+  const std::size_t num_threads = resolve_num_threads(config.num_threads);
   const PowTable pow_table(config.epsilon);
 
   ProportionalBMatchingResult result;
   std::vector<std::int32_t> levels(g.num_right(), 0);
-  std::vector<std::int32_t> start_levels(g.num_right(), 0);
+  std::vector<std::int8_t> last_deltas(g.num_right(), 0);
   std::vector<double> alloc(g.num_right(), 0.0);
 
-  auto edge_x = [&](EdgeId e, const LeftAgg& agg,
+  // The L-side aggregation is identical to Algorithm 1's (the b_u weight is
+  // applied at consumption time), so the engine's sweep is reused directly.
+  auto edge_x = [&](EdgeId e, const LeftAggregate& agg,
                     const std::vector<std::int32_t>& lv) {
     const Edge& ed = g.edge(e);
     const double proportional =
         static_cast<double>(instance.left_capacities[ed.u]) *
-        pow_table.pow(lv[ed.v] - agg.max_level[ed.u]) /
-        agg.scaled_denominator[ed.u];
+        pow_table.pow(lv[ed.v] - agg.max_level[ed.u]) *
+        agg.inv_scaled_denominator[ed.u];
     return std::min(1.0, proportional);  // per-edge LP cap x_e <= 1
   };
 
-  LeftAgg agg;
+  LeftAggregate agg;
   for (std::size_t round = 1; round <= config.rounds; ++round) {
-    start_levels = levels;
-    agg = left_aggregate(g, levels, pow_table);
-    std::fill(alloc.begin(), alloc.end(), 0.0);
-    for (Vertex v = 0; v < g.num_right(); ++v) {
-      for (const Incidence& inc : g.right_neighbors(v)) {
-        alloc[v] += edge_x(inc.edge, agg, levels);
+    agg = compute_left_aggregate(g, levels, pow_table, num_threads);
+    parallel_for(0, g.num_right(), kParallelTile, num_threads,
+                 [&](std::size_t tile_begin, std::size_t tile_end) {
+      for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+        double total = 0.0;
+        for (const Incidence& inc : g.right_neighbors(v)) {
+          total += edge_x(inc.edge, agg, levels);
+        }
+        alloc[v] = total;
       }
-    }
-    for (Vertex v = 0; v < g.num_right(); ++v) {
-      const auto cap = static_cast<double>(instance.right_capacities[v]);
-      if (alloc[v] <= cap / (1.0 + config.epsilon)) {
-        ++levels[v];
-      } else if (alloc[v] >= cap * (1.0 + config.epsilon)) {
-        --levels[v];
-      }
-    }
+    });
+    apply_level_update(std::span<const std::uint32_t>(instance.right_capacities),
+                       alloc, config.epsilon, round, nullptr, levels,
+                       num_threads, &last_deltas);
     result.rounds_executed = round;
   }
 
   // Materialise: scale each v's incoming mass to its capacity; the per-edge
-  // clamp and the b_u-proportional split keep the L side feasible.
-  const LeftAgg final_agg = left_aggregate(g, start_levels, pow_table);
+  // clamp and the b_u-proportional split keep the L side feasible. `agg` is
+  // the final round's aggregate, computed from that round's start levels —
+  // recover them by undoing the final update instead of snapshotting the
+  // level vector every round.
+  const std::vector<std::int32_t> start_levels =
+      reconstruct_start_levels(levels, last_deltas, num_threads);
   result.matching.x.assign(g.num_edges(), 0.0);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& ed = g.edge(e);
-    if (g.left_degree(ed.u) == 0) continue;
-    const double x = edge_x(e, final_agg, start_levels);
-    const auto cap = static_cast<double>(instance.right_capacities[ed.v]);
-    const double scale = alloc[ed.v] > cap ? cap / alloc[ed.v] : 1.0;
-    result.matching.x[e] = x * scale;
-  }
-  double weight = 0.0;
-  for (Vertex v = 0; v < g.num_right(); ++v) {
-    weight += std::min(alloc[v],
-                       static_cast<double>(instance.right_capacities[v]));
-  }
-  result.match_weight = weight;
+  parallel_for(0, g.num_edges(), kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (EdgeId e = static_cast<EdgeId>(tile_begin); e < tile_end; ++e) {
+      const Edge& ed = g.edge(e);
+      if (g.left_degree(ed.u) == 0) continue;
+      const double x = edge_x(e, agg, start_levels);
+      const auto cap = static_cast<double>(instance.right_capacities[ed.v]);
+      const double scale = alloc[ed.v] > cap ? cap / alloc[ed.v] : 1.0;
+      result.matching.x[e] = x * scale;
+    }
+  });
+  result.match_weight = parallel_reduce<double>(
+      0, g.num_right(), kParallelTile, num_threads, 0.0,
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        double weight = 0.0;
+        for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+          weight += std::min(
+              alloc[v], static_cast<double>(instance.right_capacities[v]));
+        }
+        return weight;
+      },
+      std::plus<>());
   result.final_levels = std::move(levels);
   return result;
 }

@@ -27,6 +27,10 @@ namespace mpcalloc {
 struct ProportionalBMatchingConfig {
   double epsilon = 0.25;
   std::size_t rounds = 0;  ///< must be ≥ 1
+  /// Worker threads for the per-round sweeps; 0 = auto (MPCALLOC_THREADS
+  /// env, else hardware_concurrency). Bitwise-deterministic across counts,
+  /// as in ProportionalConfig.
+  std::size_t num_threads = 0;
 };
 
 struct ProportionalBMatchingResult {

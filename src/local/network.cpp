@@ -1,5 +1,7 @@
 #include "local/network.hpp"
 
+#include "util/parallel.hpp"
+
 #include <algorithm>
 
 namespace mpcalloc::local {
@@ -9,11 +11,15 @@ const Message& ProcessorContext::incoming(std::size_t i) const {
 }
 
 void ProcessorContext::send(std::size_t i, Message message) {
-  net_.post(side_, incidences_[i].edge, std::move(message));
+  ++messages_sent_;
+  words_sent_ += message.size();
+  max_message_words_ = std::max(max_message_words_, message.size());
+  net_.outbox(side_, incidences_[i].edge) = std::move(message);
 }
 
-LocalNetwork::LocalNetwork(const BipartiteGraph& graph)
+LocalNetwork::LocalNetwork(const BipartiteGraph& graph, std::size_t num_threads)
     : graph_(graph),
+      num_threads_(resolve_num_threads(num_threads)),
       current_to_left_(graph.num_edges()),
       current_to_right_(graph.num_edges()),
       next_to_left_(graph.num_edges()),
@@ -24,31 +30,63 @@ const Message& LocalNetwork::incoming(Side receiver_side, EdgeId e) const {
                                       : current_to_right_[e];
 }
 
-void LocalNetwork::post(Side sender_side, EdgeId e, Message message) {
-  ++messages_sent_;
-  words_sent_ += message.size();
-  max_message_words_ = std::max(max_message_words_, message.size());
+Message& LocalNetwork::outbox(Side sender_side, EdgeId e) {
   // A message sent by an L-side processor is addressed to the R endpoint.
-  auto& slot =
-      sender_side == Side::kLeft ? next_to_right_[e] : next_to_left_[e];
-  slot = std::move(message);
+  return sender_side == Side::kLeft ? next_to_right_[e] : next_to_left_[e];
 }
 
 void LocalNetwork::step(const Handler& handler) {
-  for (Vertex u = 0; u < graph_.num_left(); ++u) {
-    ProcessorContext ctx(*this, Side::kLeft, u, graph_.left_neighbors(u));
-    handler(ctx);
-  }
-  for (Vertex v = 0; v < graph_.num_right(); ++v) {
-    ProcessorContext ctx(*this, Side::kRight, v, graph_.right_neighbors(v));
-    handler(ctx);
-  }
+  // Per-side sweep over processors. Each processor reads only its own
+  // inbox slots and writes only its own outbox slots, so the sweep is
+  // parallel over disjoint state; accounting is accumulated per context
+  // and folded in tile order (the sums and max are order-free anyway).
+  struct Accounting {
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::size_t max_words = 0;
+  };
+  const auto run_side = [&](Side side, std::size_t count) {
+    const Accounting total = parallel_reduce<Accounting>(
+        0, count, kParallelTile, num_threads_, Accounting{},
+        [&](std::size_t tile_begin, std::size_t tile_end) {
+          Accounting partial;
+          for (Vertex x = static_cast<Vertex>(tile_begin); x < tile_end; ++x) {
+            ProcessorContext ctx(*this, side, x,
+                                 side == Side::kLeft
+                                     ? graph_.left_neighbors(x)
+                                     : graph_.right_neighbors(x));
+            handler(ctx);
+            partial.messages += ctx.messages_sent_;
+            partial.words += ctx.words_sent_;
+            partial.max_words = std::max(partial.max_words,
+                                         ctx.max_message_words_);
+          }
+          return partial;
+        },
+        [](Accounting acc, const Accounting& partial) {
+          acc.messages += partial.messages;
+          acc.words += partial.words;
+          acc.max_words = std::max(acc.max_words, partial.max_words);
+          return acc;
+        });
+    messages_sent_ += total.messages;
+    words_sent_ += total.words;
+    max_message_words_ = std::max(max_message_words_, total.max_words);
+  };
+  run_side(Side::kLeft, graph_.num_left());
+  run_side(Side::kRight, graph_.num_right());
+
   // Deliver: the accumulated next-round messages become current; the old
   // current buffers are recycled (cleared) as the new accumulation target.
   std::swap(current_to_left_, next_to_left_);
   std::swap(current_to_right_, next_to_right_);
-  for (auto& m : next_to_left_) m.clear();
-  for (auto& m : next_to_right_) m.clear();
+  parallel_for(0, next_to_left_.size(), kParallelTile, num_threads_,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (std::size_t e = tile_begin; e < tile_end; ++e) {
+      next_to_left_[e].clear();
+      next_to_right_[e].clear();
+    }
+  });
   ++rounds_;
 }
 

@@ -33,7 +33,9 @@ using Message = std::vector<double>;
 
 class LocalNetwork;
 
-/// Per-vertex view handed to the round handler.
+/// Per-vertex view handed to the round handler. Message accounting is
+/// accumulated per context (i.e. per vertex) and folded into the network's
+/// totals by the runtime, so processors of one round may run concurrently.
 class ProcessorContext {
  public:
   [[nodiscard]] Side side() const { return side_; }
@@ -59,11 +61,21 @@ class ProcessorContext {
   Side side_;
   Vertex vertex_;
   std::span<const Incidence> incidences_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t words_sent_ = 0;
+  std::size_t max_message_words_ = 0;
 };
 
 class LocalNetwork {
  public:
-  explicit LocalNetwork(const BipartiteGraph& graph);
+  /// `num_threads` drives the host-side processor sweeps (0 = auto, as in
+  /// util/parallel.hpp; default 1 = sequential). Handlers run concurrently
+  /// within one side of one round when > 1, which is sound for handlers
+  /// that touch only their own vertex's state — the LOCAL model's locality
+  /// discipline. Delivered messages and accounting are identical for every
+  /// thread count.
+  explicit LocalNetwork(const BipartiteGraph& graph,
+                        std::size_t num_threads = 1);
 
   using Handler = std::function<void(ProcessorContext&)>;
 
@@ -87,9 +99,13 @@ class LocalNetwork {
   friend class ProcessorContext;
 
   const Message& incoming(Side receiver_side, EdgeId e) const;
-  void post(Side sender_side, EdgeId e, Message message);
+  /// Outbox slot for a message sent along edge e by a `sender_side`
+  /// processor. Each edge has exactly one sender per side, so concurrent
+  /// processors write disjoint slots.
+  Message& outbox(Side sender_side, EdgeId e);
 
   const BipartiteGraph& graph_;
+  std::size_t num_threads_;
   // inbox[0]: messages addressed to L endpoints; inbox[1]: to R endpoints.
   // Double buffered: `current_` delivered this round, `next_` accumulating.
   std::vector<Message> current_to_left_, current_to_right_;

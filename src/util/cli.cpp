@@ -21,6 +21,12 @@ CliParser& CliParser::flag(std::string name, std::string help) {
   return *this;
 }
 
+CliParser& CliParser::threads_option() {
+  return option("threads", "0",
+                "solver worker threads (0 = MPCALLOC_THREADS env or "
+                "hardware concurrency)");
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   if (argc > 0) program_name_ = argv[0];
   for (int i = 1; i < argc; ++i) {

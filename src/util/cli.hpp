@@ -22,6 +22,11 @@ class CliParser {
                     std::string help);
   CliParser& flag(std::string name, std::string help);
 
+  /// Declare the shared `--threads=N` option with the conventional meaning
+  /// (0 = auto: MPCALLOC_THREADS env or hardware concurrency), so every
+  /// binary documents the knob identically.
+  CliParser& threads_option();
+
   /// Parse argv. Returns false (after printing usage) when --help was given.
   /// Throws std::invalid_argument on unknown or malformed options.
   bool parse(int argc, const char* const* argv);

@@ -1,0 +1,189 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace mpcalloc {
+
+namespace {
+// Set while a thread owns a submitted job, so a nested run() from a tile
+// body on that same thread goes inline instead of calling try_lock on a
+// mutex it already holds (UB for std::mutex).
+thread_local bool tl_owns_pool_job = false;
+}  // namespace
+
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MPCALLOC_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+// One tile-indexed job. Lifetime is managed by shared_ptr so a worker that
+// observes the job after the caller already returned (all tiles claimed)
+// still holds valid memory.
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t num_tiles = 0;
+  std::atomic<std::size_t> next{0};     ///< next unclaimed tile
+  std::atomic<std::size_t> done{0};     ///< completed (or cancelled) tiles
+  std::atomic<std::ptrdiff_t> tickets{0};  ///< worker participation budget
+  std::mutex error_mutex;
+  std::exception_ptr error;             ///< first exception thrown by a tile
+};
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::credit_done(Job& job, std::size_t tiles) {
+  if (tiles == 0) return;
+  if (job.done.fetch_add(tiles) + tiles == job.num_tiles) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::execute_tile(Job& job, std::size_t tile) {
+  // Exceptions must not escape to worker_loop (std::terminate) or unwind
+  // the caller while workers still hold job.fn: record the first one,
+  // cancel the unclaimed remainder (crediting it as done so the completion
+  // count still converges), and let the caller rethrow after the wait.
+  try {
+    (*job.fn)(tile);
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    const std::size_t cancelled_from = job.next.exchange(job.num_tiles);
+    if (cancelled_from < job.num_tiles) {
+      credit_done(job, job.num_tiles - cancelled_from);
+    }
+  }
+  credit_done(job, 1);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock,
+                    [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    // The ticket bound keeps the *number* of participating threads at the
+    // caller's request; which workers win tickets never affects results.
+    if (!job || job->tickets.fetch_sub(1) <= 0) continue;
+    for (;;) {
+      const std::size_t tile = job->next.fetch_add(1);
+      if (tile >= job->num_tiles) break;
+      execute_tile(*job, tile);
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t num_tiles, std::size_t max_parallelism,
+                     const std::function<void(std::size_t)>& fn) {
+  if (num_tiles == 0) return;
+  const std::size_t helpers =
+      std::min(max_parallelism > 0 ? max_parallelism - 1 : 0, workers_.size());
+  if (num_tiles == 1 || helpers == 0) {
+    for (std::size_t tile = 0; tile < num_tiles; ++tile) fn(tile);
+    return;
+  }
+  // One job at a time: a reentrant call from this thread's own tile body or
+  // a second concurrent caller falls back to running its tiles inline
+  // instead of clobbering the published job (results are identical either
+  // way — only the parallelism degrades).
+  if (tl_owns_pool_job) {
+    for (std::size_t tile = 0; tile < num_tiles; ++tile) fn(tile);
+    return;
+  }
+  const std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    for (std::size_t tile = 0; tile < num_tiles; ++tile) fn(tile);
+    return;
+  }
+  tl_owns_pool_job = true;
+  struct OwnerFlagReset {
+    ~OwnerFlagReset() { tl_owns_pool_job = false; }
+  } owner_flag_reset;
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_tiles = num_tiles;
+  job->tickets.store(static_cast<std::ptrdiff_t>(helpers));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The caller is always one of the executing threads.
+  for (;;) {
+    const std::size_t tile = job->next.fetch_add(1);
+    if (tile >= num_tiles) break;
+    execute_tile(*job, tile);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return job->done.load() == num_tiles; });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  // Sized by the hardware, not by resolve_num_threads: MPCALLOC_THREADS
+  // only chooses the *default* request, it must not cap an explicit
+  // num_threads larger than it.
+  static ThreadPool pool([] {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hardware > 0 ? hardware : 1);
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t tile_size,
+                  std::size_t num_threads,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (tile_size == 0) tile_size = 1;
+  if (num_threads == 0) num_threads = resolve_num_threads(0);
+  const std::size_t num_tiles = (end - begin + tile_size - 1) / tile_size;
+  const auto run_tile = [&](std::size_t tile) {
+    const std::size_t tile_begin = begin + tile * tile_size;
+    body(tile_begin, std::min(end, tile_begin + tile_size));
+  };
+  if (num_threads <= 1 || num_tiles == 1) {
+    for (std::size_t tile = 0; tile < num_tiles; ++tile) run_tile(tile);
+    return;
+  }
+  ThreadPool::global().run(num_tiles, num_threads, run_tile);
+}
+
+}  // namespace mpcalloc

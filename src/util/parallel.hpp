@@ -1,0 +1,123 @@
+// Deterministic parallel execution for the per-round sweeps.
+//
+// Every hot loop in this codebase is a sweep over a CSR vertex (or edge)
+// range whose per-element work is independent, plus the occasional
+// reduction (MatchWeight, the termination statistics). Parallelising them
+// must not break tests/test_determinism.cpp's bitwise-reproducibility
+// contract, so the executor follows the communication-avoiding recipe
+// (fixed decomposition + ordered combination, cf. the 2.5D SpGEMM line of
+// work in PAPERS.md):
+//
+//  * The iteration range is cut into tiles of a *fixed* size that does not
+//    depend on the thread count. Which thread executes which tile is
+//    scheduling noise; what is computed per tile is not.
+//  * `parallel_reduce` materialises one partial per tile and combines the
+//    partials left-to-right on the calling thread. The float additions are
+//    therefore grouped identically whether the sweep ran on 1 or 64
+//    threads — results are bitwise independent of parallelism.
+//
+// The sequential path (num_threads <= 1) runs the *same* tile
+// decomposition inline, so a single-threaded run reproduces a 64-thread
+// run bit-for-bit, not just approximately.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpcalloc {
+
+/// Fixed tile size shared by all sweeps. Small enough that the modest test
+/// instances still span several tiles (so the determinism matrix genuinely
+/// exercises cross-tile combination), large enough that per-tile dispatch
+/// overhead is negligible against the per-edge work.
+inline constexpr std::size_t kParallelTile = 1024;
+
+/// Resolve a requested thread count: a positive request wins; 0 means
+/// "auto" — the MPCALLOC_THREADS environment variable if set to a positive
+/// integer, otherwise std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t resolve_num_threads(std::size_t requested);
+
+/// A persistent pool of worker threads executing tile-indexed jobs.
+/// Workers grab tile indices from a shared atomic counter, so any subset of
+/// them may serve a job — callers get determinism by making per-tile work a
+/// function of the tile index only (see parallel_for / parallel_reduce).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+  /// Run fn(t) for every t in [0, num_tiles), on at most max_parallelism
+  /// threads including the caller (which always participates; effective
+  /// parallelism is min(max_parallelism, num_workers() + 1)). Blocks until
+  /// every tile completed. Safe to call from multiple threads: the pool
+  /// serves one job at a time and a concurrent caller runs its tiles
+  /// inline, which changes scheduling but not results. If a tile body
+  /// throws, remaining tiles are cancelled and the first exception is
+  /// rethrown here (as the sequential sweep would have).
+  void run(std::size_t num_tiles, std::size_t max_parallelism,
+           const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, created on first use with hardware_concurrency()
+  /// workers. Jobs cap their own parallelism via max_parallelism, so one
+  /// shared pool serves every thread-count configuration without respawning
+  /// threads.
+  static ThreadPool& global();
+
+ private:
+  struct Job;
+  void worker_loop();
+  void execute_tile(Job& job, std::size_t tile);
+  void credit_done(Job& job, std::size_t tiles);
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  ///< held by the caller owning the current job
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Apply body(tile_begin, tile_end) over [begin, end) cut into kParallelTile
+/// -sized tiles (the last tile may be short), on up to num_threads threads
+/// (0 = auto via resolve_num_threads; <= 1 runs inline). The body must only
+/// write state disjoint across tiles.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t tile_size,
+                  std::size_t num_threads,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Tiled reduction with deterministic combination order: map_tile(b, e)
+/// produces one partial per tile, and the partials are folded left-to-right
+/// as combine(acc, partial) starting from `identity` — the same grouping
+/// regardless of thread count (including the inline num_threads <= 1 path).
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end,
+                                std::size_t tile_size, std::size_t num_threads,
+                                T identity, const MapFn& map_tile,
+                                const CombineFn& combine) {
+  if (begin >= end) return identity;
+  if (tile_size == 0) tile_size = 1;
+  const std::size_t num_tiles = (end - begin + tile_size - 1) / tile_size;
+  std::vector<T> partials(num_tiles, identity);
+  parallel_for(begin, end, tile_size, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+                 partials[(tile_begin - begin) / tile_size] =
+                     map_tile(tile_begin, tile_end);
+               });
+  T acc = identity;
+  for (const T& partial : partials) acc = combine(acc, partial);
+  return acc;
+}
+
+}  // namespace mpcalloc

@@ -1,9 +1,13 @@
 // Determinism guard: with a fixed seed, the full pipeline
 // (solve_adaptive → round_best_of) must be byte-identical across runs for
-// every spec in the default matrix. Future parallelization PRs must keep
-// this property (or introduce an explicitly seeded deterministic mode).
+// every spec in the default matrix — and, since the sweeps run on the
+// deterministic parallel executor (util/parallel.hpp), byte-identical
+// across *thread counts* too.
+#include "alloc/local_host.hpp"
 #include "alloc/proportional.hpp"
 #include "alloc/rounding.hpp"
+#include "bmatch/proportional_bmatching.hpp"
+#include "graph/generators.hpp"
 
 #include <gtest/gtest.h>
 
@@ -52,6 +56,103 @@ TEST(Determinism, AdaptiveSolveAndRoundingAreReproducible) {
     const PipelineOutput second = run_pipeline(spec);
     expect_identical(first.fractional, second.fractional);
     expect_identical(first.rounded, second.rounded);
+  }
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeResults) {
+  // 1 vs 2, 4, and 7 threads (7 exercises ragged tile-to-thread mappings)
+  // must be bitwise identical: the sweeps use a fixed tile decomposition
+  // combined left-to-right, so the thread count is pure scheduling noise.
+  // The large instance spans many kParallelTile-sized tiles so cross-tile
+  // combination is genuinely exercised; medium_lam8 covers the small-
+  // instance (single-tile) corner.
+  std::vector<AllocationInstance> instances;
+  instances.push_back(testing::make_instance(testing::spec_by_name("medium_lam8")));
+  {
+    Xoshiro256pp rng(2026);
+    AllocationInstance large;
+    large.graph = union_of_forests(6000, 2500, 6, rng);
+    large.capacities = uniform_capacities(2500, 1, 5, rng);
+    instances.push_back(std::move(large));
+  }
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const AllocationInstance& instance = instances[i];
+    for (const StopRule rule : {StopRule::kFixedRounds, StopRule::kAdaptive}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "instance " << i << ", rule "
+                   << (rule == StopRule::kAdaptive ? "adaptive" : "fixed"));
+      const auto run_with = [&](std::size_t threads) {
+        ProportionalConfig config;
+        config.epsilon = 0.25;
+        config.stop_rule = rule;
+        config.max_rounds =
+            rule == StopRule::kAdaptive
+                ? tau_for_arboricity(
+                      static_cast<double>(instance.graph.num_vertices()), 0.25)
+                : 20;
+        config.track_weight_history = true;
+        config.num_threads = threads;
+        return run_proportional(instance, config);
+      };
+      const ProportionalResult baseline = run_with(1);
+      for (const std::size_t threads : {2u, 4u, 7u}) {
+        SCOPED_TRACE(::testing::Message() << threads << " threads");
+        const ProportionalResult result = run_with(threads);
+        expect_identical(baseline, result);
+      }
+    }
+  }
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeBMatching) {
+  // The parallelized two-sided dynamics carry the same bitwise contract.
+  Xoshiro256pp rng(2027);
+  BMatchingInstance instance;
+  instance.graph = union_of_forests(4000, 1500, 5, rng);
+  instance.left_capacities = uniform_capacities(4000, 1, 3, rng);
+  instance.right_capacities = uniform_capacities(1500, 1, 6, rng);
+
+  const auto run_with = [&](std::size_t threads) {
+    ProportionalBMatchingConfig config;
+    config.epsilon = 0.25;
+    config.rounds = 15;
+    config.num_threads = threads;
+    return run_proportional_bmatching(instance, config);
+  };
+  const ProportionalBMatchingResult baseline = run_with(1);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    SCOPED_TRACE(::testing::Message() << threads << " threads");
+    const ProportionalBMatchingResult result = run_with(threads);
+    EXPECT_EQ(result.matching.x, baseline.matching.x);
+    EXPECT_EQ(result.match_weight, baseline.match_weight);
+    EXPECT_EQ(result.final_levels, baseline.final_levels);
+  }
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeLocalHost) {
+  // The LOCAL-model host parallelizes the per-round processor sweeps;
+  // delivered messages, results, and accounting must not notice.
+  Xoshiro256pp rng(2028);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(3000, 1200, 4, rng);
+  instance.capacities = uniform_capacities(1200, 1, 5, rng);
+
+  const auto run_with = [&](std::size_t threads) {
+    ProportionalConfig config;
+    config.epsilon = 0.25;
+    config.max_rounds = 12;
+    config.num_threads = threads;
+    return run_proportional_local(instance, config);
+  };
+  const LocalHostResult baseline = run_with(1);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    SCOPED_TRACE(::testing::Message() << threads << " threads");
+    const LocalHostResult host = run_with(threads);
+    expect_identical(baseline.result, host.result);
+    EXPECT_EQ(host.local_rounds, baseline.local_rounds);
+    EXPECT_EQ(host.messages_sent, baseline.messages_sent);
+    EXPECT_EQ(host.max_message_words, baseline.max_message_words);
   }
 }
 
