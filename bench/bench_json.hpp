@@ -1,0 +1,83 @@
+// Machine-readable metric emission for the experiment harnesses, feeding
+// the CI perf gate (scripts/compare_bench.py against bench/baselines/).
+//
+// Two metric kinds:
+//   * counter — deterministic quantities (round counts, ratios, error
+//     rates) reproducible from the seed; compared tightly.
+//   * time_ms — wall-clock timings; compared with a large multiplicative
+//     noise threshold because baseline and CI hardware differ.
+// Each file carries its own tolerances so the comparison policy lives next
+// to the numbers it governs.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpcalloc::bench {
+
+class JsonMetrics {
+ public:
+  explicit JsonMetrics(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void counter(const std::string& name, double value) {
+    metrics_.push_back({name, "counter", value});
+  }
+  void time_ms(const std::string& name, double value) {
+    metrics_.push_back({name, "time_ms", value});
+  }
+
+  /// Relative slack for counters (|cur−base| ≤ tol·max(|base|, 1e-12)).
+  /// Counters are seed-deterministic, but libm differences across
+  /// platforms can nudge trajectories; the default absorbs that.
+  void set_counter_tolerance(double tolerance) { counter_tolerance_ = tolerance; }
+  /// Multiplicative budget for timings (cur ≤ factor · base).
+  void set_time_tolerance(double factor) { time_tolerance_ = factor; }
+
+  /// Write the metrics file; throws on I/O failure so CI fails loudly.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      throw std::runtime_error("JsonMetrics: cannot open " + path);
+    }
+    out << "{\n";
+    out << "  \"bench\": \"" << bench_name_ << "\",\n";
+    out << "  \"schema\": 1,\n";
+    out << "  \"counter_tolerance\": " << format(counter_tolerance_) << ",\n";
+    out << "  \"time_tolerance\": " << format(time_tolerance_) << ",\n";
+    out << "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      out << "    {\"name\": \"" << m.name << "\", \"kind\": \"" << m.kind
+          << "\", \"value\": " << format(m.value) << "}"
+          << (i + 1 < metrics_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out) {
+      throw std::runtime_error("JsonMetrics: failed writing " + path);
+    }
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string kind;
+    double value;
+  };
+
+  static std::string format(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+  }
+
+  std::string bench_name_;
+  std::vector<Metric> metrics_;
+  double counter_tolerance_ = 0.1;
+  double time_tolerance_ = 10.0;
+};
+
+}  // namespace mpcalloc::bench

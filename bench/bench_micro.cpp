@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -117,14 +118,22 @@ BENCHMARK(BM_PathBoosterFromGreedy)->Arg(1000)->Arg(10000);
 // Custom main instead of BENCHMARK_MAIN() so CTest can run `--smoke`:
 // a fast sanity run (~1ms time budget per benchmark, so a handful of
 // iterations each) that finishes in seconds and fails loudly if a
-// hot-path entry point crashes or asserts.
+// hot-path entry point crashes or asserts. `--json=PATH` (or `--json PATH`)
+// shorthands google-benchmark's JSON reporter flags, emitting the run for
+// scripts/compare_bench.py.
 int main(int argc, char** argv) {
   std::vector<char*> args;
-  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.reserve(static_cast<std::size_t>(argc) + 4);
   bool smoke = false;
+  std::string json_path;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
       smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -132,6 +141,13 @@ int main(int argc, char** argv) {
   static char min_time_flag[] = "--benchmark_min_time=0.001";
   if (smoke) {
     args.push_back(min_time_flag);
+  }
+  static char out_format_flag[] = "--benchmark_out_format=json";
+  std::string out_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(out_format_flag);
   }
   int adjusted_argc = static_cast<int>(args.size());
   args.push_back(nullptr);  // argv[argc] == nullptr, as for a real main()

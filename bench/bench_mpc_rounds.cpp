@@ -11,13 +11,26 @@
 //   * phased, forced B = 2  — the compression the theorem buys once balls
 //                             fit, halving the per-LOCAL-round cost ("ball
 //                             overflow" if the S-word budget rejects it).
+//
+// `--threads` drives the simulator's shard/tile parallelism (results are
+// bitwise identical for any value); `--json=PATH` emits the round counters
+// and total wall time for the CI perf gate.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+
+#include "util/cli.hpp"
 
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpcalloc;
   using namespace mpcalloc::bench;
+
+  CliParser cli("E5a: MPC rounds, naive vs phased driver");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  cli.threads_option();
+  if (!cli.parse(argc, argv)) return 0;
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
 
   const double eps = 0.25;
   const std::size_t n = 1600;
@@ -25,6 +38,9 @@ int main() {
   print_preamble("E5a: MPC rounds, naive vs phased driver",
                  "Theorem 3: O~(sqrt(log lambda)) MPC rounds in the sublinear "
                  "regime vs O(log lambda) for the naive simulation");
+
+  JsonMetrics metrics("bench_mpc_rounds");
+  WallTimer total_timer;
 
   Table table("left-regular L=R=1600, caps U[1,5], alpha=0.8, eps=0.25");
   table.header({"degree", "lambda lb", "local rounds", "naive MPC",
@@ -43,6 +59,7 @@ int main() {
     config.samples_per_group = 4;
     config.seed = 9;
     config.lambda = lambda_lb;
+    config.num_threads = threads;
 
     const MpcRunResult naive = run_mpc_naive(instance, config);
     const MpcRunResult phased = run_mpc_phased(instance, config);
@@ -55,6 +72,8 @@ int main() {
       const MpcRunResult result = run_mpc_phased(instance, forced);
       forced_rounds = Table::integer(static_cast<long long>(result.mpc_rounds));
       forced_ratio = Table::num(fractional_ratio(instance, result.allocation), 3);
+      metrics.counter("phased_b2_mpc_rounds_d" + std::to_string(degree),
+                      static_cast<double>(result.mpc_rounds));
     } catch (const mpc::MpcCapacityError&) {
       // B exceeded eq. (4)'s safe value for this degree/S combination.
     }
@@ -64,6 +83,16 @@ int main() {
                Table::integer(static_cast<long long>(naive.mpc_rounds)),
                Table::integer(static_cast<long long>(phased.mpc_rounds)),
                forced_rounds, forced_ratio});
+
+    const std::string suffix = "_d" + std::to_string(degree);
+    metrics.counter("naive_mpc_rounds" + suffix,
+                    static_cast<double>(naive.mpc_rounds));
+    metrics.counter("phased_mpc_rounds" + suffix,
+                    static_cast<double>(phased.mpc_rounds));
+    metrics.counter("local_rounds" + suffix,
+                    static_cast<double>(naive.local_rounds));
+    metrics.counter("phased_peak_machine_words" + suffix,
+                    static_cast<double>(phased.peak_machine_words));
   }
   table.print(std::cout);
   std::cout << "\nShape check: the naive column grows ~linearly in log lambda "
@@ -72,5 +101,11 @@ int main() {
                "balls fit in S — the sqrt(log lambda) compression of Theorem "
                "3, whose asymptotic B needs n (and S=n^alpha) far beyond a "
                "laptop-scale simulation.\n";
+
+  metrics.time_ms("total_sweep_ms", total_timer.millis());
+  if (const std::string json_path = cli.get("json"); !json_path.empty()) {
+    metrics.write(json_path);
+    std::cout << "\nmetrics written to " << json_path << "\n";
+  }
   return 0;
 }

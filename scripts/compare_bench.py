@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare benchmark JSON outputs against committed baselines.
+
+Usage:
+    compare_bench.py BASELINE_DIR CURRENT_DIR [--time-tolerance F]
+                     [--counter-tolerance R] [--list]
+
+For every ``*.json`` in BASELINE_DIR a file of the same name must exist in
+CURRENT_DIR. Two formats are understood:
+
+* the repo's ``JsonMetrics`` format (``bench_json.hpp``): ``counter``
+  metrics must match within a relative tolerance, ``time_ms`` metrics must
+  not exceed the baseline by more than a multiplicative factor;
+* google-benchmark's ``--benchmark_out`` format (``bench_micro``): every
+  baseline benchmark must still exist, and its ``real_time`` must not
+  exceed the baseline by more than the time factor.
+
+Tolerances come from (highest precedence first): the command line, the
+baseline file's ``counter_tolerance`` / ``time_tolerance`` fields, then the
+defaults below. The defaults are deliberately loose on time — baselines are
+recorded on a different machine than CI runs on, so only catastrophic
+slowdowns (an accidental O(n^2), a serialization bug) should trip the gate
+— and tight on counters, which are seed-deterministic.
+
+Exit status: 0 if everything passes, 1 with a per-metric report otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+DEFAULT_TIME_TOLERANCE = 10.0   # current time may be up to 10x the baseline
+DEFAULT_COUNTER_TOLERANCE = 0.0  # counters must match exactly unless the
+                                 # baseline file grants slack
+
+
+def load(path: Path):
+    try:
+        with path.open() as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+
+
+def is_google_benchmark(doc) -> bool:
+    return isinstance(doc, dict) and "benchmarks" in doc
+
+
+def compare_google_benchmark(name, base, cur, time_tol, failures):
+    base_rows = {b["name"]: b for b in base.get("benchmarks", [])}
+    cur_rows = {b["name"]: b for b in cur.get("benchmarks", [])}
+    for bench_name, base_row in base_rows.items():
+        cur_row = cur_rows.get(bench_name)
+        if cur_row is None:
+            failures.append(f"{name}: benchmark '{bench_name}' missing from current run")
+            continue
+        base_time = base_row.get("real_time")
+        cur_time = cur_row.get("real_time")
+        if base_time is None or cur_time is None:
+            continue
+        if base_time > 0 and cur_time > base_time * time_tol:
+            failures.append(
+                f"{name}: '{bench_name}' real_time {cur_time:.0f} "
+                f"{base_row.get('time_unit', 'ns')} exceeds baseline "
+                f"{base_time:.0f} x{time_tol:g} budget")
+
+
+def compare_metrics(name, base, cur, args, failures):
+    time_tol = args.time_tolerance
+    if time_tol is None:
+        time_tol = base.get("time_tolerance", DEFAULT_TIME_TOLERANCE)
+    counter_tol = args.counter_tolerance
+    if counter_tol is None:
+        counter_tol = base.get("counter_tolerance", DEFAULT_COUNTER_TOLERANCE)
+
+    cur_metrics = {m["name"]: m for m in cur.get("metrics", [])}
+    for metric in base.get("metrics", []):
+        metric_name = metric["name"]
+        current = cur_metrics.get(metric_name)
+        if current is None:
+            failures.append(f"{name}: metric '{metric_name}' missing from current run")
+            continue
+        base_value = float(metric["value"])
+        cur_value = float(current["value"])
+        if metric.get("kind") == "time_ms":
+            if base_value > 0 and cur_value > base_value * time_tol:
+                failures.append(
+                    f"{name}: time '{metric_name}' {cur_value:.2f}ms exceeds "
+                    f"baseline {base_value:.2f}ms x{time_tol:g} budget")
+        else:
+            scale = max(abs(base_value), 1e-12)
+            if not math.isfinite(cur_value) or abs(cur_value - base_value) > counter_tol * scale:
+                failures.append(
+                    f"{name}: counter '{metric_name}' = {cur_value!r}, baseline "
+                    f"{base_value!r} (tolerance {counter_tol:g} relative)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline_dir", type=Path)
+    parser.add_argument("current_dir", type=Path)
+    parser.add_argument("--time-tolerance", type=float, default=None,
+                        help="override the multiplicative wall-time budget")
+    parser.add_argument("--counter-tolerance", type=float, default=None,
+                        help="override the relative counter tolerance")
+    parser.add_argument("--list", action="store_true",
+                        help="print every compared metric, not just failures")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("*.json"))
+    if not baselines:
+        print(f"error: no *.json baselines in {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for base_path in baselines:
+        cur_path = args.current_dir / base_path.name
+        if not cur_path.exists():
+            failures.append(f"{base_path.name}: no current-run file at {cur_path}")
+            continue
+        base = load(base_path)
+        cur = load(cur_path)
+        if args.list:
+            count = len(base.get("benchmarks", base.get("metrics", [])))
+            print(f"comparing {base_path.name} ({count} entries)")
+        if is_google_benchmark(base):
+            time_tol = args.time_tolerance if args.time_tolerance is not None \
+                else DEFAULT_TIME_TOLERANCE
+            compare_google_benchmark(base_path.name, base, cur, time_tol, failures)
+        else:
+            compare_metrics(base_path.name, base, cur, args, failures)
+
+    if failures:
+        print(f"perf gate: {len(failures)} failure(s)", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate: {len(baselines)} baseline file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,7 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
   Xoshiro256pp rng(config.seed);
 
   Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
+  cluster.set_num_threads(config.num_threads);
   MpcRunResult result;
   result.machine_words = cluster.machine_words();
   result.num_machines = cluster.num_machines();
@@ -92,7 +93,7 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
     mpc::reduce_by_key(cluster, denom_vec, add_doubles, rng);
     std::vector<double> denom(g.num_left(), 0.0);
     {
-      const std::vector<Word> flat = denom_vec.gather();
+      const std::vector<Word> flat = denom_vec.gather(config.num_threads);
       for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
         denom[static_cast<Vertex>(flat[i])] = unpack(flat[i + 1]);
       }
@@ -113,7 +114,7 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
     mpc::reduce_by_key(cluster, alloc_vec, add_doubles, rng);
     std::fill(alloc.begin(), alloc.end(), 0.0);
     {
-      const std::vector<Word> flat = alloc_vec.gather();
+      const std::vector<Word> flat = alloc_vec.gather(config.num_threads);
       for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
         alloc[static_cast<Vertex>(flat[i])] = unpack(flat[i + 1]);
       }
@@ -121,7 +122,8 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
     // Join alloc_v back to the R-vertex records — 1 round; the level update
     // itself is machine-local (vertices are records).
     cluster.charge_rounds(1);
-    apply_level_update(instance, alloc, config.epsilon, round, nullptr, levels);
+    apply_level_update(instance, alloc, config.epsilon, round, nullptr, levels,
+                       config.num_threads);
     result.local_rounds = round;
 
     if (config.adaptive_termination) {
@@ -136,10 +138,10 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
     }
   }
 
-  result.allocation =
-      materialize_allocation(instance, start_levels, alloc, pow_table);
+  result.allocation = materialize_allocation(instance, start_levels, alloc,
+                                             pow_table, config.num_threads);
   cluster.charge_rounds(2);  // materialisation = one more aggregation pass
-  result.match_weight = match_weight(instance, alloc);
+  result.match_weight = match_weight(instance, alloc, config.num_threads);
   result.mpc_rounds = cluster.rounds();
   result.peak_machine_words = cluster.peak_machine_words();
   result.peak_total_words = cluster.peak_total_words();
@@ -158,6 +160,7 @@ MpcRunResult run_mpc_phased(const AllocationInstance& instance,
   const std::size_t tau = tau_for_arboricity(lambda, config.epsilon);
 
   Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
+  cluster.set_num_threads(config.num_threads);
   MpcRunResult result;
   result.machine_words = cluster.machine_words();
   result.num_machines = cluster.num_machines();
@@ -183,6 +186,7 @@ MpcRunResult run_mpc_phased(const AllocationInstance& instance,
   sampled.samples_per_group = config.samples_per_group;
   sampled.max_rounds = tau;
   sampled.adaptive_termination = config.adaptive_termination;
+  sampled.num_threads = config.num_threads;
   sampled.on_phase_subgraph =
       [&](const std::vector<std::vector<std::uint32_t>>& adjacency) {
         // Per phase: level grouping + sampling = one sort pass (3 rounds);

@@ -43,6 +43,12 @@ struct MpcDriverConfig {
   double lambda = 0.0;  ///< ≤ 0 ⇒ use n as the trivial upper bound
   /// Run the Section-4 adaptive termination test at phase ends.
   bool adaptive_termination = false;
+
+  /// Worker threads for the simulator-side sweeps (sampled executor tiles,
+  /// per-shard cluster work, ball collection). 0 = auto (MPCALLOC_THREADS
+  /// env, else hardware concurrency). All results — allocation, rounds,
+  /// peak_machine_words — are bitwise independent of the value.
+  std::size_t num_threads = 0;
 };
 
 struct MpcRunResult {

@@ -1,10 +1,13 @@
 #include "alloc/sampled.hpp"
 
+#include "util/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace mpcalloc {
 
@@ -33,6 +36,55 @@ struct ScaledValue {
   double mantissa = 0.0;  ///< 0 ⇒ undefined (isolated vertex)
 };
 
+/// One vertex's neighbourhood partitioned into priority-level groups,
+/// flattened: `members` holds the groups back to back in ascending key
+/// order, `group_end[i]` is the exclusive end of group i.
+struct GroupedNeighbors {
+  std::vector<std::uint32_t> members;
+  std::vector<std::uint32_t> group_end;
+};
+
+/// Seed for the RNG stream of one sampling tile. A SplitMix64 hash chain
+/// over (run seed, phase, round, side, tile) — a pure function of the tile
+/// coordinates, never of which thread executes the tile, so the executor's
+/// randomness is bitwise independent of the thread count.
+std::uint64_t tile_stream_seed(std::uint64_t run_seed, std::size_t phase,
+                               std::size_t round, std::size_t side,
+                               std::size_t tile) {
+  std::uint64_t h = run_seed;
+  for (const std::uint64_t part :
+       {static_cast<std::uint64_t>(phase), static_cast<std::uint64_t>(round),
+        static_cast<std::uint64_t>(side), static_cast<std::uint64_t>(tile)}) {
+    h = SplitMix64(h ^ (part + 0x9e3779b97f4a7c15ULL)).next();
+  }
+  return h;
+}
+
+/// Draw one round's weighted samples for one vertex: each group of size
+/// ≤ samples_per_group is copied exactly (zero estimation error), larger
+/// groups contribute samples_per_group uniform draws with the |group| /
+/// |sample| rescale weight.
+void draw_samples(const GroupedNeighbors& groups, std::size_t samples_per_group,
+                  Xoshiro256pp& rng, std::vector<WeightedSample>& out) {
+  std::uint32_t begin = 0;
+  for (const std::uint32_t end : groups.group_end) {
+    const std::uint32_t size = end - begin;
+    if (size <= samples_per_group) {
+      for (std::uint32_t i = begin; i < end; ++i) {
+        out.push_back(WeightedSample{groups.members[i], 1.0});
+      }
+    } else {
+      const double weight = static_cast<double>(size) /
+                            static_cast<double>(samples_per_group);
+      for (std::size_t k = 0; k < samples_per_group; ++k) {
+        out.push_back(WeightedSample{
+            groups.members[begin + rng.uniform(size)], weight});
+      }
+    }
+    begin = end;
+  }
+}
+
 }  // namespace
 
 SampledResult run_sampled(const AllocationInstance& instance,
@@ -53,6 +105,12 @@ SampledResult run_sampled(const AllocationInstance& instance,
   const std::size_t nr = g.num_right();
   const PowTable pow_table(config.epsilon);
   const double log1p_eps = std::log1p(config.epsilon);
+  const std::size_t threads = resolve_num_threads(config.num_threads);
+
+  // All sampling randomness flows from one seed drawn here, expanded into
+  // per-(phase, round, tile) streams — the caller's RNG advances by exactly
+  // one draw regardless of thread count or round count.
+  const std::uint64_t run_seed = rng();
 
   SampledResult result;
   std::vector<std::int32_t> levels(nr, 0);
@@ -76,148 +134,204 @@ SampledResult run_sampled(const AllocationInstance& instance,
   //   right_samples[r][v] — sampled L neighbours of v for phase round r
   std::vector<std::vector<std::vector<WeightedSample>>> left_samples;
   std::vector<std::vector<std::vector<WeightedSample>>> right_samples;
+  std::vector<GroupedNeighbors> left_groups(nl);
+  std::vector<GroupedNeighbors> right_groups(nr);
 
-  // Draw per-group fresh samples for each of the B rounds of a phase.
-  // `positions[g]` lists neighbour array positions belonging to group g.
-  auto draw_samples = [&](const std::map<std::int64_t, std::vector<std::uint32_t>>&
-                              groups,
-                          std::vector<std::vector<WeightedSample>>& per_round_out,
-                          std::size_t rounds_in_phase) {
-    for (std::size_t r = 0; r < rounds_in_phase; ++r) {
-      auto& out = per_round_out[r];
-      for (const auto& [key, members] : groups) {
-        (void)key;
-        if (members.size() <= config.samples_per_group) {
-          // Small group: use it exactly — zero estimation error.
-          for (const std::uint32_t w : members) {
-            out.push_back(WeightedSample{w, 1.0});
-          }
-          result.samples_drawn += members.size();
-        } else {
-          const double weight = static_cast<double>(members.size()) /
-                                static_cast<double>(config.samples_per_group);
-          for (std::size_t k = 0; k < config.samples_per_group; ++k) {
-            out.push_back(
-                WeightedSample{members[rng.uniform(members.size())], weight});
-          }
-          result.samples_drawn += config.samples_per_group;
-        }
-      }
-    }
-  };
-
+  std::size_t phase_index = 0;
   std::size_t round = 0;
   while (round < config.max_rounds) {
     const std::size_t rounds_in_phase =
         std::min(config.phase_length, config.max_rounds - round);
     ++result.phases_executed;
 
-    // ---- Phase start: group neighbourhoods by current priority level and
-    // draw fresh independent samples for every round of the phase.
-    left_samples.assign(rounds_in_phase, std::vector<std::vector<WeightedSample>>(nl));
-    right_samples.assign(rounds_in_phase, std::vector<std::vector<WeightedSample>>(nr));
+    // ---- Phase start: partition neighbourhoods into level groups. The
+    // per-vertex group maps are independent work; the flattened groups are
+    // ordered by ascending key, so the layout is a pure function of the
+    // current levels/β̂ state. One builder serves both sides, parameterised
+    // on the CSR accessor and the group-key function.
+    const auto build_groups = [&](std::size_t count,
+                                  std::vector<GroupedNeighbors>& out,
+                                  const auto& neighbors_of,
+                                  const auto& key_of) {
+      parallel_for(0, count, kParallelTile, threads,
+                   [&](std::size_t tile_begin, std::size_t tile_end) {
+                     std::map<std::int64_t, std::vector<std::uint32_t>> groups;
+                     for (Vertex x = tile_begin; x < tile_end; ++x) {
+                       groups.clear();
+                       for (const Incidence& inc : neighbors_of(x)) {
+                         groups[key_of(inc.to)].push_back(inc.to);
+                       }
+                       GroupedNeighbors& flat = out[x];
+                       flat.members.clear();
+                       flat.group_end.clear();
+                       for (const auto& [key, members] : groups) {
+                         (void)key;
+                         flat.members.insert(flat.members.end(),
+                                             members.begin(), members.end());
+                         flat.group_end.push_back(
+                             static_cast<std::uint32_t>(flat.members.size()));
+                       }
+                     }
+                   });
+    };
+    build_groups(nl, left_groups,
+                 [&](Vertex u) { return g.left_neighbors(u); },
+                 [&](Vertex v) { return static_cast<std::int64_t>(levels[v]); });
+    build_groups(nr, right_groups,
+                 [&](Vertex v) { return g.right_neighbors(v); },
+                 left_group_key);
 
-    for (Vertex u = 0; u < nl; ++u) {
-      std::map<std::int64_t, std::vector<std::uint32_t>> groups;
-      for (const Incidence& inc : g.left_neighbors(u)) {
-        groups[levels[inc.to]].push_back(inc.to);
-      }
-      std::vector<std::vector<WeightedSample>*> slots;
-      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
-        slots.push_back(&left_samples[r][u]);
-      }
-      // draw into each round's slot
-      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
-        std::vector<std::vector<WeightedSample>> tmp(1);
-        draw_samples(groups, tmp, 1);
-        *slots[r] = std::move(tmp[0]);
-      }
-    }
-    for (Vertex v = 0; v < nr; ++v) {
-      std::map<std::int64_t, std::vector<std::uint32_t>> groups;
-      for (const Incidence& inc : g.right_neighbors(v)) {
-        groups[left_group_key(inc.to)].push_back(inc.to);
-      }
-      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
-        std::vector<std::vector<WeightedSample>> tmp(1);
-        draw_samples(groups, tmp, 1);
-        right_samples[r][v] = std::move(tmp[0]);
-      }
+    // ---- Draw fresh independent samples for every round of the phase, on
+    // per-tile RNG streams keyed by (phase, round, side, tile): which
+    // thread runs a tile is scheduling noise, which stream a tile draws
+    // from is not.
+    left_samples.assign(rounds_in_phase,
+                        std::vector<std::vector<WeightedSample>>(nl));
+    right_samples.assign(rounds_in_phase,
+                         std::vector<std::vector<WeightedSample>>(nr));
+    const auto draw_round = [&](std::size_t count,
+                                const std::vector<GroupedNeighbors>& groups,
+                                std::vector<std::vector<WeightedSample>>& out,
+                                std::size_t round_index, std::size_t side) {
+      parallel_for(0, count, kParallelTile, threads,
+                   [&](std::size_t tile_begin, std::size_t tile_end) {
+                     Xoshiro256pp tile_rng(tile_stream_seed(
+                         run_seed, phase_index, round_index, side,
+                         tile_begin / kParallelTile));
+                     for (Vertex x = tile_begin; x < tile_end; ++x) {
+                       draw_samples(groups[x], config.samples_per_group,
+                                    tile_rng, out[x]);
+                     }
+                   });
+      for (Vertex x = 0; x < count; ++x) result.samples_drawn += out[x].size();
+    };
+    for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+      draw_round(nl, left_groups, left_samples[r], round + r, /*side=*/0);
+      draw_round(nr, right_groups, right_samples[r], round + r, /*side=*/1);
     }
 
     // Report the phase's sampled communication subgraph (union over the
     // phase's rounds) to the observer — this is the graph H whose radius-B
-    // balls the MPC driver ships to machines.
+    // balls the MPC driver ships to machines. The direct halves of the
+    // lists are written in parallel (disjoint per vertex); the inverted
+    // halves are collected per tile and scattered afterwards — insertion
+    // order is irrelevant because every list is sorted and deduplicated.
     if (config.on_phase_subgraph) {
       std::vector<std::vector<std::uint32_t>> adjacency(nl + nr);
-      for (std::size_t r = 0; r < rounds_in_phase; ++r) {
-        for (Vertex u = 0; u < nl; ++u) {
-          for (const WeightedSample& s : left_samples[r][u]) {
-            adjacency[u].push_back(static_cast<std::uint32_t>(nl + s.neighbor));
-            adjacency[nl + s.neighbor].push_back(u);
-          }
-        }
-        for (Vertex v = 0; v < nr; ++v) {
-          for (const WeightedSample& s : right_samples[r][v]) {
-            adjacency[nl + v].push_back(s.neighbor);
-            adjacency[s.neighbor].push_back(static_cast<std::uint32_t>(nl + v));
-          }
+      const std::size_t left_tiles = (nl + kParallelTile - 1) / kParallelTile;
+      const std::size_t right_tiles = (nr + kParallelTile - 1) / kParallelTile;
+      std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+          inverted(left_tiles + right_tiles);
+      const auto scatter_side =
+          [&](std::size_t count,
+              const std::vector<std::vector<std::vector<WeightedSample>>>&
+                  samples,
+              std::size_t tile_base, const auto& self_id,
+              const auto& partner_id) {
+            parallel_for(0, count, kParallelTile, threads,
+                         [&](std::size_t tile_begin, std::size_t tile_end) {
+                           auto& inv =
+                               inverted[tile_base + tile_begin / kParallelTile];
+                           for (Vertex x = tile_begin; x < tile_end; ++x) {
+                             const std::uint32_t self = self_id(x);
+                             for (std::size_t r = 0; r < rounds_in_phase; ++r) {
+                               for (const WeightedSample& s : samples[r][x]) {
+                                 const std::uint32_t partner =
+                                     partner_id(s.neighbor);
+                                 adjacency[self].push_back(partner);
+                                 inv.emplace_back(partner, self);
+                               }
+                             }
+                           }
+                         });
+          };
+      scatter_side(nl, left_samples, 0,
+                   [](Vertex u) { return static_cast<std::uint32_t>(u); },
+                   [&](std::uint32_t neighbor) {
+                     return static_cast<std::uint32_t>(nl + neighbor);
+                   });
+      scatter_side(nr, right_samples, left_tiles,
+                   [&](Vertex v) { return static_cast<std::uint32_t>(nl + v); },
+                   [](std::uint32_t neighbor) { return neighbor; });
+      for (const auto& tile_pairs : inverted) {
+        for (const auto& [to, from] : tile_pairs) {
+          adjacency[to].push_back(from);
         }
       }
-      for (auto& list : adjacency) {
-        std::sort(list.begin(), list.end());
-        list.erase(std::unique(list.begin(), list.end()), list.end());
-      }
+      parallel_for(0, nl + nr, kParallelTile, threads,
+                   [&](std::size_t tile_begin, std::size_t tile_end) {
+                     for (std::size_t i = tile_begin; i < tile_end; ++i) {
+                       auto& list = adjacency[i];
+                       std::sort(list.begin(), list.end());
+                       list.erase(std::unique(list.begin(), list.end()),
+                                  list.end());
+                     }
+                   });
       config.on_phase_subgraph(adjacency);
     }
 
-    // ---- Execute the phase's rounds on the sampled views.
+    // ---- Execute the phase's rounds on the sampled views: the left
+    // estimation sweep writes only beta_left[u], the right sweep reads the
+    // finished beta_left and writes only levels[v] — both embarrassingly
+    // parallel with a barrier between them.
     for (std::size_t r = 0; r < rounds_in_phase; ++r) {
       ++round;
+      const auto& round_left = left_samples[r];
+      const auto& round_right = right_samples[r];
       // Estimate β̂_u from this round's samples (levels are current).
-      for (Vertex u = 0; u < nl; ++u) {
-        const auto& samples = left_samples[r][u];
-        if (samples.empty()) {
-          beta_left[u] = ScaledValue{0, 0.0};
-          continue;
-        }
-        std::int32_t anchor = std::numeric_limits<std::int32_t>::min();
-        for (const WeightedSample& s : samples) {
-          anchor = std::max(anchor, levels[s.neighbor]);
-        }
-        double mantissa = 0.0;
-        for (const WeightedSample& s : samples) {
-          mantissa += s.weight * pow_table.pow(levels[s.neighbor] - anchor);
-        }
-        beta_left[u] = ScaledValue{anchor, mantissa};
-      }
+      parallel_for(
+          0, nl, kParallelTile, threads,
+          [&](std::size_t tile_begin, std::size_t tile_end) {
+            for (Vertex u = tile_begin; u < tile_end; ++u) {
+              const auto& samples = round_left[u];
+              if (samples.empty()) {
+                beta_left[u] = ScaledValue{0, 0.0};
+                continue;
+              }
+              std::int32_t anchor = std::numeric_limits<std::int32_t>::min();
+              for (const WeightedSample& s : samples) {
+                anchor = std::max(anchor, levels[s.neighbor]);
+              }
+              double mantissa = 0.0;
+              for (const WeightedSample& s : samples) {
+                mantissa += s.weight * pow_table.pow(levels[s.neighbor] - anchor);
+              }
+              beta_left[u] = ScaledValue{anchor, mantissa};
+            }
+          });
       // Estimate alloc_v and apply the threshold update.
-      for (Vertex v = 0; v < nr; ++v) {
-        double alloc_estimate = 0.0;
-        for (const WeightedSample& s : right_samples[r][v]) {
-          const ScaledValue& b = beta_left[s.neighbor];
-          if (b.mantissa <= 0.0) continue;
-          alloc_estimate +=
-              s.weight *
-              pow_signed(pow_table, log1p_eps, levels[v] - b.anchor) /
-              b.mantissa;
-        }
-        const double cap = static_cast<double>(instance.capacities[v]);
-        if (alloc_estimate <= cap / (1.0 + config.epsilon)) {
-          ++levels[v];
-        } else if (alloc_estimate >= cap * (1.0 + config.epsilon)) {
-          --levels[v];
-        }
-      }
+      parallel_for(
+          0, nr, kParallelTile, threads,
+          [&](std::size_t tile_begin, std::size_t tile_end) {
+            for (Vertex v = tile_begin; v < tile_end; ++v) {
+              double alloc_estimate = 0.0;
+              for (const WeightedSample& s : round_right[v]) {
+                const ScaledValue& b = beta_left[s.neighbor];
+                if (b.mantissa <= 0.0) continue;
+                alloc_estimate +=
+                    s.weight *
+                    pow_signed(pow_table, log1p_eps, levels[v] - b.anchor) /
+                    b.mantissa;
+              }
+              const double cap = static_cast<double>(instance.capacities[v]);
+              if (alloc_estimate <= cap / (1.0 + config.epsilon)) {
+                ++levels[v];
+              } else if (alloc_estimate >= cap * (1.0 + config.epsilon)) {
+                --levels[v];
+              }
+            }
+          });
     }
     result.rounds_executed = round;
+    ++phase_index;
 
     // ---- Phase-end termination test (exact, as the MPC-side O(1)-round
     // test is): evaluate the §4 condition on the *current* state.
     if (config.adaptive_termination) {
-      const LeftAggregate left = compute_left_aggregate(g, levels, pow_table);
+      const LeftAggregate left =
+          compute_left_aggregate(g, levels, pow_table, threads);
       const std::vector<double> exact_alloc =
-          compute_alloc(g, levels, left, pow_table);
+          compute_alloc(g, levels, left, pow_table, threads);
       const TerminationCheck check = check_termination(
           instance, levels, exact_alloc, round, config.epsilon);
       if (check.satisfied) {
@@ -228,12 +342,13 @@ SampledResult run_sampled(const AllocationInstance& instance,
   }
 
   // ---- Exact output materialisation (one extra exact pass; see header).
-  const LeftAggregate left = compute_left_aggregate(g, levels, pow_table);
+  const LeftAggregate left =
+      compute_left_aggregate(g, levels, pow_table, threads);
   const std::vector<double> exact_alloc =
-      compute_alloc(g, levels, left, pow_table);
-  result.allocation =
-      materialize_allocation(instance, levels, exact_alloc, pow_table);
-  result.match_weight = match_weight(instance, exact_alloc);
+      compute_alloc(g, levels, left, pow_table, threads);
+  result.allocation = materialize_allocation(instance, levels, exact_alloc,
+                                             pow_table, threads);
+  result.match_weight = match_weight(instance, exact_alloc, threads);
   result.final_levels = std::move(levels);
   return result;
 }

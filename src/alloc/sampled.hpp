@@ -46,6 +46,12 @@ struct SampledConfig {
   bool adaptive_termination = false;  ///< check the §4 rule at phase ends
                                       ///< (uses one exact pass, as the MPC
                                       ///< termination test does)
+  std::size_t num_threads = 0;  ///< 0 = auto (MPCALLOC_THREADS env, else
+                                ///< hardware); results are bitwise
+                                ///< independent of the value: sample draws
+                                ///< run on per-tile RNG streams keyed by
+                                ///< (phase, round, tile), so the executor's
+                                ///< randomness never depends on scheduling
 
   /// Optional observer invoked once per phase with the sampled communication
   /// subgraph as adjacency over global ids (u ∈ [0,n_L), v ∈ n_L + [0,n_R)).

@@ -1,5 +1,8 @@
 #include "mpc/cluster.hpp"
 
+#include "mpc/shard_parallel.hpp"
+#include "util/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -17,10 +20,16 @@ std::size_t DistVec::num_words() const {
   return total;
 }
 
-std::vector<Word> DistVec::gather() const {
-  std::vector<Word> flat;
-  flat.reserve(num_words());
-  for (const auto& s : shards) flat.insert(flat.end(), s.begin(), s.end());
+std::vector<Word> DistVec::gather(std::size_t num_threads) const {
+  std::vector<std::size_t> offset(shards.size() + 1, 0);
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    offset[m + 1] = offset[m] + shards[m].size();
+  }
+  std::vector<Word> flat(offset.back());
+  detail::for_each_shard(shards.size(), num_threads, [&](std::size_t m) {
+    std::copy(shards[m].begin(), shards[m].end(),
+              flat.begin() + static_cast<std::ptrdiff_t>(offset[m]));
+  });
   return flat;
 }
 
@@ -70,19 +79,27 @@ DistVec Cluster::scatter(std::span<const Word> flat, std::size_t width) {
   DistVec out;
   out.width = width;
   out.shards.assign(num_machines_, {});
-  // Block partition: as even as possible.
+  // Block partition: as even as possible. Each shard's record range is a
+  // pure function of (records, num_machines), so the shard fills are
+  // independent and run machine-parallel.
   const std::size_t per_machine = (records + num_machines_ - 1) /
                                   std::max<std::size_t>(num_machines_, 1);
-  std::size_t r = 0;
-  for (std::size_t m = 0; m < num_machines_ && r < records; ++m) {
-    const std::size_t take = std::min(per_machine, records - r);
-    out.shards[m].assign(flat.begin() + static_cast<std::ptrdiff_t>(r * width),
-                         flat.begin() + static_cast<std::ptrdiff_t>((r + take) * width));
-    note_machine_load(out.shards[m].size());
-    r += take;
-  }
+  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t m) {
+    const std::size_t r0 = std::min(records, m * per_machine);
+    const std::size_t r1 = std::min(records, r0 + per_machine);
+    if (r0 == r1) return;
+    out.shards[m].assign(
+        flat.begin() + static_cast<std::ptrdiff_t>(r0 * width),
+        flat.begin() + static_cast<std::ptrdiff_t>(r1 * width));
+  });
+  // Capacity accounting stays on the calling thread, shard-by-shard in
+  // machine order, so the peak tracking (and any capacity error) is exact
+  // and independent of scheduling.
   std::uint64_t total = 0;
-  for (const auto& s : out.shards) total += s.size();
+  for (const auto& s : out.shards) {
+    note_machine_load(s.size());
+    total += s.size();
+  }
   peak_total_words_ = std::max(peak_total_words_, total);
   return out;
 }
@@ -95,28 +112,75 @@ void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination)
     throw std::invalid_argument("shuffle: destination size != record count");
   }
 
-  std::vector<std::uint64_t> sent(num_machines_, 0);
-  std::vector<std::uint64_t> received(num_machines_, 0);
-  std::vector<std::vector<Word>> next(num_machines_);
+  const std::size_t width = data.width;
+  const std::size_t total_records = destination.size();
 
-  std::size_t record_index = 0;
+  // Record-index prefix per source shard (record i of the global order
+  // lives on the machine whose range contains i).
+  std::vector<std::size_t> shard_first(num_machines_ + 1, 0);
   for (std::size_t m = 0; m < num_machines_; ++m) {
-    const auto& shard = data.shards[m];
-    const std::size_t records_here = shard.size() / data.width;
-    for (std::size_t r = 0; r < records_here; ++r, ++record_index) {
-      const std::uint32_t dest = destination[record_index];
-      if (dest >= num_machines_) {
-        throw std::out_of_range("shuffle: destination machine out of range");
-      }
-      const auto* begin = shard.data() + r * data.width;
-      next[dest].insert(next[dest].end(), begin, begin + data.width);
-      if (dest != m) {
-        sent[m] += data.width;
-        received[dest] += data.width;
-      }
+    shard_first[m + 1] = shard_first[m] + data.shards[m].size() / width;
+  }
+  std::vector<std::uint32_t> source_of(total_records);
+  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t m) {
+    std::fill(source_of.begin() + static_cast<std::ptrdiff_t>(shard_first[m]),
+              source_of.begin() + static_cast<std::ptrdiff_t>(shard_first[m + 1]),
+              static_cast<std::uint32_t>(m));
+  });
+
+  // Stable counting sort by destination: count, prefix, then place record
+  // indices in global order — each destination's slice of `ordered` keeps
+  // the source order a sequential scan would deliver, in O(R) with no
+  // comparison sort. The count pass doubles as destination validation,
+  // before any state is mutated.
+  std::vector<std::size_t> dest_begin(num_machines_ + 1, 0);
+  for (std::size_t i = 0; i < total_records; ++i) {
+    const std::uint32_t dest = destination[i];
+    if (dest >= num_machines_) {
+      throw std::out_of_range("shuffle: destination machine out of range");
+    }
+    ++dest_begin[dest + 1];
+  }
+  for (std::size_t m = 0; m < num_machines_; ++m) {
+    dest_begin[m + 1] += dest_begin[m];
+  }
+  std::vector<std::uint32_t> ordered(total_records);
+  {
+    std::vector<std::size_t> cursor(dest_begin.begin(), dest_begin.end() - 1);
+    for (std::size_t i = 0; i < total_records; ++i) {
+      ordered[cursor[destination[i]]++] = static_cast<std::uint32_t>(i);
     }
   }
 
+  // Assemble every destination shard in parallel; the words sent/received
+  // tallies are per-machine and written disjointly.
+  std::vector<std::uint64_t> sent(num_machines_, 0);
+  std::vector<std::uint64_t> received(num_machines_, 0);
+  std::vector<std::vector<Word>> next(num_machines_);
+  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t d) {
+    auto& shard = next[d];
+    shard.reserve((dest_begin[d + 1] - dest_begin[d]) * width);
+    std::uint64_t received_here = 0;
+    for (std::size_t k = dest_begin[d]; k < dest_begin[d + 1]; ++k) {
+      const std::size_t i = ordered[k];
+      const std::size_t src = source_of[i];
+      const Word* record =
+          data.shards[src].data() + (i - shard_first[src]) * width;
+      shard.insert(shard.end(), record, record + width);
+      if (src != d) received_here += width;
+    }
+    received[d] = received_here;
+  });
+  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t m) {
+    std::uint64_t sent_here = 0;
+    for (std::size_t i = shard_first[m]; i < shard_first[m + 1]; ++i) {
+      if (destination[i] != m) sent_here += width;
+    }
+    sent[m] = sent_here;
+  });
+
+  // Capacity rules and counters: applied machine-by-machine in order on the
+  // calling thread — exact per shard, deterministic error attribution.
   ++rounds_;
   std::uint64_t total = 0;
   for (std::size_t m = 0; m < num_machines_; ++m) {

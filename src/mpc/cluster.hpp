@@ -49,8 +49,10 @@ struct DistVec {
   [[nodiscard]] std::size_t num_words() const;
 
   /// Collect all records into one flat vector (simulator-side inspection —
-  /// not an MPC operation; use for verification/tests only).
-  [[nodiscard]] std::vector<Word> gather() const;
+  /// not an MPC operation; use for verification/tests only). `num_threads`
+  /// parallelises the per-shard copies; the default runs sequentially and
+  /// 0 means auto (the result is identical for any value).
+  [[nodiscard]] std::vector<Word> gather(std::size_t num_threads = 1) const;
 };
 
 class Cluster {
@@ -66,6 +68,17 @@ class Cluster {
 
   [[nodiscard]] std::size_t num_machines() const { return num_machines_; }
   [[nodiscard]] std::size_t machine_words() const { return machine_words_; }
+
+  /// Worker threads for shard-local simulator work (scatter/shuffle routing
+  /// and the per-shard sorts/combines in primitives.*). 0 = auto (the
+  /// MPCALLOC_THREADS environment variable if set, else hardware
+  /// concurrency). The simulated machines' contents, the round counters,
+  /// and the peak_machine_words accounting are bitwise independent of the
+  /// value: shards are fixed tiles, randomness is derived per shard before
+  /// any parallel region, and accounting is applied shard-by-shard in
+  /// machine order on the calling thread.
+  void set_num_threads(std::size_t num_threads) { num_threads_ = num_threads; }
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
 
   /// Load an input dataset, block-partitioned across machines. Input
   /// placement is free in the MPC model (data starts adversarially
@@ -98,6 +111,7 @@ class Cluster {
 
   std::size_t num_machines_;
   std::size_t machine_words_;
+  std::size_t num_threads_ = 0;
   std::size_t rounds_ = 0;
   std::uint64_t words_moved_ = 0;
   std::uint64_t peak_machine_words_ = 0;

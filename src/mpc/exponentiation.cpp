@@ -1,10 +1,26 @@
 #include "mpc/exponentiation.hpp"
 
+#include "util/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 namespace mpcalloc::mpc {
+
+namespace {
+
+/// Per-worker BFS visited scratch, epoch-stamped: bumping the epoch makes
+/// every stale entry unseen at once, so neither a fresh ball, a fresh
+/// tile, nor a fresh collect_balls call pays an O(n) clear. Workers are
+/// long-lived (the global thread pool), so the buffer amortises across
+/// calls; which worker owns which scratch never affects ball contents.
+struct BfsScratch {
+  std::vector<std::uint64_t> seen_epoch;
+  std::uint64_t epoch = 0;
+};
+thread_local BfsScratch tl_bfs_scratch;
+
+}  // namespace
 
 std::uint64_t ball_volume_words(
     const std::vector<std::vector<std::uint32_t>>& adjacency,
@@ -24,6 +40,7 @@ BallCollection collect_balls(
     std::uint32_t radius) {
   if (radius == 0) throw std::invalid_argument("collect_balls: radius >= 1");
   const std::size_t n = adjacency.size();
+  const std::size_t threads = cluster.num_threads();
 
   BallCollection out;
   out.balls.resize(n);
@@ -38,35 +55,64 @@ BallCollection collect_balls(
   out.rounds_charged = doubling_rounds + 1;
   cluster.charge_rounds(out.rounds_charged);
 
-  std::vector<std::uint32_t> last_seen(n, UINT32_MAX);
-  std::vector<std::uint32_t> frontier, next;
-  for (std::uint32_t v = 0; v < n; ++v) {
-    auto& ball = out.balls[v];
-    ball.push_back(v);
-    last_seen[v] = v;
-    frontier.assign(1, v);
-    for (std::uint32_t depth = 0; depth < radius && !frontier.empty(); ++depth) {
-      next.clear();
-      for (const std::uint32_t u : frontier) {
-        for (const std::uint32_t w : adjacency[u]) {
-          if (last_seen[w] != v) {
-            last_seen[w] = v;
-            next.push_back(w);
-            ball.push_back(w);
-          }
+  // Each ball is an independent truncated BFS writing only out.balls[v];
+  // the visited scratch is per worker (epoch-stamped, see BfsScratch), so
+  // every ball's contents are a pure function of (adjacency, radius).
+  parallel_for(
+      0, n, kParallelTile, threads,
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        BfsScratch& scratch = tl_bfs_scratch;
+        if (scratch.seen_epoch.size() < n) {
+          scratch.seen_epoch.resize(n, 0);
+        } else if (scratch.seen_epoch.size() > 4 * n + 4096) {
+          // Workers outlive graphs; don't let one huge instance pin an
+          // O(n) buffer per worker forever. Stale entries hold old epochs
+          // (never 0 == a live epoch), so shrinking is always safe.
+          std::vector<std::uint64_t>(n, 0).swap(scratch.seen_epoch);
         }
-      }
-      frontier.swap(next);
-    }
-    std::sort(ball.begin(), ball.end());
-    out.max_ball_vertices = std::max(out.max_ball_vertices, ball.size());
+        std::vector<std::uint32_t> frontier, next;
+        for (std::size_t i = tile_begin; i < tile_end; ++i) {
+          const auto v = static_cast<std::uint32_t>(i);
+          const std::uint64_t epoch = ++scratch.epoch;
+          auto& ball = out.balls[v];
+          ball.push_back(v);
+          scratch.seen_epoch[v] = epoch;
+          frontier.assign(1, v);
+          for (std::uint32_t depth = 0; depth < radius && !frontier.empty();
+               ++depth) {
+            next.clear();
+            for (const std::uint32_t u : frontier) {
+              for (const std::uint32_t w : adjacency[u]) {
+                if (scratch.seen_epoch[w] != epoch) {
+                  scratch.seen_epoch[w] = epoch;
+                  next.push_back(w);
+                  ball.push_back(w);
+                }
+              }
+            }
+            frontier.swap(next);
+          }
+          std::sort(ball.begin(), ball.end());
+        }
+      });
+  for (std::uint32_t v = 0; v < n; ++v) {
+    out.max_ball_vertices = std::max(out.max_ball_vertices, out.balls[v].size());
   }
 
-  // Space accounting: every ball must fit on a single machine.
+  // Space accounting: every ball must fit on a single machine. The volumes
+  // are computed in parallel; the accounting (peak tracking and capacity
+  // errors) is applied in vertex order on the calling thread, so it is
+  // exact per machine and deterministic.
+  std::vector<std::uint64_t> volumes(n, 0);
+  parallel_for(0, n, kParallelTile, threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+                 for (std::size_t v = tile_begin; v < tile_end; ++v) {
+                   volumes[v] = ball_volume_words(adjacency, out.balls[v]);
+                 }
+               });
   for (std::uint32_t v = 0; v < n; ++v) {
-    const std::uint64_t volume = ball_volume_words(adjacency, out.balls[v]);
-    out.total_ball_words += volume;
-    cluster.account_resident(v % cluster.num_machines(), volume);
+    out.total_ball_words += volumes[v];
+    cluster.account_resident(v % cluster.num_machines(), volumes[v]);
   }
   return out;
 }

@@ -1,19 +1,22 @@
 #include "mpc/primitives.hpp"
 
+#include "mpc/shard_parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 namespace mpcalloc::mpc {
 
 namespace {
 
-/// View a shard as records and sort them locally by key (word 0).
+/// View a shard as records and sort them locally by key (word 0). The sort
+/// is stable so equal-key record order is the shard order — one canonical
+/// result on every standard library implementation.
 void local_sort(std::vector<Word>& shard, std::size_t width) {
   const std::size_t records = shard.size() / width;
   std::vector<std::size_t> order(records);
   for (std::size_t i = 0; i < records; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return shard[a * width] < shard[b * width];
   });
   std::vector<Word> sorted;
@@ -43,6 +46,14 @@ void local_combine_sorted(std::vector<Word>& shard, std::size_t width,
   shard = std::move(out);
 }
 
+/// Shard-parallel loop on the cluster's thread budget (see
+/// mpc/shard_parallel.hpp).
+template <typename Fn>
+void for_each_shard(const Cluster& cluster, std::size_t num_shards,
+                    const Fn& fn) {
+  detail::for_each_shard(num_shards, cluster.num_threads(), fn);
+}
+
 }  // namespace
 
 void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
@@ -55,18 +66,28 @@ void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
 
   // Round 1 (charged): every machine contributes a key sample; splitters are
   // the evenly spaced order statistics of the sample. Oversampling by 8x
-  // log keeps buckets balanced w.h.p.
+  // log keeps buckets balanced w.h.p. Each shard draws on a stream seeded
+  // from the caller's RNG in machine order — the sampled keys are a pure
+  // function of the caller's stream, independent of thread count.
   const std::size_t machines = cluster.num_machines();
   const std::size_t oversample = 8 * (1 + static_cast<std::size_t>(
       std::log2(static_cast<double>(total_records) + 2.0)));
-  std::vector<Word> sample;
-  for (const auto& shard : data.shards) {
+  std::vector<std::uint64_t> shard_seeds(machines);
+  for (auto& seed : shard_seeds) seed = rng();
+  std::vector<std::vector<Word>> shard_samples(machines);
+  for_each_shard(cluster, machines, [&](std::size_t m) {
+    const auto& shard = data.shards[m];
     const std::size_t records_here = shard.size() / width;
-    for (std::size_t k = 0; k < oversample && records_here > 0; ++k) {
-      const std::size_t r = rng.uniform(records_here);
-      sample.push_back(shard[r * width]);
+    if (records_here == 0) return;
+    Xoshiro256pp shard_rng(shard_seeds[m]);
+    auto& out = shard_samples[m];
+    out.reserve(oversample);
+    for (std::size_t k = 0; k < oversample; ++k) {
+      out.push_back(shard[shard_rng.uniform(records_here) * width]);
     }
-  }
+  });
+  std::vector<Word> sample;
+  for (const auto& s : shard_samples) sample.insert(sample.end(), s.begin(), s.end());
   std::sort(sample.begin(), sample.end());
   std::vector<Word> splitters;  // machines-1 upper-exclusive boundaries
   for (std::size_t i = 1; i < machines; ++i) {
@@ -75,39 +96,51 @@ void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
   }
   cluster.charge_rounds(1);
 
-  // Round 2: shuffle each record to its splitter bucket.
+  // Round 2: shuffle each record to its splitter bucket (bucket lookups are
+  // per-record independent, partitioned by source shard).
+  std::vector<std::size_t> shard_first(machines + 1, 0);
+  for (std::size_t m = 0; m < machines; ++m) {
+    shard_first[m + 1] = shard_first[m] + data.shards[m].size() / width;
+  }
   std::vector<std::uint32_t> destination(total_records);
-  std::size_t record_index = 0;
-  for (const auto& shard : data.shards) {
+  for_each_shard(cluster, machines, [&](std::size_t m) {
+    const auto& shard = data.shards[m];
     const std::size_t records_here = shard.size() / width;
-    for (std::size_t r = 0; r < records_here; ++r, ++record_index) {
+    for (std::size_t r = 0; r < records_here; ++r) {
       const Word key = shard[r * width];
       const auto it = std::upper_bound(splitters.begin(), splitters.end(), key);
-      destination[record_index] =
+      destination[shard_first[m] + r] =
           static_cast<std::uint32_t>(it - splitters.begin());
     }
-  }
+  });
   cluster.shuffle(data, destination);
 
-  // Local sort is free (within-round computation).
-  for (auto& shard : data.shards) local_sort(shard, width);
+  // Local sort is free (within-round computation), machine-parallel.
+  for_each_shard(cluster, machines, [&](std::size_t m) {
+    local_sort(data.shards[m], width);
+  });
 }
 
 void reduce_by_key(Cluster& cluster, DistVec& data, const CombineFn& combine,
                    Xoshiro256pp& rng) {
   const std::size_t width = data.width;
   // Free local pre-aggregation: shrink skewed keys before sorting so a
-  // heavy key cannot overflow one machine's bucket.
-  for (auto& shard : data.shards) {
-    local_sort(shard, width);
-    local_combine_sorted(shard, width, combine);
-  }
+  // heavy key cannot overflow one machine's bucket. Shard-local, so the
+  // combine callback runs concurrently across shards (it must be a pure
+  // function of its two records, as the header requires).
+  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
+    local_sort(data.shards[m], width);
+    local_combine_sorted(data.shards[m], width, combine);
+  });
   sample_sort(cluster, data, rng);
-  for (auto& shard : data.shards) local_combine_sorted(shard, width, combine);
+  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
+    local_combine_sorted(data.shards[m], width, combine);
+  });
 
   // Boundary merge (1 round): a key's records can still straddle adjacent
   // machines after the sort; push each machine's first run to its left
-  // neighbour when the keys match. Simulated centrally, charged as 1 round.
+  // neighbour when the keys match. The chain walks machines right-to-left
+  // — a genuine sequential dependency, kept on the calling thread.
   cluster.charge_rounds(1);
   for (std::size_t m = cluster.num_machines(); m-- > 1;) {
     auto& right = data.shards[m];
@@ -158,19 +191,34 @@ void exclusive_prefix_sum(Cluster& cluster, DistVec& data) {
   }
   const std::size_t width = data.width;
   // Per-machine totals are exchanged in one round; then each machine applies
-  // its global offset locally.
-  Word running = 0;
+  // its global offset locally. Simulated as a two-pass machine-reduction:
+  // pass 1 rewrites every shard with its local exclusive sums and records
+  // the shard total, the totals are folded left-to-right into per-shard
+  // offsets, and pass 2 applies the offsets — both passes shard-parallel.
   cluster.charge_rounds(1);
-  for (auto& shard : data.shards) {
+  std::vector<Word> shard_total(data.shards.size(), 0);
+  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
+    auto& shard = data.shards[m];
     Word local = 0;
     const std::size_t records = shard.size() / width;
     for (std::size_t r = 0; r < records; ++r) {
       const Word value = shard[r * width];
-      shard[r * width] = running + local;
+      shard[r * width] = local;
       local += value;
     }
-    running += local;
+    shard_total[m] = local;
+  });
+  std::vector<Word> offset(data.shards.size() + 1, 0);
+  for (std::size_t m = 0; m < data.shards.size(); ++m) {
+    offset[m + 1] = offset[m] + shard_total[m];
   }
+  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
+    auto& shard = data.shards[m];
+    const std::size_t records = shard.size() / width;
+    for (std::size_t r = 0; r < records; ++r) {
+      shard[r * width] += offset[m];
+    }
+  });
 }
 
 }  // namespace mpcalloc::mpc

@@ -27,7 +27,10 @@ void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng);
 /// Combine all records sharing a key into one, using `combine` to merge the
 /// value words (in-place into the first argument). Requires nothing of the
 /// input order. Charges: local pre-combine (free) + sample_sort (2 rounds)
-/// + boundary merge between adjacent machines (1 round).
+/// + boundary merge between adjacent machines (1 round). The shard-local
+/// combines run machine-parallel (Cluster::num_threads), so `combine` must
+/// be safe to invoke concurrently on disjoint records — any pure function
+/// of its two arguments is.
 using CombineFn = std::function<void(std::span<Word> accum, std::span<const Word> next)>;
 void reduce_by_key(Cluster& cluster, DistVec& data, const CombineFn& combine,
                    Xoshiro256pp& rng);

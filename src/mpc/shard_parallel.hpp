@@ -1,0 +1,22 @@
+// Internal helper shared by the cluster/primitives implementation files:
+// run per-shard work machine-parallel on the deterministic executor.
+// Shards are natural fixed tiles — which thread processes a shard never
+// affects that shard's result.
+#pragma once
+
+#include "util/parallel.hpp"
+
+#include <cstddef>
+
+namespace mpcalloc::mpc::detail {
+
+template <typename Fn>
+void for_each_shard(std::size_t num_shards, std::size_t num_threads,
+                    const Fn& fn) {
+  parallel_for(0, num_shards, /*tile_size=*/1, num_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t m = begin; m < end; ++m) fn(m);
+               });
+}
+
+}  // namespace mpcalloc::mpc::detail

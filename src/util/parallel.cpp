@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace mpcalloc {
 
@@ -16,9 +19,18 @@ thread_local bool tl_owns_pool_job = false;
 std::size_t resolve_num_threads(std::size_t requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("MPCALLOC_THREADS")) {
+    // A set-but-broken value is a configuration error, not a request for
+    // the default: silently falling back would run every sweep on a thread
+    // count the user never asked for.
+    errno = 0;
     char* end = nullptr;
     const long value = std::strtol(env, &end, 10);
-    if (end != env && value > 0) return static_cast<std::size_t>(value);
+    if (errno == ERANGE || end == env || *end != '\0' || value <= 0) {
+      throw std::invalid_argument(
+          std::string("MPCALLOC_THREADS must be a positive integer, got \"") +
+          env + "\"");
+    }
+    return static_cast<std::size_t>(value);
   }
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware > 0 ? hardware : 1;

@@ -39,8 +39,10 @@ namespace mpcalloc {
 inline constexpr std::size_t kParallelTile = 1024;
 
 /// Resolve a requested thread count: a positive request wins; 0 means
-/// "auto" — the MPCALLOC_THREADS environment variable if set to a positive
-/// integer, otherwise std::thread::hardware_concurrency().
+/// "auto" — the MPCALLOC_THREADS environment variable if set, otherwise
+/// std::thread::hardware_concurrency(). A set MPCALLOC_THREADS that is not
+/// a positive integer (garbage, negative, zero, out of range) throws
+/// std::invalid_argument instead of silently falling back.
 [[nodiscard]] std::size_t resolve_num_threads(std::size_t requested);
 
 /// A persistent pool of worker threads executing tile-indexed jobs.

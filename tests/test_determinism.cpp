@@ -4,10 +4,14 @@
 // deterministic parallel executor (util/parallel.hpp), byte-identical
 // across *thread counts* too.
 #include "alloc/local_host.hpp"
+#include "alloc/mpc_driver.hpp"
 #include "alloc/proportional.hpp"
 #include "alloc/rounding.hpp"
+#include "alloc/sampled.hpp"
 #include "bmatch/proportional_bmatching.hpp"
 #include "graph/generators.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/primitives.hpp"
 
 #include <gtest/gtest.h>
 
@@ -153,6 +157,146 @@ TEST(Determinism, ThreadCountDoesNotChangeLocalHost) {
     EXPECT_EQ(host.local_rounds, baseline.local_rounds);
     EXPECT_EQ(host.messages_sent, baseline.messages_sent);
     EXPECT_EQ(host.max_message_words, baseline.max_message_words);
+  }
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeSampledExecutor) {
+  // The sampled executor draws on per-(phase, round, tile) RNG streams, so
+  // its randomness — and therefore every output, including the sample
+  // counter — is bitwise independent of the thread count. The large
+  // instance spans many kParallelTile-sized tiles; medium_lam8 covers the
+  // single-tile corner.
+  std::vector<AllocationInstance> instances;
+  instances.push_back(testing::make_instance(testing::spec_by_name("medium_lam8")));
+  {
+    Xoshiro256pp rng(2029);
+    AllocationInstance large;
+    large.graph = union_of_forests(6000, 2500, 6, rng);
+    large.capacities = uniform_capacities(2500, 1, 5, rng);
+    instances.push_back(std::move(large));
+  }
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const AllocationInstance& instance = instances[i];
+    for (const bool adaptive : {false, true}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "instance " << i << (adaptive ? ", adaptive" : ", fixed"));
+      const auto run_with = [&](std::size_t threads) {
+        SampledConfig config;
+        config.epsilon = 0.25;
+        config.phase_length = 3;
+        config.samples_per_group = 8;
+        config.max_rounds = 15;
+        config.adaptive_termination = adaptive;
+        config.num_threads = threads;
+        Xoshiro256pp rng(77);  // fresh identical stream per run
+        return run_sampled(instance, config, rng);
+      };
+      const SampledResult baseline = run_with(1);
+      for (const std::size_t threads : {2u, 4u, 7u}) {
+        SCOPED_TRACE(::testing::Message() << threads << " threads");
+        const SampledResult result = run_with(threads);
+        EXPECT_EQ(result.allocation.x, baseline.allocation.x);
+        EXPECT_EQ(result.match_weight, baseline.match_weight);
+        EXPECT_EQ(result.final_levels, baseline.final_levels);
+        EXPECT_EQ(result.rounds_executed, baseline.rounds_executed);
+        EXPECT_EQ(result.phases_executed, baseline.phases_executed);
+        EXPECT_EQ(result.stopped_by_condition, baseline.stopped_by_condition);
+        EXPECT_EQ(result.samples_drawn, baseline.samples_drawn);
+      }
+    }
+  }
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeMpcPrimitives) {
+  // Shard-parallel sort/reduce with per-shard derived sample streams and
+  // ordered accounting: the shard contents, round counters, and the
+  // peak_machine_words high-watermark must be bitwise identical for any
+  // Cluster::num_threads.
+  std::vector<mpc::Word> flat;
+  {
+    Xoshiro256pp rng(2030);
+    for (int i = 0; i < 20000; ++i) {
+      flat.push_back(rng.uniform(500));  // key
+      flat.push_back(rng.uniform(1000));  // payload
+    }
+  }
+
+  struct PrimitiveOutput {
+    std::vector<mpc::Word> data;
+    std::size_t rounds;
+    std::uint64_t peak_machine_words;
+    std::uint64_t peak_total_words;
+    std::uint64_t words_moved;
+  };
+  const auto run_with = [&](std::size_t threads, bool reduce) {
+    mpc::Cluster cluster(32, 4096);
+    cluster.set_num_threads(threads);
+    Xoshiro256pp rng(91);
+    mpc::DistVec d = cluster.scatter(flat, 2);
+    if (reduce) {
+      mpc::sum_by_key(cluster, d, rng);
+    } else {
+      mpc::sample_sort(cluster, d, rng);
+    }
+    mpc::exclusive_prefix_sum(cluster, d);
+    return PrimitiveOutput{d.gather(threads), cluster.rounds(),
+                           cluster.peak_machine_words(),
+                           cluster.peak_total_words(),
+                           cluster.total_words_moved()};
+  };
+
+  for (const bool reduce : {false, true}) {
+    SCOPED_TRACE(reduce ? "sum_by_key" : "sample_sort");
+    const PrimitiveOutput baseline = run_with(1, reduce);
+    for (const std::size_t threads : {2u, 4u, 7u}) {
+      SCOPED_TRACE(::testing::Message() << threads << " threads");
+      const PrimitiveOutput result = run_with(threads, reduce);
+      EXPECT_EQ(result.data, baseline.data);
+      EXPECT_EQ(result.rounds, baseline.rounds);
+      EXPECT_EQ(result.peak_machine_words, baseline.peak_machine_words);
+      EXPECT_EQ(result.peak_total_words, baseline.peak_total_words);
+      EXPECT_EQ(result.words_moved, baseline.words_moved);
+    }
+  }
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeMpcDrivers) {
+  // End-to-end: both MPC drivers — cluster shuffles, sampled phases, ball
+  // collection, space accounting — are bitwise thread-count invariant.
+  const auto spec = testing::spec_by_name("medium_lam8");
+  const AllocationInstance instance = testing::make_instance(spec);
+
+  const auto config_with = [&](std::size_t threads) {
+    MpcDriverConfig config;
+    config.epsilon = 0.25;
+    config.alpha = 0.7;
+    config.samples_per_group = 6;
+    config.seed = 5;
+    config.lambda = spec.lambda;
+    config.num_threads = threads;
+    return config;
+  };
+  const auto expect_identical_runs = [&](const MpcRunResult& a,
+                                         const MpcRunResult& b) {
+    EXPECT_EQ(a.allocation.x, b.allocation.x);
+    EXPECT_EQ(a.match_weight, b.match_weight);
+    EXPECT_EQ(a.local_rounds, b.local_rounds);
+    EXPECT_EQ(a.phases, b.phases);
+    EXPECT_EQ(a.mpc_rounds, b.mpc_rounds);
+    EXPECT_EQ(a.peak_machine_words, b.peak_machine_words);
+    EXPECT_EQ(a.peak_total_words, b.peak_total_words);
+    EXPECT_EQ(a.max_ball_volume, b.max_ball_volume);
+  };
+
+  const MpcRunResult naive_baseline = run_mpc_naive(instance, config_with(1));
+  const MpcRunResult phased_baseline = run_mpc_phased(instance, config_with(1));
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    SCOPED_TRACE(::testing::Message() << threads << " threads");
+    expect_identical_runs(run_mpc_naive(instance, config_with(threads)),
+                          naive_baseline);
+    expect_identical_runs(run_mpc_phased(instance, config_with(threads)),
+                          phased_baseline);
   }
 }
 

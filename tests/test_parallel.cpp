@@ -1,0 +1,157 @@
+// Unit coverage for the deterministic parallel executor: tile coverage,
+// bitwise-stable reductions, exception propagation, and the strict
+// MPCALLOC_THREADS environment contract.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+/// Scoped override of MPCALLOC_THREADS; restores the previous value (or
+/// unset state) on destruction so the suite-wide CI setting survives.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    if (const char* previous = std::getenv(kVar)) previous_ = previous;
+    if (value == nullptr) {
+      ::unsetenv(kVar);
+    } else {
+      ::setenv(kVar, value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (previous_.has_value()) {
+      ::setenv(kVar, previous_->c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+
+ private:
+  static constexpr const char* kVar = "MPCALLOC_THREADS";
+  std::optional<std::string> previous_;
+};
+
+TEST(ResolveNumThreads, ExplicitRequestWins) {
+  // An explicit positive request never consults the environment, even a
+  // broken one.
+  const ScopedThreadsEnv env("garbage");
+  EXPECT_EQ(resolve_num_threads(3), 3u);
+  EXPECT_EQ(resolve_num_threads(1), 1u);
+}
+
+TEST(ResolveNumThreads, AutoReadsEnvironment) {
+  {
+    const ScopedThreadsEnv env("7");
+    EXPECT_EQ(resolve_num_threads(0), 7u);
+  }
+  {
+    // Leading whitespace is strtol territory and tolerated.
+    const ScopedThreadsEnv env(" 4");
+    EXPECT_EQ(resolve_num_threads(0), 4u);
+  }
+}
+
+TEST(ResolveNumThreads, AutoWithoutEnvUsesHardware) {
+  const ScopedThreadsEnv env(nullptr);
+  EXPECT_GE(resolve_num_threads(0), 1u);
+}
+
+TEST(ResolveNumThreads, RejectsBrokenEnvironmentValues) {
+  // A set-but-invalid MPCALLOC_THREADS is a configuration error, not a
+  // request for the default.
+  for (const char* bad : {"garbage", "-2", "0", "", "4x", "2.5", "4 ",
+                          "99999999999999999999999999"}) {
+    SCOPED_TRACE(std::string("MPCALLOC_THREADS=\"") + bad + "\"");
+    const ScopedThreadsEnv env(bad);
+    EXPECT_THROW((void)resolve_num_threads(0), std::invalid_argument);
+  }
+}
+
+TEST(ParallelFor, CoversRangeExactlyOncePerElement) {
+  constexpr std::size_t kN = 5000;
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    SCOPED_TRACE(threads);
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(0, kN, kParallelTile, threads,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     hits[i].fetch_add(1);
+                   }
+                 });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, TileBoundariesAreFixed) {
+  // The decomposition is a pure function of (range, tile_size): every
+  // thread count sees the same (begin, end) pairs.
+  const auto tiles_with = [&](std::size_t threads) {
+    std::vector<std::pair<std::size_t, std::size_t>> tiles;
+    std::mutex mutex;
+    parallel_for(10, 3700, 256, threads,
+                 [&](std::size_t begin, std::size_t end) {
+                   const std::lock_guard<std::mutex> lock(mutex);
+                   tiles.emplace_back(begin, end);
+                 });
+    std::sort(tiles.begin(), tiles.end());
+    return tiles;
+  };
+  const auto baseline = tiles_with(1);
+  ASSERT_GT(baseline.size(), 1u);
+  EXPECT_EQ(tiles_with(4), baseline);
+  EXPECT_EQ(tiles_with(7), baseline);
+}
+
+TEST(ParallelReduce, FloatSumsAreBitwiseThreadInvariant) {
+  // Left-to-right combination of per-tile partials: the grouping of the
+  // additions never depends on the thread count.
+  constexpr std::size_t kN = 20000;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto sum_with = [&](std::size_t threads) {
+    return parallel_reduce<double>(
+        0, kN, kParallelTile, threads, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double partial = 0.0;
+          for (std::size_t i = begin; i < end; ++i) partial += values[i];
+          return partial;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double baseline = sum_with(1);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    SCOPED_TRACE(threads);
+    EXPECT_EQ(sum_with(threads), baseline);  // bitwise, not approximate
+  }
+}
+
+TEST(ParallelFor, PropagatesTileExceptions) {
+  for (const std::size_t threads : {1u, 4u}) {
+    SCOPED_TRACE(threads);
+    EXPECT_THROW(
+        parallel_for(0, 10000, kParallelTile, threads,
+                     [&](std::size_t begin, std::size_t) {
+                       if (begin >= 2048) throw std::runtime_error("tile");
+                     }),
+        std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace mpcalloc
