@@ -5,13 +5,22 @@
 // 2k+1, verifying the (k+1)/(k+2) guarantee and showing the 1+ε knee.
 // Table B: the randomized GGM22 layered-graph booster — ratio vs iteration
 // budget, showing convergence towards the deterministic certificate.
+// `--json=PATH` emits the seed-deterministic ratio/effort counters for the
+// CI perf gate.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+
+#include "util/cli.hpp"
 
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpcalloc;
   using namespace mpcalloc::bench;
+
+  CliParser cli("E8: boosting 2+eps -> 1+eps (Appendix B)");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  if (!cli.parse(argc, argv)) return 0;
 
   // Sparse Erdős–Rényi with unit capacities: greedy strands ~20% of OPT
   // behind length-3+ augmenting walks, so the boosting curve is visible.
@@ -28,6 +37,11 @@ int main() {
                  "OPT = " + std::to_string(opt) + ", greedy seed ratio = " +
                      Table::num(seed_ratio, 4));
 
+  JsonMetrics metrics("bench_boosting");
+  WallTimer total_timer;
+  metrics.counter("opt", static_cast<double>(opt));
+  metrics.counter("greedy_seed_ratio", seed_ratio);
+
   Table det("deterministic length-bounded booster (certificate)");
   det.header({"walk length 2k+1", "guarantee 1+1/(k+1)", "ratio", "phases",
               "augmentations"});
@@ -36,11 +50,14 @@ int main() {
     const BoostResult result = boost_path_limited(instance, seed, length);
     std::size_t total = 0;
     for (const std::size_t a : result.augmentations_per_iteration) total += a;
+    const double ratio = approximation_ratio(
+        opt, static_cast<double>(result.allocation.size()));
+    const std::string prefix = "det_len" + std::to_string(length);
+    metrics.counter(prefix + "_ratio", ratio);
+    metrics.counter(prefix + "_augmentations", static_cast<double>(total));
     det.row({Table::integer(static_cast<long long>(length)),
              Table::num(1.0 + 1.0 / static_cast<double>(k + 2), 4),
-             Table::num(approximation_ratio(
-                            opt, static_cast<double>(result.allocation.size())),
-                        4),
+             Table::num(ratio, 4),
              Table::integer(static_cast<long long>(result.iterations)),
              Table::integer(static_cast<long long>(total))});
   }
@@ -54,10 +71,13 @@ int main() {
     const BoostResult result = boost_ggm22(instance, seed, 0.25, iters, rng);
     std::size_t walks = 0;
     for (const std::size_t a : result.augmentations_per_iteration) walks += a;
+    const double ratio = approximation_ratio(
+        opt, static_cast<double>(result.allocation.size()));
+    const std::string prefix = "ggm_iters" + std::to_string(iters);
+    metrics.counter(prefix + "_ratio", ratio);
+    metrics.counter(prefix + "_walks", static_cast<double>(walks));
     ggm.row({Table::integer(static_cast<long long>(iters)),
-             Table::num(approximation_ratio(
-                            opt, static_cast<double>(result.allocation.size())),
-                        4),
+             Table::num(ratio, 4),
              Table::integer(static_cast<long long>(walks)),
              Table::num(timer.seconds(), 3)});
   }
@@ -67,5 +87,11 @@ int main() {
                "2*ceil(1/eps)+1; GGM22 approaches the same plateau as the "
                "iteration budget grows (its worst-case bound is exp(O(2^k)) "
                "iterations — vastly pessimistic in practice).\n";
+
+  metrics.time_ms("total_ms", total_timer.millis());
+  if (const std::string json_path = cli.get("json"); !json_path.empty()) {
+    metrics.write(json_path);
+    std::cout << "\nmetrics written to " << json_path << "\n";
+  }
   return 0;
 }

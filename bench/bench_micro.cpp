@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -81,6 +83,82 @@ void BM_ProportionalRoundThreaded(benchmark::State& state) {
 }
 BENCHMARK(BM_ProportionalRoundThreaded)
     ->ArgsProduct({{10000, 50000}, {1, 2, 4, 8}});
+
+// Late-round (convergence-heavy) recompute: drive the dynamics until the
+// changed-vertex frontier is below 0.2% of m, then measure one quiescent
+// round's aggregate+alloc recompute under each engine. The sparse variant
+// re-derives the touched sets every iteration (that bookkeeping is part of
+// its cost); both recompute bitwise-identical entries, so the items/sec gap
+// is pure work-avoidance. The instance is load-balanced (total capacity ==
+// n_L) so the dynamics genuinely quiesce — saturated extremes translate all
+// levels uniformly forever, which is exactly the regime the auto engine
+// keeps dense.
+struct ConvergedFixture {
+  AllocationInstance instance;
+  PowTable pow_table{0.25};
+  std::vector<std::int32_t> levels;
+  LeftAggregate left;
+  std::vector<double> alloc;
+  RoundWorkspace ws;
+
+  explicit ConvergedFixture(std::size_t n_left) {
+    Xoshiro256pp rng(7);
+    instance.graph = union_of_forests(n_left, n_left / 2, 8, rng);
+    instance.capacities = Capacities(n_left / 2, 2);
+    const auto& g = instance.graph;
+    levels.assign(g.num_right(), 0);
+    ws.init(g);
+    const std::size_t m = g.num_edges();
+    const std::size_t cap = tau_for_arboricity(
+        static_cast<double>(g.num_vertices()), 0.25);
+    for (std::size_t round = 1; round <= cap; ++round) {
+      compute_left_aggregate_into(g, levels, pow_table, 1, left);
+      compute_alloc_into(g, levels, left, pow_table, 1, alloc);
+      apply_level_update(instance, alloc, 0.25, round, nullptr, levels, 1,
+                         &ws.deltas);
+      ws.derive_frontier(g, ws.deltas, 1);
+      if (ws.frontier_volume() + ws.frontier().size() < m / 500) break;
+    }
+  }
+};
+
+void BM_ProportionalConvergedRoundDense(benchmark::State& state) {
+  ConvergedFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto& g = fx.instance.graph;
+  for (auto _ : state) {
+    compute_left_aggregate_into(g, fx.levels, fx.pow_table, 1, fx.left);
+    compute_alloc_into(g, fx.levels, fx.left, fx.pow_table, 1, fx.alloc);
+    benchmark::DoNotOptimize(fx.alloc.data());
+  }
+  state.counters["frontier"] = static_cast<double>(fx.ws.frontier().size());
+  state.counters["frontier_vol"] = static_cast<double>(fx.ws.frontier_volume());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_ProportionalConvergedRoundDense)->Arg(10000)->Arg(50000);
+
+void BM_ProportionalConvergedRoundSparse(benchmark::State& state) {
+  ConvergedFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto& g = fx.instance.graph;
+  for (auto _ : state) {
+    const bool derived = fx.ws.derive_touched(
+        g, std::numeric_limits<std::uint64_t>::max());
+    benchmark::DoNotOptimize(derived);
+    for (const Vertex u : fx.ws.touched_left()) {
+      recompute_left_entry(g, fx.levels, fx.pow_table, u, fx.left);
+    }
+    for (const Vertex v : fx.ws.touched_right()) {
+      fx.alloc[v] =
+          recompute_alloc_entry(g, fx.levels, fx.left, fx.pow_table, v);
+    }
+    benchmark::DoNotOptimize(fx.alloc.data());
+  }
+  state.counters["frontier"] = static_cast<double>(fx.ws.frontier().size());
+  state.counters["frontier_vol"] = static_cast<double>(fx.ws.frontier_volume());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_ProportionalConvergedRoundSparse)->Arg(10000)->Arg(50000);
 
 void BM_DinicOptimal(benchmark::State& state) {
   const AllocationInstance instance =

@@ -1,17 +1,29 @@
 // E6 — Section 6 rounding: sampling each edge at rate x_e/6 and dropping
 // heavy vertices yields E[|M|] ≥ wt(x)/9, a constant success probability
 // for |M| ≥ |M*|/450, and w.h.p. via O(log n) independent copies.
+// `--json=PATH` emits the seed-deterministic per-instance counters for the
+// CI perf gate.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+
+#include "util/cli.hpp"
 
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpcalloc;
   using namespace mpcalloc::bench;
+
+  CliParser cli("E6: fractional-to-integral rounding (Section 6)");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  if (!cli.parse(argc, argv)) return 0;
 
   print_preamble("E6: fractional-to-integral rounding (Section 6)",
                  "E[|M|] >= wt(M_f)/9; best of O(log n) copies w.h.p.; "
                  "greedy completion closes most of the constant-factor gap");
+
+  JsonMetrics metrics("bench_rounding");
+  WallTimer total_timer;
 
   Table table("per-instance rounding statistics, 500 copies each");
   table.header({"instance", "wt(M_f)", "OPT", "E[|M|] est", "E/wt >= 1/9?",
@@ -57,6 +69,14 @@ int main() {
     const double maximal_ratio = approximation_ratio(
         opt, static_cast<double>(log_copies.best.size()));
 
+    const std::string prefix = std::string("inst_") + row.name;
+    metrics.counter(prefix + "_opt", static_cast<double>(opt));
+    metrics.counter(prefix + "_frac_weight", frac.weight());
+    metrics.counter(prefix + "_mean_rounded_size", mean);
+    metrics.counter(prefix + "_success_rate",
+                    static_cast<double>(successes) / kCopies);
+    metrics.counter(prefix + "_maximal_ratio", maximal_ratio);
+
     table.row({row.name, Table::num(frac.weight(), 1),
                Table::integer(static_cast<long long>(opt)),
                Table::num(mean, 1),
@@ -69,5 +89,11 @@ int main() {
                "the success probability is ~100% (the paper's 1/450 threshold "
                "is extremely conservative), and greedy completion brings the "
                "integral ratio near the fractional one.\n";
+
+  metrics.time_ms("total_ms", total_timer.millis());
+  if (const std::string json_path = cli.get("json"); !json_path.empty()) {
+    metrics.write(json_path);
+    std::cout << "\nmetrics written to " << json_path << "\n";
+  }
   return 0;
 }

@@ -6,13 +6,24 @@
 // c = 32, so λ is fixed) and report the adaptive certificate round next to
 // Theorem 9's λ-budget (constant) and AZM18's |R|-budget (growing). A
 // second table repeats the sweep on random union-of-forest inputs.
+// `--json=PATH` emits the round counters (plus the incremental round
+// engine's dense/sparse split) for the CI perf gate.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+
+#include "util/cli.hpp"
 
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpcalloc;
   using namespace mpcalloc::bench;
+
+  CliParser cli("E2: rounds-to-certificate vs n at fixed arboricity");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  cli.threads_option();
+  if (!cli.parse(argc, argv)) return 0;
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
 
   const double eps = 0.25;
   const std::size_t core = 32;
@@ -21,6 +32,9 @@ int main() {
                  "Theorem 2 vs AZM18: O(log lambda) rounds are n-independent; "
                  "the O(log n / eps^2) budget is not");
 
+  JsonMetrics metrics("bench_rounds_vs_n");
+  WallTimer total_timer;
+
   Table hard("A: replicated oversubscribed-core gadget, core=32 (lambda fixed)");
   hard.header({"copies", "n", "m", "adaptive rounds", "tau(lambda)",
                "tau_AZM18(|R|)", "ratio (frac)"});
@@ -28,9 +42,11 @@ int main() {
   for (const std::size_t copies : {1u, 4u, 16u, 64u, 256u}) {
     const AllocationInstance instance =
         oversubscribed_core_instance(core, 4, copies);
-    const ProportionalResult result = solve_adaptive(instance, eps);
+    const ProportionalResult result = solve_adaptive(instance, eps, 0, threads);
     xs.push_back(static_cast<double>(instance.graph.num_vertices()));
     ys.push_back(static_cast<double>(result.rounds_executed));
+    metrics.counter("gadget_c" + std::to_string(copies) + "_adaptive_rounds",
+                    static_cast<double>(result.rounds_executed));
     hard.row(
         {Table::integer(static_cast<long long>(copies)),
          Table::integer(static_cast<long long>(instance.graph.num_vertices())),
@@ -47,6 +63,7 @@ int main() {
   std::cout << "\nlog2 fit (gadget): rounds = " << Table::num(fit.intercept, 2)
             << " + " << Table::num(fit.slope, 2)
             << " * log2(n); Theorem 2 predicts slope ~ 0.\n";
+  metrics.counter("gadget_log2_fit_slope", fit.slope);
 
   Table easy("B: union-of-forests, lambda=4, caps U[1,5], 2 seeds");
   easy.header({"n_L", "adaptive rounds", "tau_AZM18(|R|)", "ratio (frac)"});
@@ -55,9 +72,23 @@ int main() {
     for (const std::uint64_t seed : {7ull, 77ull}) {
       const AllocationInstance instance =
           standard_instance(n, n / 2, 4, 5, seed);
-      const ProportionalResult result = solve_adaptive(instance, eps);
+      const ProportionalResult result = solve_adaptive(instance, eps, 0, threads);
       rounds.push_back(static_cast<double>(result.rounds_executed));
       ratios.push_back(fractional_ratio(instance, result.allocation));
+      if (seed == 7ull) {
+        const std::string prefix = "forest_n" + std::to_string(n);
+        metrics.counter(prefix + "_adaptive_rounds",
+                        static_cast<double>(result.rounds_executed));
+        // The round engine's dense/sparse split: deterministic counters
+        // that pin the frontier-driven work partition per instance.
+        metrics.counter(prefix + "_sparse_rounds",
+                        static_cast<double>(result.stats.sparse_rounds));
+        metrics.counter(prefix + "_dense_rounds",
+                        static_cast<double>(result.stats.dense_rounds));
+        metrics.counter(
+            prefix + "_recomputed_right_total",
+            static_cast<double>(result.stats.recomputed_right_total));
+      }
     }
     easy.row({Table::integer(static_cast<long long>(n)),
               mean_pm_std(summarize(rounds), 1),
@@ -68,5 +99,11 @@ int main() {
   easy.print(std::cout);
   std::cout << "\nShape check: the adaptive-rounds columns stay flat across "
                "a 256x growth in n while the AZM18 budget grows with log n.\n";
+
+  metrics.time_ms("total_ms", total_timer.millis());
+  if (const std::string json_path = cli.get("json"); !json_path.empty()) {
+    metrics.write(json_path);
+    std::cout << "\nmetrics written to " << json_path << "\n";
+  }
   return 0;
 }

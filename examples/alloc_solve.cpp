@@ -63,6 +63,12 @@ int solve(const CliParser& cli, const AllocationInstance& instance) {
     std::printf("fractional: weight %.1f after %zu rounds (certified: %s)\n",
                 frac.allocation.weight(), frac.rounds_executed,
                 frac.stopped_by_condition ? "yes" : "no");
+    std::printf(
+        "round engine: %zu dense + %zu sparse rounds "
+        "(%llu left / %llu right entries refreshed incrementally)\n",
+        frac.stats.dense_rounds, frac.stats.sparse_rounds,
+        static_cast<unsigned long long>(frac.stats.recomputed_left_total),
+        static_cast<unsigned long long>(frac.stats.recomputed_right_total));
     if (algorithm == "proportional") {
       const auto opt = optimal_allocation_value(instance);
       std::printf("fractional ratio vs OPT %llu: %.4f (%.2fs)\n",

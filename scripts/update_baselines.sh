@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerate every committed perf-gate baseline (bench/baselines/*.json) in
+# one deterministic invocation: fixed seeds are baked into the harnesses,
+# and the run is pinned to a single-threaded executor so counters cannot
+# depend on the machine (they are bitwise thread-count invariant anyway —
+# the pin is belt and braces for wall-time comparability).
+#
+# Usage: scripts/update_baselines.sh [BUILD_DIR]
+#   BUILD_DIR defaults to ./build and must already contain the Release
+#   bench binaries (cmake -B build -DCMAKE_BUILD_TYPE=Release && cmake
+#   --build build -j).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$REPO_ROOT/bench/baselines"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [[ ! -x "$BENCH_DIR/bench_sampling" ]]; then
+  echo "error: $BENCH_DIR does not contain the bench binaries" >&2
+  echo "       (build first: cmake -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+export MPCALLOC_THREADS=1
+mkdir -p "$OUT_DIR"
+
+run() {
+  echo "== $* =="
+  "$@" > /dev/null
+}
+
+if [[ -x "$BENCH_DIR/bench_micro" ]]; then
+  run "$BENCH_DIR/bench_micro" --smoke --json="$OUT_DIR/bench_micro_smoke.json"
+else
+  echo "warning: bench_micro not built (google-benchmark missing); keeping the committed baseline" >&2
+fi
+run "$BENCH_DIR/bench_sampling"    --threads=1 --json="$OUT_DIR/bench_sampling.json"
+run "$BENCH_DIR/bench_mpc_rounds"  --threads=1 --json="$OUT_DIR/bench_mpc_rounds.json"
+run "$BENCH_DIR/bench_rounds_vs_n" --threads=1 --json="$OUT_DIR/bench_rounds_vs_n.json"
+run "$BENCH_DIR/bench_boosting"    --json="$OUT_DIR/bench_boosting.json"
+run "$BENCH_DIR/bench_rounding"    --json="$OUT_DIR/bench_rounding.json"
+
+echo "baselines refreshed in $OUT_DIR"

@@ -24,6 +24,7 @@
 #include "alloc/matching_reduction.hpp"
 #include "alloc/mpc_driver.hpp"
 #include "alloc/proportional.hpp"
+#include "alloc/round_engine.hpp"
 #include "alloc/rounding.hpp"
 #include "alloc/sampled.hpp"
 #include "alloc/sampling.hpp"

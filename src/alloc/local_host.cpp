@@ -38,6 +38,18 @@ LocalHostResult run_proportional_local(const AllocationInstance& instance,
   for (Vertex u = 0; u < g.num_left(); ++u) {
     known_levels[u].assign(g.left_degree(u), 0);
   }
+  // R-side processors remember the fractional terms their neighbours last
+  // sent, so a round in which nothing upstream moved costs no messages:
+  // the protocol is frontier-driven — R re-announces its level only when it
+  // changed, L recomputes and re-sends terms only when it heard a new
+  // level, R re-sums only when it received a new term. Every reused cached
+  // value equals what a dense re-send would have carried (the senders'
+  // inputs did not change), so the hosted run stays bit-for-bit identical
+  // to the always-broadcast protocol and to the vectorised engine.
+  std::vector<std::vector<double>> known_terms(g.num_right());
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    known_terms[v].assign(g.right_degree(v), 0.0);
+  }
 
   // Init round: every R processor announces its priority level.
   net.step([&](ProcessorContext& ctx) {
@@ -49,17 +61,22 @@ LocalHostResult run_proportional_local(const AllocationInstance& instance,
   });
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
-    // Step A: L processors absorb announced levels, compute the
-    // proportional fractions, and push each term to its R endpoint.
+    // Step A: L processors absorb announced levels; if any neighbour
+    // moved, recompute the proportional fractions and push each term to
+    // its R endpoint (otherwise the R side keeps last round's terms).
     net.step([&](ProcessorContext& ctx) {
       if (ctx.side() != Side::kLeft) return;
       const Vertex u = ctx.vertex();
       auto& known = known_levels[u];
+      bool heard_update = false;
       for (std::size_t i = 0; i < ctx.degree(); ++i) {
         const Message& msg = ctx.incoming(i);
-        if (!msg.empty()) known[i] = static_cast<std::int32_t>(msg[0]);
+        if (!msg.empty()) {
+          known[i] = static_cast<std::int32_t>(msg[0]);
+          heard_update = true;
+        }
       }
-      if (ctx.degree() == 0) return;
+      if (ctx.degree() == 0 || !heard_update) return;
       std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
       for (const std::int32_t level : known) max_level = std::max(max_level, level);
       double denom = 0.0;
@@ -74,27 +91,41 @@ LocalHostResult run_proportional_local(const AllocationInstance& instance,
       }
     });
 
-    // Step B: R processors sum the incoming terms (incidence order — the
-    // same order as compute_alloc), update their level, and re-announce.
+    // Step B: R processors fold in any updated terms and re-sum them in
+    // incidence order (the same order as compute_alloc — cached values are
+    // the terms a broadcast would have re-delivered), update their level,
+    // and announce it iff it changed.
     net.step([&](ProcessorContext& ctx) {
       if (ctx.side() != Side::kRight) return;
       const Vertex v = ctx.vertex();
       start_levels[v] = levels[v];
-      double total = 0.0;
+      auto& terms = known_terms[v];
+      bool heard_update = false;
       for (std::size_t i = 0; i < ctx.degree(); ++i) {
         const Message& msg = ctx.incoming(i);
-        if (!msg.empty()) total += msg[0];
+        if (!msg.empty()) {
+          terms[i] = msg[0];
+          heard_update = true;
+        }
       }
-      alloc[v] = total;
+      if (heard_update) {
+        double total = 0.0;
+        for (const double term : terms) total += term;
+        alloc[v] = total;
+      }
       const double k = config.threshold_k ? config.threshold_k(v, round) : 1.0;
       const double cap = static_cast<double>(instance.capacities[v]);
-      if (total <= cap / (1.0 + k * config.epsilon)) {
-        ++levels[v];
-      } else if (total >= cap * (1.0 + k * config.epsilon)) {
-        --levels[v];
+      std::int32_t level = levels[v];
+      if (alloc[v] <= cap / (1.0 + k * config.epsilon)) {
+        ++level;
+      } else if (alloc[v] >= cap * (1.0 + k * config.epsilon)) {
+        --level;
       }
-      for (std::size_t i = 0; i < ctx.degree(); ++i) {
-        ctx.send(i, Message{static_cast<double>(levels[v])});
+      if (level != levels[v]) {
+        levels[v] = level;
+        for (std::size_t i = 0; i < ctx.degree(); ++i) {
+          ctx.send(i, Message{static_cast<double>(level)});
+        }
       }
     });
   }

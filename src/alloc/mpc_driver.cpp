@@ -72,6 +72,28 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
   std::vector<std::int32_t> start_levels(g.num_right(), 0);
   std::vector<double> alloc(g.num_right(), 0.0);
 
+  // Host-side record maintenance is frontier-driven: the (u, β_v) and
+  // (v, β_v/β_u) edge records are built once and then only the entries an
+  // incident level/denominator change can have moved are rewritten (the
+  // rewritten value is produced by the same expression as a dense rebuild,
+  // so the record streams — and therefore every cluster outcome — are
+  // bitwise unchanged). The *cluster* cost per round is the same scatter/
+  // reduce traffic as before; the saving is the O(m) host-side rebuild.
+  std::vector<double> beta_right(g.num_right(), 1.0);
+  std::vector<double> denom(g.num_left(), 0.0);
+  std::vector<Word> records1;  ///< (u, β_v) per edge
+  std::vector<Word> records2;  ///< (v, β_v/β_u) per edge
+  std::vector<Vertex> changed_denoms;
+  changed_denoms.reserve(g.num_left());
+  RoundWorkspace ws;
+  ws.init(g);
+  bool have_records = false;
+  const auto refresh_record2 = [&](EdgeId e) {
+    const Edge& ed = g.edge(e);
+    records2[2 * e + 1] =
+        pack(denom[ed.u] > 0.0 ? beta_right[ed.v] / denom[ed.u] : 0.0);
+  };
+
   // The naive regime never runs longer than O(log λ) rounds at constant ε,
   // so raw β values stay comfortably within double range and the records
   // can carry them directly.
@@ -81,36 +103,73 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
     // Aggregation 1: denominators β_u = Σ_{v∈N_u} β_v via (key=u, β_v)
     // records flowing through the cluster. 3 MPC rounds (sample sort +
     // boundary merge inside sum_by_key).
-    std::vector<Word> records;
-    records.reserve(2 * g.num_edges());
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const Edge& ed = g.edge(e);
-      records.push_back(ed.u);
-      records.push_back(pack(std::pow(1.0 + config.epsilon,
-                                      static_cast<double>(levels[ed.v]))));
+    RoundStats round_stats;
+    round_stats.sparse = have_records;
+    if (!have_records) {
+      for (Vertex v = 0; v < g.num_right(); ++v) {
+        beta_right[v] =
+            std::pow(1.0 + config.epsilon, static_cast<double>(levels[v]));
+      }
+      records1.reserve(2 * g.num_edges());
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        records1.push_back(g.edge(e).u);
+        records1.push_back(pack(beta_right[g.edge(e).v]));
+      }
+      result.host_record_updates += g.num_edges();
+    } else {
+      for (const Vertex v : ws.frontier()) {
+        beta_right[v] =
+            std::pow(1.0 + config.epsilon, static_cast<double>(levels[v]));
+        for (const Incidence& inc : g.right_neighbors(v)) {
+          records1[2 * inc.edge + 1] = pack(beta_right[v]);
+          ++result.host_record_updates;
+        }
+      }
     }
-    DistVec denom_vec = cluster.scatter(records, 2);
+    DistVec denom_vec = cluster.scatter(records1, 2);
     mpc::reduce_by_key(cluster, denom_vec, add_doubles, rng);
-    std::vector<double> denom(g.num_left(), 0.0);
+    changed_denoms.clear();
     {
       const std::vector<Word> flat = denom_vec.gather(config.num_threads);
       for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
-        denom[static_cast<Vertex>(flat[i])] = unpack(flat[i + 1]);
+        const auto u = static_cast<Vertex>(flat[i]);
+        const double value = unpack(flat[i + 1]);
+        if (!have_records || denom[u] != value) {
+          denom[u] = value;
+          changed_denoms.push_back(u);
+        }
       }
     }
     // Join: ship β_u back to the edge records — 1 round.
     cluster.charge_rounds(1);
 
     // Aggregation 2: alloc_v = Σ_{u∈N_v} β_v/β_u via (key=v, term) records.
-    records.clear();
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const Edge& ed = g.edge(e);
-      const double beta_v =
-          std::pow(1.0 + config.epsilon, static_cast<double>(levels[ed.v]));
-      records.push_back(ed.v);
-      records.push_back(pack(denom[ed.u] > 0.0 ? beta_v / denom[ed.u] : 0.0));
+    if (!have_records) {
+      records2.reserve(2 * g.num_edges());
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        records2.push_back(g.edge(e).v);
+        records2.push_back(0);
+      }
+      for (EdgeId e = 0; e < g.num_edges(); ++e) refresh_record2(e);
+      result.host_record_updates += g.num_edges();
+      have_records = true;
+    } else {
+      // An entry moves iff its β_v or its β_u denominator moved; refreshing
+      // twice is an idempotent overwrite with the same value.
+      for (const Vertex v : ws.frontier()) {
+        for (const Incidence& inc : g.right_neighbors(v)) {
+          refresh_record2(inc.edge);
+          ++result.host_record_updates;
+        }
+      }
+      for (const Vertex u : changed_denoms) {
+        for (const Incidence& inc : g.left_neighbors(u)) {
+          refresh_record2(inc.edge);
+          ++result.host_record_updates;
+        }
+      }
     }
-    DistVec alloc_vec = cluster.scatter(records, 2);
+    DistVec alloc_vec = cluster.scatter(records2, 2);
     mpc::reduce_by_key(cluster, alloc_vec, add_doubles, rng);
     std::fill(alloc.begin(), alloc.end(), 0.0);
     {
@@ -123,7 +182,11 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
     // itself is machine-local (vertices are records).
     cluster.charge_rounds(1);
     apply_level_update(instance, alloc, config.epsilon, round, nullptr, levels,
-                       config.num_threads);
+                       config.num_threads, &ws.deltas);
+    ws.derive_frontier(g, ws.deltas, config.num_threads);
+    round_stats.frontier_size = ws.frontier().size();
+    round_stats.frontier_volume = ws.frontier_volume();
+    result.stats.record_round(round_stats);
     result.local_rounds = round;
 
     if (config.adaptive_termination) {

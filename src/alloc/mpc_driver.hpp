@@ -22,6 +22,7 @@
 //    total cost is a constant factor over the known-λ run.
 #pragma once
 
+#include "alloc/round_engine.hpp"
 #include "alloc/sampled.hpp"
 #include "graph/allocation.hpp"
 #include "mpc/cluster.hpp"
@@ -66,6 +67,12 @@ struct MpcRunResult {
   std::uint64_t max_ball_volume = 0;  ///< largest exponentiation ball (vertices);
                                       ///< its word volume is enforced ≤ S and
                                       ///< folded into peak_machine_words
+
+  /// Naive driver only: host-side per-edge record rewrites performed by the
+  /// incremental frontier maintenance (a dense per-round rebuild would cost
+  /// 2m · local_rounds), and the per-round frontier counters.
+  std::uint64_t host_record_updates = 0;
+  SolveStats stats;
 };
 
 /// Derive eq. (4)'s phase length: B = max(1, ⌊min(√(α·log n), √(log λ))/√(8ε)⌋).

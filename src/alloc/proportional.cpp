@@ -9,33 +9,45 @@
 
 namespace mpcalloc {
 
+void compute_left_aggregate_into(const BipartiteGraph& graph,
+                                 const std::vector<std::int32_t>& levels,
+                                 const PowTable& pow_table,
+                                 std::size_t num_threads, LeftAggregate& out) {
+  // Reset to the isolated-vertex defaults every sweep (the sweep body never
+  // writes isolated entries), so reusing one buffer across graphs can never
+  // leak stale values; assign() into an already-sized vector reuses its
+  // storage, keeping the warm path heap-free.
+  out.max_level.assign(graph.num_left(),
+                       std::numeric_limits<std::int32_t>::min());
+  out.inv_scaled_denominator.assign(graph.num_left(), 0.0);
+  parallel_for(0, graph.num_left(), kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (Vertex u = static_cast<Vertex>(tile_begin); u < tile_end; ++u) {
+      recompute_left_entry(graph, levels, pow_table, u, out);
+    }
+  });
+}
+
 LeftAggregate compute_left_aggregate(const BipartiteGraph& graph,
                                      const std::vector<std::int32_t>& levels,
                                      const PowTable& pow_table,
                                      std::size_t num_threads) {
   LeftAggregate agg;
-  agg.max_level.assign(graph.num_left(), std::numeric_limits<std::int32_t>::min());
-  agg.inv_scaled_denominator.assign(graph.num_left(), 0.0);
-  parallel_for(0, graph.num_left(), kParallelTile, num_threads,
+  compute_left_aggregate_into(graph, levels, pow_table, num_threads, agg);
+  return agg;
+}
+
+void compute_alloc_into(const BipartiteGraph& graph,
+                        const std::vector<std::int32_t>& levels,
+                        const LeftAggregate& left, const PowTable& pow_table,
+                        std::size_t num_threads, std::vector<double>& out) {
+  out.resize(graph.num_right());
+  parallel_for(0, graph.num_right(), kParallelTile, num_threads,
                [&](std::size_t tile_begin, std::size_t tile_end) {
-    for (Vertex u = static_cast<Vertex>(tile_begin); u < tile_end; ++u) {
-      const auto neighbors = graph.left_neighbors(u);
-      if (neighbors.empty()) continue;
-      std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
-      for (const Incidence& inc : neighbors) {
-        max_level = std::max(max_level, levels[inc.to]);
-      }
-      double denom = 0.0;
-      for (const Incidence& inc : neighbors) {
-        denom += pow_table.pow(levels[inc.to] - max_level);
-      }
-      agg.max_level[u] = max_level;
-      // denom ≥ 1 (the max-level neighbour contributes (1+ε)^0 = 1), so the
-      // reciprocal is well defined and in (0, 1].
-      agg.inv_scaled_denominator[u] = 1.0 / denom;
+    for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+      out[v] = recompute_alloc_entry(graph, levels, left, pow_table, v);
     }
   });
-  return agg;
 }
 
 std::vector<double> compute_alloc(const BipartiteGraph& graph,
@@ -43,22 +55,8 @@ std::vector<double> compute_alloc(const BipartiteGraph& graph,
                                   const LeftAggregate& left,
                                   const PowTable& pow_table,
                                   std::size_t num_threads) {
-  std::vector<double> alloc(graph.num_right(), 0.0);
-  parallel_for(0, graph.num_right(), kParallelTile, num_threads,
-               [&](std::size_t tile_begin, std::size_t tile_end) {
-    for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
-      double total = 0.0;
-      for (const Incidence& inc : graph.right_neighbors(v)) {
-        const Vertex u = inc.to;
-        // x_{u,v} = (1+ε)^{level_v} / Σ_{v'} (1+ε)^{level_{v'}}, evaluated as
-        // (1+ε)^{level_v − max_u} · inv_scaled_denominator_u to stay in
-        // range and to trade the per-edge divide for a multiply.
-        total += pow_table.pow(levels[v] - left.max_level[u]) *
-                 left.inv_scaled_denominator[u];
-      }
-      alloc[v] = total;
-    }
-  });
+  std::vector<double> alloc;
+  compute_alloc_into(graph, levels, left, pow_table, num_threads, alloc);
   return alloc;
 }
 
@@ -68,28 +66,20 @@ std::size_t apply_level_update(
     const std::function<double(Vertex, std::size_t)>& threshold_k,
     std::vector<std::int32_t>& levels, std::size_t num_threads,
     std::vector<std::int8_t>* level_deltas) {
-  return parallel_reduce<std::size_t>(
-      0, capacities.size(), kParallelTile, num_threads, 0,
-      [&](std::size_t tile_begin, std::size_t tile_end) {
-        std::size_t changed = 0;
-        for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
-          const double k = threshold_k ? threshold_k(v, round) : 1.0;
-          const double cap = static_cast<double>(capacities[v]);
-          std::int8_t delta = 0;
-          if (alloc[v] <= cap / (1.0 + k * epsilon)) {
-            ++levels[v];
-            delta = 1;
-            ++changed;
-          } else if (alloc[v] >= cap * (1.0 + k * epsilon)) {
-            --levels[v];
-            delta = -1;
-            ++changed;
-          }
-          if (level_deltas) (*level_deltas)[v] = delta;
-        }
-        return changed;
-      },
-      std::plus<>());
+  if (!threshold_k) {
+    // The common Algorithm-1 case: statically dispatched k ≡ 1, no
+    // per-vertex indirect call through std::function.
+    return apply_level_update(capacities, alloc, epsilon, round,
+                              UnitThreshold{}, levels, num_threads,
+                              level_deltas);
+  }
+  // Deduce the template on a transparent lambda so the call does not
+  // recurse into this exact-match overload.
+  const auto invoke = [&threshold_k](Vertex v, std::size_t r) {
+    return threshold_k(v, r);
+  };
+  return apply_level_update(capacities, alloc, epsilon, round, invoke, levels,
+                            num_threads, level_deltas);
 }
 
 std::size_t apply_level_update(
@@ -264,22 +254,51 @@ ProportionalResult run_proportional(const AllocationInstance& instance,
   if (config.max_rounds == 0) {
     throw std::invalid_argument("run_proportional: max_rounds must be >= 1");
   }
+  if (!(config.dense_switch_fraction >= 0.0)) {
+    throw std::invalid_argument(
+        "run_proportional: dense_switch_fraction must be >= 0");
+  }
   const std::size_t num_threads = resolve_num_threads(config.num_threads);
+  const RoundEngine engine = resolve_round_engine(config.engine);
   const PowTable pow_table(config.epsilon);
   const auto& g = instance.graph;
 
   ProportionalResult result;
   std::vector<std::int32_t> levels(g.num_right(), 0);
-  std::vector<std::int8_t> last_deltas(g.num_right(), 0);
-  std::vector<double> alloc;
+  std::vector<double> alloc(g.num_right(), 0.0);
   LeftAggregate left;
+  RoundWorkspace ws;
+  ws.init(g);
   TerminationScratch scratch;
+  bool have_frontier = false;  // round 1 has no previous deltas: dense
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
-    left = compute_left_aggregate(g, levels, pow_table, num_threads);
-    alloc = compute_alloc(g, levels, left, pow_table, num_threads);
+    RoundStats round_stats;
+    round_stats.sparse = ws.choose_sparse(g, engine, have_frontier,
+                                          config.dense_switch_fraction);
+    if (round_stats.sparse) {
+      // Refresh only the entries the previous round's frontier can have
+      // moved; every refreshed entry scans its full neighborhood in dense
+      // order, so the values are bitwise identical to a dense sweep.
+      parallel_for_each_vertex(ws.touched_left(), num_threads, [&](Vertex u) {
+        recompute_left_entry(g, levels, pow_table, u, left);
+      });
+      parallel_for_each_vertex(ws.touched_right(), num_threads, [&](Vertex v) {
+        alloc[v] = recompute_alloc_entry(g, levels, left, pow_table, v);
+      });
+      round_stats.recomputed_left = ws.touched_left().size();
+      round_stats.recomputed_right = ws.touched_right().size();
+    } else {
+      compute_left_aggregate_into(g, levels, pow_table, num_threads, left);
+      compute_alloc_into(g, levels, left, pow_table, num_threads, alloc);
+    }
     apply_level_update(instance, alloc, config.epsilon, round,
-                       config.threshold_k, levels, num_threads, &last_deltas);
+                       config.threshold_k, levels, num_threads, &ws.deltas);
+    ws.derive_frontier(g, ws.deltas, num_threads);
+    have_frontier = true;
+    round_stats.frontier_size = ws.frontier().size();
+    round_stats.frontier_volume = ws.frontier_volume();
+    result.stats.record_round(round_stats);
     result.rounds_executed = round;
     if (config.track_weight_history) {
       result.weight_history.push_back(
@@ -297,10 +316,11 @@ ProportionalResult run_proportional(const AllocationInstance& instance,
   }
 
   // `left` is the final round's aggregate, computed from that round's start
-  // levels; undo the final update step to recover them (one O(|R|) pass)
-  // instead of snapshotting the whole level vector every round.
+  // levels (the incremental path keeps it current entry by entry); undo the
+  // final update step to recover them (one O(|R|) pass) instead of
+  // snapshotting the whole level vector every round.
   const std::vector<std::int32_t> start_levels =
-      reconstruct_start_levels(levels, last_deltas, num_threads);
+      reconstruct_start_levels(levels, ws.deltas, num_threads);
   result.allocation = materialize_allocation(instance, start_levels, left,
                                              alloc, pow_table, num_threads);
   result.match_weight = match_weight(instance, alloc, num_threads);

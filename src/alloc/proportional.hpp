@@ -21,14 +21,18 @@
 #pragma once
 
 #include "alloc/levels.hpp"
+#include "alloc/round_engine.hpp"
 #include "graph/allocation.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace mpcalloc {
@@ -60,6 +64,17 @@ struct ProportionalConfig {
   /// reductions (see util/parallel.hpp). A non-empty `threshold_k` must be
   /// safe to invoke concurrently (pure functions are).
   std::size_t num_threads = 0;
+
+  /// Recompute strategy for rounds after the first (see round_engine.hpp).
+  /// kAuto switches per round on the frontier volume; results are bitwise
+  /// identical for every choice. MPCALLOC_FORCE_DENSE/SPARSE override.
+  RoundEngine engine = RoundEngine::kAuto;
+
+  /// kAuto's switch point: the sparse path may recompute at most this
+  /// fraction of a dense round's 2m edge visits; the touched-set derivation
+  /// counts its recompute volume and bails out to the dense sweep when the
+  /// budget is exceeded (see round_engine.hpp). Must be ≥ 0.
+  double dense_switch_fraction = 0.2;
 };
 
 struct ProportionalResult {
@@ -70,6 +85,7 @@ struct ProportionalResult {
   std::vector<std::int32_t> final_levels;  ///< β_v = (1+ε)^{level_v}, per v∈R
   std::vector<double> final_alloc;      ///< alloc_v of the last round
   std::vector<double> weight_history;   ///< per-round MatchWeight if tracked
+  SolveStats stats;                     ///< per-round frontier/engine counters
 };
 
 /// Run the engine. Throws std::invalid_argument on bad config.
@@ -110,9 +126,58 @@ struct LeftAggregate {
   std::vector<double> inv_scaled_denominator;  ///< 1/denom; 0 for isolated u
 };
 
+/// Recompute u's LeftAggregate entry by scanning its full CSR neighborhood
+/// — the exact per-vertex body of the dense sweep, shared so the
+/// incremental engine's refreshed entries are bitwise identical to a dense
+/// recompute by construction. Isolated u is left untouched (the dense
+/// sweep's assign() initialises those to INT32_MIN / 0.0).
+inline void recompute_left_entry(const BipartiteGraph& graph,
+                                 const std::vector<std::int32_t>& levels,
+                                 const PowTable& pow_table, Vertex u,
+                                 LeftAggregate& agg) {
+  const auto neighbors = graph.left_neighbors(u);
+  if (neighbors.empty()) return;
+  std::int32_t max_level = std::numeric_limits<std::int32_t>::min();
+  for (const Incidence& inc : neighbors) {
+    max_level = std::max(max_level, levels[inc.to]);
+  }
+  double denom = 0.0;
+  for (const Incidence& inc : neighbors) {
+    denom += pow_table.pow(levels[inc.to] - max_level);
+  }
+  agg.max_level[u] = max_level;
+  // denom ≥ 1 (the max-level neighbour contributes (1+ε)^0 = 1), so the
+  // reciprocal is well defined and in (0, 1].
+  agg.inv_scaled_denominator[u] = 1.0 / denom;
+}
+
+/// Recompute alloc_v by scanning v's full CSR neighborhood in incidence
+/// order — the dense sweep's per-vertex body (see recompute_left_entry).
+[[nodiscard]] inline double recompute_alloc_entry(
+    const BipartiteGraph& graph, const std::vector<std::int32_t>& levels,
+    const LeftAggregate& left, const PowTable& pow_table, Vertex v) {
+  double total = 0.0;
+  for (const Incidence& inc : graph.right_neighbors(v)) {
+    const Vertex u = inc.to;
+    // x_{u,v} = (1+ε)^{level_v} / Σ_{v'} (1+ε)^{level_{v'}}, evaluated as
+    // (1+ε)^{level_v − max_u} · inv_scaled_denominator_u to stay in
+    // range and to trade the per-edge divide for a multiply.
+    total += pow_table.pow(levels[v] - left.max_level[u]) *
+             left.inv_scaled_denominator[u];
+  }
+  return total;
+}
+
 [[nodiscard]] LeftAggregate compute_left_aggregate(
     const BipartiteGraph& graph, const std::vector<std::int32_t>& levels,
     const PowTable& pow_table, std::size_t num_threads = 1);
+
+/// Dense sweep into a caller-owned aggregate (resized on shape mismatch,
+/// reused allocation-free otherwise — the round loop's steady state).
+void compute_left_aggregate_into(const BipartiteGraph& graph,
+                                 const std::vector<std::int32_t>& levels,
+                                 const PowTable& pow_table,
+                                 std::size_t num_threads, LeftAggregate& out);
 
 /// alloc_v = Σ_{u∈N_v} (1+ε)^{level_v − maxlevel_u} · inv_denom_u, summed in
 /// right-CSR incidence order (so independent hosts can reproduce it
@@ -122,12 +187,62 @@ struct LeftAggregate {
     const LeftAggregate& left, const PowTable& pow_table,
     std::size_t num_threads = 1);
 
+/// Dense sweep into a caller-owned vector (see compute_left_aggregate_into).
+void compute_alloc_into(const BipartiteGraph& graph,
+                        const std::vector<std::int32_t>& levels,
+                        const LeftAggregate& left, const PowTable& pow_table,
+                        std::size_t num_threads, std::vector<double>& out);
+
+/// Algorithm 1's k ≡ 1 thresholds as a stateless callable: the common
+/// no-threshold_k case instantiates apply_level_update with this type, so
+/// the per-vertex threshold lookup compiles to a constant instead of a
+/// std::function indirect call.
+struct UnitThreshold {
+  double operator()(Vertex, std::size_t) const { return 1.0; }
+};
+
 /// Apply line 4's threshold update in place; returns the number of vertices
 /// whose level changed. If `level_deltas` is non-null (sized |R|) it
 /// records the per-vertex step {-1, 0, +1} taken this round, letting the
 /// driver reconstruct the round's start levels without snapshotting the
-/// whole level vector (see reconstruct_start_levels). A non-empty
-/// threshold_k must be concurrency-safe when num_threads > 1.
+/// whole level vector (see reconstruct_start_levels) and the incremental
+/// engine derive the changed-vertex frontier. `threshold_k` must be
+/// concurrency-safe when num_threads > 1. The templated overload is the
+/// hot path (a statically dispatched callable, e.g. UnitThreshold); the
+/// std::function overloads below forward to it.
+template <typename ThresholdFn>
+  requires std::is_invocable_r_v<double, ThresholdFn, Vertex, std::size_t>
+std::size_t apply_level_update(std::span<const std::uint32_t> capacities,
+                               const std::vector<double>& alloc,
+                               double epsilon, std::size_t round,
+                               const ThresholdFn& threshold_k,
+                               std::vector<std::int32_t>& levels,
+                               std::size_t num_threads = 1,
+                               std::vector<std::int8_t>* level_deltas = nullptr) {
+  return parallel_reduce<std::size_t>(
+      0, capacities.size(), kParallelTile, num_threads, 0,
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        std::size_t changed = 0;
+        for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+          const double k = threshold_k(v, round);
+          const double cap = static_cast<double>(capacities[v]);
+          std::int8_t delta = 0;
+          if (alloc[v] <= cap / (1.0 + k * epsilon)) {
+            ++levels[v];
+            delta = 1;
+            ++changed;
+          } else if (alloc[v] >= cap * (1.0 + k * epsilon)) {
+            --levels[v];
+            delta = -1;
+            ++changed;
+          }
+          if (level_deltas) (*level_deltas)[v] = delta;
+        }
+        return changed;
+      },
+      std::plus<>());
+}
+
 std::size_t apply_level_update(
     const AllocationInstance& instance, const std::vector<double>& alloc,
     double epsilon, std::size_t round,
@@ -136,7 +251,8 @@ std::size_t apply_level_update(
     std::vector<std::int8_t>* level_deltas = nullptr);
 
 /// The same sweep over an explicit capacity span (the b-matching driver
-/// runs it against its R-side capacities).
+/// runs it against its R-side capacities). An empty threshold_k dispatches
+/// to the UnitThreshold instantiation (no per-vertex indirect call).
 std::size_t apply_level_update(
     std::span<const std::uint32_t> capacities, const std::vector<double>& alloc,
     double epsilon, std::size_t round,

@@ -1,0 +1,141 @@
+#include "alloc/round_engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+
+namespace mpcalloc {
+
+namespace {
+
+bool env_flag_set(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' && std::string_view(value) != "0";
+}
+
+}  // namespace
+
+RoundEngine resolve_round_engine(RoundEngine configured) {
+  const bool force_dense = env_flag_set("MPCALLOC_FORCE_DENSE");
+  const bool force_sparse = env_flag_set("MPCALLOC_FORCE_SPARSE");
+  if (force_dense && force_sparse) {
+    throw std::invalid_argument(
+        "resolve_round_engine: MPCALLOC_FORCE_DENSE and "
+        "MPCALLOC_FORCE_SPARSE are both set");
+  }
+  if (force_dense) return RoundEngine::kDense;
+  if (force_sparse) return RoundEngine::kSparse;
+  return configured;
+}
+
+std::uint64_t sparse_edge_budget(std::size_t num_edges,
+                                 double dense_switch_fraction) {
+  const double budget = dense_switch_fraction * 2.0 *
+                        static_cast<double>(std::max<std::size_t>(num_edges, 1));
+  // A fraction large (or infinite) enough to overflow the cast means
+  // "always sparse"; clamp instead of invoking UB on the conversion.
+  constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+  if (!(budget < static_cast<double>(kMax))) return kMax;
+  return static_cast<std::uint64_t>(budget);
+}
+
+bool RoundWorkspace::choose_sparse(const BipartiteGraph& graph,
+                                   RoundEngine engine, bool have_frontier,
+                                   double dense_switch_fraction) {
+  if (!have_frontier || engine == RoundEngine::kDense) return false;
+  if (engine == RoundEngine::kSparse) {
+    return derive_touched(graph, std::numeric_limits<std::uint64_t>::max());
+  }
+  const std::uint64_t budget =
+      sparse_edge_budget(graph.num_edges(), dense_switch_fraction);
+  if (frontier_volume_ + frontier_.size() > budget) return false;
+  return derive_touched(graph, budget);
+}
+
+void RoundWorkspace::init(const BipartiteGraph& graph) {
+  const std::size_t num_right = graph.num_right();
+  const std::size_t num_left = graph.num_left();
+  deltas.assign(num_right, 0);
+  frontier_.clear();
+  frontier_.reserve(num_right);
+  touched_left_.clear();
+  touched_left_.reserve(num_left);
+  touched_right_.clear();
+  touched_right_.reserve(num_right);
+  left_epoch_.assign(num_left, 0);
+  right_epoch_.assign(num_right, 0);
+  epoch_ = 0;
+  frontier_volume_ = 0;
+  const std::size_t num_tiles =
+      (num_right + kParallelTile - 1) / kParallelTile;
+  tile_counts_.assign(num_tiles, 0);
+}
+
+void RoundWorkspace::derive_frontier(const BipartiteGraph& graph,
+                                     const std::vector<std::int8_t>& ds,
+                                     std::size_t num_threads) {
+  const std::size_t n = ds.size();
+  // Pass 1: changed count per fixed-size tile.
+  parallel_for(0, n, kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+                 std::size_t count = 0;
+                 for (std::size_t v = tile_begin; v < tile_end; ++v) {
+                   count += ds[v] != 0;
+                 }
+                 tile_counts_[tile_begin / kParallelTile] = count;
+               });
+  // Exclusive prefix over the (few) tiles, on the calling thread.
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < tile_counts_.size(); ++t) {
+    const std::size_t count = tile_counts_[t];
+    tile_counts_[t] = total;
+    total += count;
+  }
+  // Pass 2: fill each tile's slice; the result is ascending because tiles
+  // are ascending and each tile scans ascending.
+  frontier_.resize(total);
+  parallel_for(0, n, kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+                 std::size_t out = tile_counts_[tile_begin / kParallelTile];
+                 for (std::size_t v = tile_begin; v < tile_end; ++v) {
+                   if (ds[v] != 0) frontier_[out++] = static_cast<Vertex>(v);
+                 }
+               });
+  frontier_volume_ = 0;
+  for (const Vertex v : frontier_) {
+    frontier_volume_ += graph.right_degree(v);
+  }
+}
+
+bool RoundWorkspace::derive_touched(const BipartiteGraph& graph,
+                                    std::uint64_t edge_budget) {
+  ++epoch_;
+  std::uint64_t volume = 0;
+  touched_left_.clear();
+  for (const Vertex v : frontier_) {
+    for (const Incidence& inc : graph.right_neighbors(v)) {
+      if (left_epoch_[inc.to] != epoch_) {
+        left_epoch_[inc.to] = epoch_;
+        touched_left_.push_back(inc.to);
+        volume += graph.left_degree(inc.to);
+        if (volume > edge_budget) return false;
+      }
+    }
+  }
+  touched_right_.clear();
+  for (const Vertex u : touched_left_) {
+    for (const Incidence& inc : graph.left_neighbors(u)) {
+      if (right_epoch_[inc.to] != epoch_) {
+        right_epoch_[inc.to] = epoch_;
+        touched_right_.push_back(inc.to);
+        volume += graph.right_degree(inc.to);
+        if (volume > edge_budget) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mpcalloc

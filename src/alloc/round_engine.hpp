@@ -1,0 +1,166 @@
+// Frontier-driven incremental round engine.
+//
+// Every round of the proportional dynamics only *moves* the vertices whose
+// allocation sits outside the dead zone, and in the O(log λ) schedule that
+// set collapses geometrically after the first few rounds — yet the dense
+// sweeps keep paying O(n_L + m) + O(m) per round. This engine exploits the
+// sparsity: after `apply_level_update` records the ±1 `level_deltas`, the
+// changed right vertices form a *frontier* F; only
+//
+//   * the left entries u ∈ N(F)        (their max-level/denominator moved),
+//   * the right entries v ∈ N(N(F))    (some incident inv-denominator moved,
+//                                       or their own level moved)
+//
+// can have a different LeftAggregate / alloc value next round, so only
+// those entries are recomputed. Each refreshed entry scans its *full* CSR
+// neighborhood in the same left-to-right order as the dense sweep, so a
+// sparse round is bitwise identical to a dense one at every thread count —
+// the engine changes which entries are recomputed, never how.
+//
+// A direction-optimizing switch (à la push/pull BFS) falls back to the
+// dense tiled sweep whenever the frontier volume exceeds a tunable fraction
+// of m, since the two-hop recompute volume then approaches the dense cost
+// anyway. `MPCALLOC_FORCE_DENSE=1` / `MPCALLOC_FORCE_SPARSE=1` pin the
+// choice for testing (CI runs the determinism suite under both).
+//
+// The RoundWorkspace owns every per-round buffer (delta array, frontier
+// queue, epoch-stamped touched sets, tile scratch); after the first two
+// rounds warm its capacity the round loop performs no workspace
+// (re)allocation — tests assert buffer-pointer stability.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "util/parallel.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpcalloc {
+
+/// Which recompute path the round loop takes after round 1.
+enum class RoundEngine : std::uint8_t {
+  kAuto,    ///< per-round frontier-volume switch (the default)
+  kDense,   ///< always the full tiled sweeps
+  kSparse,  ///< always the incremental path (round 1 is dense regardless)
+};
+
+/// Per-round engine counters. `frontier_*` describe the set of right
+/// vertices whose level changed in *this* round's update (driving the next
+/// round); `recomputed_*` count the entries this round's sweep refreshed
+/// (0/0 on dense rounds, which recompute everything).
+struct RoundStats {
+  std::uint64_t frontier_size = 0;
+  std::uint64_t frontier_volume = 0;  ///< Σ right-degree over the frontier
+  std::uint64_t recomputed_left = 0;
+  std::uint64_t recomputed_right = 0;
+  bool sparse = false;  ///< engine choice for this round's recompute
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
+};
+
+/// Aggregate engine counters for one solve, surfaced on the driver results
+/// and the bench JSON so the dense/sparse split is measurable.
+struct SolveStats {
+  std::size_t dense_rounds = 0;
+  std::size_t sparse_rounds = 0;
+  std::uint64_t recomputed_left_total = 0;
+  std::uint64_t recomputed_right_total = 0;
+  std::vector<RoundStats> rounds;  ///< per executed round, in order
+
+  /// Append one round's counters, folding them into the aggregates.
+  void record_round(const RoundStats& round) {
+    rounds.push_back(round);
+    if (round.sparse) {
+      ++sparse_rounds;
+      recomputed_left_total += round.recomputed_left;
+      recomputed_right_total += round.recomputed_right;
+    } else {
+      ++dense_rounds;
+    }
+  }
+
+  friend bool operator==(const SolveStats&, const SolveStats&) = default;
+};
+
+/// Apply the environment overrides: MPCALLOC_FORCE_DENSE=1 /
+/// MPCALLOC_FORCE_SPARSE=1 (any non-empty value other than "0") beat the
+/// configured choice; both set throws std::invalid_argument.
+[[nodiscard]] RoundEngine resolve_round_engine(RoundEngine configured);
+
+/// The sparse path's work allowance: `fraction · 2m` edge visits (a dense
+/// round performs one left-CSR and one right-CSR pass, 2m edge visits).
+[[nodiscard]] std::uint64_t sparse_edge_budget(std::size_t num_edges,
+                                               double dense_switch_fraction);
+
+/// Owns all per-round scratch of the incremental engine. init() sizes every
+/// buffer to its worst case once; derive_frontier/derive_touched only write
+/// into that storage, so buffer addresses are stable across rounds.
+class RoundWorkspace {
+ public:
+  /// Size (or resize) the buffers for `graph`. Clears the frontier.
+  void init(const BipartiteGraph& graph);
+
+  /// Compact {v : deltas[v] != 0} into the frontier queue, ascending, with
+  /// a deterministic two-pass (per-tile count, prefix, per-tile fill) that
+  /// parallelizes over the same fixed tiles as every other sweep. Also
+  /// records the frontier volume (Σ right-degree).
+  void derive_frontier(const BipartiteGraph& graph,
+                       const std::vector<std::int8_t>& deltas,
+                       std::size_t num_threads);
+
+  /// Derive touched_left = N(frontier) and touched_right = N(N(frontier))
+  /// with epoch-stamped marks (no per-round clearing), accumulating the
+  /// recompute volume (Σ left-degree over touched_left + Σ right-degree
+  /// over touched_right — the edge visits the incremental sweeps will pay).
+  /// Returns false, leaving the touched sets unusable, as soon as that
+  /// volume exceeds `edge_budget` — the direction-optimizing bail-out to
+  /// the dense sweep, bounding the cost of a wrong sparse guess. Serial:
+  /// the sparse path is only attempted when the frontier is small, and a
+  /// serial derivation keeps the set *orders* scheduling-free too.
+  [[nodiscard]] bool derive_touched(const BipartiteGraph& graph,
+                                    std::uint64_t edge_budget);
+
+  /// The drivers' per-round engine gate: decides whether this round's
+  /// recompute may run sparse, deriving the touched sets when it may.
+  /// kDense (or no frontier yet, i.e. round 1) ⇒ false; kSparse ⇒ derive
+  /// with an unlimited budget; kAuto ⇒ pre-filter on the one-hop frontier
+  /// volume, then derive under the sparse_edge_budget with the mid-
+  /// derivation bail-out. Callers must not touch the sets when it returns
+  /// false.
+  [[nodiscard]] bool choose_sparse(const BipartiteGraph& graph,
+                                   RoundEngine engine, bool have_frontier,
+                                   double dense_switch_fraction);
+
+  [[nodiscard]] std::span<const Vertex> frontier() const { return frontier_; }
+  [[nodiscard]] std::uint64_t frontier_volume() const { return frontier_volume_; }
+  [[nodiscard]] std::span<const Vertex> touched_left() const { return touched_left_; }
+  [[nodiscard]] std::span<const Vertex> touched_right() const { return touched_right_; }
+
+  /// ±1 level step per right vertex, written by apply_level_update.
+  std::vector<std::int8_t> deltas;
+
+ private:
+  std::vector<Vertex> frontier_;
+  std::vector<Vertex> touched_left_;
+  std::vector<Vertex> touched_right_;
+  std::vector<std::uint64_t> left_epoch_;
+  std::vector<std::uint64_t> right_epoch_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t frontier_volume_ = 0;
+  std::vector<std::size_t> tile_counts_;
+};
+
+/// Run fn(vertex) for every vertex in `list` on the deterministic executor.
+/// Entries must be independent (each fn(v) writes only v's state), exactly
+/// like the dense sweeps' per-vertex bodies.
+template <typename Fn>
+void parallel_for_each_vertex(std::span<const Vertex> list,
+                              std::size_t num_threads, const Fn& fn) {
+  parallel_for(0, list.size(), kParallelTile, num_threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+                 for (std::size_t i = tile_begin; i < tile_end; ++i) fn(list[i]);
+               });
+}
+
+}  // namespace mpcalloc

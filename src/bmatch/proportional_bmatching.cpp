@@ -4,6 +4,8 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 namespace mpcalloc {
@@ -15,13 +17,17 @@ ProportionalBMatchingResult run_proportional_bmatching(
   if (config.rounds == 0) {
     throw std::invalid_argument("run_proportional_bmatching: rounds >= 1");
   }
+  if (!(config.dense_switch_fraction >= 0.0)) {
+    throw std::invalid_argument(
+        "run_proportional_bmatching: dense_switch_fraction must be >= 0");
+  }
   const auto& g = instance.graph;
   const std::size_t num_threads = resolve_num_threads(config.num_threads);
+  const RoundEngine engine = resolve_round_engine(config.engine);
   const PowTable pow_table(config.epsilon);
 
   ProportionalBMatchingResult result;
   std::vector<std::int32_t> levels(g.num_right(), 0);
-  std::vector<std::int8_t> last_deltas(g.num_right(), 0);
   std::vector<double> alloc(g.num_right(), 0.0);
 
   // The L-side aggregation is identical to Algorithm 1's (the b_u weight is
@@ -35,23 +41,50 @@ ProportionalBMatchingResult run_proportional_bmatching(
         agg.inv_scaled_denominator[ed.u];
     return std::min(1.0, proportional);  // per-edge LP cap x_e <= 1
   };
+  // Per-vertex body shared by the dense sweep and the incremental refresh,
+  // so both paths sum the identical terms in incidence order.
+  auto alloc_entry = [&](Vertex v, const LeftAggregate& agg) {
+    double total = 0.0;
+    for (const Incidence& inc : g.right_neighbors(v)) {
+      total += edge_x(inc.edge, agg, levels);
+    }
+    return total;
+  };
 
   LeftAggregate agg;
+  RoundWorkspace ws;
+  ws.init(g);
+  bool have_frontier = false;
   for (std::size_t round = 1; round <= config.rounds; ++round) {
-    agg = compute_left_aggregate(g, levels, pow_table, num_threads);
-    parallel_for(0, g.num_right(), kParallelTile, num_threads,
-                 [&](std::size_t tile_begin, std::size_t tile_end) {
-      for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
-        double total = 0.0;
-        for (const Incidence& inc : g.right_neighbors(v)) {
-          total += edge_x(inc.edge, agg, levels);
+    RoundStats round_stats;
+    round_stats.sparse = ws.choose_sparse(g, engine, have_frontier,
+                                          config.dense_switch_fraction);
+    if (round_stats.sparse) {
+      parallel_for_each_vertex(ws.touched_left(), num_threads, [&](Vertex u) {
+        recompute_left_entry(g, levels, pow_table, u, agg);
+      });
+      parallel_for_each_vertex(ws.touched_right(), num_threads, [&](Vertex v) {
+        alloc[v] = alloc_entry(v, agg);
+      });
+      round_stats.recomputed_left = ws.touched_left().size();
+      round_stats.recomputed_right = ws.touched_right().size();
+    } else {
+      compute_left_aggregate_into(g, levels, pow_table, num_threads, agg);
+      parallel_for(0, g.num_right(), kParallelTile, num_threads,
+                   [&](std::size_t tile_begin, std::size_t tile_end) {
+        for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
+          alloc[v] = alloc_entry(v, agg);
         }
-        alloc[v] = total;
-      }
-    });
+      });
+    }
     apply_level_update(std::span<const std::uint32_t>(instance.right_capacities),
                        alloc, config.epsilon, round, nullptr, levels,
-                       num_threads, &last_deltas);
+                       num_threads, &ws.deltas);
+    ws.derive_frontier(g, ws.deltas, num_threads);
+    have_frontier = true;
+    round_stats.frontier_size = ws.frontier().size();
+    round_stats.frontier_volume = ws.frontier_volume();
+    result.stats.record_round(round_stats);
     result.rounds_executed = round;
   }
 
@@ -61,7 +94,7 @@ ProportionalBMatchingResult run_proportional_bmatching(
   // recover them by undoing the final update instead of snapshotting the
   // level vector every round.
   const std::vector<std::int32_t> start_levels =
-      reconstruct_start_levels(levels, last_deltas, num_threads);
+      reconstruct_start_levels(levels, ws.deltas, num_threads);
   result.matching.x.assign(g.num_edges(), 0.0);
   parallel_for(0, g.num_edges(), kParallelTile, num_threads,
                [&](std::size_t tile_begin, std::size_t tile_end) {

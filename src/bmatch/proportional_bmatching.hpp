@@ -17,6 +17,7 @@
 #pragma once
 
 #include "alloc/levels.hpp"
+#include "alloc/round_engine.hpp"
 #include "bmatch/bmatching.hpp"
 
 #include <cstdint>
@@ -31,6 +32,12 @@ struct ProportionalBMatchingConfig {
   /// env, else hardware_concurrency). Bitwise-deterministic across counts,
   /// as in ProportionalConfig.
   std::size_t num_threads = 0;
+
+  /// Frontier-driven incremental recompute, as in ProportionalConfig
+  /// (round_engine.hpp): bitwise-identical results for every choice;
+  /// MPCALLOC_FORCE_DENSE/SPARSE override.
+  RoundEngine engine = RoundEngine::kAuto;
+  double dense_switch_fraction = 0.2;
 };
 
 struct ProportionalBMatchingResult {
@@ -38,6 +45,7 @@ struct ProportionalBMatchingResult {
   double match_weight = 0.0;     ///< Σ_v min(C_v, alloc_v)
   std::size_t rounds_executed = 0;
   std::vector<std::int32_t> final_levels;  ///< R-side priority levels
+  SolveStats stats;              ///< per-round frontier/engine counters
 };
 
 [[nodiscard]] ProportionalBMatchingResult run_proportional_bmatching(

@@ -1,0 +1,434 @@
+// The frontier-driven incremental round engine's contract (round_engine.hpp):
+//
+//  (a) engine choice (dense / sparse / auto, at any thread count) never
+//      changes a single output bit — the sparse path recomputes fewer
+//      entries, never different values;
+//  (b) the frontier bookkeeping is sound (the touched sets cover every
+//      entry that actually moves) and allocation-free after warm-up
+//      (workspace buffer addresses are stable);
+//  (c) the MPCALLOC_FORCE_DENSE / MPCALLOC_FORCE_SPARSE environment
+//      overrides pin the engine, so CI can exercise both paths.
+#include "alloc/local_host.hpp"
+#include "alloc/proportional.hpp"
+#include "alloc/round_engine.hpp"
+#include "bmatch/proportional_bmatching.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+/// Scoped environment override (value == nullptr unsets); restores the
+/// previous state on destruction so engine-forcing tests cannot leak into
+/// the rest of the suite.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+/// Tests that pin `config.engine` (and assert per-engine stats) cover both
+/// recompute paths themselves, so they neutralise any ambient
+/// MPCALLOC_FORCE_* override — CI's forced-engine jobs are aimed at the
+/// kAuto-default suites, not at these.
+struct ClearEngineOverrides {
+  ScopedEnv dense{"MPCALLOC_FORCE_DENSE", nullptr};
+  ScopedEnv sparse{"MPCALLOC_FORCE_SPARSE", nullptr};
+};
+
+std::vector<AllocationInstance> engine_instances() {
+  std::vector<AllocationInstance> instances;
+  instances.push_back(testing::make_instance(testing::spec_by_name("medium_lam8")));
+  {
+    // Load-balanced (total capacity == n_L) and multi-tile: the dynamics
+    // genuinely quiesce (the frontier hits zero by round ~7), so the auto
+    // engine really takes sparse rounds on this instance.
+    Xoshiro256pp rng(2031);
+    AllocationInstance balanced;
+    balanced.graph = union_of_forests(6000, 3000, 8, rng);
+    balanced.capacities = Capacities(3000, 2);
+    instances.push_back(std::move(balanced));
+  }
+  return instances;
+}
+
+void expect_identical(const ProportionalResult& a, const ProportionalResult& b) {
+  EXPECT_EQ(a.allocation.x, b.allocation.x);
+  EXPECT_EQ(a.match_weight, b.match_weight);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.stopped_by_condition, b.stopped_by_condition);
+  EXPECT_EQ(a.final_levels, b.final_levels);
+  EXPECT_EQ(a.final_alloc, b.final_alloc);
+}
+
+TEST(Incremental, EnginesBitwiseIdenticalAcrossThreadCounts) {
+  const ClearEngineOverrides no_overrides;
+  for (std::size_t i = 0; const AllocationInstance& instance : engine_instances()) {
+    for (const StopRule rule : {StopRule::kFixedRounds, StopRule::kAdaptive}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "instance " << i << ", rule "
+                   << (rule == StopRule::kAdaptive ? "adaptive" : "fixed"));
+      const auto run_with = [&](RoundEngine engine, std::size_t threads) {
+        ProportionalConfig config;
+        config.epsilon = 0.25;
+        config.stop_rule = rule;
+        config.max_rounds =
+            rule == StopRule::kAdaptive
+                ? tau_for_arboricity(
+                      static_cast<double>(instance.graph.num_vertices()), 0.25)
+                : 25;
+        config.engine = engine;
+        config.num_threads = threads;
+        return run_proportional(instance, config);
+      };
+      const ProportionalResult baseline = run_with(RoundEngine::kDense, 1);
+      EXPECT_EQ(baseline.stats.sparse_rounds, 0u);
+      EXPECT_EQ(baseline.stats.dense_rounds, baseline.rounds_executed);
+      for (const RoundEngine engine :
+           {RoundEngine::kDense, RoundEngine::kSparse, RoundEngine::kAuto}) {
+        ProportionalResult reference;
+        bool have_reference = false;
+        for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "engine " << static_cast<int>(engine) << ", "
+                       << threads << " threads");
+          ProportionalResult result = run_with(engine, threads);
+          expect_identical(baseline, result);
+          // Stats (frontier sizes, engine choices) are set/volume counters,
+          // so they too must not depend on the thread count.
+          if (!have_reference) {
+            reference = std::move(result);
+            have_reference = true;
+          } else {
+            EXPECT_EQ(result.stats, reference.stats);
+          }
+        }
+        if (engine == RoundEngine::kSparse && reference.rounds_executed > 1) {
+          // Forced sparse: only round 1 (no frontier yet) is dense.
+          EXPECT_EQ(reference.stats.dense_rounds, 1u);
+          EXPECT_EQ(reference.stats.sparse_rounds,
+                    reference.rounds_executed - 1);
+        }
+      }
+    }
+    ++i;
+  }
+}
+
+TEST(Incremental, AutoEngineTakesSparseRoundsOnQuiescentInstance) {
+  const ClearEngineOverrides no_overrides;
+  // The balanced instance converges, so kAuto must actually exercise the
+  // sparse path (otherwise the suite above is vacuous for it) and the
+  // recompute counters must stay below the dense volume.
+  const AllocationInstance instance = engine_instances()[1];
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 25;
+  auto result = run_proportional(instance, config);
+  EXPECT_GT(result.stats.sparse_rounds, 0u);
+  ASSERT_EQ(result.stats.rounds.size(), result.rounds_executed);
+  EXPECT_FALSE(result.stats.rounds.front().sparse);  // round 1 is dense
+  for (const RoundStats& round : result.stats.rounds) {
+    if (!round.sparse) continue;
+    EXPECT_LE(round.recomputed_left, instance.graph.num_left());
+    EXPECT_LE(round.recomputed_right, instance.graph.num_right());
+  }
+}
+
+TEST(Incremental, ThresholdKSparseMatchesDense) {
+  const ClearEngineOverrides no_overrides;
+  // Algorithm 3's loose per-(vertex, round) thresholds flow through the
+  // incremental path too: a changed k can move a vertex whose alloc did not
+  // change, which the frontier logic must survive (the level update is
+  // always a full dense pass; only the aggregate/alloc recompute is sparse).
+  Xoshiro256pp rng(2032);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(900, 400, 4, rng);
+  instance.capacities = Capacities(400, 2);
+
+  const auto run_with = [&](RoundEngine engine) {
+    ProportionalConfig config;
+    config.epsilon = 0.2;
+    config.max_rounds = 18;
+    config.engine = engine;
+    config.threshold_k = [](Vertex v, std::size_t round) {
+      return (v + round) % 3 == 0 ? 2.0 : 0.5;
+    };
+    return run_proportional(instance, config);
+  };
+  const ProportionalResult dense = run_with(RoundEngine::kDense);
+  const ProportionalResult sparse = run_with(RoundEngine::kSparse);
+  expect_identical(dense, sparse);
+}
+
+TEST(Incremental, BMatchingEnginesBitwiseIdentical) {
+  const ClearEngineOverrides no_overrides;
+  Xoshiro256pp rng(2033);
+  BMatchingInstance instance;
+  instance.graph = union_of_forests(4000, 1500, 5, rng);
+  instance.left_capacities = uniform_capacities(4000, 1, 3, rng);
+  instance.right_capacities = Capacities(1500, 4);
+
+  const auto run_with = [&](RoundEngine engine, std::size_t threads) {
+    ProportionalBMatchingConfig config;
+    config.epsilon = 0.25;
+    config.rounds = 20;
+    config.engine = engine;
+    config.num_threads = threads;
+    return run_proportional_bmatching(instance, config);
+  };
+  const ProportionalBMatchingResult baseline = run_with(RoundEngine::kDense, 1);
+  for (const RoundEngine engine : {RoundEngine::kSparse, RoundEngine::kAuto}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+      SCOPED_TRACE(::testing::Message() << "engine " << static_cast<int>(engine)
+                                        << ", " << threads << " threads");
+      const ProportionalBMatchingResult result = run_with(engine, threads);
+      EXPECT_EQ(result.matching.x, baseline.matching.x);
+      EXPECT_EQ(result.match_weight, baseline.match_weight);
+      EXPECT_EQ(result.final_levels, baseline.final_levels);
+    }
+  }
+  // The sparse run must actually be sparse after round 1.
+  const ProportionalBMatchingResult sparse = run_with(RoundEngine::kSparse, 1);
+  EXPECT_EQ(sparse.stats.dense_rounds, 1u);
+  EXPECT_EQ(sparse.stats.sparse_rounds, sparse.rounds_executed - 1);
+}
+
+TEST(Incremental, TouchedSetsCoverEveryChangedEntry) {
+  // Property test for the frontier derivation: run the dynamics densely;
+  // at each round compare the freshly recomputed aggregate/alloc against
+  // the previous round's and assert every entry that moved is inside the
+  // touched sets derived from the recorded deltas (marked ⊇ changed).
+  const AllocationInstance instance =
+      testing::make_instance(testing::spec_by_name("medium_lam8"));
+  const auto& g = instance.graph;
+  const PowTable pow_table(0.25);
+
+  std::vector<std::int32_t> levels(g.num_right(), 0);
+  RoundWorkspace ws;
+  ws.init(g);
+  LeftAggregate prev_left;
+  std::vector<double> prev_alloc;
+  bool have_prev = false;
+
+  for (std::size_t round = 1; round <= 15; ++round) {
+    const LeftAggregate left =
+        compute_left_aggregate(g, levels, pow_table);
+    const std::vector<double> alloc =
+        compute_alloc(g, levels, left, pow_table);
+    if (have_prev) {
+      ASSERT_TRUE(ws.derive_touched(
+          g, std::numeric_limits<std::uint64_t>::max()));
+      const auto touched_left = ws.touched_left();
+      const auto touched_right = ws.touched_right();
+      const std::unordered_set<Vertex> left_set(touched_left.begin(),
+                                                touched_left.end());
+      const std::unordered_set<Vertex> right_set(touched_right.begin(),
+                                                 touched_right.end());
+      for (Vertex u = 0; u < g.num_left(); ++u) {
+        if (left.max_level[u] != prev_left.max_level[u] ||
+            left.inv_scaled_denominator[u] !=
+                prev_left.inv_scaled_denominator[u]) {
+          EXPECT_TRUE(left_set.contains(u)) << "changed left entry " << u
+                                            << " missing at round " << round;
+        }
+      }
+      for (Vertex v = 0; v < g.num_right(); ++v) {
+        if (alloc[v] != prev_alloc[v]) {
+          EXPECT_TRUE(right_set.contains(v)) << "changed alloc entry " << v
+                                             << " missing at round " << round;
+        }
+      }
+    }
+    apply_level_update(instance, alloc, 0.25, round, nullptr, levels, 1,
+                       &ws.deltas);
+    ws.derive_frontier(g, ws.deltas, 1);
+    prev_left = left;
+    prev_alloc = alloc;
+    have_prev = true;
+  }
+}
+
+TEST(Incremental, FrontierMatchesNonzeroDeltas) {
+  const AllocationInstance instance =
+      testing::make_instance(testing::spec_by_name("small_lam4"));
+  const auto& g = instance.graph;
+  std::vector<std::int8_t> deltas(g.num_right(), 0);
+  deltas[1] = 1;
+  deltas[5] = -1;
+  if (g.num_right() > 200) deltas[200] = 1;
+  RoundWorkspace ws;
+  ws.init(g);
+  // The two-pass compaction must agree with a trivial serial scan for any
+  // thread count (ragged 7 included).
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    ws.derive_frontier(g, deltas, threads);
+    std::vector<Vertex> expected;
+    std::uint64_t volume = 0;
+    for (Vertex v = 0; v < g.num_right(); ++v) {
+      if (deltas[v] != 0) {
+        expected.push_back(v);
+        volume += g.right_degree(v);
+      }
+    }
+    EXPECT_EQ(std::vector<Vertex>(ws.frontier().begin(), ws.frontier().end()),
+              expected);
+    EXPECT_EQ(ws.frontier_volume(), volume);
+  }
+}
+
+TEST(Incremental, DeriveTouchedHonoursEdgeBudget) {
+  const AllocationInstance instance =
+      testing::make_instance(testing::spec_by_name("medium_lam8"));
+  const auto& g = instance.graph;
+  std::vector<std::int8_t> deltas(g.num_right(), 1);  // everything moved
+  RoundWorkspace ws;
+  ws.init(g);
+  ws.derive_frontier(g, deltas, 1);
+  EXPECT_FALSE(ws.derive_touched(g, /*edge_budget=*/8));
+  EXPECT_TRUE(ws.derive_touched(
+      g, std::numeric_limits<std::uint64_t>::max()));
+  // With an unbounded budget on an everything-moved frontier the touched
+  // sets must cover every non-isolated vertex.
+  EXPECT_GT(ws.touched_left().size(), 0u);
+  EXPECT_GT(ws.touched_right().size(), 0u);
+}
+
+TEST(Incremental, WorkspaceBuffersStableAfterWarmup) {
+  // The zero-allocation contract, observed through pointer stability: once
+  // init() sized the buffers, no round may reallocate any of them — the
+  // frontier queue, the touched sets, and the delta array keep their
+  // addresses through a full forced-sparse run.
+  const AllocationInstance instance = engine_instances()[1];
+  const auto& g = instance.graph;
+  const PowTable pow_table(0.25);
+
+  std::vector<std::int32_t> levels(g.num_right(), 0);
+  std::vector<double> alloc(g.num_right(), 0.0);
+  LeftAggregate left;
+  RoundWorkspace ws;
+  ws.init(g);
+
+  const std::int8_t* deltas_data = ws.deltas.data();
+  const Vertex* frontier_data = nullptr;
+  const Vertex* touched_left_data = nullptr;
+  const Vertex* touched_right_data = nullptr;
+
+  for (std::size_t round = 1; round <= 20; ++round) {
+    if (round == 1) {
+      compute_left_aggregate_into(g, levels, pow_table, 1, left);
+      compute_alloc_into(g, levels, left, pow_table, 1, alloc);
+    } else {
+      ASSERT_TRUE(ws.derive_touched(
+          g, std::numeric_limits<std::uint64_t>::max()));
+      for (const Vertex u : ws.touched_left()) {
+        recompute_left_entry(g, levels, pow_table, u, left);
+      }
+      for (const Vertex v : ws.touched_right()) {
+        alloc[v] = recompute_alloc_entry(g, levels, left, pow_table, v);
+      }
+    }
+    apply_level_update(instance, alloc, 0.25, round, nullptr, levels, 1,
+                       &ws.deltas);
+    ws.derive_frontier(g, ws.deltas, 1);
+    if (round == 2) {
+      frontier_data = ws.frontier().data();
+      touched_left_data = ws.touched_left().data();
+      touched_right_data = ws.touched_right().data();
+    } else if (round > 2) {
+      EXPECT_EQ(ws.deltas.data(), deltas_data);
+      EXPECT_EQ(ws.frontier().data(), frontier_data);
+      EXPECT_EQ(ws.touched_left().data(), touched_left_data);
+      EXPECT_EQ(ws.touched_right().data(), touched_right_data);
+    }
+  }
+}
+
+TEST(Incremental, EnvOverridesForceEngineChoice) {
+  const ClearEngineOverrides no_overrides;
+  const AllocationInstance instance =
+      testing::make_instance(testing::spec_by_name("medium_lam8"));
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 12;
+  config.engine = RoundEngine::kAuto;
+
+  {
+    ScopedEnv force("MPCALLOC_FORCE_SPARSE", "1");
+    const ProportionalResult result = run_proportional(instance, config);
+    EXPECT_EQ(result.stats.dense_rounds, 1u);
+    EXPECT_EQ(result.stats.sparse_rounds, result.rounds_executed - 1);
+  }
+  {
+    ScopedEnv force("MPCALLOC_FORCE_DENSE", "1");
+    const ProportionalResult result = run_proportional(instance, config);
+    EXPECT_EQ(result.stats.sparse_rounds, 0u);
+  }
+  {
+    ScopedEnv dense("MPCALLOC_FORCE_DENSE", "1");
+    ScopedEnv sparse("MPCALLOC_FORCE_SPARSE", "1");
+    EXPECT_THROW((void)run_proportional(instance, config),
+                 std::invalid_argument);
+  }
+  {
+    // "0" means unset, matching the usual boolean-env convention.
+    ScopedEnv off("MPCALLOC_FORCE_DENSE", "0");
+    EXPECT_EQ(resolve_round_engine(RoundEngine::kSparse), RoundEngine::kSparse);
+  }
+}
+
+TEST(Incremental, LocalHostMessagesAreFrontierDriven) {
+  // The LOCAL host now re-announces levels only when they changed and
+  // re-sends fractional terms only to processors that heard a new level, so
+  // on a quiescing instance the message volume must fall far below the
+  // always-broadcast protocol's m + 2m·rounds (while test_local_host keeps
+  // asserting bit-for-bit agreement with the vectorised engine).
+  const AllocationInstance instance = engine_instances()[1];
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 20;
+  const LocalHostResult host = run_proportional_local(instance, config);
+  const std::uint64_t broadcast_messages =
+      static_cast<std::uint64_t>(instance.graph.num_edges()) *
+      (1 + 2 * config.max_rounds);
+  EXPECT_LT(host.messages_sent, broadcast_messages / 2);
+  EXPECT_EQ(host.local_rounds, 2 * config.max_rounds + 1);
+}
+
+TEST(Incremental, RejectsNegativeSwitchFraction) {
+  const AllocationInstance instance =
+      testing::make_instance(testing::spec_by_name("tiny_unit"));
+  ProportionalConfig config;
+  config.max_rounds = 3;
+  config.dense_switch_fraction = -0.5;
+  EXPECT_THROW((void)run_proportional(instance, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcalloc
