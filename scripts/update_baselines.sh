@@ -25,6 +25,18 @@ fi
 export MPCALLOC_THREADS=1
 mkdir -p "$OUT_DIR"
 
+# Keep the committed MPC counter baselines around for the drift check below.
+COMMITTED_DIR="$(mktemp -d)"
+trap 'rm -rf "$COMMITTED_DIR"' EXIT
+MPC_COUNTER_FILES=(bench_mpc_rounds.json bench_sampling.json)
+for f in "${MPC_COUNTER_FILES[@]}"; do
+  if ! git -C "$REPO_ROOT" show "HEAD:bench/baselines/$f" \
+      > "$COMMITTED_DIR/$f" 2>/dev/null; then
+    rm -f "$COMMITTED_DIR/$f"
+    echo "warning: no committed baseline for $f at HEAD; it will skip the drift check" >&2
+  fi
+done
+
 run() {
   echo "== $* =="
   "$@" > /dev/null
@@ -40,5 +52,37 @@ run "$BENCH_DIR/bench_mpc_rounds"  --threads=1 --json="$OUT_DIR/bench_mpc_rounds
 run "$BENCH_DIR/bench_rounds_vs_n" --threads=1 --json="$OUT_DIR/bench_rounds_vs_n.json"
 run "$BENCH_DIR/bench_boosting"    --json="$OUT_DIR/bench_boosting.json"
 run "$BENCH_DIR/bench_rounding"    --json="$OUT_DIR/bench_rounding.json"
+
+# MPC counters (rounds, words moved, peak machine/total words) are exact
+# model quantities, not time budgets: a refactor must reproduce them
+# bitwise, so silent drift here is a correctness bug, not noise. Fail
+# loudly if the regenerated counters differ from the committed ones; an
+# intentional semantic change can acknowledge the drift by re-running with
+# MPCALLOC_ALLOW_MPC_DRIFT=1 (the regenerated files are already in place).
+# Compare whichever committed files exist (compare_bench.py walks the
+# baseline dir), so one missing file never silently disables the check for
+# the others.
+if [[ -n "$(ls -A "$COMMITTED_DIR")" ]]; then
+  # --counter-tolerance 0 overrides the ~10% slack the baseline files grant
+  # the CI perf gate (which runs on different hardware): for a same-machine
+  # regeneration the counters must be *bitwise* reproductions.
+  if ! python3 "$REPO_ROOT/scripts/compare_bench.py" \
+      "$COMMITTED_DIR" "$OUT_DIR" --time-tolerance 1e9 --counter-tolerance 0; then
+    if [[ "${MPCALLOC_ALLOW_MPC_DRIFT:-0}" == "1" ]]; then
+      echo "warning: MPC counter baselines drifted from HEAD" >&2
+      echo "         (accepted via MPCALLOC_ALLOW_MPC_DRIFT=1)" >&2
+    else
+      echo "ERROR: MPC counter baselines drifted from the committed values." >&2
+      echo "       These counters are exact (bitwise thread/worker-count" >&2
+      echo "       invariant); drift means the runtime's record streams or" >&2
+      echo "       accounting changed. If that is intentional, re-run with" >&2
+      echo "       MPCALLOC_ALLOW_MPC_DRIFT=1 and explain the change in the" >&2
+      echo "       commit message." >&2
+      exit 1
+    fi
+  fi
+else
+  echo "warning: no committed MPC baselines at HEAD at all; skipping drift check" >&2
+fi
 
 echo "baselines refreshed in $OUT_DIR"

@@ -230,8 +230,9 @@ MpcRunResult run_mpc_phased(const AllocationInstance& instance,
 
   // The input edge list is resident on the cluster for the whole run
   // (input placement is free in the model, but the space it occupies is
-  // not): scatter it so the per-machine and total space accounting reflect
-  // the Õ(λn)-word input, not just the exponentiation balls.
+  // not): scatter it so the arenas' per-machine high-watermarks and the
+  // total space accounting reflect the Õ(λn)-word input, not just the
+  // exponentiation balls.
   {
     std::vector<Word> flat;
     flat.reserve(2 * instance.graph.num_edges());

@@ -1,6 +1,8 @@
 // The sublinear-MPC allocation pipeline (Theorems 3 and 10).
 //
-// Two drivers, both running against the accounting Cluster of src/mpc/:
+// Two drivers, both running against the shard-owned MPC runtime of
+// src/mpc/ (per-worker shard arenas + record transport, orchestrated by
+// Cluster — see mpc/cluster.hpp for the layer split):
 //
 //  * run_mpc_naive — the baseline the paper improves on (Section 1.2.1):
 //    simulate Algorithm 1 one LOCAL round at a time; every round costs O(1)
@@ -46,9 +48,10 @@ struct MpcDriverConfig {
   bool adaptive_termination = false;
 
   /// Worker threads for the simulator-side sweeps (sampled executor tiles,
-  /// per-shard cluster work, ball collection). 0 = auto (MPCALLOC_THREADS
-  /// env, else hardware concurrency). All results — allocation, rounds,
-  /// peak_machine_words — are bitwise independent of the value.
+  /// the cluster's owner-compute shard passes, ball collection). 0 = auto
+  /// (MPCALLOC_THREADS env, else hardware concurrency). All results —
+  /// allocation, rounds, peak_machine_words — are bitwise independent of
+  /// the value (and of the cluster's worker-ownership partition).
   std::size_t num_threads = 0;
 };
 

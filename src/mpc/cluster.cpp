@@ -1,42 +1,20 @@
 #include "mpc/cluster.hpp"
 
-#include "mpc/shard_parallel.hpp"
-#include "util/parallel.hpp"
-
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace mpcalloc::mpc {
 
-std::size_t DistVec::num_records() const {
-  std::size_t total = 0;
-  for (const auto& s : shards) total += s.size();
-  return width == 0 ? 0 : total / width;
-}
-
-std::size_t DistVec::num_words() const {
-  std::size_t total = 0;
-  for (const auto& s : shards) total += s.size();
-  return total;
-}
-
-std::vector<Word> DistVec::gather(std::size_t num_threads) const {
-  std::vector<std::size_t> offset(shards.size() + 1, 0);
-  for (std::size_t m = 0; m < shards.size(); ++m) {
-    offset[m + 1] = offset[m] + shards[m].size();
-  }
-  std::vector<Word> flat(offset.back());
-  detail::for_each_shard(shards.size(), num_threads, [&](std::size_t m) {
-    std::copy(shards[m].begin(), shards[m].end(),
-              flat.begin() + static_cast<std::ptrdiff_t>(offset[m]));
-  });
-  return flat;
-}
-
-Cluster::Cluster(std::size_t num_machines, std::size_t machine_words)
+Cluster::Cluster(std::size_t num_machines, std::size_t machine_words,
+                 std::size_t num_workers)
     : num_machines_(num_machines), machine_words_(machine_words) {
   if (num_machines == 0) throw std::invalid_argument("Cluster: need >= 1 machine");
   if (machine_words == 0) throw std::invalid_argument("Cluster: need S >= 1");
+  workers_ =
+      std::make_shared<WorkerGroup>(num_machines, machine_words, num_workers);
+  transport_ = std::make_unique<InProcessTransport>(*workers_);
 }
 
 Cluster Cluster::for_input(std::uint64_t input_words, double alpha,
@@ -55,157 +33,97 @@ Cluster Cluster::for_input(std::uint64_t input_words, double alpha,
   return Cluster(machines, s);
 }
 
-void Cluster::note_machine_load(std::uint64_t words) {
-  peak_machine_words_ = std::max(peak_machine_words_, words);
-  if (words > machine_words_) {
-    throw MpcCapacityError("machine holds " + std::to_string(words) +
-                           " words, S = " + std::to_string(machine_words_));
+void Cluster::ensure_live() const {
+  if (!workers_) {
+    throw std::logic_error("Cluster: runtime is not live (moved-from)");
   }
 }
 
+void Cluster::charge_rounds(std::size_t k) {
+  ensure_live();
+  if (k == 0) return;
+  rounds_ += k;
+}
+
+std::uint64_t Cluster::peak_machine_words() const {
+  return workers_ ? workers_->peak_machine_words() : 0;
+}
+
 void Cluster::account_resident(std::size_t machine, std::uint64_t words) {
+  ensure_live();
   if (machine >= num_machines_) {
-    throw std::out_of_range("account_resident: machine index");
+    throw std::out_of_range("account_resident: machine index " +
+                            std::to_string(machine) + " >= " +
+                            std::to_string(num_machines_));
   }
-  note_machine_load(words);
+  workers_->commit_resident(machine, words, rounds_);
   peak_total_words_ = std::max(peak_total_words_, words_moved_ + words);
 }
 
 DistVec Cluster::scatter(std::span<const Word> flat, std::size_t width) {
+  ensure_live();
   if (width == 0 || flat.size() % width != 0) {
     throw std::invalid_argument("scatter: flat size not a multiple of width");
   }
   const std::size_t records = flat.size() / width;
-  DistVec out;
-  out.width = width;
-  out.shards.assign(num_machines_, {});
   // Block partition: as even as possible. Each shard's record range is a
-  // pure function of (records, num_machines), so the shard fills are
-  // independent and run machine-parallel.
-  const std::size_t per_machine = (records + num_machines_ - 1) /
-                                  std::max<std::size_t>(num_machines_, 1);
-  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t m) {
-    const std::size_t r0 = std::min(records, m * per_machine);
+  // pure function of (records, num_machines).
+  const std::size_t per_machine = (records + num_machines_ - 1) / num_machines_;
+  const auto record_begin = [&](std::size_t m) {
+    return std::min(records, m * per_machine);
+  };
+  // Rule 3 at arena commit, in machine order and before any arena is
+  // filled: the shard sizes are pure arithmetic, so a violation leaves
+  // every arena untouched and the error attribution is deterministic.
+  for (std::size_t m = 0; m < num_machines_; ++m) {
+    const std::uint64_t shard_words =
+        static_cast<std::uint64_t>(
+            std::min(records, record_begin(m) + per_machine) -
+            record_begin(m)) *
+        width;
+    workers_->commit_resident(m, shard_words, rounds_);
+  }
+  peak_total_words_ = std::max<std::uint64_t>(peak_total_words_, flat.size());
+
+  DistVec out = workers_->create_dist(width);
+  // Owner-compute fill: every shard is populated by the worker whose arena
+  // holds it.
+  workers_->for_each_owned_shard(num_threads_, [&](std::size_t m) {
+    const std::size_t r0 = record_begin(m);
     const std::size_t r1 = std::min(records, r0 + per_machine);
     if (r0 == r1) return;
-    out.shards[m].assign(
+    out.shard(m).assign(
         flat.begin() + static_cast<std::ptrdiff_t>(r0 * width),
         flat.begin() + static_cast<std::ptrdiff_t>(r1 * width));
   });
-  // Capacity accounting stays on the calling thread, shard-by-shard in
-  // machine order, so the peak tracking (and any capacity error) is exact
-  // and independent of scheduling.
-  std::uint64_t total = 0;
-  for (const auto& s : out.shards) {
-    note_machine_load(s.size());
-    total += s.size();
-  }
-  peak_total_words_ = std::max(peak_total_words_, total);
   return out;
 }
 
 void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination) {
-  if (data.shards.size() != num_machines_) {
+  ensure_live();
+  // Arena identity, not just geometry: a DistVec from another cluster would
+  // be exchanged against the wrong S budget and the wrong arenas'
+  // watermarks, silently voiding the capacity rules.
+  if (!data.owned_by(*workers_)) {
     throw std::invalid_argument("shuffle: DistVec does not belong to cluster");
   }
-  if (destination.size() != data.num_records()) {
-    throw std::invalid_argument("shuffle: destination size != record count");
-  }
-
-  const std::size_t width = data.width;
-  const std::size_t total_records = destination.size();
-
-  // Record-index prefix per source shard (record i of the global order
-  // lives on the machine whose range contains i).
-  std::vector<std::size_t> shard_first(num_machines_ + 1, 0);
-  for (std::size_t m = 0; m < num_machines_; ++m) {
-    shard_first[m + 1] = shard_first[m] + data.shards[m].size() / width;
-  }
-  std::vector<std::uint32_t> source_of(total_records);
-  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t m) {
-    std::fill(source_of.begin() + static_cast<std::ptrdiff_t>(shard_first[m]),
-              source_of.begin() + static_cast<std::ptrdiff_t>(shard_first[m + 1]),
-              static_cast<std::uint32_t>(m));
-  });
-
-  // Stable counting sort by destination: count, prefix, then place record
-  // indices in global order — each destination's slice of `ordered` keeps
-  // the source order a sequential scan would deliver, in O(R) with no
-  // comparison sort. The count pass doubles as destination validation,
-  // before any state is mutated.
-  std::vector<std::size_t> dest_begin(num_machines_ + 1, 0);
-  for (std::size_t i = 0; i < total_records; ++i) {
-    const std::uint32_t dest = destination[i];
-    if (dest >= num_machines_) {
-      throw std::out_of_range("shuffle: destination machine out of range");
-    }
-    ++dest_begin[dest + 1];
-  }
-  for (std::size_t m = 0; m < num_machines_; ++m) {
-    dest_begin[m + 1] += dest_begin[m];
-  }
-  std::vector<std::uint32_t> ordered(total_records);
-  {
-    std::vector<std::size_t> cursor(dest_begin.begin(), dest_begin.end() - 1);
-    for (std::size_t i = 0; i < total_records; ++i) {
-      ordered[cursor[destination[i]]++] = static_cast<std::uint32_t>(i);
-    }
-  }
-
-  // Assemble every destination shard in parallel; the words sent/received
-  // tallies are per-machine and written disjointly.
-  std::vector<std::uint64_t> sent(num_machines_, 0);
-  std::vector<std::uint64_t> received(num_machines_, 0);
-  std::vector<std::vector<Word>> next(num_machines_);
-  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t d) {
-    auto& shard = next[d];
-    shard.reserve((dest_begin[d + 1] - dest_begin[d]) * width);
-    std::uint64_t received_here = 0;
-    for (std::size_t k = dest_begin[d]; k < dest_begin[d + 1]; ++k) {
-      const std::size_t i = ordered[k];
-      const std::size_t src = source_of[i];
-      const Word* record =
-          data.shards[src].data() + (i - shard_first[src]) * width;
-      shard.insert(shard.end(), record, record + width);
-      if (src != d) received_here += width;
-    }
-    received[d] = received_here;
-  });
-  detail::for_each_shard(num_machines_, num_threads_, [&](std::size_t m) {
-    std::uint64_t sent_here = 0;
-    for (std::size_t i = shard_first[m]; i < shard_first[m + 1]; ++i) {
-      if (destination[i] != m) sent_here += width;
-    }
-    sent[m] = sent_here;
-  });
-
-  // Capacity rules and counters: applied machine-by-machine in order on the
-  // calling thread — exact per shard, deterministic error attribution.
+  // Plan first: routing, tallies, and destination validation all happen
+  // before any arena mutation; the round is charged only once the exchange
+  // succeeded, so a rejected round leaves every counter (and arena) as it
+  // found it.
+  const RoundPlan plan = RoundPlan::build(data, destination, rounds_ + 1);
+  transport_->exchange(plan, data, num_threads_);
   ++rounds_;
-  std::uint64_t total = 0;
-  for (std::size_t m = 0; m < num_machines_; ++m) {
-    if (sent[m] > machine_words_) {
-      throw MpcCapacityError("machine " + std::to_string(m) + " sends " +
-                             std::to_string(sent[m]) + " words in one round");
-    }
-    if (received[m] > machine_words_) {
-      throw MpcCapacityError("machine " + std::to_string(m) + " receives " +
-                             std::to_string(received[m]) +
-                             " words in one round");
-    }
-    words_moved_ += sent[m];
-    note_machine_load(next[m].size());
-    total += next[m].size();
-  }
-  peak_total_words_ = std::max(peak_total_words_, total);
-  data.shards = std::move(next);
+  words_moved_ += plan.total_words_sent();
+  peak_total_words_ = std::max(peak_total_words_, plan.total_words());
 }
 
 void Cluster::reset_counters() {
+  ensure_live();
   rounds_ = 0;
   words_moved_ = 0;
-  peak_machine_words_ = 0;
   peak_total_words_ = 0;
+  workers_->reset_peaks();
 }
 
 }  // namespace mpcalloc::mpc

@@ -1,64 +1,56 @@
-// MPC model runtime (Section 2.3 of the paper).
+// MPC model runtime (Section 2.3 of the paper) — the orchestrator layer.
 //
 // An MPC instance has N machines, each with S words of memory; computation
 // proceeds in synchronous rounds; per round a machine may send and receive
 // at most S words in total; within a round computation is free. The
 // sublinear regime sets S = n^α for a constant α ∈ (0,1).
 //
-// This Cluster is a *faithful accounting simulator*: data really lives in
-// per-machine shards, every communication step goes through `shuffle`,
-// and `shuffle` enforces the model's three capacity rules —
-//   (1) per-machine words sent   ≤ S,
-//   (2) per-machine words received ≤ S,
-//   (3) per-machine resident words ≤ S after delivery —
-// throwing MpcCapacityError on violation. The quantities the paper's
-// Theorem 3 bounds (round count, per-machine space high-watermark, total
-// space) are exposed as counters, which is what bench/bench_mpc_* report.
+// The runtime is split into three layers so the model's capacity rules are
+// structurally true rather than arithmetic bookkeeping:
 //
-// Higher-level primitives (sort by sampled splitters, reduce-by-key,
-// broadcast) live in primitives.hpp and are built on shuffle with their
-// textbook O(1/α) round costs. Where the driver simulates a step centrally
-// for convenience (e.g. splitter selection), it charges the documented
-// number of rounds via `charge_rounds` — see DESIGN.md §1.
+//  * mpc/worker.{hpp,cpp} — each runtime worker *owns* a fixed contiguous
+//    range of machine shards in a private arena; shard-local compute runs
+//    on the owning worker (owner-compute affinity) and rule 3 (resident
+//    words ≤ S) is enforced when a shard is committed into its arena,
+//    which also keeps the resident high-watermark.
+//  * mpc/transport.{hpp,cpp} — the Transport is the only code path that
+//    moves records across shard boundaries: it executes a RoundPlan by
+//    posting records into per-worker mailboxes and committing them at the
+//    destination arenas, enforcing rules 1 (sent ≤ S) and 2 (received ≤ S)
+//    from the plan's tallies before anything moves.
+//  * this Cluster — an orchestrator that builds round plans, charges
+//    rounds, and reads the capacity high-watermarks off the arenas. The
+//    quantities Theorem 3 bounds (round count, per-machine space
+//    high-watermark, total space) are exposed as counters, which is what
+//    bench/bench_mpc_* report.
+//
+// Violations throw MpcCapacityError with structured context (rule, machine,
+// round, observed vs budget words). Higher-level primitives (sort by
+// sampled splitters, reduce-by-key, broadcast) live in primitives.hpp and
+// are built on shuffle with their textbook O(1/α) round costs. Where the
+// driver simulates a step centrally for convenience (e.g. splitter
+// selection, the reduce boundary merge), it charges the documented number
+// of rounds via `charge_rounds` — see DESIGN.md §1.
 #pragma once
 
+#include "mpc/transport.hpp"
+#include "mpc/worker.hpp"
+
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <stdexcept>
-#include <string>
 #include <vector>
 
 namespace mpcalloc::mpc {
 
-using Word = std::uint64_t;
-
-/// Thrown when an operation would exceed a machine's S-word budget.
-class MpcCapacityError : public std::runtime_error {
- public:
-  explicit MpcCapacityError(const std::string& what)
-      : std::runtime_error("MPC capacity violation: " + what) {}
-};
-
-/// A dataset of fixed-width records sharded across machines. Records are
-/// flattened: shard[m] holds records back to back, each `width` words.
-struct DistVec {
-  std::size_t width = 1;
-  std::vector<std::vector<Word>> shards;
-
-  [[nodiscard]] std::size_t num_records() const;
-  [[nodiscard]] std::size_t num_words() const;
-
-  /// Collect all records into one flat vector (simulator-side inspection —
-  /// not an MPC operation; use for verification/tests only). `num_threads`
-  /// parallelises the per-shard copies; the default runs sequentially and
-  /// 0 means auto (the result is identical for any value).
-  [[nodiscard]] std::vector<Word> gather(std::size_t num_threads = 1) const;
-};
-
 class Cluster {
  public:
   /// num_machines ≥ 1 machines of `machine_words` (= S) words each.
-  Cluster(std::size_t num_machines, std::size_t machine_words);
+  /// num_workers pins the shard-ownership partition (0 = auto: one worker
+  /// per executor thread, capped by the machine count). All results are
+  /// bitwise independent of the worker count.
+  Cluster(std::size_t num_machines, std::size_t machine_words,
+          std::size_t num_workers = 0);
 
   /// Build a cluster in the sublinear regime for an input of `input_words`
   /// total words: S = ceil(input_words^alpha) (clamped below by min_words)
@@ -69,53 +61,68 @@ class Cluster {
   [[nodiscard]] std::size_t num_machines() const { return num_machines_; }
   [[nodiscard]] std::size_t machine_words() const { return machine_words_; }
 
-  /// Worker threads for shard-local simulator work (scatter/shuffle routing
-  /// and the per-shard sorts/combines in primitives.*). 0 = auto (the
+  /// The shard-ownership layer (owner-compute dispatch, arenas) and the
+  /// record transport. Live for as long as the cluster is.
+  [[nodiscard]] WorkerGroup& workers() { return *workers_; }
+  [[nodiscard]] const WorkerGroup& workers() const { return *workers_; }
+  [[nodiscard]] Transport& transport() { return *transport_; }
+
+  /// False once the runtime has been moved out of this object.
+  [[nodiscard]] bool is_live() const { return workers_ != nullptr; }
+
+  /// Worker threads for simulator-side work (owner-compute passes in
+  /// primitives.* and exponentiation.*, transport phases). 0 = auto (the
   /// MPCALLOC_THREADS environment variable if set, else hardware
   /// concurrency). The simulated machines' contents, the round counters,
   /// and the peak_machine_words accounting are bitwise independent of the
-  /// value: shards are fixed tiles, randomness is derived per shard before
-  /// any parallel region, and accounting is applied shard-by-shard in
-  /// machine order on the calling thread.
+  /// value: shards are fixed per-worker tiles, randomness is derived per
+  /// shard before any parallel region, and capacity checks are applied in
+  /// machine order.
   void set_num_threads(std::size_t num_threads) { num_threads_ = num_threads; }
   [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
 
   /// Load an input dataset, block-partitioned across machines. Input
   /// placement is free in the MPC model (data starts adversarially
-  /// partitioned); capacity rule (3) is still enforced.
+  /// partitioned); capacity rule (3) is still enforced at arena commit.
   [[nodiscard]] DistVec scatter(std::span<const Word> flat, std::size_t width);
 
   /// One communication round: record i of `data` moves to machine
-  /// `destination[i]` (indexed in record order across shards). Enforces all
-  /// three capacity rules and advances the round counter.
+  /// `destination[i]` (indexed in record order across shards). Builds the
+  /// RoundPlan (destinations validated before any arena mutation), executes
+  /// it on the transport (rules 1–3), and advances the round counter.
   void shuffle(DistVec& data, std::span<const std::uint32_t> destination);
 
   /// Explicitly charge `k` rounds for a primitive whose data movement is
-  /// simulated centrally (documented per call site).
-  void charge_rounds(std::size_t k) { rounds_ += k; }
+  /// simulated centrally (documented per call site). charge_rounds(0) is a
+  /// no-op but still asserts the cluster is live.
+  void charge_rounds(std::size_t k);
 
   /// Account `words` of resident data on machine `m` without moving records
-  /// through a DistVec (used by ball-collection space accounting).
+  /// through a DistVec (used by ball-collection space accounting). The
+  /// machine index is bounds-checked; the commit lands on the owning
+  /// worker's arena.
   void account_resident(std::size_t machine, std::uint64_t words);
 
   // -- counters ----------------------------------------------------------
   [[nodiscard]] std::size_t rounds() const { return rounds_; }
   [[nodiscard]] std::uint64_t total_words_moved() const { return words_moved_; }
-  [[nodiscard]] std::uint64_t peak_machine_words() const { return peak_machine_words_; }
+  /// Read off the arenas: max resident high-watermark over all workers.
+  [[nodiscard]] std::uint64_t peak_machine_words() const;
   [[nodiscard]] std::uint64_t peak_total_words() const { return peak_total_words_; }
 
   void reset_counters();
 
  private:
-  void note_machine_load(std::uint64_t words);
+  void ensure_live() const;
 
   std::size_t num_machines_;
   std::size_t machine_words_;
   std::size_t num_threads_ = 0;
   std::size_t rounds_ = 0;
   std::uint64_t words_moved_ = 0;
-  std::uint64_t peak_machine_words_ = 0;
   std::uint64_t peak_total_words_ = 0;
+  std::shared_ptr<WorkerGroup> workers_;
+  std::unique_ptr<Transport> transport_;
 };
 
 }  // namespace mpcalloc::mpc

@@ -1,7 +1,5 @@
 #include "mpc/exponentiation.hpp"
 
-#include "util/parallel.hpp"
-
 #include <algorithm>
 #include <cmath>
 
@@ -9,11 +7,12 @@ namespace mpcalloc::mpc {
 
 namespace {
 
-/// Per-worker BFS visited scratch, epoch-stamped: bumping the epoch makes
+/// Per-thread BFS visited scratch, epoch-stamped: bumping the epoch makes
 /// every stale entry unseen at once, so neither a fresh ball, a fresh
-/// tile, nor a fresh collect_balls call pays an O(n) clear. Workers are
-/// long-lived (the global thread pool), so the buffer amortises across
-/// calls; which worker owns which scratch never affects ball contents.
+/// worker, nor a fresh collect_balls call pays an O(n) clear. Executor
+/// threads are long-lived (the global pool), so the buffer amortises
+/// across calls; which thread serves which worker never affects ball
+/// contents.
 struct BfsScratch {
   std::vector<std::uint64_t> seen_epoch;
   std::uint64_t epoch = 0;
@@ -40,38 +39,40 @@ BallCollection collect_balls(
     std::uint32_t radius) {
   if (radius == 0) throw std::invalid_argument("collect_balls: radius >= 1");
   const std::size_t n = adjacency.size();
-  const std::size_t threads = cluster.num_threads();
+  const std::size_t machines = cluster.num_machines();
 
   BallCollection out;
   out.balls.resize(n);
 
   // The doubling schedule costs ⌈log2 radius⌉ communication rounds plus one
   // round to ship the assembled balls to their home machines. The ball
-  // *contents* are computed centrally (equivalent to the doubling fixpoint)
-  // — what the model constrains is the per-ball volume and the round count,
-  // both of which are accounted for below.
+  // *contents* are computed via the doubling fixpoint equivalent — what the
+  // model constrains is the per-ball volume and the round count, both of
+  // which are accounted for below.
   const auto doubling_rounds = static_cast<std::size_t>(
       std::ceil(std::log2(static_cast<double>(std::max<std::uint32_t>(radius, 2)))));
   out.rounds_charged = doubling_rounds + 1;
   cluster.charge_rounds(out.rounds_charged);
 
-  // Each ball is an independent truncated BFS writing only out.balls[v];
-  // the visited scratch is per worker (epoch-stamped, see BfsScratch), so
-  // every ball's contents are a pure function of (adjacency, radius).
-  parallel_for(
-      0, n, kParallelTile, threads,
-      [&](std::size_t tile_begin, std::size_t tile_end) {
+  // Owner-compute: ball(v) lands on home machine v mod N, so the worker
+  // owning that machine runs v's truncated BFS (and the volume count),
+  // writing only out.balls[v]/volumes[v]. The visited scratch is per
+  // executor thread (epoch-stamped, see BfsScratch), so every ball's
+  // contents are a pure function of (adjacency, radius).
+  std::vector<std::uint64_t> volumes(n, 0);
+  cluster.workers().for_each_owned_shard(
+      cluster.num_threads(), [&](std::size_t home) {
         BfsScratch& scratch = tl_bfs_scratch;
         if (scratch.seen_epoch.size() < n) {
           scratch.seen_epoch.resize(n, 0);
         } else if (scratch.seen_epoch.size() > 4 * n + 4096) {
-          // Workers outlive graphs; don't let one huge instance pin an
-          // O(n) buffer per worker forever. Stale entries hold old epochs
+          // Threads outlive graphs; don't let one huge instance pin an
+          // O(n) buffer per thread forever. Stale entries hold old epochs
           // (never 0 == a live epoch), so shrinking is always safe.
           std::vector<std::uint64_t>(n, 0).swap(scratch.seen_epoch);
         }
         std::vector<std::uint32_t> frontier, next;
-        for (std::size_t i = tile_begin; i < tile_end; ++i) {
+        for (std::size_t i = home; i < n; i += machines) {
           const auto v = static_cast<std::uint32_t>(i);
           const std::uint64_t epoch = ++scratch.epoch;
           auto& ball = out.balls[v];
@@ -93,26 +94,19 @@ BallCollection collect_balls(
             frontier.swap(next);
           }
           std::sort(ball.begin(), ball.end());
+          volumes[v] = ball_volume_words(adjacency, ball);
         }
       });
   for (std::uint32_t v = 0; v < n; ++v) {
     out.max_ball_vertices = std::max(out.max_ball_vertices, out.balls[v].size());
   }
 
-  // Space accounting: every ball must fit on a single machine. The volumes
-  // are computed in parallel; the accounting (peak tracking and capacity
-  // errors) is applied in vertex order on the calling thread, so it is
-  // exact per machine and deterministic.
-  std::vector<std::uint64_t> volumes(n, 0);
-  parallel_for(0, n, kParallelTile, threads,
-               [&](std::size_t tile_begin, std::size_t tile_end) {
-                 for (std::size_t v = tile_begin; v < tile_end; ++v) {
-                   volumes[v] = ball_volume_words(adjacency, out.balls[v]);
-                 }
-               });
+  // Space accounting: every ball must fit on its home machine. The commits
+  // are applied in vertex order on the calling thread, so peak tracking is
+  // exact per machine and capacity-error attribution deterministic.
   for (std::uint32_t v = 0; v < n; ++v) {
     out.total_ball_words += volumes[v];
-    cluster.account_resident(v % cluster.num_machines(), volumes[v]);
+    cluster.account_resident(v % machines, volumes[v]);
   }
   return out;
 }

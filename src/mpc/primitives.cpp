@@ -1,7 +1,5 @@
 #include "mpc/primitives.hpp"
 
-#include "mpc/shard_parallel.hpp"
-
 #include <algorithm>
 #include <cmath>
 
@@ -46,18 +44,17 @@ void local_combine_sorted(std::vector<Word>& shard, std::size_t width,
   shard = std::move(out);
 }
 
-/// Shard-parallel loop on the cluster's thread budget (see
-/// mpc/shard_parallel.hpp).
+/// Owner-compute pass over every shard: fn(m) runs on the worker whose
+/// arena holds machine m's shard (see WorkerGroup::for_each_owned_shard).
 template <typename Fn>
-void for_each_shard(const Cluster& cluster, std::size_t num_shards,
-                    const Fn& fn) {
-  detail::for_each_shard(num_shards, cluster.num_threads(), fn);
+void for_each_owned_shard(Cluster& cluster, const Fn& fn) {
+  cluster.workers().for_each_owned_shard(cluster.num_threads(), fn);
 }
 
 }  // namespace
 
 void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
-  const std::size_t width = data.width;
+  const std::size_t width = data.width();
   const std::size_t total_records = data.num_records();
   if (total_records == 0) {
     cluster.charge_rounds(2);
@@ -68,15 +65,15 @@ void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
   // the evenly spaced order statistics of the sample. Oversampling by 8x
   // log keeps buckets balanced w.h.p. Each shard draws on a stream seeded
   // from the caller's RNG in machine order — the sampled keys are a pure
-  // function of the caller's stream, independent of thread count.
+  // function of the caller's stream, independent of worker/thread count.
   const std::size_t machines = cluster.num_machines();
   const std::size_t oversample = 8 * (1 + static_cast<std::size_t>(
       std::log2(static_cast<double>(total_records) + 2.0)));
   std::vector<std::uint64_t> shard_seeds(machines);
   for (auto& seed : shard_seeds) seed = rng();
   std::vector<std::vector<Word>> shard_samples(machines);
-  for_each_shard(cluster, machines, [&](std::size_t m) {
-    const auto& shard = data.shards[m];
+  for_each_owned_shard(cluster, [&](std::size_t m) {
+    const auto& shard = data.shard(m);
     const std::size_t records_here = shard.size() / width;
     if (records_here == 0) return;
     Xoshiro256pp shard_rng(shard_seeds[m]);
@@ -97,14 +94,14 @@ void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
   cluster.charge_rounds(1);
 
   // Round 2: shuffle each record to its splitter bucket (bucket lookups are
-  // per-record independent, partitioned by source shard).
+  // per-record independent, computed by the shard's owning worker).
   std::vector<std::size_t> shard_first(machines + 1, 0);
   for (std::size_t m = 0; m < machines; ++m) {
-    shard_first[m + 1] = shard_first[m] + data.shards[m].size() / width;
+    shard_first[m + 1] = shard_first[m] + data.shard(m).size() / width;
   }
   std::vector<std::uint32_t> destination(total_records);
-  for_each_shard(cluster, machines, [&](std::size_t m) {
-    const auto& shard = data.shards[m];
+  for_each_owned_shard(cluster, [&](std::size_t m) {
+    const auto& shard = data.shard(m);
     const std::size_t records_here = shard.size() / width;
     for (std::size_t r = 0; r < records_here; ++r) {
       const Word key = shard[r * width];
@@ -115,41 +112,45 @@ void sample_sort(Cluster& cluster, DistVec& data, Xoshiro256pp& rng) {
   });
   cluster.shuffle(data, destination);
 
-  // Local sort is free (within-round computation), machine-parallel.
-  for_each_shard(cluster, machines, [&](std::size_t m) {
-    local_sort(data.shards[m], width);
+  // Local sort is free (within-round computation), run by each owner.
+  for_each_owned_shard(cluster, [&](std::size_t m) {
+    local_sort(data.shard(m), width);
   });
 }
 
 void reduce_by_key(Cluster& cluster, DistVec& data, const CombineFn& combine,
                    Xoshiro256pp& rng) {
-  const std::size_t width = data.width;
+  const std::size_t width = data.width();
   // Free local pre-aggregation: shrink skewed keys before sorting so a
-  // heavy key cannot overflow one machine's bucket. Shard-local, so the
-  // combine callback runs concurrently across shards (it must be a pure
-  // function of its two records, as the header requires).
-  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
-    local_sort(data.shards[m], width);
-    local_combine_sorted(data.shards[m], width, combine);
+  // heavy key cannot overflow one machine's bucket. Shard-local on the
+  // owning worker, so the combine callback runs concurrently across shards
+  // (it must be a pure function of its two records, as the header
+  // requires).
+  for_each_owned_shard(cluster, [&](std::size_t m) {
+    local_sort(data.shard(m), width);
+    local_combine_sorted(data.shard(m), width, combine);
   });
   sample_sort(cluster, data, rng);
-  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
-    local_combine_sorted(data.shards[m], width, combine);
+  for_each_owned_shard(cluster, [&](std::size_t m) {
+    local_combine_sorted(data.shard(m), width, combine);
   });
 
   // Boundary merge (1 round): a key's records can still straddle adjacent
   // machines after the sort; push each machine's first run to its left
   // neighbour when the keys match. The chain walks machines right-to-left
-  // — a genuine sequential dependency, kept on the calling thread.
+  // — a genuine sequential dependency, simulated centrally on the
+  // orchestrator (and charged as one round) like splitter selection; the
+  // per-round record traffic it stands in for is bounded by one record per
+  // machine.
   cluster.charge_rounds(1);
   for (std::size_t m = cluster.num_machines(); m-- > 1;) {
-    auto& right = data.shards[m];
+    auto& right = data.shard(m);
     if (right.empty()) continue;
     // Find the previous non-empty shard.
     std::size_t left_idx = m;
-    while (left_idx > 0 && data.shards[left_idx - 1].empty()) --left_idx;
+    while (left_idx > 0 && data.shard(left_idx - 1).empty()) --left_idx;
     if (left_idx == 0) continue;
-    auto& left = data.shards[left_idx - 1];
+    auto& left = data.shard(left_idx - 1);
     if (left.empty()) continue;
     if (left[left.size() - width] == right[0]) {
       combine(std::span<Word>(left.data() + left.size() - width, width),
@@ -189,16 +190,17 @@ void exclusive_prefix_sum(Cluster& cluster, DistVec& data) {
     throw MpcCapacityError(
         "prefix sum aggregate exchange needs N <= S machines");
   }
-  const std::size_t width = data.width;
+  const std::size_t width = data.width();
   // Per-machine totals are exchanged in one round; then each machine applies
   // its global offset locally. Simulated as a two-pass machine-reduction:
   // pass 1 rewrites every shard with its local exclusive sums and records
   // the shard total, the totals are folded left-to-right into per-shard
-  // offsets, and pass 2 applies the offsets — both passes shard-parallel.
+  // offsets, and pass 2 applies the offsets — both passes owner-compute.
   cluster.charge_rounds(1);
-  std::vector<Word> shard_total(data.shards.size(), 0);
-  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
-    auto& shard = data.shards[m];
+  const std::size_t machines = cluster.num_machines();
+  std::vector<Word> shard_total(machines, 0);
+  for_each_owned_shard(cluster, [&](std::size_t m) {
+    auto& shard = data.shard(m);
     Word local = 0;
     const std::size_t records = shard.size() / width;
     for (std::size_t r = 0; r < records; ++r) {
@@ -208,12 +210,12 @@ void exclusive_prefix_sum(Cluster& cluster, DistVec& data) {
     }
     shard_total[m] = local;
   });
-  std::vector<Word> offset(data.shards.size() + 1, 0);
-  for (std::size_t m = 0; m < data.shards.size(); ++m) {
+  std::vector<Word> offset(machines + 1, 0);
+  for (std::size_t m = 0; m < machines; ++m) {
     offset[m + 1] = offset[m] + shard_total[m];
   }
-  for_each_shard(cluster, data.shards.size(), [&](std::size_t m) {
-    auto& shard = data.shards[m];
+  for_each_owned_shard(cluster, [&](std::size_t m) {
+    auto& shard = data.shard(m);
     const std::size_t records = shard.size() / width;
     for (std::size_t r = 0; r < records; ++r) {
       shard[r * width] += offset[m];

@@ -1,0 +1,131 @@
+#include "mpc/transport.hpp"
+
+#include <algorithm>
+
+namespace mpcalloc::mpc {
+
+std::uint64_t RoundPlan::total_words_sent() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t words : sent) total += words;
+  return total;
+}
+
+RoundPlan RoundPlan::build(const DistVec& data,
+                           std::span<const std::uint32_t> destination,
+                           std::size_t round) {
+  if (destination.size() != data.num_records()) {
+    throw std::invalid_argument("shuffle: destination size != record count");
+  }
+  RoundPlan plan;
+  plan.width = data.width();
+  plan.num_machines = data.num_shards();
+  plan.round = round;
+  const std::size_t n = plan.num_machines;
+  const std::size_t width = plan.width;
+  const std::size_t records = destination.size();
+
+  // Record-index prefix per source shard (record i of the global order
+  // lives on the machine whose range contains i).
+  plan.shard_first.assign(n + 1, 0);
+  for (std::size_t m = 0; m < n; ++m) {
+    plan.shard_first[m + 1] = plan.shard_first[m] + data.shard(m).size() / width;
+  }
+
+  // Stable counting sort by destination: the count pass doubles as
+  // destination validation, before anything is mutated (the plan is the
+  // only state built so far).
+  plan.dest_begin.assign(n + 1, 0);
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::uint32_t dest = destination[i];
+    if (dest >= n) {
+      throw std::out_of_range("shuffle: destination machine out of range");
+    }
+    ++plan.dest_begin[dest + 1];
+  }
+  for (std::size_t m = 0; m < n; ++m) {
+    plan.dest_begin[m + 1] += plan.dest_begin[m];
+  }
+  plan.slot_of.resize(records);
+  {
+    std::vector<std::size_t> cursor(plan.dest_begin.begin(),
+                                    plan.dest_begin.end() - 1);
+    for (std::size_t i = 0; i < records; ++i) {
+      plan.slot_of[i] = static_cast<std::uint32_t>(cursor[destination[i]]++);
+    }
+  }
+
+  // Rule-1/2 tallies: a record contributes only when it changes machines.
+  plan.sent.assign(n, 0);
+  plan.received.assign(n, 0);
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t i = plan.shard_first[m]; i < plan.shard_first[m + 1];
+         ++i) {
+      if (destination[i] != m) {
+        plan.sent[m] += width;
+        plan.received[destination[i]] += width;
+      }
+    }
+  }
+  plan.destination.assign(destination.begin(), destination.end());
+  return plan;
+}
+
+void InProcessTransport::exchange(const RoundPlan& plan, DistVec& data,
+                                  std::size_t num_threads) {
+  WorkerGroup& group = *workers_;
+  const std::size_t n = plan.num_machines;
+  const std::size_t width = plan.width;
+  const std::uint64_t budget = group.machine_words();
+
+  // Capacity rules 1–3, machine-by-machine in machine order, before any
+  // record moves: deterministic error attribution and untouched arenas on
+  // failure. The arena commit below re-enforces rule 3 (defense in depth)
+  // and records the high-watermark.
+  for (std::size_t m = 0; m < n; ++m) {
+    if (plan.sent[m] > budget) {
+      throw MpcCapacityError(CapacityRule::kSend, m, plan.round, plan.sent[m],
+                             budget);
+    }
+    if (plan.received[m] > budget) {
+      throw MpcCapacityError(CapacityRule::kReceive, m, plan.round,
+                             plan.received[m], budget);
+    }
+    if (plan.resident_words_after(m) > budget) {
+      throw MpcCapacityError(CapacityRule::kResident, m, plan.round,
+                             plan.resident_words_after(m), budget);
+    }
+  }
+
+  // Mailboxes: one per destination machine, grouped under the owning worker
+  // and allocated by it. Slots keep the plan's stable destination order.
+  std::vector<std::vector<Word>> mailbox(n);
+  group.for_each_owned_shard(num_threads, [&](std::size_t d) {
+    mailbox[d].resize(plan.records_for(d) * width);
+  });
+
+  // Send phase: each source worker walks its shards in record order and
+  // posts every record into its destination mailbox slot. Slots are
+  // disjoint across records, so the sends run owner-parallel.
+  group.for_each_owned_shard(num_threads, [&](std::size_t m) {
+    const std::vector<Word>& shard = data.shard(m);
+    for (std::size_t i = plan.shard_first[m]; i < plan.shard_first[m + 1];
+         ++i) {
+      const std::uint32_t d = plan.destination[i];
+      const Word* record =
+          shard.data() + (i - plan.shard_first[m]) * width;
+      std::copy(record, record + width,
+                mailbox[d].begin() +
+                    static_cast<std::ptrdiff_t>(
+                        (plan.slot_of[i] - plan.dest_begin[d]) * width));
+    }
+  });
+
+  // Receive phase: each destination worker commits its mailboxes into its
+  // arena — rule 3 and the resident high-watermark live here.
+  group.for_each_owned_shard(num_threads, [&](std::size_t d) {
+    group.commit_resident(d, mailbox[d].size(), plan.round);
+    data.shard(d) = std::move(mailbox[d]);
+  });
+}
+
+}  // namespace mpcalloc::mpc

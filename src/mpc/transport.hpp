@@ -1,0 +1,97 @@
+// Message transport for the MPC runtime: the only code path that moves
+// records across shard (machine) boundaries during a communication round.
+//
+// The Cluster orchestrates a round by building a RoundPlan — the per-record
+// routing plus the per-machine send/receive word tallies, with every
+// destination validated before any arena is touched — and handing it to a
+// Transport. InProcessTransport realises the exchange with per-worker
+// mailboxes: each source worker posts its outgoing records into the
+// destination workers' mailboxes (disjoint slots, so the sends run
+// owner-parallel), then each destination worker commits its mailboxes into
+// its arena, which is where capacity rule 3 is enforced and the resident
+// high-watermark recorded. Rules 1 and 2 (send/receive ≤ S) are checked
+// from the plan's tallies, machine-by-machine in machine order, before any
+// record moves — deterministic error attribution, arenas untouched on
+// failure.
+//
+// A per-process or networked backend (the S^α sweep past one host) slots in
+// behind the same Transport interface; the plan is already the wire-level
+// description such a backend needs.
+#pragma once
+
+#include "mpc/worker.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpcalloc::mpc {
+
+/// One communication round, fully described before any data moves. Slots
+/// group the global record order by destination machine, keeping source
+/// order within each destination — the same stable counting sort a
+/// sequential scan would deliver, so shard contents are bitwise independent
+/// of how the exchange is scheduled.
+struct RoundPlan {
+  std::size_t width = 1;
+  std::size_t num_machines = 0;
+  std::size_t round = 0;  ///< round number the exchange executes (error context)
+
+  std::vector<std::uint32_t> destination;  ///< per global record index
+  std::vector<std::size_t> shard_first;    ///< N+1: record prefix by source machine
+  std::vector<std::size_t> dest_begin;     ///< N+1: record slots by destination
+  std::vector<std::uint32_t> slot_of;      ///< global record index -> slot
+  std::vector<std::uint64_t> sent;         ///< rule-1 tallies (words per machine)
+  std::vector<std::uint64_t> received;     ///< rule-2 tallies (words per machine)
+
+  /// Records destined for machine m.
+  [[nodiscard]] std::size_t records_for(std::size_t m) const {
+    return dest_begin[m + 1] - dest_begin[m];
+  }
+  /// Words resident on machine m after delivery (rule-3 quantity).
+  [[nodiscard]] std::uint64_t resident_words_after(std::size_t m) const {
+    return static_cast<std::uint64_t>(records_for(m)) * width;
+  }
+  [[nodiscard]] std::uint64_t total_words() const {
+    return static_cast<std::uint64_t>(dest_begin.back()) * width;
+  }
+  [[nodiscard]] std::uint64_t total_words_sent() const;
+
+  /// Build the plan for routing record i of `data` (global record order) to
+  /// machine destination[i]. Throws std::invalid_argument on a size
+  /// mismatch and std::out_of_range on an out-of-range destination — in
+  /// both cases before any shard or arena has been mutated.
+  [[nodiscard]] static RoundPlan build(const DistVec& data,
+                                       std::span<const std::uint32_t> destination,
+                                       std::size_t round);
+};
+
+/// Abstract record mover. Implementations must enforce capacity rules 1–3
+/// against the worker group's S budget and leave every shard untouched when
+/// they throw.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Execute the planned round: move every record of `data` to its planned
+  /// destination shard and commit the results into the owning arenas.
+  /// `num_threads` caps the simulator-side parallelism (0 = auto); results
+  /// are bitwise independent of it.
+  virtual void exchange(const RoundPlan& plan, DistVec& data,
+                        std::size_t num_threads) = 0;
+};
+
+/// Same-address-space transport over per-worker mailboxes (the default
+/// backend; see the header comment for the exchange protocol).
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(WorkerGroup& workers) : workers_(&workers) {}
+
+  void exchange(const RoundPlan& plan, DistVec& data,
+                std::size_t num_threads) override;
+
+ private:
+  WorkerGroup* workers_;
+};
+
+}  // namespace mpcalloc::mpc

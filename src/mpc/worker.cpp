@@ -1,0 +1,203 @@
+#include "mpc/worker.hpp"
+
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+namespace mpcalloc::mpc {
+
+namespace {
+
+std::string capacity_message(CapacityRule rule, std::size_t machine,
+                             std::size_t round, std::uint64_t observed,
+                             std::uint64_t budget) {
+  std::string what = "MPC capacity violation: machine " +
+                     std::to_string(machine) + " " +
+                     capacity_rule_name(rule) + " " + std::to_string(observed) +
+                     " words (S = " + std::to_string(budget) + ", round " +
+                     std::to_string(round) + ")";
+  return what;
+}
+
+}  // namespace
+
+const char* capacity_rule_name(CapacityRule rule) {
+  switch (rule) {
+    case CapacityRule::kSend:
+      return "sends";
+    case CapacityRule::kReceive:
+      return "receives";
+    case CapacityRule::kResident:
+      return "holds";
+    case CapacityRule::kNone:
+      break;
+  }
+  return "exceeds";
+}
+
+MpcCapacityError::MpcCapacityError(CapacityRule rule, std::size_t machine,
+                                   std::size_t round,
+                                   std::uint64_t observed_words,
+                                   std::uint64_t budget_words)
+    : std::runtime_error(
+          capacity_message(rule, machine, round, observed_words, budget_words)),
+      rule_(rule),
+      machine_(machine),
+      round_(round),
+      observed_words_(observed_words),
+      budget_words_(budget_words) {}
+
+MpcCapacityError::MpcCapacityError(const std::string& what)
+    : std::runtime_error("MPC capacity violation: " + what) {}
+
+const std::vector<Word>& DistVec::shard(std::size_t machine) const {
+  return *views_.at(machine).words;
+}
+
+std::vector<Word>& DistVec::shard(std::size_t machine) {
+  return *views_.at(machine).words;
+}
+
+std::size_t DistVec::shard_owner(std::size_t machine) const {
+  return views_.at(machine).owner;
+}
+
+bool DistVec::owned_by(const WorkerGroup& group) const {
+  return storage_ != nullptr && storage_->group == &group;
+}
+
+std::size_t DistVec::num_records() const {
+  return width_ == 0 ? 0 : num_words() / width_;
+}
+
+std::size_t DistVec::num_words() const {
+  std::size_t total = 0;
+  for (const ShardView& view : views_) total += view.words->size();
+  return total;
+}
+
+std::vector<Word> DistVec::gather(std::size_t num_threads) const {
+  std::vector<std::size_t> offset(views_.size() + 1, 0);
+  for (std::size_t m = 0; m < views_.size(); ++m) {
+    offset[m + 1] = offset[m] + views_[m].words->size();
+  }
+  std::vector<Word> flat(offset.back());
+  parallel_for(0, views_.size(), /*tile_size=*/1, num_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t m = begin; m < end; ++m) {
+                   std::copy(views_[m].words->begin(), views_[m].words->end(),
+                             flat.begin() +
+                                 static_cast<std::ptrdiff_t>(offset[m]));
+                 }
+               });
+  return flat;
+}
+
+Worker::Worker(std::size_t id, std::size_t first_machine,
+               std::size_t end_machine, std::size_t machine_words)
+    : id_(id),
+      first_machine_(first_machine),
+      end_machine_(end_machine),
+      machine_words_(machine_words) {}
+
+void Worker::commit_resident(std::size_t machine, std::uint64_t words,
+                             std::size_t round) {
+  if (machine < first_machine_ || machine >= end_machine_) {
+    throw std::logic_error("Worker::commit_resident: machine " +
+                           std::to_string(machine) + " not owned by worker " +
+                           std::to_string(id_));
+  }
+  // Budget before watermark: a rejected commit never became resident, so it
+  // must not pollute the Theorem-3 peak a caller reads after catching the
+  // error.
+  if (words > machine_words_) {
+    throw MpcCapacityError(CapacityRule::kResident, machine, round, words,
+                           machine_words_);
+  }
+  peak_words_ = std::max(peak_words_, words);
+}
+
+WorkerGroup::WorkerGroup(std::size_t num_machines, std::size_t machine_words,
+                         std::size_t num_workers)
+    : num_machines_(num_machines), machine_words_(machine_words) {
+  if (num_machines == 0) {
+    throw std::invalid_argument("WorkerGroup: need >= 1 machine");
+  }
+  if (machine_words == 0) {
+    throw std::invalid_argument("WorkerGroup: need S >= 1");
+  }
+  const std::size_t w =
+      std::min(num_machines,
+               num_workers > 0 ? num_workers : resolve_num_threads(0));
+  // As-even-as-possible contiguous ranges: the first `extra` workers own one
+  // machine more than the rest. Pure function of (num_machines, w).
+  const std::size_t base = num_machines / w;
+  const std::size_t extra = num_machines % w;
+  workers_.reserve(w);
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t owned = base + (i < extra ? 1 : 0);
+    workers_.emplace_back(i, first, first + owned, machine_words);
+    first += owned;
+  }
+}
+
+std::size_t WorkerGroup::owner_of(std::size_t machine) const {
+  if (machine >= num_machines_) {
+    throw std::out_of_range("WorkerGroup::owner_of: machine " +
+                            std::to_string(machine) + " >= " +
+                            std::to_string(num_machines_));
+  }
+  const std::size_t w = workers_.size();
+  const std::size_t base = num_machines_ / w;
+  const std::size_t extra = num_machines_ % w;
+  // Invert the partition arithmetic of the constructor.
+  const std::size_t boundary = extra * (base + 1);
+  if (machine < boundary) return machine / (base + 1);
+  return extra + (machine - boundary) / base;
+}
+
+DistVec WorkerGroup::create_dist(std::size_t width) const {
+  auto storage = std::make_shared<detail::DistStorage>();
+  storage->group = this;
+  storage->blocks.resize(workers_.size());
+  DistVec out;
+  out.width_ = width;
+  out.views_.resize(num_machines_);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const Worker& worker = workers_[w];
+    detail::ArenaBlock& block = storage->blocks[w];
+    block.first_machine = worker.first_machine();
+    block.shards.resize(worker.num_owned());
+    for (std::size_t m = worker.first_machine(); m < worker.end_machine();
+         ++m) {
+      out.views_[m] = ShardView{static_cast<std::uint32_t>(w),
+                                &block.shards[m - worker.first_machine()]};
+    }
+  }
+  out.storage_ = std::move(storage);
+  return out;
+}
+
+void WorkerGroup::set_affinity_observer(AffinityObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void WorkerGroup::commit_resident(std::size_t machine, std::uint64_t words,
+                                  std::size_t round) {
+  workers_[owner_of(machine)].commit_resident(machine, words, round);
+}
+
+std::uint64_t WorkerGroup::peak_machine_words() const {
+  std::uint64_t peak = 0;
+  for (const Worker& worker : workers_) {
+    peak = std::max(peak, worker.peak_words());
+  }
+  return peak;
+}
+
+void WorkerGroup::reset_peaks() {
+  for (Worker& worker : workers_) worker.reset_peak();
+}
+
+}  // namespace mpcalloc::mpc

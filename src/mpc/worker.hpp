@@ -1,0 +1,236 @@
+// Per-worker shard ownership for the MPC runtime (Section 2.3 of the paper).
+//
+// The simulated cluster's N machines are partitioned into fixed contiguous
+// ranges, one per runtime worker. Each Worker holds its machines' shards in
+// a private arena and is the only execution context that runs shard-local
+// compute on them (owner-compute affinity: WorkerGroup::for_each_owned_shard
+// dispatches exactly one deterministic-executor tile per worker, so a
+// worker's shards are always processed together on a single thread).
+// Records cross shard boundaries only through the Transport
+// (mpc/transport.hpp); the Cluster (mpc/cluster.hpp) orchestrates.
+//
+// Capacity rule 3 of the model — per-machine resident words ≤ S — is
+// enforced when a shard is committed into an arena, and each arena keeps
+// the resident high-watermark that Theorem 3 bounds; the Cluster reads its
+// peak_machine_words off the arenas instead of tracking a post-hoc global
+// maximum.
+//
+// Determinism: the ownership partition is a pure function of
+// (num_machines, num_workers), and every per-machine result is a pure
+// function of that machine's records — so shard contents, record streams,
+// and all counters are bitwise independent of both the worker count and
+// the executor thread count (the determinism matrices assert this).
+#pragma once
+
+#include "util/parallel.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpcalloc::mpc {
+
+using Word = std::uint64_t;
+
+/// The MPC model's three per-machine capacity rules (S-word budgets).
+enum class CapacityRule : std::uint8_t {
+  kNone = 0,      ///< unattributed (legacy string-constructed errors)
+  kSend = 1,      ///< rule 1: words sent in one round ≤ S
+  kReceive = 2,   ///< rule 2: words received in one round ≤ S
+  kResident = 3,  ///< rule 3: words resident after delivery ≤ S
+};
+
+[[nodiscard]] const char* capacity_rule_name(CapacityRule rule);
+
+/// Thrown when an operation would exceed a machine's S-word budget. Carries
+/// structured context — which machine, in which round, which rule, and the
+/// observed vs budgeted word counts — so callers can report or test the
+/// exact violation instead of parsing the message.
+class MpcCapacityError : public std::runtime_error {
+ public:
+  static constexpr std::size_t kNoMachine = static_cast<std::size_t>(-1);
+
+  MpcCapacityError(CapacityRule rule, std::size_t machine, std::size_t round,
+                   std::uint64_t observed_words, std::uint64_t budget_words);
+
+  /// Unattributed violation (no single machine at fault, e.g. a broadcast
+  /// message that exceeds S before any routing happens).
+  explicit MpcCapacityError(const std::string& what);
+
+  [[nodiscard]] CapacityRule rule() const { return rule_; }
+  [[nodiscard]] bool has_machine() const { return machine_ != kNoMachine; }
+  [[nodiscard]] std::size_t machine() const { return machine_; }
+  [[nodiscard]] std::size_t round() const { return round_; }
+  [[nodiscard]] std::uint64_t observed_words() const { return observed_words_; }
+  [[nodiscard]] std::uint64_t budget_words() const { return budget_words_; }
+
+ private:
+  CapacityRule rule_ = CapacityRule::kNone;
+  std::size_t machine_ = kNoMachine;
+  std::size_t round_ = 0;
+  std::uint64_t observed_words_ = 0;
+  std::uint64_t budget_words_ = 0;
+};
+
+/// Handle to one machine's shard inside its owning worker's arena.
+struct ShardView {
+  std::uint32_t owner = 0;             ///< worker id whose arena holds the shard
+  std::vector<Word>* words = nullptr;  ///< shard storage inside that arena
+};
+
+class WorkerGroup;
+
+namespace detail {
+
+/// One worker's block of shard storage for a distributed dataset. The block
+/// belongs to that worker's arena: outside a Transport exchange, only the
+/// owning worker's execution context touches it.
+struct ArenaBlock {
+  std::size_t first_machine = 0;
+  std::vector<std::vector<Word>> shards;  ///< one per owned machine
+};
+
+struct DistStorage {
+  const WorkerGroup* group = nullptr;  ///< the runtime the arenas belong to
+  std::vector<ArenaBlock> blocks;      ///< indexed by worker id
+};
+
+}  // namespace detail
+
+/// A dataset of fixed-width records sharded across machines: a handle of
+/// per-worker ShardViews into the workers' arenas. Shard m holds machine
+/// m's records back to back, each width() words; the storage is shared, so
+/// copies of the handle alias the same shards.
+class DistVec {
+ public:
+  DistVec() = default;
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t num_shards() const { return views_.size(); }
+  [[nodiscard]] const std::vector<Word>& shard(std::size_t machine) const;
+  [[nodiscard]] std::vector<Word>& shard(std::size_t machine);
+  /// Worker id whose arena holds machine `machine`'s shard.
+  [[nodiscard]] std::size_t shard_owner(std::size_t machine) const;
+  /// True iff this handle's shards live in `group`'s arenas.
+  [[nodiscard]] bool owned_by(const WorkerGroup& group) const;
+
+  [[nodiscard]] std::size_t num_records() const;
+  [[nodiscard]] std::size_t num_words() const;
+
+  /// Collect all records into one flat vector (simulator-side inspection —
+  /// not an MPC operation; use for verification/tests only). `num_threads`
+  /// parallelises the per-shard copies; the default runs sequentially and
+  /// 0 means auto (the result is identical for any value).
+  [[nodiscard]] std::vector<Word> gather(std::size_t num_threads = 1) const;
+
+ private:
+  friend class WorkerGroup;
+
+  std::size_t width_ = 1;
+  std::vector<ShardView> views_;  ///< one per machine
+  std::shared_ptr<detail::DistStorage> storage_;
+};
+
+/// One runtime worker: owns the contiguous machine range
+/// [first_machine, end_machine) and the arena-commit accounting for it.
+class Worker {
+ public:
+  Worker(std::size_t id, std::size_t first_machine, std::size_t end_machine,
+         std::size_t machine_words);
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  [[nodiscard]] std::size_t first_machine() const { return first_machine_; }
+  [[nodiscard]] std::size_t end_machine() const { return end_machine_; }
+  [[nodiscard]] std::size_t num_owned() const { return end_machine_ - first_machine_; }
+  [[nodiscard]] std::size_t machine_words() const { return machine_words_; }
+
+  /// Arena commit: `words` become resident for owned machine `machine`.
+  /// Records the arena high-watermark and enforces capacity rule 3,
+  /// throwing a structured MpcCapacityError on violation. Callers must
+  /// serialise per worker: either the owning worker's executor tile or the
+  /// orchestrator between passes — never both concurrently.
+  void commit_resident(std::size_t machine, std::uint64_t words,
+                       std::size_t round);
+
+  /// Resident high-watermark across this worker's machines (what the
+  /// Cluster folds into peak_machine_words).
+  [[nodiscard]] std::uint64_t peak_words() const { return peak_words_; }
+  void reset_peak() { peak_words_ = 0; }
+
+ private:
+  std::size_t id_;
+  std::size_t first_machine_;
+  std::size_t end_machine_;
+  std::size_t machine_words_;
+  std::uint64_t peak_words_ = 0;
+};
+
+/// The fixed partition of machines across workers, plus the owner-compute
+/// dispatcher. Created by the Cluster; the partition never changes for the
+/// lifetime of the group, so ShardViews handed out by create_dist stay
+/// valid for as long as the dataset's storage lives.
+class WorkerGroup {
+ public:
+  /// num_workers = 0 picks min(num_machines, resolve_num_threads(0)).
+  WorkerGroup(std::size_t num_machines, std::size_t machine_words,
+              std::size_t num_workers = 0);
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t num_machines() const { return num_machines_; }
+  [[nodiscard]] std::size_t machine_words() const { return machine_words_; }
+
+  [[nodiscard]] Worker& worker(std::size_t w) { return workers_[w]; }
+  [[nodiscard]] const Worker& worker(std::size_t w) const { return workers_[w]; }
+  [[nodiscard]] std::size_t owner_of(std::size_t machine) const;
+
+  /// Allocate per-worker arena blocks for a new dataset and hand back the
+  /// DistVec of ShardViews over them.
+  [[nodiscard]] DistVec create_dist(std::size_t width) const;
+
+  /// Owner-compute pass: run fn(machine) for every machine in [0, N), with
+  /// exactly one deterministic-executor tile per worker — a worker's
+  /// machines are processed together, in machine order, on a single thread.
+  /// num_threads caps the parallelism (0 = auto); which thread serves which
+  /// worker is scheduling noise, what is computed per machine is not.
+  /// Templated so the per-machine dispatch stays direct on the hot path.
+  template <typename Fn>
+  void for_each_owned_shard(std::size_t num_threads, const Fn& fn) {
+    parallel_for(0, workers_.size(), /*tile_size=*/1, num_threads,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t w = begin; w < end; ++w) {
+                     const Worker& worker = workers_[w];
+                     for (std::size_t m = worker.first_machine();
+                          m < worker.end_machine(); ++m) {
+                       if (observer_) observer_(w, m);
+                       fn(m);
+                     }
+                   }
+                 });
+  }
+
+  /// Test/audit hook: called as observer(worker, machine) on the executing
+  /// thread for every owned-shard visit (before fn). Pass nullptr to clear.
+  using AffinityObserver = std::function<void(std::size_t, std::size_t)>;
+  void set_affinity_observer(AffinityObserver observer);
+
+  /// Route an arena commit to the machine's owning worker (see
+  /// Worker::commit_resident for the rule-3/watermark contract).
+  void commit_resident(std::size_t machine, std::uint64_t words,
+                       std::size_t round);
+
+  /// Max resident high-watermark across all arenas.
+  [[nodiscard]] std::uint64_t peak_machine_words() const;
+  void reset_peaks();
+
+ private:
+  std::size_t num_machines_;
+  std::size_t machine_words_;
+  std::vector<Worker> workers_;
+  AffinityObserver observer_;
+};
+
+}  // namespace mpcalloc::mpc

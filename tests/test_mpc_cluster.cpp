@@ -35,7 +35,9 @@ TEST(Cluster, ScatterPartitionsEvenly) {
   EXPECT_EQ(d.num_records(), 100u);
   EXPECT_EQ(d.num_words(), 200u);
   EXPECT_EQ(d.gather(), flat);
-  for (const auto& shard : d.shards) EXPECT_LE(shard.size(), 100u);
+  for (std::size_t m = 0; m < d.num_shards(); ++m) {
+    EXPECT_LE(d.shard(m).size(), 100u);
+  }
 }
 
 TEST(Cluster, ScatterRejectsOversizedInput) {
@@ -59,8 +61,8 @@ TEST(Cluster, ShuffleMovesRecordsAndCountsRound) {
   c.shuffle(d, dest);
   EXPECT_EQ(c.rounds(), 1u);
   // Record 0 (10,11) moved to machine 1, record 1 (20,21) to machine 0.
-  EXPECT_EQ(d.shards[0], (std::vector<Word>{20, 21}));
-  EXPECT_EQ(d.shards[1], (std::vector<Word>{10, 11}));
+  EXPECT_EQ(d.shard(0), (std::vector<Word>{20, 21}));
+  EXPECT_EQ(d.shard(1), (std::vector<Word>{10, 11}));
   EXPECT_GT(c.total_words_moved(), 0u);
 }
 
@@ -89,7 +91,18 @@ TEST(Cluster, AccountResidentTracksPeak) {
   Cluster c(2, 50);
   c.account_resident(0, 30);
   EXPECT_EQ(c.peak_machine_words(), 30u);
-  EXPECT_THROW(c.account_resident(1, 51), MpcCapacityError);
+  try {
+    c.account_resident(1, 51);
+    FAIL() << "expected MpcCapacityError";
+  } catch (const MpcCapacityError& error) {
+    EXPECT_EQ(error.rule(), CapacityRule::kResident);
+    EXPECT_TRUE(error.has_machine());
+    EXPECT_EQ(error.machine(), 1u);
+    EXPECT_EQ(error.observed_words(), 51u);
+    EXPECT_EQ(error.budget_words(), 50u);
+  }
+  // The rejected commit never became resident: no watermark pollution.
+  EXPECT_EQ(c.peak_machine_words(), 30u);
   EXPECT_THROW(c.account_resident(5, 1), std::out_of_range);
 }
 

@@ -1,0 +1,276 @@
+// The shard-owned runtime's structural guarantees: per-worker ownership
+// partition, owner-compute affinity of shard-local passes, the three
+// capacity rules with structured error context, and the transport contract
+// that a bad round plan throws before any arena is mutated.
+#include "mpc/cluster.hpp"
+#include "mpc/primitives.hpp"
+#include "mpc/transport.hpp"
+#include "mpc/worker.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace mpcalloc::mpc {
+namespace {
+
+TEST(WorkerGroup, PartitionsMachinesContiguouslyAndEvenly) {
+  const WorkerGroup group(10, 100, 4);
+  ASSERT_EQ(group.num_workers(), 4u);
+  // 10 = 3 + 3 + 2 + 2, contiguous and in order.
+  EXPECT_EQ(group.worker(0).first_machine(), 0u);
+  EXPECT_EQ(group.worker(0).end_machine(), 3u);
+  EXPECT_EQ(group.worker(1).end_machine(), 6u);
+  EXPECT_EQ(group.worker(2).end_machine(), 8u);
+  EXPECT_EQ(group.worker(3).end_machine(), 10u);
+  for (std::size_t m = 0; m < 10; ++m) {
+    const std::size_t owner = group.owner_of(m);
+    EXPECT_GE(m, group.worker(owner).first_machine());
+    EXPECT_LT(m, group.worker(owner).end_machine());
+  }
+  EXPECT_THROW((void)group.owner_of(10), std::out_of_range);
+}
+
+TEST(WorkerGroup, NeverCreatesMoreWorkersThanMachines) {
+  const WorkerGroup group(3, 100, 16);
+  EXPECT_EQ(group.num_workers(), 3u);
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(group.worker(w).num_owned(), 1u);
+  }
+}
+
+TEST(WorkerGroup, DistVecViewsLiveInOwnersArenas) {
+  WorkerGroup group(7, 100, 3);
+  const DistVec d = group.create_dist(2);
+  ASSERT_EQ(d.num_shards(), 7u);
+  for (std::size_t m = 0; m < 7; ++m) {
+    EXPECT_EQ(d.shard_owner(m), group.owner_of(m));
+  }
+}
+
+TEST(WorkerAffinity, OwnedPassVisitsEveryMachineOnItsOwner) {
+  WorkerGroup group(12, 1 << 12, 4);
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> visits(12, 0);
+  std::vector<std::size_t> seen_worker(12, kUnvisited);
+  std::vector<std::thread::id> seen_thread(12);
+  group.set_affinity_observer([&](std::size_t worker, std::size_t machine) {
+    // Machines are visited once per pass, so these writes are disjoint.
+    ++visits[machine];
+    seen_worker[machine] = worker;
+    seen_thread[machine] = std::this_thread::get_id();
+  });
+  group.for_each_owned_shard(4, [](std::size_t) {});
+  group.set_affinity_observer(nullptr);
+
+  for (std::size_t m = 0; m < 12; ++m) {
+    EXPECT_EQ(visits[m], 1u) << "machine " << m;
+    EXPECT_EQ(seen_worker[m], group.owner_of(m)) << "machine " << m;
+  }
+  // Owner-compute affinity: within one pass a worker's machines are all
+  // processed by a single executor thread.
+  for (std::size_t w = 0; w < group.num_workers(); ++w) {
+    const Worker& worker = group.worker(w);
+    for (std::size_t m = worker.first_machine() + 1; m < worker.end_machine();
+         ++m) {
+      EXPECT_EQ(seen_thread[m], seen_thread[worker.first_machine()])
+          << "machine " << m << " left worker " << w << "'s thread";
+    }
+  }
+}
+
+TEST(WorkerAffinity, PrimitivesRunShardLocalComputeOnOwners) {
+  // Drive a real primitive through a Cluster and assert every owned-shard
+  // visit it makes stays on the owning worker.
+  Cluster cluster(8, 1 << 14, /*num_workers=*/4);
+  cluster.set_num_threads(4);
+  Xoshiro256pp rng(7);
+  std::vector<Word> flat;
+  for (int i = 0; i < 500; ++i) {
+    flat.push_back(rng.uniform(100));
+    flat.push_back(i);
+  }
+  std::vector<std::size_t> bad_visits(8, 0);
+  std::vector<std::size_t> visits(8, 0);
+  cluster.workers().set_affinity_observer(
+      [&](std::size_t worker, std::size_t machine) {
+        ++visits[machine];
+        if (cluster.workers().owner_of(machine) != worker) ++bad_visits[machine];
+      });
+  DistVec d = cluster.scatter(flat, 2);
+  sample_sort(cluster, d, rng);
+  cluster.workers().set_affinity_observer(nullptr);
+  for (std::size_t m = 0; m < 8; ++m) {
+    EXPECT_GT(visits[m], 0u) << "machine " << m << " never visited";
+    EXPECT_EQ(bad_visits[m], 0u) << "machine " << m << " computed off-owner";
+  }
+}
+
+TEST(CapacityRules, SendOverflowThrowsStructuredError) {
+  // Rule 1 can only trip if a shard was stuffed past what scatter admits,
+  // so build the dataset at transport level: 10 words on machine 0, S = 8.
+  WorkerGroup group(2, 8, 2);
+  DistVec d = group.create_dist(1);
+  d.shard(0).assign(10, 42);
+  const std::vector<std::uint32_t> dest(10, 1);
+  const RoundPlan plan = RoundPlan::build(d, dest, /*round=*/3);
+  EXPECT_EQ(plan.sent[0], 10u);
+  InProcessTransport transport(group);
+  try {
+    transport.exchange(plan, d, 1);
+    FAIL() << "expected MpcCapacityError";
+  } catch (const MpcCapacityError& error) {
+    EXPECT_EQ(error.rule(), CapacityRule::kSend);
+    EXPECT_EQ(error.machine(), 0u);
+    EXPECT_EQ(error.round(), 3u);
+    EXPECT_EQ(error.observed_words(), 10u);
+    EXPECT_EQ(error.budget_words(), 8u);
+  }
+  // Nothing moved.
+  EXPECT_EQ(d.shard(0).size(), 10u);
+  EXPECT_TRUE(d.shard(1).empty());
+}
+
+TEST(CapacityRules, ReceiveOverflowThrowsStructuredError) {
+  // Machines 0 and 1 each hold 6 words (within S = 8) and both send
+  // everything to machine 2: it would receive 12 > 8 words in one round.
+  WorkerGroup group(3, 8, 2);
+  DistVec d = group.create_dist(1);
+  d.shard(0).assign(6, 1);
+  d.shard(1).assign(6, 2);
+  const std::vector<std::uint32_t> dest(12, 2);
+  const RoundPlan plan = RoundPlan::build(d, dest, /*round=*/1);
+  InProcessTransport transport(group);
+  try {
+    transport.exchange(plan, d, 1);
+    FAIL() << "expected MpcCapacityError";
+  } catch (const MpcCapacityError& error) {
+    EXPECT_EQ(error.rule(), CapacityRule::kReceive);
+    EXPECT_EQ(error.machine(), 2u);
+    EXPECT_EQ(error.observed_words(), 12u);
+    EXPECT_EQ(error.budget_words(), 8u);
+  }
+  EXPECT_EQ(d.shard(0).size(), 6u);
+  EXPECT_EQ(d.shard(1).size(), 6u);
+  EXPECT_TRUE(d.shard(2).empty());
+}
+
+TEST(CapacityRules, ResidentOverflowThrowsStructuredError) {
+  // Through the public Cluster API: two machines of S = 8 each hold 6
+  // words; routing everything onto machine 1 receives only 6 foreign words
+  // (rule 2 holds) but leaves 12 resident — rule 3 fires at arena commit.
+  Cluster cluster(2, 8);
+  std::vector<Word> flat(12);
+  std::iota(flat.begin(), flat.end(), 0);
+  DistVec d = cluster.scatter(flat, 1);
+  const std::vector<std::uint32_t> dest(12, 1);
+  try {
+    cluster.shuffle(d, dest);
+    FAIL() << "expected MpcCapacityError";
+  } catch (const MpcCapacityError& error) {
+    EXPECT_EQ(error.rule(), CapacityRule::kResident);
+    EXPECT_EQ(error.machine(), 1u);
+    EXPECT_EQ(error.round(), 1u);
+    EXPECT_EQ(error.observed_words(), 12u);
+    EXPECT_EQ(error.budget_words(), 8u);
+  }
+  // The failed round left both arenas untouched and was never charged.
+  EXPECT_EQ(d.gather(), flat);
+  EXPECT_EQ(cluster.rounds(), 0u);
+}
+
+TEST(Transport, ShuffleRejectsDistVecFromAnotherCluster) {
+  // Same geometry, different runtime: exchanging a foreign DistVec would
+  // enforce the wrong S budget against the wrong arenas' watermarks.
+  Cluster a(2, 100);
+  Cluster b(2, 100);
+  const std::vector<Word> flat{1, 2, 3, 4};
+  DistVec d = b.scatter(flat, 2);
+  const std::vector<std::uint32_t> dest{0, 1};
+  EXPECT_THROW(a.shuffle(d, dest), std::invalid_argument);
+  EXPECT_NO_THROW(b.shuffle(d, dest));
+}
+
+TEST(CapacityRules, UnattributedErrorsReportNoMachine) {
+  const Cluster small(4, 100);
+  try {
+    (void)broadcast_cost(small, 2000);
+    FAIL() << "expected MpcCapacityError";
+  } catch (const MpcCapacityError& error) {
+    EXPECT_EQ(error.rule(), CapacityRule::kNone);
+    EXPECT_FALSE(error.has_machine());
+  }
+}
+
+TEST(Transport, OutOfRangeDestinationThrowsBeforeAnyArenaMutation) {
+  WorkerGroup group(2, 100, 2);
+  DistVec d = group.create_dist(2);
+  d.shard(0) = {1, 2, 3, 4};
+  const std::vector<std::uint32_t> dest{0, 9};
+  EXPECT_THROW((void)RoundPlan::build(d, dest, 1), std::out_of_range);
+  EXPECT_EQ(d.shard(0), (std::vector<Word>{1, 2, 3, 4}));
+  EXPECT_TRUE(d.shard(1).empty());
+}
+
+TEST(Transport, ClusterShuffleValidatesDestinationsBeforeMoving) {
+  Cluster cluster(2, 100);
+  const std::vector<Word> flat{10, 11, 20, 21};
+  DistVec d = cluster.scatter(flat, 2);
+  const std::vector<std::uint32_t> bad{0, 9};
+  EXPECT_THROW(cluster.shuffle(d, bad), std::out_of_range);
+  EXPECT_EQ(d.gather(), flat);
+  EXPECT_EQ(cluster.rounds(), 0u);  // the failed round was never charged
+}
+
+TEST(Transport, ExchangeDeliversRecordsInStableDestinationOrder) {
+  WorkerGroup group(3, 100, 2);
+  DistVec d = group.create_dist(2);
+  d.shard(0) = {0, 100, 1, 101};  // records 0, 1
+  d.shard(1) = {2, 102, 3, 103};  // records 2, 3
+  d.shard(2) = {4, 104};          // record 4
+  // Destinations interleave sources; per destination the source (global
+  // record) order must be preserved.
+  const std::vector<std::uint32_t> dest{2, 0, 2, 0, 0};
+  const RoundPlan plan = RoundPlan::build(d, dest, 1);
+  InProcessTransport transport(group);
+  transport.exchange(plan, d, 1);
+  EXPECT_EQ(d.shard(0), (std::vector<Word>{1, 101, 3, 103, 4, 104}));
+  EXPECT_TRUE(d.shard(1).empty());
+  EXPECT_EQ(d.shard(2), (std::vector<Word>{0, 100, 2, 102}));
+  // Record 1 stays on its source machine and is not counted as sent;
+  // records 0, 2, 3, 4 cross machines: 4 records x 2 words.
+  EXPECT_EQ(plan.total_words_sent(), 8u);
+}
+
+TEST(ClusterLiveness, ChargeRoundsZeroIsNoOpButAssertsLive) {
+  Cluster cluster(2, 100);
+  cluster.charge_rounds(0);
+  EXPECT_EQ(cluster.rounds(), 0u);
+  cluster.charge_rounds(3);
+  EXPECT_EQ(cluster.rounds(), 3u);
+
+  Cluster moved = std::move(cluster);
+  EXPECT_TRUE(moved.is_live());
+  EXPECT_NO_THROW(moved.charge_rounds(0));
+  // NOLINTNEXTLINE(bugprone-use-after-move): the moved-from contract is
+  // exactly what is under test.
+  EXPECT_FALSE(cluster.is_live());
+  EXPECT_THROW(cluster.charge_rounds(0), std::logic_error);
+  EXPECT_THROW(cluster.account_resident(0, 1), std::logic_error);
+}
+
+TEST(ClusterLiveness, ResetCountersClearsArenaWatermarks) {
+  Cluster cluster(4, 100, 2);
+  std::vector<Word> flat(40, 7);
+  (void)cluster.scatter(flat, 1);
+  EXPECT_GT(cluster.peak_machine_words(), 0u);
+  cluster.reset_counters();
+  EXPECT_EQ(cluster.peak_machine_words(), 0u);
+  EXPECT_EQ(cluster.peak_total_words(), 0u);
+}
+
+}  // namespace
+}  // namespace mpcalloc::mpc
