@@ -4,22 +4,45 @@
 // ε, on a fixed instance — showing the 2+O(ε) plateau arriving at
 // τ ≈ log_{1+ε}(4λ/ε) and the slow drift towards 1+O(ε) afterwards.
 // Table B: the full integral pipeline (round → maximal → boost) per ε.
+// All ratios divide by the *certified* optimum (max-flow value backed by a
+// min-cut witness). `--json=PATH` emits the seed-deterministic ratio
+// counters plus the certificate fields for the CI perf gate, which fails
+// the run if `certificate_ok` is not 1.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+
+#include "util/cli.hpp"
 
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpcalloc;
   using namespace mpcalloc::bench;
 
+  CliParser cli("E3: approximation ratio vs round budget and epsilon");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  if (!cli.parse(argc, argv)) return 0;
+
   const std::uint32_t lambda = 8;
   const AllocationInstance instance = standard_instance(4000, 1600, lambda, 5, 42);
-  const auto opt = optimal_allocation_value(instance);
+  const CertifiedOptimum certified = certified_optimal_value(instance);
+  const auto opt = certified.value;
 
   print_preamble("E3: approximation ratio vs round budget and epsilon",
                  "Theorem 9: ratio <= 2+10eps after tau(lambda) rounds; "
                  "Theorem 20: ratio -> 1+18eps for tau = O(log(|R|)/eps^2). "
-                 "OPT = " + std::to_string(opt));
+                 "OPT = " + std::to_string(opt) + " (min-cut witness " +
+                     std::to_string(certified.cut_capacity) + ")");
+
+  JsonMetrics metrics("bench_approx_quality");
+  WallTimer total_timer;
+  metrics.counter("opt", static_cast<double>(opt));
+  metrics.counter("min_cut", static_cast<double>(certified.cut_capacity));
+  metrics.counter("certificate_ok", certified.certificate_ok ? 1.0 : 0.0);
+
+  const auto eps_tag = [](double eps) {
+    return std::to_string(static_cast<int>(eps * 100));
+  };
 
   Table table_a("fractional ratio vs rounds (lambda=8, n=5600)");
   table_a.header({"eps", "rounds", "tau(lambda)", "ratio", "2+10e bound",
@@ -33,12 +56,15 @@ int main() {
       config.epsilon = eps;
       config.max_rounds = rounds;
       const ProportionalResult result = run_proportional(instance, config);
+      const double ratio =
+          approximation_ratio(opt, result.allocation.weight());
+      metrics.counter(
+          "eps" + eps_tag(eps) + "_r" + std::to_string(rounds) + "_ratio",
+          ratio);
       table_a.row({Table::num(eps, 2),
                    Table::integer(static_cast<long long>(rounds)),
                    Table::integer(static_cast<long long>(tau)),
-                   Table::num(approximation_ratio(opt,
-                                                  result.allocation.weight()),
-                              4),
+                   Table::num(ratio, 4),
                    Table::num(2.0 + 10.0 * eps, 2),
                    Table::num(1.0 + 18.0 * eps, 2)});
     }
@@ -53,6 +79,8 @@ int main() {
     const ProportionalResult frac = solve_two_plus_eps(instance, lambda, eps);
     BestOfRoundingResult rounded =
         round_best_of(instance, frac.allocation, rng);
+    const double frac_ratio =
+        approximation_ratio(opt, frac.allocation.weight());
     const double rounded_ratio =
         approximation_ratio(opt, static_cast<double>(rounded.best.size()));
     make_maximal(instance, rounded.best);
@@ -60,14 +88,23 @@ int main() {
         approximation_ratio(opt, static_cast<double>(rounded.best.size()));
     const BoostResult boosted =
         boost_to_one_plus_eps(instance, rounded.best, eps);
-    table_b.row({Table::num(eps, 2),
-                 Table::num(approximation_ratio(opt, frac.allocation.weight()), 4),
+    const double boosted_ratio = approximation_ratio(
+        opt, static_cast<double>(boosted.allocation.size()));
+    const std::string prefix = "eps" + eps_tag(eps);
+    metrics.counter(prefix + "_frac_ratio", frac_ratio);
+    metrics.counter(prefix + "_rounded_ratio", rounded_ratio);
+    metrics.counter(prefix + "_maximal_ratio", maximal_ratio);
+    metrics.counter(prefix + "_boosted_ratio", boosted_ratio);
+    table_b.row({Table::num(eps, 2), Table::num(frac_ratio, 4),
                  Table::num(rounded_ratio, 4), Table::num(maximal_ratio, 4),
-                 Table::num(approximation_ratio(
-                                opt, static_cast<double>(boosted.allocation.size())),
-                            4),
-                 Table::num(1.0 + eps, 2)});
+                 Table::num(boosted_ratio, 4), Table::num(1.0 + eps, 2)});
   }
   table_b.print(std::cout);
+
+  metrics.time_ms("total_ms", total_timer.millis());
+  if (const std::string json_path = cli.get("json"); !json_path.empty()) {
+    metrics.write(json_path);
+    std::cout << "\nmetrics written to " << json_path << "\n";
+  }
   return 0;
 }

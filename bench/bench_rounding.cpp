@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     const AllocationInstance instance =
         standard_instance(3000, 1200, row.lambda, row.cap_hi, row.seed);
-    const auto opt = optimal_allocation_value(instance);
+    const CertifiedOptimum certified = certified_optimal_value(instance);
+    const auto opt = certified.value;
     const FractionalAllocation frac =
         solve_two_plus_eps(instance, row.lambda, 0.25).allocation;
     Xoshiro256pp rng(row.seed * 31);
@@ -71,6 +72,10 @@ int main(int argc, char** argv) {
 
     const std::string prefix = std::string("inst_") + row.name;
     metrics.counter(prefix + "_opt", static_cast<double>(opt));
+    metrics.counter(prefix + "_min_cut",
+                    static_cast<double>(certified.cut_capacity));
+    metrics.counter(prefix + "_certificate_ok",
+                    certified.certificate_ok ? 1.0 : 0.0);
     metrics.counter(prefix + "_frac_weight", frac.weight());
     metrics.counter(prefix + "_mean_rounded_size", mean);
     metrics.counter(prefix + "_success_rate",

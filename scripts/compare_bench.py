@@ -10,7 +10,11 @@ CURRENT_DIR. Two formats are understood:
 
 * the repo's ``JsonMetrics`` format (``bench_json.hpp``): ``counter``
   metrics must match within a relative tolerance, ``time_ms`` metrics must
-  not exceed the baseline by more than a multiplicative factor;
+  not exceed the baseline by more than a multiplicative factor. Counters
+  whose name ends in ``certificate_ok`` are optimality certificates from
+  the exact-flow oracle (max-flow value == min-cut capacity) and must be
+  exactly 1 in the *current* run — no tolerance, and the check applies even
+  to certificate metrics the baseline does not know about;
 * google-benchmark's ``--benchmark_out`` format (``bench_micro``): every
   baseline benchmark must still exist, and its ``real_time`` must not
   exceed the baseline by more than the time factor.
@@ -74,6 +78,18 @@ def compare_metrics(name, base, cur, args, failures):
     counter_tol = args.counter_tolerance
     if counter_tol is None:
         counter_tol = base.get("counter_tolerance", DEFAULT_COUNTER_TOLERANCE)
+
+    # Certificate gate: every certificate_ok counter in the current run must
+    # verify, independent of what the baseline recorded (a run whose oracle
+    # cannot certify its optimum is wrong, not merely drifted).
+    for metric in cur.get("metrics", []):
+        if metric["name"].endswith("certificate_ok") \
+                and metric.get("kind") != "time_ms":
+            if float(metric["value"]) != 1.0:
+                failures.append(
+                    f"{name}: certificate '{metric['name']}' = "
+                    f"{metric['value']!r}, expected 1 (max-flow value must "
+                    f"equal min-cut capacity)")
 
     cur_metrics = {m["name"]: m for m in cur.get("metrics", [])}
     for metric in base.get("metrics", []):

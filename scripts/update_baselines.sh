@@ -52,6 +52,7 @@ run "$BENCH_DIR/bench_mpc_rounds"  --threads=1 --json="$OUT_DIR/bench_mpc_rounds
 run "$BENCH_DIR/bench_rounds_vs_n" --threads=1 --json="$OUT_DIR/bench_rounds_vs_n.json"
 run "$BENCH_DIR/bench_boosting"    --json="$OUT_DIR/bench_boosting.json"
 run "$BENCH_DIR/bench_rounding"    --json="$OUT_DIR/bench_rounding.json"
+run "$BENCH_DIR/bench_approx_quality" --json="$OUT_DIR/bench_approx_quality.json"
 
 # MPC counters (rounds, words moved, peak machine/total words) are exact
 # model quantities, not time budgets: a refactor must reproduce them

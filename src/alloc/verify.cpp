@@ -1,5 +1,6 @@
 #include "alloc/verify.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace mpcalloc {
@@ -7,21 +8,38 @@ namespace mpcalloc {
 double approximation_ratio(std::uint64_t opt, double achieved) {
   if (opt == 0) return 1.0;
   if (achieved <= 0.0) return std::numeric_limits<double>::infinity();
-  return static_cast<double>(opt) / achieved;
+  // A feasible solution can only reach OPT, but `achieved` arrives through
+  // floating-point summation and may overshoot by an ulp or two; clamp so a
+  // ratio below 1 is impossible by construction.
+  return std::max(1.0, static_cast<double>(opt) / achieved);
+}
+
+CertifiedRatio certified_fractional_ratio(
+    const AllocationInstance& instance,
+    const FractionalAllocation& fractional) {
+  fractional.check_valid(instance);
+  const CertifiedOptimum opt = certified_optimal_value(instance);
+  return CertifiedRatio{approximation_ratio(opt.value, fractional.weight()),
+                        opt.value, opt.cut_capacity, opt.certificate_ok};
+}
+
+CertifiedRatio certified_integral_ratio(const AllocationInstance& instance,
+                                        const IntegralAllocation& integral) {
+  integral.check_valid(instance);
+  const CertifiedOptimum opt = certified_optimal_value(instance);
+  return CertifiedRatio{
+      approximation_ratio(opt.value, static_cast<double>(integral.size())),
+      opt.value, opt.cut_capacity, opt.certificate_ok};
 }
 
 double fractional_ratio(const AllocationInstance& instance,
                         const FractionalAllocation& fractional) {
-  fractional.check_valid(instance);
-  return approximation_ratio(optimal_allocation_value(instance),
-                             fractional.weight());
+  return certified_fractional_ratio(instance, fractional).ratio;
 }
 
 double integral_ratio(const AllocationInstance& instance,
                       const IntegralAllocation& integral) {
-  integral.check_valid(instance);
-  return approximation_ratio(optimal_allocation_value(instance),
-                             static_cast<double>(integral.size()));
+  return certified_integral_ratio(instance, integral).ratio;
 }
 
 }  // namespace mpcalloc

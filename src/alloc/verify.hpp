@@ -1,17 +1,40 @@
 // Quality verification helpers: true approximation ratios against the
 // exact flow oracle, used by tests and every bench table.
+//
+// The oracle emits a min-cut certificate with every solve (see
+// flow/optimal_allocation.hpp), so the `certified_*` entry points return
+// the ratio together with the certificate fields — benches forward them to
+// the perf-gate JSON, where compare_bench.py fails any run whose
+// certificate does not verify.
 #pragma once
 
 #include "flow/optimal_allocation.hpp"
 #include "graph/allocation.hpp"
 
+#include <cstdint>
+
 namespace mpcalloc {
 
+/// An approximation ratio backed by a certified optimum.
+struct CertifiedRatio {
+  double ratio = 1.0;              ///< OPT / achieved, clamped to ≥ 1
+  std::uint64_t opt = 0;           ///< the certified |OPT|
+  std::uint64_t cut_capacity = 0;  ///< min-cut witness for `opt`
+  bool certificate_ok = false;     ///< opt == cut_capacity
+};
+
 /// OPT / achieved (≥ 1 for any feasible solution; 1 = optimal). A weight of
-/// zero with OPT > 0 yields +infinity.
+/// zero with OPT > 0 yields +infinity. Clamped below at 1.0 so floating-
+/// point noise in `achieved` can never report a super-optimal ratio.
 [[nodiscard]] double approximation_ratio(std::uint64_t opt, double achieved);
 
-/// Convenience wrappers that solve OPT internally (O(flow) cost).
+/// Convenience wrappers that solve OPT internally (O(flow) cost). The
+/// plain-double forms delegate to the certified ones.
+[[nodiscard]] CertifiedRatio certified_fractional_ratio(
+    const AllocationInstance& instance, const FractionalAllocation& fractional);
+[[nodiscard]] CertifiedRatio certified_integral_ratio(
+    const AllocationInstance& instance, const IntegralAllocation& integral);
+
 [[nodiscard]] double fractional_ratio(const AllocationInstance& instance,
                                       const FractionalAllocation& fractional);
 [[nodiscard]] double integral_ratio(const AllocationInstance& instance,

@@ -1,85 +1,253 @@
 #include "flow/dinic.hpp"
 
+#include "util/parallel.hpp"
+
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace mpcalloc {
 
-DinicMaxFlow::DinicMaxFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+namespace {
+// Below this frontier size a layer is expanded inline (still on the same
+// fixed tile decomposition, so results are unchanged): dispatching the pool
+// for a handful of vertices costs more than scanning them, and path-shaped
+// level graphs would otherwise pay one dispatch per layer.
+constexpr std::size_t kParallelFrontierThreshold = kParallelTile;
+}  // namespace
+
+DinicMaxFlow::DinicMaxFlow(std::size_t num_nodes) : num_nodes_(num_nodes) {
+  if (num_nodes >= kUnreached) {
+    throw std::invalid_argument("DinicMaxFlow: too many nodes for 32-bit ids");
+  }
+}
 
 std::size_t DinicMaxFlow::add_edge(std::size_t from, std::size_t to,
                                    FlowValue capacity) {
-  if (from >= graph_.size() || to >= graph_.size()) {
+  if (from >= num_nodes_ || to >= num_nodes_) {
     throw std::out_of_range("DinicMaxFlow::add_edge: node out of range");
   }
   if (capacity < 0) {
     throw std::invalid_argument("DinicMaxFlow::add_edge: negative capacity");
   }
   if (solved_) throw std::logic_error("DinicMaxFlow: add_edge after solve");
-  graph_[from].push_back(Arc{to, graph_[to].size(), capacity});
-  graph_[to].push_back(Arc{from, graph_[from].size() - 1, 0});
-  handles_.emplace_back(from, graph_[from].size() - 1);
+  if (initial_capacity_.size() + 1 >
+      static_cast<std::size_t>(std::numeric_limits<ArcIndex>::max()) / 2) {
+    throw std::length_error("DinicMaxFlow::add_edge: too many edges");
+  }
+  edge_from_.push_back(static_cast<NodeIndex>(from));
+  edge_to_.push_back(static_cast<NodeIndex>(to));
   initial_capacity_.push_back(capacity);
-  return handles_.size() - 1;
+  return initial_capacity_.size() - 1;
 }
 
-bool DinicMaxFlow::bfs(std::size_t source, std::size_t sink) {
-  level_.assign(graph_.size(), -1);
-  std::queue<std::size_t> queue;
+void DinicMaxFlow::build_csr() {
+  const std::size_t num_edges = initial_capacity_.size();
+  const std::size_t num_arcs = 2 * num_edges;
+  arc_head_.resize(num_arcs);
+  arc_cap_.resize(num_arcs);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    arc_head_[2 * e] = edge_to_[e];
+    arc_cap_[2 * e] = initial_capacity_[e];
+    arc_head_[2 * e + 1] = edge_from_[e];
+    arc_cap_[2 * e + 1] = 0;
+  }
+  // Counting sort of arc ids by tail vertex (the tail of arc 2e is
+  // edge_from_[e], of arc 2e+1 edge_to_[e]).
+  csr_offsets_.assign(num_nodes_ + 1, 0);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    ++csr_offsets_[edge_from_[e] + 1];
+    ++csr_offsets_[edge_to_[e] + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    csr_offsets_[v + 1] += csr_offsets_[v];
+  }
+  csr_arcs_.resize(num_arcs);
+  std::vector<std::size_t> fill(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    csr_arcs_[fill[edge_from_[e]]++] = static_cast<ArcIndex>(2 * e);
+    csr_arcs_[fill[edge_to_[e]]++] = static_cast<ArcIndex>(2 * e + 1);
+  }
+  // The tails are recoverable from the CSR from here on; drop them.
+  edge_from_ = {};
+  edge_to_ = {};
+}
+
+bool DinicMaxFlow::bfs_layers(NodeIndex source, NodeIndex sink) {
+  level_.assign(num_nodes_, kUnreached);
   level_[source] = 0;
-  queue.push(source);
-  while (!queue.empty()) {
-    const std::size_t v = queue.front();
-    queue.pop();
-    for (const Arc& arc : graph_[v]) {
-      if (arc.capacity > 0 && level_[arc.to] < 0) {
-        level_[arc.to] = level_[v] + 1;
-        queue.push(arc.to);
+  frontier_.clear();
+  frontier_.push_back(source);
+  NodeIndex depth = 0;
+  while (!frontier_.empty() && level_[sink] == kUnreached) {
+    const std::size_t num_tiles =
+        (frontier_.size() + kParallelTile - 1) / kParallelTile;
+    if (tile_candidates_.size() < num_tiles) tile_candidates_.resize(num_tiles);
+    // Pass 1 (parallel, read-only on level_/arc_cap_): each tile scans its
+    // slice of the frontier and records residual arcs into unreached heads.
+    // Pass 2 (sequential, tile order) commits first-seen candidates, so the
+    // level assignment — a pure function of BFS distance anyway — and the
+    // next frontier's order are bitwise independent of the thread count.
+    const std::size_t threads =
+        frontier_.size() >= kParallelFrontierThreshold ? num_threads_ : 1;
+    parallel_for(0, frontier_.size(), kParallelTile, threads,
+                 [&](std::size_t tile_begin, std::size_t tile_end) {
+                   auto& candidates = tile_candidates_[tile_begin / kParallelTile];
+                   candidates.clear();
+                   for (std::size_t i = tile_begin; i < tile_end; ++i) {
+                     const NodeIndex u = frontier_[i];
+                     const std::size_t end = csr_offsets_[u + 1];
+                     for (std::size_t it = csr_offsets_[u]; it < end; ++it) {
+                       const ArcIndex a = csr_arcs_[it];
+                       const NodeIndex head = arc_head_[a];
+                       if (arc_cap_[a] > 0 && level_[head] == kUnreached) {
+                         candidates.push_back(head);
+                       }
+                     }
+                   }
+                 });
+    next_frontier_.clear();
+    ++depth;
+    for (std::size_t tile = 0; tile < num_tiles; ++tile) {
+      for (const NodeIndex v : tile_candidates_[tile]) {
+        if (level_[v] == kUnreached) {
+          level_[v] = depth;
+          next_frontier_.push_back(v);
+        }
       }
     }
+    std::swap(frontier_, next_frontier_);
   }
-  return level_[sink] >= 0;
+  return level_[sink] != kUnreached;
 }
 
-DinicMaxFlow::FlowValue DinicMaxFlow::dfs(std::size_t v, std::size_t sink,
-                                          FlowValue pushed) {
-  if (v == sink) return pushed;
-  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
-    Arc& arc = graph_[v][i];
-    if (arc.capacity > 0 && level_[v] < level_[arc.to]) {
-      const FlowValue d = dfs(arc.to, sink, std::min(pushed, arc.capacity));
-      if (d > 0) {
-        arc.capacity -= d;
-        graph_[arc.to][arc.rev].capacity += d;
-        return d;
-      }
-    }
-  }
-  return 0;
-}
-
-DinicMaxFlow::FlowValue DinicMaxFlow::solve(std::size_t source,
-                                            std::size_t sink) {
-  if (solved_) throw std::logic_error("DinicMaxFlow::solve called twice");
-  if (source == sink) throw std::invalid_argument("DinicMaxFlow: source == sink");
-  solved_ = true;
+DinicMaxFlow::FlowValue DinicMaxFlow::blocking_flow(NodeIndex source,
+                                                    NodeIndex sink) {
+  std::copy(csr_offsets_.begin(), csr_offsets_.end() - 1, cur_.begin());
   FlowValue total = 0;
-  while (bfs(source, sink)) {
-    iter_.assign(graph_.size(), 0);
-    while (const FlowValue pushed = dfs(source, sink, kInfinity)) {
-      total += pushed;
+  std::size_t depth = 0;
+  stack_nodes_[0] = source;
+  for (;;) {
+    const NodeIndex u = stack_nodes_[depth];
+    if (u == sink) {
+      // Augment by the path bottleneck, then retreat to the tail of the
+      // first saturated arc (everything before it still has residual).
+      FlowValue bottleneck = kInfinity;
+      std::size_t retreat_to = 0;
+      for (std::size_t i = 0; i < depth; ++i) {
+        if (arc_cap_[stack_arcs_[i]] < bottleneck) {
+          bottleneck = arc_cap_[stack_arcs_[i]];
+          retreat_to = i;
+        }
+      }
+      for (std::size_t i = 0; i < depth; ++i) {
+        arc_cap_[stack_arcs_[i]] -= bottleneck;
+        arc_cap_[stack_arcs_[i] ^ 1] += bottleneck;
+      }
+      total += bottleneck;
+      depth = retreat_to;
+      continue;
     }
+    // Advance along the first admissible current arc.
+    bool advanced = false;
+    for (std::size_t& it = cur_[u]; it < csr_offsets_[u + 1]; ++it) {
+      const ArcIndex a = csr_arcs_[it];
+      const NodeIndex head = arc_head_[a];
+      if (arc_cap_[a] > 0 && level_[head] == level_[u] + 1) {
+        stack_arcs_[depth] = a;
+        stack_nodes_[++depth] = head;
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) continue;
+    // Dead end: prune u from this phase's level graph and retreat. The
+    // parent's current arc still points at the arc into u; it now fails the
+    // level check and is skipped.
+    level_[u] = kUnreached;
+    if (depth == 0) break;
+    --depth;
   }
   return total;
 }
 
+DinicMaxFlow::CertifiedFlow DinicMaxFlow::cut_certificate(
+    FlowValue value) const {
+  // After the failed BFS, S = {v : level_[v] != kUnreached} is exactly the
+  // residual-reachable set, so every original-capacity arc from S to V\S is
+  // saturated and cap(S, V\S) == value (strong duality). Only forward arcs
+  // (even ids) carry original capacity.
+  struct CutPartial {
+    FlowValue capacity = 0;
+    std::size_t reachable = 0;
+  };
+  const CutPartial cut = parallel_reduce(
+      std::size_t{0}, num_nodes_, kParallelTile, num_threads_, CutPartial{},
+      [&](std::size_t tile_begin, std::size_t tile_end) {
+        CutPartial partial;
+        for (std::size_t v = tile_begin; v < tile_end; ++v) {
+          if (level_[v] == kUnreached) continue;
+          ++partial.reachable;
+          const std::size_t end = csr_offsets_[v + 1];
+          for (std::size_t it = csr_offsets_[v]; it < end; ++it) {
+            const ArcIndex a = csr_arcs_[it];
+            if ((a & 1u) == 0 && level_[arc_head_[a]] == kUnreached) {
+              partial.capacity += initial_capacity_[a >> 1];
+            }
+          }
+        }
+        return partial;
+      },
+      [](CutPartial acc, const CutPartial& partial) {
+        acc.capacity += partial.capacity;
+        acc.reachable += partial.reachable;
+        return acc;
+      });
+  return CertifiedFlow{value, cut.capacity, cut.reachable};
+}
+
+DinicMaxFlow::CertifiedFlow DinicMaxFlow::solve_certified(std::size_t source,
+                                                          std::size_t sink) {
+  if (solved_) throw std::logic_error("DinicMaxFlow::solve called twice");
+  if (source >= num_nodes_ || sink >= num_nodes_) {
+    throw std::out_of_range("DinicMaxFlow::solve: node out of range");
+  }
+  if (source == sink) {
+    throw std::invalid_argument("DinicMaxFlow: source == sink");
+  }
+  solved_ = true;
+  num_threads_ = resolve_num_threads(num_threads_);
+  build_csr();
+  cur_.resize(num_nodes_);
+  stack_nodes_.resize(num_nodes_ + 1);
+  stack_arcs_.resize(num_nodes_);
+  const auto src = static_cast<NodeIndex>(source);
+  const auto snk = static_cast<NodeIndex>(sink);
+  FlowValue total = 0;
+  while (bfs_layers(src, snk)) {
+    total += blocking_flow(src, snk);
+  }
+  const CertifiedFlow certified = cut_certificate(total);
+  if (!certified.ok()) {
+    throw std::logic_error(
+        "DinicMaxFlow: certificate failed (max-flow value " +
+        std::to_string(certified.value) + " != min-cut capacity " +
+        std::to_string(certified.cut_capacity) + ")");
+  }
+  return certified;
+}
+
+DinicMaxFlow::FlowValue DinicMaxFlow::solve(std::size_t source,
+                                            std::size_t sink) {
+  return solve_certified(source, sink).value;
+}
+
 DinicMaxFlow::FlowValue DinicMaxFlow::flow_on(std::size_t edge_handle) const {
-  if (edge_handle >= handles_.size()) {
+  if (edge_handle >= initial_capacity_.size()) {
     throw std::out_of_range("DinicMaxFlow::flow_on: bad handle");
   }
-  const auto [node, idx] = handles_[edge_handle];
-  return initial_capacity_[edge_handle] - graph_[node][idx].capacity;
+  if (!solved_) return 0;
+  return initial_capacity_[edge_handle] - arc_cap_[2 * edge_handle];
 }
 
 }  // namespace mpcalloc

@@ -1,4 +1,4 @@
-// Dinic's maximum-flow algorithm.
+// Dinic's maximum-flow algorithm, certificate-emitting and scalable.
 //
 // Used as the exact-OPT oracle: the allocation problem is a bipartite
 // b-matching LP whose constraint matrix is totally unimodular, so the
@@ -6,6 +6,31 @@
 // both equal the max s–t flow of the standard unit/C_v network. Every
 // quality experiment in bench/ divides by this oracle, so reported
 // approximation ratios are true ratios rather than bounds.
+//
+// The solver is built for depth and scale (cf. WHFC's dinic_base.h shape,
+// SNIPPETS.md):
+//
+//  * Arcs live in two flat arrays (`arc_head_`, `arc_cap_`); arc 2e is the
+//    forward copy of edge e and arc 2e^1 its reverse, so the residual
+//    partner of arc a is always a^1 — there is no stored `rev` index to
+//    corrupt, and self-loops are sound by construction (their forward and
+//    reverse copies are distinct arcs).
+//  * A CSR adjacency (`csr_offsets_`, `csr_arcs_`) groups arc ids by tail
+//    vertex; per-vertex current-arc pointers index into it.
+//  * BFS runs on a reusable layered queue (two flat frontier buffers, no
+//    per-phase allocation), with each layer's arc scan tiled onto the
+//    deterministic executor (util/parallel.hpp): tiles only read, and new
+//    vertices are committed sequentially in tile order, so levels are
+//    bitwise independent of the thread count.
+//  * The blocking flow walks an explicit fixed-capacity stack (one slot per
+//    node) with current-arc pruning — no recursion at any depth, so
+//    path-shaped level graphs with millions of layers cannot overflow the
+//    native stack.
+//
+// After the final BFS fails, the residual-reachable set S is the source
+// side of a minimum cut, and cap(S, V\S) == max-flow value by LP duality.
+// `solve_certified` computes that cut capacity and returns it alongside the
+// flow value as a self-checking optimality certificate.
 #pragma once
 
 #include <cstdint>
@@ -20,36 +45,82 @@ class DinicMaxFlow {
   using FlowValue = std::int64_t;
   static constexpr FlowValue kInfinity = std::numeric_limits<FlowValue>::max();
 
+  /// A max-flow value together with its dual witness: the capacity of the
+  /// min cut induced by the residual-reachable set after the final BFS.
+  /// `ok()` is the certificate check (strong duality: value == cut).
+  struct CertifiedFlow {
+    FlowValue value = 0;
+    FlowValue cut_capacity = 0;
+    std::size_t cut_reachable = 0;  ///< |S|: source-side vertices of the cut
+    [[nodiscard]] bool ok() const { return value == cut_capacity; }
+  };
+
   explicit DinicMaxFlow(std::size_t num_nodes);
 
   /// Adds a directed edge with the given capacity; returns its handle
   /// (usable with `flow_on` after solving). A reverse edge of capacity 0 is
-  /// added internally.
+  /// added internally. Self-loops are accepted and never carry flow.
   std::size_t add_edge(std::size_t from, std::size_t to, FlowValue capacity);
 
-  /// Computes the max flow from `source` to `sink`. May be called once.
+  /// Threads for the tiled level-graph construction (0 = auto via
+  /// MPCALLOC_THREADS / hardware concurrency). Results are bitwise
+  /// independent of this knob.
+  void set_num_threads(std::size_t num_threads) { num_threads_ = num_threads; }
+
+  /// Computes the max flow from `source` to `sink` with its min-cut
+  /// certificate. May be called once; throws std::logic_error if the
+  /// certificate fails to verify (which would indicate a solver bug).
+  CertifiedFlow solve_certified(std::size_t source, std::size_t sink);
+
+  /// Value-only convenience wrapper around solve_certified.
   FlowValue solve(std::size_t source, std::size_t sink);
 
   /// Flow routed through the edge returned by add_edge.
   [[nodiscard]] FlowValue flow_on(std::size_t edge_handle) const;
 
-  [[nodiscard]] std::size_t num_nodes() const { return graph_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const {
+    return initial_capacity_.size();
+  }
 
  private:
-  struct Arc {
-    std::size_t to;
-    std::size_t rev;  ///< index of the reverse arc in graph_[to]
-    FlowValue capacity;
-  };
+  using NodeIndex = std::uint32_t;
+  using ArcIndex = std::uint32_t;
+  static constexpr NodeIndex kUnreached =
+      std::numeric_limits<NodeIndex>::max();
 
-  bool bfs(std::size_t source, std::size_t sink);
-  FlowValue dfs(std::size_t v, std::size_t sink, FlowValue pushed);
+  void build_csr();
+  bool bfs_layers(NodeIndex source, NodeIndex sink);
+  FlowValue blocking_flow(NodeIndex source, NodeIndex sink);
+  [[nodiscard]] CertifiedFlow cut_certificate(FlowValue value) const;
 
-  std::vector<std::vector<Arc>> graph_;
-  std::vector<std::pair<std::size_t, std::size_t>> handles_;  ///< (node, arc idx)
-  std::vector<FlowValue> initial_capacity_;
-  std::vector<int> level_;
-  std::vector<std::size_t> iter_;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_threads_ = 0;
+
+  // Edge list as added; consumed by build_csr (from/to freed afterwards).
+  std::vector<NodeIndex> edge_from_;
+  std::vector<NodeIndex> edge_to_;
+  std::vector<FlowValue> initial_capacity_;  ///< per handle, kept for flow_on
+
+  // Flat arc storage: arc 2e forward, arc 2e+1 reverse (partner = id ^ 1).
+  std::vector<NodeIndex> arc_head_;
+  std::vector<FlowValue> arc_cap_;
+  // CSR adjacency over arc ids, grouped by tail vertex.
+  std::vector<std::size_t> csr_offsets_;
+  std::vector<ArcIndex> csr_arcs_;
+
+  // Reusable per-phase state.
+  std::vector<NodeIndex> level_;
+  std::vector<std::size_t> cur_;  ///< current-arc pointer into csr_arcs_
+  std::vector<NodeIndex> frontier_;
+  std::vector<NodeIndex> next_frontier_;
+  std::vector<std::vector<NodeIndex>> tile_candidates_;
+  // Blocking-flow stack, fixed capacity num_nodes (a simple path cannot be
+  // longer): stack_nodes_[i] is the i-th vertex of the partial path and
+  // stack_arcs_[i] the arc taken out of it.
+  std::vector<NodeIndex> stack_nodes_;
+  std::vector<ArcIndex> stack_arcs_;
+
   bool solved_ = false;
 };
 

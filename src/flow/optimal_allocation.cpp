@@ -32,8 +32,11 @@ OptimalAllocationResult solve_impl(const AllocationInstance& instance,
     flow.add_edge(1 + nl + v, sink, instance.capacities[v]);
   }
 
+  const DinicMaxFlow::CertifiedFlow certified = flow.solve_certified(source, sink);
   OptimalAllocationResult result;
-  result.value = static_cast<std::uint64_t>(flow.solve(source, sink));
+  result.value = static_cast<std::uint64_t>(certified.value);
+  result.cut_capacity = static_cast<std::uint64_t>(certified.cut_capacity);
+  result.certificate_ok = certified.ok();
   if (want_witness) {
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       if (flow.flow_on(middle_handles[e]) > 0) {
@@ -50,6 +53,13 @@ OptimalAllocationResult solve_impl(const AllocationInstance& instance,
 OptimalAllocationResult solve_optimal_allocation(
     const AllocationInstance& instance) {
   return solve_impl(instance, /*want_witness=*/true);
+}
+
+CertifiedOptimum certified_optimal_value(const AllocationInstance& instance) {
+  const OptimalAllocationResult result =
+      solve_impl(instance, /*want_witness=*/false);
+  return CertifiedOptimum{result.value, result.cut_capacity,
+                          result.certificate_ok};
 }
 
 std::uint64_t optimal_allocation_value(const AllocationInstance& instance) {

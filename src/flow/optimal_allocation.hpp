@@ -1,9 +1,15 @@
-// Exact optimal allocation via max flow.
+// Exact optimal allocation via max flow, with a min-cut certificate.
 //
 // Network: source → every u ∈ L with capacity 1; u → v with capacity 1 for
 // every edge (u,v); v → sink with capacity C_v. By LP total unimodularity,
 // max-flow == maximum integral allocation == maximum fractional allocation,
 // so this single oracle serves both OPT definitions used in the paper.
+//
+// Every solve also returns the capacity of the min cut witnessed by the
+// final residual BFS (see DinicMaxFlow::solve_certified); `certificate_ok`
+// records the strong-duality check value == cut, so downstream consumers
+// (verify.hpp ratios, the bench JSON quality gates) report *certified*
+// optima rather than trusting the solver.
 #pragma once
 
 #include "graph/allocation.hpp"
@@ -13,8 +19,17 @@
 
 namespace mpcalloc {
 
+/// An exact optimum together with its min-cut certificate.
+struct CertifiedOptimum {
+  std::uint64_t value = 0;          ///< |OPT| (max-flow value)
+  std::uint64_t cut_capacity = 0;   ///< capacity of the witnessed min cut
+  bool certificate_ok = false;      ///< value == cut_capacity
+};
+
 struct OptimalAllocationResult {
   std::uint64_t value = 0;          ///< |OPT|
+  std::uint64_t cut_capacity = 0;   ///< min-cut witness for `value`
+  bool certificate_ok = false;      ///< value == cut_capacity
   IntegralAllocation allocation;    ///< a witness optimal allocation
 };
 
@@ -22,7 +37,11 @@ struct OptimalAllocationResult {
 [[nodiscard]] OptimalAllocationResult solve_optimal_allocation(
     const AllocationInstance& instance);
 
-/// Value-only variant (skips witness extraction).
+/// Value + certificate (skips witness extraction).
+[[nodiscard]] CertifiedOptimum certified_optimal_value(
+    const AllocationInstance& instance);
+
+/// Value-only variant (still certificate-checked internally).
 [[nodiscard]] std::uint64_t optimal_allocation_value(
     const AllocationInstance& instance);
 

@@ -4,8 +4,39 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace mpcalloc {
+
+namespace {
+
+// Line-oriented parsing shared by read_instance/read_solution: tolerate
+// CRLF files and whitespace-only lines, reject anything unparsed after the
+// expected fields instead of silently ignoring it.
+
+/// Strips a trailing '\r' (CRLF input) in place.
+void strip_carriage_return(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+/// True for lines holding no content: empty, whitespace-only, or comments
+/// (leading whitespace before '#' allowed).
+bool is_blank_or_comment(const std::string& line) {
+  const std::size_t first = line.find_first_not_of(" \t");
+  return first == std::string::npos || line[first] == '#';
+}
+
+/// Throws unless the stream is exhausted apart from whitespace.
+void require_line_end(std::istringstream& ls, const char* function,
+                      const std::string& line) {
+  std::string extra;
+  if (ls >> extra) {
+    throw std::runtime_error(std::string(function) + ": trailing garbage '" +
+                             extra + "' in line '" + line + "'");
+  }
+}
+
+}  // namespace
 
 void write_instance(std::ostream& os, const AllocationInstance& instance) {
   instance.validate();
@@ -32,7 +63,8 @@ AllocationInstance read_instance(std::istream& is) {
   std::size_t edges_seen = 0;
 
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    strip_carriage_return(line);
+    if (is_blank_or_comment(line)) continue;
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
@@ -41,6 +73,7 @@ AllocationInstance read_instance(std::istream& is) {
       if (!(ls >> num_left >> num_right >> num_edges)) {
         throw std::runtime_error("read_instance: malformed header");
       }
+      require_line_end(ls, "read_instance", line);
       saw_header = true;
       builder = BipartiteGraphBuilder(num_left, num_right);
       out.capacities.assign(num_right, 1);
@@ -51,6 +84,7 @@ AllocationInstance read_instance(std::istream& is) {
       if (!(ls >> v >> cap) || v >= num_right || cap == 0) {
         throw std::runtime_error("read_instance: malformed capacity line");
       }
+      require_line_end(ls, "read_instance", line);
       out.capacities[v] = cap;
     } else if (tag == "e") {
       if (!saw_header) throw std::runtime_error("read_instance: 'e' before header");
@@ -58,6 +92,7 @@ AllocationInstance read_instance(std::istream& is) {
       if (!(ls >> u >> v) || u >= num_left || v >= num_right) {
         throw std::runtime_error("read_instance: malformed edge line");
       }
+      require_line_end(ls, "read_instance", line);
       builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
       ++edges_seen;
     } else {
@@ -94,11 +129,13 @@ IntegralAllocation read_solution(std::istream& is,
   }
 
   IntegralAllocation out;
+  std::vector<bool> seen(instance.graph.num_edges(), false);
   std::string line;
   bool saw_header = false;
   std::size_t expected = 0;
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    strip_carriage_return(line);
+    if (is_blank_or_comment(line)) continue;
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
@@ -107,16 +144,24 @@ IntegralAllocation read_solution(std::istream& is,
       if (!(ls >> expected)) {
         throw std::runtime_error("read_solution: malformed header");
       }
+      require_line_end(ls, "read_solution", line);
       saw_header = true;
     } else if (tag == "m") {
       if (!saw_header) throw std::runtime_error("read_solution: 'm' before header");
       std::size_t u = 0, v = 0;
       if (!(ls >> u >> v)) throw std::runtime_error("read_solution: malformed pair");
+      require_line_end(ls, "read_solution", line);
       const auto it = by_pair.find({static_cast<Vertex>(u), static_cast<Vertex>(v)});
       if (it == by_pair.end()) {
         throw std::runtime_error("read_solution: pair (" + std::to_string(u) +
                                  "," + std::to_string(v) + ") is not an edge");
       }
+      if (seen[it->second]) {
+        throw std::runtime_error("read_solution: duplicate pair (" +
+                                 std::to_string(u) + "," + std::to_string(v) +
+                                 ")");
+      }
+      seen[it->second] = true;
       out.edges.push_back(it->second);
     } else {
       throw std::runtime_error("read_solution: unknown tag '" + tag + "'");

@@ -4,6 +4,10 @@
 //   alloc <num_left> <num_right> <num_edges>
 //   c <v> <capacity>          (one per R vertex; missing vertices get C=1)
 //   e <u> <v>                 (one per edge)
+//
+// Readers accept CRLF line endings and skip blank / whitespace-only lines,
+// but reject trailing garbage after the expected fields of a line — a
+// malformed file fails loudly rather than being silently reinterpreted.
 #pragma once
 
 #include "graph/allocation.hpp"
@@ -26,7 +30,8 @@ void save_instance(const std::string& path, const AllocationInstance& instance);
 void write_solution(std::ostream& os, const AllocationInstance& instance,
                     const IntegralAllocation& allocation);
 /// Reads a solution and resolves each (u,v) pair to its edge id; throws if
-/// a pair is not an edge of the instance or the solution is infeasible.
+/// a pair is not an edge of the instance, appears more than once, or the
+/// solution is infeasible.
 [[nodiscard]] IntegralAllocation read_solution(
     std::istream& is, const AllocationInstance& instance);
 

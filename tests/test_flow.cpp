@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "test_util.hpp"
 
 namespace mpcalloc {
@@ -61,6 +64,188 @@ TEST(Dinic, GuardsMisuse) {
   EXPECT_THROW(flow.solve(0, 1), std::logic_error);
   EXPECT_THROW(flow.add_edge(0, 1, 1), std::logic_error);
   EXPECT_THROW((void)flow.flow_on(99), std::out_of_range);
+}
+
+TEST(Dinic, DeepPathSolvesWithoutRecursion) {
+  // A path-shaped network with 2^18 BFS levels: the recursive augmenting
+  // DFS of the pre-CSR oracle overflowed the native stack here (one frame
+  // per level). The iterative solver must walk it with a fixed explicit
+  // stack and still certify the bottleneck cut.
+  constexpr std::size_t kLevels = std::size_t{1} << 18;
+  DinicMaxFlow flow(kLevels + 1);
+  std::vector<std::size_t> handles;
+  handles.reserve(kLevels);
+  for (std::size_t i = 0; i < kLevels; ++i) {
+    // Bottleneck of 2 planted mid-path; everything else has capacity 5.
+    handles.push_back(flow.add_edge(i, i + 1, i == kLevels / 2 ? 2 : 5));
+  }
+  const auto certified = flow.solve_certified(0, kLevels);
+  EXPECT_EQ(certified.value, 2);
+  EXPECT_EQ(certified.cut_capacity, 2);
+  EXPECT_TRUE(certified.ok());
+  // The residual-reachable cut side is exactly the prefix up to the
+  // bottleneck's tail.
+  EXPECT_EQ(certified.cut_reachable, kLevels / 2 + 1);
+  EXPECT_EQ(flow.flow_on(handles.front()), 2);
+  EXPECT_EQ(flow.flow_on(handles.back()), 2);
+}
+
+TEST(Dinic, SelfLoopIsInertByConstruction) {
+  // Arc pairing by index xor makes a self-loop's forward and reverse copies
+  // distinct arcs, so it cannot corrupt residual capacities (the old
+  // adjacency-list layout recorded a self-referential `rev` index here).
+  DinicMaxFlow flow(3);
+  const auto forward_a = flow.add_edge(0, 1, 4);
+  const auto loop = flow.add_edge(1, 1, 7);
+  const auto forward_b = flow.add_edge(1, 2, 3);
+  EXPECT_EQ(flow.solve(0, 2), 3);
+  EXPECT_EQ(flow.flow_on(loop), 0);
+  EXPECT_EQ(flow.flow_on(forward_a), 3);
+  EXPECT_EQ(flow.flow_on(forward_b), 3);
+}
+
+TEST(Dinic, SelfLoopOnSourceAndSink) {
+  DinicMaxFlow flow(2);
+  flow.add_edge(0, 0, 9);
+  const auto middle = flow.add_edge(0, 1, 5);
+  flow.add_edge(1, 1, 9);
+  const auto certified = flow.solve_certified(0, 1);
+  EXPECT_EQ(certified.value, 5);
+  EXPECT_TRUE(certified.ok());
+  EXPECT_EQ(flow.flow_on(middle), 5);
+}
+
+TEST(Dinic, ParallelDuplicateEdgesAccumulate) {
+  DinicMaxFlow flow(2);
+  const auto first = flow.add_edge(0, 1, 2);
+  const auto second = flow.add_edge(0, 1, 3);
+  EXPECT_EQ(flow.solve(0, 1), 5);
+  EXPECT_EQ(flow.flow_on(first) + flow.flow_on(second), 5);
+  EXPECT_LE(flow.flow_on(first), 2);
+  EXPECT_LE(flow.flow_on(second), 3);
+}
+
+TEST(Dinic, FlowOnHandlesConserveAtEveryNode) {
+  // Handle-indexed flows must describe a feasible flow after the CSR
+  // rewrite: conservation at inner nodes, capacity obeyed per edge.
+  struct Spec {
+    std::size_t from, to;
+    DinicMaxFlow::FlowValue cap;
+  };
+  const std::vector<Spec> edges{{0, 1, 4}, {0, 2, 6}, {1, 2, 2}, {1, 3, 3},
+                                {2, 3, 5}, {2, 4, 2}, {3, 4, 9}};
+  DinicMaxFlow flow(5);
+  std::vector<std::size_t> handles;
+  for (const Spec& e : edges) handles.push_back(flow.add_edge(e.from, e.to, e.cap));
+  const auto value = flow.solve(0, 4);
+  EXPECT_EQ(value, 10);
+  std::vector<DinicMaxFlow::FlowValue> net(5, 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto f = flow.flow_on(handles[i]);
+    EXPECT_GE(f, 0);
+    EXPECT_LE(f, edges[i].cap);
+    net[edges[i].from] -= f;
+    net[edges[i].to] += f;
+  }
+  EXPECT_EQ(net[0], -value);
+  EXPECT_EQ(net[4], value);
+  EXPECT_EQ(net[1], 0);
+  EXPECT_EQ(net[2], 0);
+  EXPECT_EQ(net[3], 0);
+}
+
+TEST(Dinic, CertificateOnDisconnectedSink) {
+  DinicMaxFlow flow(3);
+  flow.add_edge(0, 1, 5);
+  const auto certified = flow.solve_certified(0, 2);
+  EXPECT_EQ(certified.value, 0);
+  EXPECT_EQ(certified.cut_capacity, 0);
+  EXPECT_TRUE(certified.ok());
+  // 0 and 1 stay residual-reachable; only the sink is across the cut.
+  EXPECT_EQ(certified.cut_reachable, 2u);
+}
+
+TEST(Dinic, CertificateOnKnownCut) {
+  // Min cut separates {0,1} from {2,3}: arcs 1->2 (3) and 0->2 (1).
+  DinicMaxFlow flow(4);
+  flow.add_edge(0, 1, 10);
+  flow.add_edge(1, 2, 3);
+  flow.add_edge(0, 2, 1);
+  flow.add_edge(2, 3, 10);
+  const auto certified = flow.solve_certified(0, 3);
+  EXPECT_EQ(certified.value, 4);
+  EXPECT_EQ(certified.cut_capacity, 4);
+  EXPECT_EQ(certified.cut_reachable, 2u);
+}
+
+TEST(Dinic, SolveRejectsOutOfRangeTerminals) {
+  DinicMaxFlow flow(2);
+  EXPECT_THROW(flow.solve(0, 7), std::out_of_range);
+}
+
+TEST(Dinic, ResultsAreThreadCountInvariant) {
+  // The tiled level-graph construction must not change results with the
+  // thread count: solve the same multi-tile instance at 1/2/4/7 threads.
+  Xoshiro256pp rng(99);
+  AllocationInstance instance;
+  instance.graph = erdos_renyi_bipartite(4000, 1500, 12000, rng);
+  instance.capacities = uniform_capacities(1500, 1, 6, rng);
+  const std::size_t source = 0;
+  const std::size_t sink = 1 + 4000 + 1500;
+  std::vector<DinicMaxFlow::CertifiedFlow> results;
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    DinicMaxFlow flow(sink + 1);
+    for (Vertex u = 0; u < 4000; ++u) flow.add_edge(source, 1 + u, 1);
+    for (const Edge& e : instance.graph.edges()) {
+      flow.add_edge(1 + e.u, 1 + 4000 + e.v, 1);
+    }
+    for (Vertex v = 0; v < 1500; ++v) {
+      flow.add_edge(1 + 4000 + v, sink, instance.capacities[v]);
+    }
+    flow.set_num_threads(threads);
+    results.push_back(flow.solve_certified(source, sink));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].value, results[0].value);
+    EXPECT_EQ(results[i].cut_capacity, results[0].cut_capacity);
+    EXPECT_EQ(results[i].cut_reachable, results[0].cut_reachable);
+  }
+}
+
+TEST(CertifiedOracle, ValueEqualsCutOnRandomizedInstances) {
+  // Property test: across randomized instances the certificate must verify
+  // (value == cut capacity) and the value must dominate the greedy lower
+  // bound while respecting the trivial upper bounds.
+  for (const auto& spec : mpcalloc::testing::default_specs()) {
+    const AllocationInstance instance = mpcalloc::testing::make_instance(spec);
+    const CertifiedOptimum certified = certified_optimal_value(instance);
+    EXPECT_TRUE(certified.certificate_ok) << spec.name;
+    EXPECT_EQ(certified.value, certified.cut_capacity) << spec.name;
+    const IntegralAllocation greedy = greedy_allocation(instance);
+    EXPECT_GE(certified.value, greedy.size()) << spec.name;
+    EXPECT_LE(certified.value, instance.graph.num_left()) << spec.name;
+    EXPECT_LE(certified.value, instance.total_capacity()) << spec.name;
+  }
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Xoshiro256pp rng(seed);
+    AllocationInstance instance;
+    instance.graph = erdos_renyi_bipartite(600, 300, 2400, rng);
+    instance.capacities = uniform_capacities(300, 1, 4, rng);
+    const CertifiedOptimum certified = certified_optimal_value(instance);
+    EXPECT_TRUE(certified.certificate_ok) << "seed " << seed;
+    const IntegralAllocation greedy = greedy_allocation(instance);
+    EXPECT_GE(certified.value, greedy.size()) << "seed " << seed;
+    EXPECT_LE(certified.value, 2 * greedy.size() + 1) << "seed " << seed;
+  }
+}
+
+TEST(CertifiedOracle, WitnessResultCarriesCertificate) {
+  const auto planted = mpcalloc::testing::make_planted(400, 100, 5, 4);
+  const OptimalAllocationResult result =
+      solve_optimal_allocation(planted.instance);
+  EXPECT_TRUE(result.certificate_ok);
+  EXPECT_EQ(result.value, result.cut_capacity);
+  EXPECT_EQ(result.allocation.size(), result.value);
 }
 
 TEST(OptimalAllocation, StarRespectsCenterCapacity) {

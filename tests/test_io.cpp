@@ -71,6 +71,40 @@ TEST(Io, UnknownTagRejected) {
   EXPECT_THROW(read_instance(stream), std::runtime_error);
 }
 
+TEST(Io, CrlfLineEndingsAccepted) {
+  std::stringstream stream("# dos file\r\nalloc 2 2 1\r\nc 1 7\r\ne 0 1\r\n");
+  const AllocationInstance instance = read_instance(stream);
+  EXPECT_EQ(instance.capacities[1], 7u);
+  EXPECT_EQ(instance.graph.num_edges(), 1u);
+}
+
+TEST(Io, BlankAndWhitespaceLinesSkipped) {
+  std::stringstream stream(
+      "alloc 2 2 1\n"
+      "\n"
+      "   \n"
+      "\t\r\n"
+      "  # indented comment\n"
+      "e 0 1\n");
+  const AllocationInstance instance = read_instance(stream);
+  EXPECT_EQ(instance.graph.num_edges(), 1u);
+}
+
+TEST(Io, TrailingGarbageRejected) {
+  {
+    std::stringstream stream("alloc 2 2 1 extra\ne 0 1\n");
+    EXPECT_THROW(read_instance(stream), std::runtime_error);
+  }
+  {
+    std::stringstream stream("alloc 2 2 1\nc 1 7 9\ne 0 1\n");
+    EXPECT_THROW(read_instance(stream), std::runtime_error);
+  }
+  {
+    std::stringstream stream("alloc 2 2 1\ne 0 1 1\n");
+    EXPECT_THROW(read_instance(stream), std::runtime_error);
+  }
+}
+
 TEST(Io, FileSaveLoad) {
   const AllocationInstance original = sample_instance();
   const std::string path = ::testing::TempDir() + "/mpcalloc_io_test.txt";
@@ -127,6 +161,32 @@ TEST(SolutionIo, RejectsInfeasibleSolution) {
   AllocationInstance instance{star_graph(3), {1}};
   std::stringstream stream("solution 2\nm 0 0\nm 1 0\n");
   EXPECT_THROW((void)read_solution(stream, instance), std::logic_error);
+}
+
+TEST(SolutionIo, RejectsDuplicatePairAtParseTime) {
+  // With C_v = 3 the duplicate would even survive the right-side capacity
+  // check; the parser must reject it before feasibility checking runs.
+  // (std::runtime_error pins parse-time detection: check_valid throws
+  // std::logic_error, a different branch of the exception hierarchy.)
+  AllocationInstance instance{star_graph(3), {3}};
+  std::stringstream stream("solution 2\nm 0 0\nm 0 0\n");
+  EXPECT_THROW((void)read_solution(stream, instance), std::runtime_error);
+}
+
+TEST(SolutionIo, CrlfAndTrailingGarbage) {
+  AllocationInstance instance{star_graph(3), {2}};
+  {
+    std::stringstream stream("solution 1\r\nm 0 0\r\n");
+    EXPECT_EQ(read_solution(stream, instance).size(), 1u);
+  }
+  {
+    std::stringstream stream("solution 1\nm 0 0 junk\n");
+    EXPECT_THROW((void)read_solution(stream, instance), std::runtime_error);
+  }
+  {
+    std::stringstream stream("solution 1 junk\nm 0 0\n");
+    EXPECT_THROW((void)read_solution(stream, instance), std::runtime_error);
+  }
 }
 
 TEST(SolutionIo, FileRoundTrip) {

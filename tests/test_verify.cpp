@@ -18,6 +18,42 @@ TEST(Verify, RatioBasics) {
   EXPECT_TRUE(std::isinf(approximation_ratio(5, 0.0)));
 }
 
+TEST(Verify, RatioClampedAtOneAgainstFloatNoise) {
+  // Floating-point summation of a fractional weight can overshoot OPT by an
+  // ulp; the reported ratio must never drop below 1.0. Regression for the
+  // unclamped oracle division.
+  EXPECT_DOUBLE_EQ(approximation_ratio(10, 10.0 + 1e-9), 1.0);
+  EXPECT_DOUBLE_EQ(approximation_ratio(3000, 3000.0000000000218), 1.0);
+  EXPECT_GE(approximation_ratio(10, 9.999999999), 1.0);
+}
+
+TEST(Verify, CertifiedRatiosCarryMatchingCertificate) {
+  for (const auto& spec : mpcalloc::testing::default_specs()) {
+    const AllocationInstance instance = mpcalloc::testing::make_instance(spec);
+    const CertifiedRatio certified =
+        certified_integral_ratio(instance, greedy_allocation(instance));
+    EXPECT_TRUE(certified.certificate_ok) << spec.name;
+    EXPECT_EQ(certified.opt, certified.cut_capacity) << spec.name;
+    EXPECT_GE(certified.ratio, 1.0) << spec.name;
+    // The plain-double wrapper must agree with the certified path.
+    EXPECT_DOUBLE_EQ(integral_ratio(instance, greedy_allocation(instance)),
+                     certified.ratio)
+        << spec.name;
+  }
+}
+
+TEST(Verify, CertifiedFractionalRatioOnSaturatedInstance) {
+  // x ≡ 1 on a star with full capacity is exactly optimal; the certified
+  // ratio must clamp to 1.0 even though the weight is a float sum.
+  AllocationInstance instance{star_graph(10), {10}};
+  FractionalAllocation full;
+  full.x.assign(10, 1.0);
+  const CertifiedRatio certified = certified_fractional_ratio(instance, full);
+  EXPECT_TRUE(certified.certificate_ok);
+  EXPECT_EQ(certified.opt, 10u);
+  EXPECT_DOUBLE_EQ(certified.ratio, 1.0);
+}
+
 TEST(Verify, IntegralRatioOnStar) {
   AllocationInstance instance{star_graph(10), {4}};
   IntegralAllocation half{{0, 1}};
