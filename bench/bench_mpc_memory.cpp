@@ -5,13 +5,27 @@
 // report the enforced per-machine high-watermark against S, the peak total
 // resident words against the ~λn-word input, and the exponentiation ball
 // volumes that eq. (4)'s phase length keeps below S.
+//
+// `--threads` drives the simulator's shard/tile parallelism (counters are
+// bitwise identical for any value); `--json=PATH` emits the space counters
+// for the CI perf gate.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
+#include "util/cli.hpp"
+
+#include <string>
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpcalloc;
   using namespace mpcalloc::bench;
+
+  CliParser cli("E5b: MPC memory accounting");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  cli.threads_option();
+  if (!cli.parse(argc, argv)) return 0;
+  const auto threads = static_cast<std::size_t>(cli.get_size("threads"));
 
   const double eps = 0.25;
   const std::size_t n = 1600;
@@ -19,6 +33,9 @@ int main() {
   print_preamble("E5b: MPC memory accounting",
                  "Theorem 3: n^alpha local memory, O~(lambda*n) total memory; "
                  "ball volumes must fit a machine (eq. 4)");
+
+  JsonMetrics metrics("bench_mpc_memory");
+  WallTimer total_timer;
 
   Table table("left-regular L=R=1600, alpha=0.8");
   table.header({"degree", "m (=d*n)", "S words", "peak machine", "peak/S",
@@ -38,6 +55,7 @@ int main() {
     config.samples_per_group = 4;
     config.seed = 10;
     config.lambda = degree / 2.0;
+    config.num_threads = threads;
     const MpcRunResult phased = run_mpc_phased(instance, config);
 
     table.row(
@@ -53,10 +71,24 @@ int main() {
                         static_cast<double>(input_words),
                     2),
          Table::integer(static_cast<long long>(phased.max_ball_volume))});
+
+    const std::string suffix = "_d" + std::to_string(degree);
+    metrics.counter("peak_machine_words" + suffix,
+                    static_cast<double>(phased.peak_machine_words));
+    metrics.counter("peak_total_words" + suffix,
+                    static_cast<double>(phased.peak_total_words));
+    metrics.counter("max_ball_volume" + suffix,
+                    static_cast<double>(phased.max_ball_volume));
   }
   table.print(std::cout);
   std::cout << "\nShape check: peak/S stays <= 1 (the Cluster throws "
                "otherwise); total memory stays a small constant multiple of "
                "the lambda*n-word input.\n";
+
+  metrics.time_ms("total_sweep_ms", total_timer.millis());
+  if (const std::string json_path = cli.get("json"); !json_path.empty()) {
+    metrics.write(json_path);
+    std::cout << "\nmetrics written to " << json_path << "\n";
+  }
   return 0;
 }

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   cli.option("json", "", "write machine-readable metrics JSON to this path");
   cli.threads_option();
   if (!cli.parse(argc, argv)) return 0;
-  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const auto threads = static_cast<std::size_t>(cli.get_size("threads"));
 
   const double eps = 0.25;
   const std::size_t n = 2000;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   const auto impressions = static_cast<std::size_t>(cli.get_int("impressions"));
   const auto advertisers = static_cast<std::size_t>(cli.get_int("advertisers"));
   const double eps = cli.get_double("eps");
-  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  Xoshiro256pp rng(cli.get_size("seed"));
 
   // Eligibility graph: power-law on both sides (broad advertisers early).
   AllocationInstance instance;
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
   // Proportional pipeline.
   const ProportionalResult frac = solve_adaptive(instance, eps, /*safety_cap=*/0,
-                     static_cast<std::size_t>(cli.get_int("threads")));
+                     static_cast<std::size_t>(cli.get_size("threads")));
   BestOfRoundingResult rounded = round_best_of(instance, frac.allocation, rng);
   make_maximal(instance, rounded.best);
   const BoostResult boosted = boost_to_one_plus_eps(instance, rounded.best, eps);

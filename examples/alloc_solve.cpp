@@ -23,7 +23,7 @@ using namespace mpcalloc;
 int generate(const CliParser& cli) {
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const auto lambda = static_cast<std::uint32_t>(cli.get_int("lambda"));
-  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  Xoshiro256pp rng(cli.get_size("seed"));
   AllocationInstance instance;
   instance.graph = union_of_forests(n, n / 3, lambda, rng);
   instance.capacities = uniform_capacities(
@@ -48,8 +48,8 @@ int verify(const CliParser& cli, const AllocationInstance& instance) {
 int solve(const CliParser& cli, const AllocationInstance& instance) {
   const std::string algorithm = cli.get("algorithm");
   const double eps = cli.get_double("eps");
-  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
-  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto threads = static_cast<std::size_t>(cli.get_size("threads"));
+  Xoshiro256pp rng(cli.get_size("seed"));
   WallTimer timer;
 
   IntegralAllocation solution;

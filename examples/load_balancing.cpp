@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
   const auto servers = static_cast<std::size_t>(cli.get_int("servers"));
   const auto lambda = static_cast<std::uint32_t>(cli.get_int("lambda"));
-  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  Xoshiro256pp rng(cli.get_size("seed"));
 
   AllocationInstance instance;
   instance.graph = union_of_forests(clients, servers, lambda, rng);
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   config.epsilon = 0.25;
   config.alpha = cli.get_double("alpha");
   config.samples_per_group = 4;
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.seed = cli.get_size("seed");
 
   // λ-oblivious MPC run: doubling guesses + Section-4 certificate.
   const MpcRunResult result = run_mpc_unknown_lambda(instance, config);

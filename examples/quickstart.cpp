@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const auto lambda = static_cast<std::uint32_t>(cli.get_int("lambda"));
   const double eps = cli.get_double("eps");
-  Xoshiro256pp rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  Xoshiro256pp rng(cli.get_size("seed"));
 
   // 1. Instance: union of `lambda` random forests, capacities U[1,6].
   AllocationInstance instance;
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
 
   // 2. Proportional allocation, λ-oblivious.
   const ProportionalResult frac = solve_adaptive(instance, eps, /*safety_cap=*/0,
-                     static_cast<std::size_t>(cli.get_int("threads")));
+                     static_cast<std::size_t>(cli.get_size("threads")));
   std::printf("proportional allocation: weight %.1f after %zu rounds "
               "(certified: %s)  ratio %.4f\n",
               frac.allocation.weight(), frac.rounds_executed,

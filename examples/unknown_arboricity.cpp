@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const auto core = static_cast<std::size_t>(cli.get_int("core"));
   const double eps = cli.get_double("eps");
   const auto threads =
-      resolve_num_threads(static_cast<std::size_t>(cli.get_int("threads")));
+      resolve_num_threads(static_cast<std::size_t>(cli.get_size("threads")));
 
   const AllocationInstance instance = oversubscribed_core_instance(core, 4, 1);
   const ArboricityEstimate est = estimate_arboricity(instance.graph);

@@ -28,7 +28,8 @@ mkdir -p "$OUT_DIR"
 # Keep the committed MPC counter baselines around for the drift check below.
 COMMITTED_DIR="$(mktemp -d)"
 trap 'rm -rf "$COMMITTED_DIR"' EXIT
-MPC_COUNTER_FILES=(bench_mpc_rounds.json bench_sampling.json)
+MPC_COUNTER_FILES=(bench_mpc_rounds.json bench_sampling.json
+                   bench_mpc_memory.json bench_fault_recovery.json)
 for f in "${MPC_COUNTER_FILES[@]}"; do
   if ! git -C "$REPO_ROOT" show "HEAD:bench/baselines/$f" \
       > "$COMMITTED_DIR/$f" 2>/dev/null; then
@@ -49,6 +50,8 @@ else
 fi
 run "$BENCH_DIR/bench_sampling"    --threads=1 --json="$OUT_DIR/bench_sampling.json"
 run "$BENCH_DIR/bench_mpc_rounds"  --threads=1 --json="$OUT_DIR/bench_mpc_rounds.json"
+run "$BENCH_DIR/bench_mpc_memory"  --threads=1 --json="$OUT_DIR/bench_mpc_memory.json"
+run "$BENCH_DIR/bench_fault_recovery" --threads=1 --json="$OUT_DIR/bench_fault_recovery.json"
 run "$BENCH_DIR/bench_rounds_vs_n" --threads=1 --json="$OUT_DIR/bench_rounds_vs_n.json"
 run "$BENCH_DIR/bench_boosting"    --json="$OUT_DIR/bench_boosting.json"
 run "$BENCH_DIR/bench_rounding"    --json="$OUT_DIR/bench_rounding.json"

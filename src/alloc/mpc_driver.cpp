@@ -42,6 +42,21 @@ void add_doubles(std::span<Word> accum, std::span<const Word> next) {
   }
 }
 
+void accumulate_recovery(mpc::MpcRecoveryStats& into,
+                         const mpc::MpcRecoveryStats& r) {
+  into.faults_injected += r.faults_injected;
+  into.exchange_retries += r.exchange_retries;
+  into.replayed_exchanges += r.replayed_exchanges;
+  into.restored_words += r.restored_words;
+  into.backoff_rounds += r.backoff_rounds;
+  into.replayed_rounds += r.replayed_rounds;
+  into.discarded_words_moved += r.discarded_words_moved;
+  into.checkpoints_taken += r.checkpoints_taken;
+  into.checkpoint_restores += r.checkpoint_restores;
+  into.split_exchanges += r.split_exchanges;
+  into.split_extra_rounds += r.split_extra_rounds;
+}
+
 }  // namespace
 
 std::size_t phase_length_for(double lambda, double epsilon, double alpha,
@@ -64,6 +79,9 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
 
   Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
   cluster.set_num_threads(config.num_threads);
+  const bool fault_tolerant = config.fault_plan.active();
+  if (fault_tolerant) cluster.set_fault_plan(config.fault_plan);
+  cluster.set_overflow_policy(config.overflow_policy);
   MpcRunResult result;
   result.machine_words = cluster.machine_words();
   result.num_machines = cluster.num_machines();
@@ -94,10 +112,60 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
         pack(denom[ed.u] > 0.0 ? beta_right[ed.v] / denom[ed.u] : 0.0);
   };
 
+  // Checkpoint/replay: each LOCAL round of this driver is a pure function
+  // of the host state below plus the cluster state, so a fault that escapes
+  // the cluster's exchange-level recovery (a worker crash wipes arenas
+  // across datasets) is handled by rolling everything back to the last
+  // checkpoint and re-running the rounds since. The replay recomputes
+  // byte-identical records and re-charges identical counters, which is what
+  // makes the final result bitwise equal to the fault-free run; the
+  // discarded work is folded into cluster.recovery_stats().
+  struct NaiveCheckpoint {
+    std::size_t round = 1;  ///< next LOCAL round to execute
+    std::vector<std::int32_t> levels;
+    std::vector<std::int32_t> start_levels;
+    std::vector<double> alloc;
+    std::vector<double> beta_right;
+    std::vector<double> denom;
+    std::vector<Word> records1;
+    std::vector<Word> records2;
+    bool have_records = false;
+    Xoshiro256pp rng;
+    RoundWorkspace ws;
+    std::uint64_t host_record_updates = 0;
+    SolveStats stats;
+    std::size_t local_rounds = 0;
+    mpc::ClusterCheckpoint cluster_cp;
+  };
+  const std::size_t checkpoint_every =
+      fault_tolerant ? std::max<std::size_t>(config.checkpoint_every, 1) : 0;
+  std::optional<NaiveCheckpoint> cp;
+  std::uint32_t restores = 0;
+
   // The naive regime never runs longer than O(log λ) rounds at constant ε,
   // so raw β values stay comfortably within double range and the records
   // can carry them directly.
   for (std::size_t round = 1; round <= tau; ++round) {
+    if (fault_tolerant && (!cp || round - cp->round >= checkpoint_every)) {
+      NaiveCheckpoint next;
+      next.round = round;
+      next.levels = levels;
+      next.start_levels = start_levels;
+      next.alloc = alloc;
+      next.beta_right = beta_right;
+      next.denom = denom;
+      next.records1 = records1;
+      next.records2 = records2;
+      next.have_records = have_records;
+      next.rng = rng;
+      next.ws = ws;
+      next.host_record_updates = result.host_record_updates;
+      next.stats = result.stats;
+      next.local_rounds = result.local_rounds;
+      next.cluster_cp = cluster.checkpoint();
+      cp = std::move(next);
+    }
+    try {
     start_levels = levels;
 
     // Aggregation 1: denominators β_u = Σ_{v∈N_u} β_v via (key=u, β_v)
@@ -199,6 +267,30 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
         break;
       }
     }
+    } catch (const mpc::TransportFault&) {
+      // A fault the cluster's exchange-level recovery could not absorb
+      // (worker crash, or retries exhausted). Roll the cluster and the host
+      // state back to the checkpoint and replay the LOCAL rounds since —
+      // bounded by max_restores so a scripted unrecoverable schedule still
+      // escalates instead of spinning.
+      if (!cp || restores >= config.fault_plan.max_restores) throw;
+      ++restores;
+      cluster.restore(cp->cluster_cp);
+      levels = cp->levels;
+      start_levels = cp->start_levels;
+      alloc = cp->alloc;
+      beta_right = cp->beta_right;
+      denom = cp->denom;
+      records1 = cp->records1;
+      records2 = cp->records2;
+      have_records = cp->have_records;
+      rng = cp->rng;
+      ws = cp->ws;
+      result.host_record_updates = cp->host_record_updates;
+      result.stats = cp->stats;
+      result.local_rounds = cp->local_rounds;
+      round = cp->round - 1;  // the for's ++round re-enters at cp->round
+    }
   }
 
   result.allocation = materialize_allocation(instance, start_levels, alloc,
@@ -206,8 +298,10 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
   cluster.charge_rounds(2);  // materialisation = one more aggregation pass
   result.match_weight = match_weight(instance, alloc, config.num_threads);
   result.mpc_rounds = cluster.rounds();
+  result.words_moved = cluster.total_words_moved();
   result.peak_machine_words = cluster.peak_machine_words();
   result.peak_total_words = cluster.peak_total_words();
+  result.recovery = cluster.recovery_stats();
   return result;
 }
 
@@ -224,6 +318,11 @@ MpcRunResult run_mpc_phased(const AllocationInstance& instance,
 
   Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
   cluster.set_num_threads(config.num_threads);
+  // Plumbed for parity with the naive driver; the phased pipeline's
+  // exchanges are charged analytically (no records flow through the
+  // transport), so an active fault plan is inert here by construction.
+  if (config.fault_plan.active()) cluster.set_fault_plan(config.fault_plan);
+  cluster.set_overflow_policy(config.overflow_policy);
   MpcRunResult result;
   result.machine_words = cluster.machine_words();
   result.num_machines = cluster.num_machines();
@@ -276,8 +375,10 @@ MpcRunResult run_mpc_phased(const AllocationInstance& instance,
   result.phases = run.phases_executed;
   result.stopped_by_condition = run.stopped_by_condition;
   result.mpc_rounds = cluster.rounds();
+  result.words_moved = cluster.total_words_moved();
   result.peak_machine_words = cluster.peak_machine_words();
   result.peak_total_words = cluster.peak_total_words();
+  result.recovery = cluster.recovery_stats();
   return result;
 }
 
@@ -303,6 +404,8 @@ MpcRunResult run_mpc_unknown_lambda(const AllocationInstance& instance,
 
     MpcRunResult r = run_mpc_phased(instance, attempt);
     total.mpc_rounds += r.mpc_rounds;
+    total.words_moved += r.words_moved;
+    accumulate_recovery(total.recovery, r.recovery);
     total.local_rounds += r.local_rounds;
     total.phases += r.phases;
     total.peak_machine_words =

@@ -53,6 +53,23 @@ struct MpcDriverConfig {
   /// allocation, rounds, peak_machine_words — are bitwise independent of
   /// the value (and of the cluster's worker-ownership partition).
   std::size_t num_threads = 0;
+
+  /// Fault tolerance (mpc/transport.hpp): an active plan wraps the
+  /// cluster's transport in a FaultInjectingTransport and arms the recovery
+  /// machinery — in-place retries in Cluster::shuffle plus round-level
+  /// checkpoint/replay in the naive driver. The recovered run's allocation
+  /// and model counters are bitwise identical to the fault-free run;
+  /// overhead is reported on MpcRunResult::recovery. (The phased driver
+  /// moves no records through the transport — its exchanges are charged
+  /// analytically — so injection is inert there by construction.)
+  mpc::FaultPlan fault_plan;
+  /// Naive driver: checkpoint cluster + host state every k LOCAL rounds
+  /// (0 ⇒ every round while a fault plan is active, never otherwise).
+  /// Larger k = cheaper fault-free runs, more replayed rounds per restore.
+  std::size_t checkpoint_every = 0;
+  /// What an over-budget exchange does (mpc/cluster.hpp): fail fast with
+  /// MpcCapacityError, or split into honestly-charged sub-rounds.
+  mpc::OverflowPolicy overflow_policy = mpc::OverflowPolicy::kFailFast;
 };
 
 struct MpcRunResult {
@@ -61,6 +78,7 @@ struct MpcRunResult {
   std::size_t local_rounds = 0;     ///< Algorithm-1 rounds simulated
   std::size_t phases = 0;           ///< phased driver only
   std::size_t mpc_rounds = 0;       ///< Cluster round counter
+  std::uint64_t words_moved = 0;    ///< Cluster cross-machine word counter
   std::uint64_t peak_machine_words = 0;
   std::uint64_t peak_total_words = 0;
   std::size_t machine_words = 0;    ///< S
@@ -76,6 +94,11 @@ struct MpcRunResult {
   /// 2m · local_rounds), and the per-round frontier counters.
   std::uint64_t host_record_updates = 0;
   SolveStats stats;
+
+  /// Fault-recovery and degradation overhead, accounted separately from the
+  /// model counters above (which stay bitwise identical to a fault-free
+  /// run — the headline invariant of the fault-tolerance layer).
+  mpc::MpcRecoveryStats recovery;
 };
 
 /// Derive eq. (4)'s phase length: B = max(1, ⌊min(√(α·log n), √(log λ))/√(8ε)⌋).

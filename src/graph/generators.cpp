@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace mpcalloc {
@@ -81,8 +82,26 @@ class WeightedSampler {
 
 }  // namespace
 
+namespace {
+
+/// Entry validation shared by the generators: a zero-vertex side never makes
+/// a usable allocation instance, so fail loudly instead of building a
+/// degenerate graph the solvers choke on later.
+void require_nonempty_sides(const char* who, std::size_t num_left,
+                            std::size_t num_right) {
+  if (num_left == 0 || num_right == 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": both vertex sides must be non-empty (got "
+                                "|L| = " + std::to_string(num_left) +
+                                ", |R| = " + std::to_string(num_right) + ")");
+  }
+}
+
+}  // namespace
+
 BipartiteGraph union_of_forests(std::size_t num_left, std::size_t num_right,
                                 std::uint32_t lambda, Xoshiro256pp& rng) {
+  require_nonempty_sides("union_of_forests", num_left, num_right);
   if (lambda == 0) throw std::invalid_argument("union_of_forests: lambda >= 1");
   BipartiteGraphBuilder builder(num_left, num_right);
   for (std::uint32_t f = 0; f < lambda; ++f) {
@@ -96,6 +115,7 @@ BipartiteGraph dense_core_sparse_fringe(std::size_t num_left,
                                         std::size_t num_right,
                                         std::uint32_t core,
                                         Xoshiro256pp& rng) {
+  require_nonempty_sides("dense_core_sparse_fringe", num_left, num_right);
   const auto c = static_cast<std::uint32_t>(
       std::min<std::size_t>({core, num_left, num_right}));
   if (c == 0) {
@@ -119,6 +139,9 @@ BipartiteGraph dense_core_sparse_fringe(std::size_t num_left,
 }
 
 BipartiteGraph star_graph(std::size_t leaves) {
+  if (leaves == 0) {
+    throw std::invalid_argument("star_graph: need >= 1 leaf");
+  }
   BipartiteGraphBuilder builder(leaves, 1);
   for (Vertex u = 0; u < leaves; ++u) builder.add_edge(u, 0);
   return builder.build();
@@ -126,8 +149,15 @@ BipartiteGraph star_graph(std::size_t leaves) {
 
 BipartiteGraph left_regular(std::size_t num_left, std::size_t num_right,
                             std::uint32_t degree, Xoshiro256pp& rng) {
+  require_nonempty_sides("left_regular", num_left, num_right);
+  if (degree == 0) {
+    throw std::invalid_argument("left_regular: degree >= 1 (an edgeless "
+                                "instance is degenerate)");
+  }
   if (degree > num_right) {
-    throw std::invalid_argument("left_regular: degree exceeds |R|");
+    throw std::invalid_argument("left_regular: degree " +
+                                std::to_string(degree) + " exceeds |R| = " +
+                                std::to_string(num_right));
   }
   BipartiteGraphBuilder builder(num_left, num_right);
   for (Vertex u = 0; u < num_left; ++u) {
@@ -143,10 +173,14 @@ BipartiteGraph erdos_renyi_bipartite(std::size_t num_left,
                                      std::size_t num_right,
                                      std::size_t num_edges,
                                      Xoshiro256pp& rng) {
+  require_nonempty_sides("erdos_renyi_bipartite", num_left, num_right);
   const std::uint64_t possible =
       static_cast<std::uint64_t>(num_left) * num_right;
   if (num_edges > possible) {
-    throw std::invalid_argument("erdos_renyi_bipartite: too many edges");
+    throw std::invalid_argument("erdos_renyi_bipartite: " +
+                                std::to_string(num_edges) +
+                                " edges requested but only " +
+                                std::to_string(possible) + " are possible");
   }
   BipartiteGraphBuilder builder(num_left, num_right);
   std::unordered_set<std::uint64_t> chosen;
@@ -162,8 +196,17 @@ BipartiteGraph erdos_renyi_bipartite(std::size_t num_left,
 BipartiteGraph power_law_bipartite(std::size_t num_left, std::size_t num_right,
                                    std::size_t target_edges, double beta,
                                    Xoshiro256pp& rng) {
-  if (num_left == 0 || num_right == 0) {
-    throw std::invalid_argument("power_law_bipartite: empty side");
+  require_nonempty_sides("power_law_bipartite", num_left, num_right);
+  if (!std::isfinite(beta)) {
+    throw std::invalid_argument("power_law_bipartite: beta must be finite");
+  }
+  const std::uint64_t possible =
+      static_cast<std::uint64_t>(num_left) * num_right;
+  if (target_edges > possible) {
+    throw std::invalid_argument("power_law_bipartite: " +
+                                std::to_string(target_edges) +
+                                " edges requested but only " +
+                                std::to_string(possible) + " are possible");
   }
   auto make_weights = [beta](std::size_t n) {
     std::vector<double> w(n);
@@ -224,6 +267,7 @@ PlantedInstance planted_instance(std::size_t num_left, std::size_t num_right,
                                  std::uint32_t capacity,
                                  std::uint32_t noise_per_left,
                                  Xoshiro256pp& rng) {
+  require_nonempty_sides("planted_instance", num_left, num_right);
   if (capacity == 0) throw std::invalid_argument("planted_instance: capacity >= 1");
   if (static_cast<std::uint64_t>(num_right) * capacity < num_left) {
     throw std::invalid_argument(
@@ -271,8 +315,11 @@ Capacities uniform_capacities(std::size_t num_right, std::uint32_t lo,
 
 Capacities degree_proportional_capacities(const BipartiteGraph& graph,
                                           double fraction) {
-  if (fraction <= 0.0) {
-    throw std::invalid_argument("degree_proportional_capacities: fraction > 0");
+  // !(x > 0) rather than x <= 0: NaN compares false both ways and must be
+  // rejected too.
+  if (!(fraction > 0.0) || !std::isfinite(fraction)) {
+    throw std::invalid_argument(
+        "degree_proportional_capacities: fraction must be finite and > 0");
   }
   Capacities caps(graph.num_right());
   for (Vertex v = 0; v < graph.num_right(); ++v) {
@@ -287,6 +334,9 @@ Capacities zipf_capacities(std::size_t num_right, std::uint32_t max_capacity,
                            double s, Xoshiro256pp& rng) {
   if (max_capacity == 0) {
     throw std::invalid_argument("zipf_capacities: max_capacity >= 1");
+  }
+  if (!std::isfinite(s)) {
+    throw std::invalid_argument("zipf_capacities: s must be finite");
   }
   std::vector<double> weights(max_capacity);
   for (std::uint32_t k = 0; k < max_capacity; ++k) {

@@ -72,16 +72,26 @@ DistVec Cluster::scatter(std::span<const Word> flat, std::size_t width) {
   const auto record_begin = [&](std::size_t m) {
     return std::min(records, m * per_machine);
   };
-  // Rule 3 at arena commit, in machine order and before any arena is
-  // filled: the shard sizes are pure arithmetic, so a violation leaves
-  // every arena untouched and the error attribution is deterministic.
+  // Rule 3 first as pure arithmetic, in machine order, before any arena
+  // commit: a violation must leave not just the arenas but also the
+  // *watermarks* untouched (committing machine-by-machine and throwing
+  // midway would have already raised earlier machines' peaks — the strong
+  // exception guarantee forbids that).
+  const auto shard_words_of = [&](std::size_t m) {
+    return static_cast<std::uint64_t>(
+               std::min(records, record_begin(m) + per_machine) -
+               record_begin(m)) *
+           width;
+  };
   for (std::size_t m = 0; m < num_machines_; ++m) {
-    const std::uint64_t shard_words =
-        static_cast<std::uint64_t>(
-            std::min(records, record_begin(m) + per_machine) -
-            record_begin(m)) *
-        width;
-    workers_->commit_resident(m, shard_words, rounds_);
+    const std::uint64_t shard_words = shard_words_of(m);
+    if (shard_words > machine_words_) {
+      throw MpcCapacityError(CapacityRule::kResident, m, rounds_, shard_words,
+                             machine_words_);
+    }
+  }
+  for (std::size_t m = 0; m < num_machines_; ++m) {
+    workers_->commit_resident(m, shard_words_of(m), rounds_);
   }
   peak_total_words_ = std::max<std::uint64_t>(peak_total_words_, flat.size());
 
@@ -99,6 +109,53 @@ DistVec Cluster::scatter(std::span<const Word> flat, std::size_t width) {
   return out;
 }
 
+void Cluster::plan_split_rounds(RoundPlan& plan) const {
+  const std::uint64_t budget = machine_words_;
+  bool over = false;
+  for (std::size_t m = 0; m < plan.num_machines && !over; ++m) {
+    over = plan.sent[m] > budget || plan.received[m] > budget;
+  }
+  if (!over) return;
+  const std::size_t width = plan.width;
+  if (static_cast<std::uint64_t>(width) > budget) {
+    throw MpcCapacityError("record width " + std::to_string(width) +
+                           " exceeds S = " + std::to_string(budget) +
+                           " (round " + std::to_string(plan.round) +
+                           "; unsplittable)");
+  }
+  // First-fit wave schedule over the movers in global record order: each
+  // moving record lands in the earliest wave where both its source's send
+  // tally and its destination's receive tally stay within S. Width ≤ S, so
+  // a fresh wave always admits the record — the schedule exists and its
+  // length is a pure function of the plan, independent of thread count.
+  // Only the wave *count* matters (the transport delivers everything in one
+  // canonical mailbox commit, so the final shard state is bitwise identical
+  // to the unsplit exchange); k waves are charged as k rounds.
+  std::vector<std::vector<std::uint64_t>> wave_sent;
+  std::vector<std::vector<std::uint64_t>> wave_recv;
+  for (std::size_t m = 0; m < plan.num_machines; ++m) {
+    for (std::size_t i = plan.shard_first[m]; i < plan.shard_first[m + 1];
+         ++i) {
+      const std::uint32_t d = plan.destination[i];
+      if (d == m) continue;
+      std::size_t w = 0;
+      for (; w < wave_sent.size(); ++w) {
+        if (wave_sent[w][m] + width <= budget &&
+            wave_recv[w][d] + width <= budget) {
+          break;
+        }
+      }
+      if (w == wave_sent.size()) {
+        wave_sent.emplace_back(plan.num_machines, 0);
+        wave_recv.emplace_back(plan.num_machines, 0);
+      }
+      wave_sent[w][m] += width;
+      wave_recv[w][d] += width;
+    }
+  }
+  plan.sub_rounds = std::max<std::size_t>(wave_sent.size(), 1);
+}
+
 void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination) {
   ensure_live();
   // Arena identity, not just geometry: a DistVec from another cluster would
@@ -111,11 +168,102 @@ void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination)
   // before any arena mutation; the round is charged only once the exchange
   // succeeded, so a rejected round leaves every counter (and arena) as it
   // found it.
-  const RoundPlan plan = RoundPlan::build(data, destination, rounds_ + 1);
-  transport_->exchange(plan, data, num_threads_);
-  ++rounds_;
+  RoundPlan plan = RoundPlan::build(data, destination, rounds_ + 1);
+  if (overflow_policy_ == OverflowPolicy::kSplitExchange) {
+    plan_split_rounds(plan);
+  }
+
+  if (!fault_tolerant_) {
+    transport_->exchange(plan, data, num_threads_);
+  } else {
+    // Recovery loop. The pre-exchange copy of the in-flight dataset is
+    // simulator-side memory only — it exists so a corrupted exchange can be
+    // rolled back and replayed without perturbing any model counter.
+    std::vector<std::vector<Word>> backup(data.num_shards());
+    for (std::size_t m = 0; m < data.num_shards(); ++m) {
+      backup[m] = data.shard(m);
+    }
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      try {
+        transport_->exchange(plan, data, num_threads_);
+        break;
+      } catch (const TransportFault& fault) {
+        ++recovery_.faults_injected;
+        // A crashed worker lost arena blocks of *every* live dataset — more
+        // than this exchange can see. Escalate to the driver's checkpoint
+        // restore.
+        if (fault.kind() == FaultKind::kWorkerCrash) throw;
+        if (attempt >= fault_plan_.max_retries) throw;
+        ++recovery_.exchange_retries;
+        // Deterministic backoff accounting: a delayed delivery charges its
+        // drawn delay, everything else an exponential 2^attempt wait. These
+        // are recovery rounds, not model rounds.
+        recovery_.backoff_rounds += fault.delay_rounds() > 0
+                                        ? fault.delay_rounds()
+                                        : (std::uint64_t{1} << attempt);
+        if (fault.corrupts_data()) {
+          // Partial delivery: put the in-flight dataset back and rebuild
+          // the plan before replaying.
+          std::uint64_t restored = 0;
+          for (std::size_t m = 0; m < data.num_shards(); ++m) {
+            restored += backup[m].size();
+            data.shard(m) = backup[m];
+          }
+          recovery_.restored_words += restored;
+          ++recovery_.replayed_exchanges;
+          plan = RoundPlan::build(data, destination, rounds_ + 1);
+          if (overflow_policy_ == OverflowPolicy::kSplitExchange) {
+            plan_split_rounds(plan);
+          }
+        }
+      }
+    }
+  }
+
+  rounds_ += plan.sub_rounds;
+  if (plan.sub_rounds > 1) {
+    ++recovery_.split_exchanges;
+    recovery_.split_extra_rounds += plan.sub_rounds - 1;
+  }
   words_moved_ += plan.total_words_sent();
   peak_total_words_ = std::max(peak_total_words_, plan.total_words());
+}
+
+void Cluster::set_fault_plan(FaultPlan plan) {
+  ensure_live();
+  fault_plan_ = plan;
+  fault_tolerant_ = true;
+  transport_ = std::make_unique<FaultInjectingTransport>(
+      std::move(transport_), *workers_, std::move(plan));
+}
+
+ClusterCheckpoint Cluster::checkpoint() {
+  ensure_live();
+  ++recovery_.checkpoints_taken;
+  ClusterCheckpoint cp;
+  cp.rounds = rounds_;
+  cp.words_moved = words_moved_;
+  cp.peak_total_words = peak_total_words_;
+  cp.arenas = workers_->snapshot_arenas();
+  return cp;
+}
+
+void Cluster::restore(const ClusterCheckpoint& cp) {
+  ensure_live();
+  if (cp.rounds > rounds_ || cp.words_moved > words_moved_) {
+    throw std::invalid_argument(
+        "Cluster::restore: checkpoint is ahead of the cluster");
+  }
+  ++recovery_.checkpoint_restores;
+  // The work since the checkpoint is discarded and will be re-charged by
+  // the replay — fold it into the recovery stats so it stays visible
+  // without perturbing the model counters.
+  recovery_.replayed_rounds += rounds_ - cp.rounds;
+  recovery_.discarded_words_moved += words_moved_ - cp.words_moved;
+  rounds_ = cp.rounds;
+  words_moved_ = cp.words_moved;
+  peak_total_words_ = cp.peak_total_words;
+  workers_->restore_arenas(cp.arenas);
 }
 
 void Cluster::reset_counters() {
@@ -123,6 +271,7 @@ void Cluster::reset_counters() {
   rounds_ = 0;
   words_moved_ = 0;
   peak_total_words_ = 0;
+  recovery_ = MpcRecoveryStats{};
   workers_->reset_peaks();
 }
 

@@ -43,6 +43,54 @@
 
 namespace mpcalloc::mpc {
 
+/// What the cluster does when a planned exchange exceeds the per-round
+/// send/receive budget (rules 1–2).
+enum class OverflowPolicy : std::uint8_t {
+  /// Throw MpcCapacityError before anything moves (the model's default).
+  kFailFast = 0,
+  /// Split the exchange into k honestly-charged sub-rounds: the cluster
+  /// proves a wave schedule in which every machine sends and receives ≤ S
+  /// words per wave, charges k rounds instead of 1, and delivers the same
+  /// final shard state as the unsplit exchange would have. Rule 3 is never
+  /// relaxed — an instance whose *resident* state exceeds S still fails
+  /// fast (receiving > S words implies holding > S words, so splitting can
+  /// only rescue send-side pressure).
+  kSplitExchange = 1,
+};
+
+/// Recovery overhead, accounted separately from the model counters so the
+/// headline invariant — recovered runs bitwise match fault-free runs on
+/// rounds/words_moved/peaks — stays checkable. Monotone over a run; never
+/// rolled back by checkpoint restore.
+struct MpcRecoveryStats {
+  std::uint64_t faults_injected = 0;     ///< TransportFaults observed
+  std::uint64_t exchange_retries = 0;    ///< in-place delivery re-attempts
+  std::uint64_t replayed_exchanges = 0;  ///< exchanges replayed after data restore
+  std::uint64_t restored_words = 0;      ///< words copied back during restores
+  std::uint64_t backoff_rounds = 0;      ///< simulated wait (delay/backoff) rounds
+  std::uint64_t replayed_rounds = 0;     ///< charged rounds discarded by restore
+  std::uint64_t discarded_words_moved = 0;  ///< moved words discarded by restore
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_restores = 0;
+  std::uint64_t split_exchanges = 0;     ///< exchanges delivered in >1 sub-round
+  std::uint64_t split_extra_rounds = 0;  ///< extra rounds charged by splitting
+
+  friend bool operator==(const MpcRecoveryStats&,
+                         const MpcRecoveryStats&) = default;
+};
+
+/// A round-level snapshot of everything an exchange can corrupt: the model
+/// counters plus a deep copy of every live dataset's arenas and watermarks.
+/// Restoring rolls the cluster back so a deterministic caller can replay
+/// the rounds since — recovery overhead is folded into MpcRecoveryStats,
+/// the model counters end up bitwise identical to a fault-free run.
+struct ClusterCheckpoint {
+  std::size_t rounds = 0;
+  std::uint64_t words_moved = 0;
+  std::uint64_t peak_total_words = 0;
+  ArenaSnapshot arenas;
+};
+
 class Cluster {
  public:
   /// num_machines ≥ 1 machines of `machine_words` (= S) words each.
@@ -112,8 +160,37 @@ class Cluster {
 
   void reset_counters();
 
+  // -- fault tolerance ---------------------------------------------------
+  /// Wrap the current transport in a FaultInjectingTransport running `plan`
+  /// and arm the recovery loop in shuffle(): transient faults are retried in
+  /// place (up to plan.max_retries extra attempts, with deterministic
+  /// backoff accounting), partial deliveries restore the in-flight dataset
+  /// from a pre-exchange copy and replay, worker crashes propagate to the
+  /// caller for a checkpoint restore.
+  void set_fault_plan(FaultPlan plan);
+  [[nodiscard]] bool fault_tolerant() const { return fault_tolerant_; }
+
+  void set_overflow_policy(OverflowPolicy policy) { overflow_policy_ = policy; }
+  [[nodiscard]] OverflowPolicy overflow_policy() const { return overflow_policy_; }
+
+  /// Snapshot counters + arenas (see ClusterCheckpoint). Counts toward
+  /// recovery_stats().checkpoints_taken.
+  [[nodiscard]] ClusterCheckpoint checkpoint();
+  /// Roll back to `cp`: restore arenas/watermarks and the model counters,
+  /// folding the discarded rounds and words into the recovery stats.
+  void restore(const ClusterCheckpoint& cp);
+
+  [[nodiscard]] const MpcRecoveryStats& recovery_stats() const {
+    return recovery_;
+  }
+
  private:
   void ensure_live() const;
+  /// kSplitExchange: if the plan violates rule 1 or 2, prove a first-fit
+  /// wave schedule over the movers (global record order) and relax the plan
+  /// to that many sub-rounds. Throws MpcCapacityError when no schedule
+  /// exists (a single record wider than S).
+  void plan_split_rounds(RoundPlan& plan) const;
 
   std::size_t num_machines_;
   std::size_t machine_words_;
@@ -123,6 +200,10 @@ class Cluster {
   std::uint64_t peak_total_words_ = 0;
   std::shared_ptr<WorkerGroup> workers_;
   std::unique_ptr<Transport> transport_;
+  bool fault_tolerant_ = false;
+  FaultPlan fault_plan_;
+  OverflowPolicy overflow_policy_ = OverflowPolicy::kFailFast;
+  MpcRecoveryStats recovery_;
 };
 
 }  // namespace mpcalloc::mpc

@@ -1,6 +1,9 @@
 #include "mpc/transport.hpp"
 
+#include "util/rng.hpp"
+
 #include <algorithm>
+#include <string>
 
 namespace mpcalloc::mpc {
 
@@ -76,17 +79,24 @@ void InProcessTransport::exchange(const RoundPlan& plan, DistVec& data,
   const std::size_t n = plan.num_machines;
   const std::size_t width = plan.width;
   const std::uint64_t budget = group.machine_words();
+  // A split exchange delivers over sub_rounds waves, each within budget —
+  // the Cluster proved a feasible wave schedule before relaxing the plan —
+  // so rules 1–2 bound the *total* at S per wave. Rule 3 constrains the
+  // final resident state and is never relaxed.
+  const std::uint64_t round_budget =
+      budget * static_cast<std::uint64_t>(std::max<std::size_t>(
+                   plan.sub_rounds, 1));
 
   // Capacity rules 1–3, machine-by-machine in machine order, before any
   // record moves: deterministic error attribution and untouched arenas on
   // failure. The arena commit below re-enforces rule 3 (defense in depth)
   // and records the high-watermark.
   for (std::size_t m = 0; m < n; ++m) {
-    if (plan.sent[m] > budget) {
+    if (plan.sent[m] > round_budget) {
       throw MpcCapacityError(CapacityRule::kSend, m, plan.round, plan.sent[m],
                              budget);
     }
-    if (plan.received[m] > budget) {
+    if (plan.received[m] > round_budget) {
       throw MpcCapacityError(CapacityRule::kReceive, m, plan.round,
                              plan.received[m], budget);
     }
@@ -126,6 +136,167 @@ void InProcessTransport::exchange(const RoundPlan& plan, DistVec& data,
     group.commit_resident(d, mailbox[d].size(), plan.round);
     data.shard(d) = std::move(mailbox[d]);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kExchangeFailure:
+      return "exchange failure";
+    case FaultKind::kDelayedDelivery:
+      return "delayed delivery";
+    case FaultKind::kPartialDelivery:
+      return "partial delivery";
+    case FaultKind::kWorkerCrash:
+      return "worker crash";
+  }
+  return "unknown fault";
+}
+
+namespace {
+
+std::string fault_message(FaultKind kind, std::size_t round,
+                          std::size_t exchange_index, std::uint32_t attempt,
+                          std::size_t worker) {
+  std::string what = std::string("injected fault: ") + fault_kind_name(kind) +
+                     " at exchange #" + std::to_string(exchange_index) +
+                     " (round " + std::to_string(round) + ", attempt " +
+                     std::to_string(attempt) + ")";
+  if (worker != TransportFault::kNoWorker) {
+    what += " [worker " + std::to_string(worker) + "]";
+  }
+  return what;
+}
+
+}  // namespace
+
+TransportFault::TransportFault(FaultKind kind, std::size_t round,
+                               std::size_t exchange_index,
+                               std::uint32_t attempt, std::size_t worker,
+                               std::uint32_t delay_rounds)
+    : std::runtime_error(
+          fault_message(kind, round, exchange_index, attempt, worker)),
+      kind_(kind),
+      round_(round),
+      exchange_index_(exchange_index),
+      attempt_(attempt),
+      worker_(worker),
+      delay_rounds_(delay_rounds) {}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner, WorkerGroup& workers, FaultPlan plan)
+    : inner_(std::move(inner)), workers_(&workers), plan_(std::move(plan)) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultInjectingTransport: null inner transport");
+  }
+}
+
+FaultKind FaultInjectingTransport::draw(std::size_t ordinal,
+                                        std::uint32_t attempt,
+                                        std::size_t* worker,
+                                        std::uint32_t* delay_rounds) const {
+  *worker = TransportFault::kNoWorker;
+  *delay_rounds = 0;
+  // Scripted events take precedence: an event fires on every delivery
+  // attempt below its `attempts` count, which is how tests script both
+  // single transient faults and unrecoverable ones (attempts > max_retries).
+  for (const FaultEvent& event : plan_.forced) {
+    if (event.exchange_index == ordinal && attempt < event.attempts) {
+      SplitMix64 sm(plan_.key ^ (0x9e3779b97f4a7c15ULL * (ordinal + 1)));
+      if (event.kind == FaultKind::kWorkerCrash) {
+        *worker = static_cast<std::size_t>(sm.next() %
+                                           workers_->num_workers());
+      } else if (event.kind == FaultKind::kDelayedDelivery) {
+        *delay_rounds = 1 + static_cast<std::uint32_t>(sm.next() % 3);
+      }
+      return event.kind;
+    }
+  }
+  // Random schedule: a pure function of (key, ordinal), drawn only on the
+  // first attempt so a retried exchange is never re-failed by chance — the
+  // bounded-retry guarantee would otherwise be probabilistic.
+  if (plan_.key != 0 && plan_.fault_probability > 0.0 && attempt == 0) {
+    SplitMix64 sm(plan_.key ^ (0xbf58476d1ce4e5b9ULL * (ordinal + 1)));
+    const double u =
+        static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    if (u < plan_.fault_probability) {
+      const FaultKind kind =
+          static_cast<FaultKind>(1 + static_cast<std::uint8_t>(sm.next() % 4));
+      if (kind == FaultKind::kWorkerCrash) {
+        *worker = static_cast<std::size_t>(sm.next() %
+                                           workers_->num_workers());
+      } else if (kind == FaultKind::kDelayedDelivery) {
+        *delay_rounds = 1 + static_cast<std::uint32_t>(sm.next() % 3);
+      }
+      return kind;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+void FaultInjectingTransport::exchange(const RoundPlan& plan, DistVec& data,
+                                       std::size_t num_threads) {
+  // Consecutive calls for the same plan round are delivery attempts of one
+  // logical exchange (the cluster's retry loop); a new round is a new
+  // exchange ordinal. Both are deterministic run-sequence quantities.
+  std::size_t ordinal;
+  if (plan.round == last_round_ && next_ordinal_ > 0) {
+    ordinal = next_ordinal_ - 1;
+    ++attempt_;
+  } else {
+    ordinal = next_ordinal_++;
+    last_round_ = plan.round;
+    attempt_ = 0;
+  }
+
+  std::size_t worker = TransportFault::kNoWorker;
+  std::uint32_t delay_rounds = 0;
+  const FaultKind kind = draw(ordinal, attempt_, &worker, &delay_rounds);
+  if (kind == FaultKind::kNone) {
+    inner_->exchange(plan, data, num_threads);
+    return;
+  }
+
+  ++faults_injected_;
+  switch (kind) {
+    case FaultKind::kExchangeFailure:
+    case FaultKind::kDelayedDelivery:
+      // Fails before any record moves: every shard is exactly as it was,
+      // so the cluster may simply retry in place.
+      break;
+    case FaultKind::kPartialDelivery: {
+      // The round died mid-flight: a keyed subset of the in-flight
+      // dataset's source shards is lost. Only exchange-scoped state is
+      // corrupted — the cluster restores its pre-exchange copy and replays.
+      SplitMix64 sm(plan_.key ^ (0x94d049bb133111ebULL * (ordinal + 1)));
+      bool dropped_any = false;
+      for (std::size_t m = 0; m < data.num_shards(); ++m) {
+        if (sm.next() % 2 == 0) {
+          data.shard(m).clear();
+          dropped_any = true;
+        }
+      }
+      if (!dropped_any && data.num_shards() > 0) {
+        data.shard(sm.next() % data.num_shards()).clear();
+      }
+      break;
+    }
+    case FaultKind::kWorkerCrash:
+      // The worker dies: its arena blocks of every live dataset are wiped.
+      // Unrecoverable at exchange scope — the driver must restore a
+      // checkpoint.
+      workers_->crash_worker(worker);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  throw TransportFault(kind, plan.round, ordinal, attempt_, worker,
+                       delay_rounds);
 }
 
 }  // namespace mpcalloc::mpc

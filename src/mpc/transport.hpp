@@ -22,7 +22,9 @@
 #include "mpc/worker.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace mpcalloc::mpc {
@@ -36,6 +38,13 @@ struct RoundPlan {
   std::size_t width = 1;
   std::size_t num_machines = 0;
   std::size_t round = 0;  ///< round number the exchange executes (error context)
+  /// Communication rounds this exchange is delivered (and charged) over.
+  /// 1 is the normal case. >1 is set by the Cluster's kSplitExchange
+  /// overflow policy after it has proven a wave schedule in which every
+  /// machine sends and receives ≤ S words per wave — the transport then
+  /// checks rules 1–2 against the relaxed S·sub_rounds budget (rule 3 is a
+  /// property of the final resident state and stays exact).
+  std::size_t sub_rounds = 1;
 
   std::vector<std::uint32_t> destination;  ///< per global record index
   std::vector<std::size_t> shard_first;    ///< N+1: record prefix by source machine
@@ -92,6 +101,128 @@ class InProcessTransport final : public Transport {
 
  private:
   WorkerGroup* workers_;
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// What a chaos run makes the exchange layer do. Ordered roughly by blast
+/// radius; see TransportFault::corrupts_data for the recovery contract.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kExchangeFailure = 1,  ///< the round aborts before any record moves
+  kDelayedDelivery = 2,  ///< the round aborts; retry succeeds after a
+                         ///< deterministic number of accounted backoff rounds
+  kPartialDelivery = 3,  ///< some source shards of the in-flight dataset are
+                         ///< lost mid-round (the exchange-scoped state is
+                         ///< corrupted; everything else survives)
+  kWorkerCrash = 4,      ///< a worker dies: its arena blocks of *every* live
+                         ///< dataset are wiped — only a checkpoint restore
+                         ///< can recover
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// Thrown by FaultInjectingTransport when the schedule fires. Carries the
+/// structured context recovery needs: what happened, at which exchange, on
+/// which attempt, and — for crashes — which worker died.
+class TransportFault : public std::runtime_error {
+ public:
+  static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+  TransportFault(FaultKind kind, std::size_t round, std::size_t exchange_index,
+                 std::uint32_t attempt, std::size_t worker,
+                 std::uint32_t delay_rounds);
+
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t round() const { return round_; }
+  [[nodiscard]] std::size_t exchange_index() const { return exchange_index_; }
+  [[nodiscard]] std::uint32_t attempt() const { return attempt_; }
+  [[nodiscard]] bool has_worker() const { return worker_ != kNoWorker; }
+  [[nodiscard]] std::size_t worker() const { return worker_; }
+  /// Simulated rounds a delayed delivery costs before the retry (backoff
+  /// accounting input; 0 for other kinds).
+  [[nodiscard]] std::uint32_t delay_rounds() const { return delay_rounds_; }
+
+  /// True when the fault left data behind it corrupted. Partial delivery is
+  /// exchange-scoped (restore the in-flight dataset and replay the plan);
+  /// a worker crash loses arena state across datasets (checkpoint restore).
+  [[nodiscard]] bool corrupts_data() const {
+    return kind_ == FaultKind::kPartialDelivery ||
+           kind_ == FaultKind::kWorkerCrash;
+  }
+
+ private:
+  FaultKind kind_;
+  std::size_t round_;
+  std::size_t exchange_index_;
+  std::uint32_t attempt_;
+  std::size_t worker_;
+  std::uint32_t delay_rounds_;
+};
+
+/// One scripted injection: fire `kind` at the `exchange_index`-th exchange
+/// (0-based ordinal over the transport's lifetime, retries not counted) for
+/// its first `attempts` delivery attempts. `attempts` > max_retries makes
+/// the exchange unrecoverable at cluster level — escalation-path testing.
+struct FaultEvent {
+  std::size_t exchange_index = 0;
+  FaultKind kind = FaultKind::kExchangeFailure;
+  std::uint32_t attempts = 1;
+};
+
+/// A reproducible fault schedule. The random part is a pure function of
+/// (key, exchange ordinal): every chaos run with the same key injects the
+/// same faults at the same exchanges, bitwise, independent of thread count
+/// — which is what makes the recovered-equals-fault-free invariant
+/// testable. key == 0 and an empty `forced` list disable injection.
+struct FaultPlan {
+  std::uint64_t key = 0;           ///< SplitMix64 key for the random schedule
+  double fault_probability = 0.0;  ///< per-exchange chance (first attempt only)
+  std::vector<FaultEvent> forced;  ///< scripted injections, by exchange ordinal
+
+  std::uint32_t max_retries = 4;   ///< cluster-level delivery attempts per
+                                   ///< exchange beyond the first
+  std::uint32_t max_restores = 8;  ///< driver-level checkpoint restores per run
+
+  [[nodiscard]] bool active() const {
+    return (key != 0 && fault_probability > 0.0) || !forced.empty();
+  }
+};
+
+/// Decorator over any Transport that executes a FaultPlan. Consecutive
+/// exchange() calls for the same plan round are delivery attempts of one
+/// logical exchange; a new round advances the exchange ordinal. Faults
+/// fire *before* the inner exchange runs, so kExchangeFailure and
+/// kDelayedDelivery leave every shard untouched (the strong exception
+/// guarantee the recovery loop relies on); kPartialDelivery wipes a keyed
+/// subset of the in-flight dataset's shards and kWorkerCrash wipes one
+/// worker's arena blocks of every live dataset before throwing.
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                          WorkerGroup& workers, FaultPlan plan);
+
+  void exchange(const RoundPlan& plan, DistVec& data,
+                std::size_t num_threads) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t exchanges_started() const { return next_ordinal_; }
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  [[nodiscard]] FaultKind draw(std::size_t ordinal, std::uint32_t attempt,
+                               std::size_t* worker,
+                               std::uint32_t* delay_rounds) const;
+
+  std::unique_ptr<Transport> inner_;
+  WorkerGroup* workers_;
+  FaultPlan plan_;
+  std::size_t next_ordinal_ = 0;
+  std::size_t last_round_ = static_cast<std::size_t>(-1);
+  std::uint32_t attempt_ = 0;
+  std::uint64_t faults_injected_ = 0;
 };
 
 }  // namespace mpcalloc::mpc

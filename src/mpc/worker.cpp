@@ -176,7 +176,82 @@ DistVec WorkerGroup::create_dist(std::size_t width) const {
     }
   }
   out.storage_ = std::move(storage);
+  // Register the dataset so checkpoint/crash can reach every live arena
+  // block. Prune expired entries once the registry has doubled past the
+  // live count, keeping registration amortised O(1).
+  if (storages_.size() >= 8 &&
+      storages_.size() >= 2 * (num_live_storages() + 1)) {
+    std::erase_if(storages_, [](const auto& weak) { return weak.expired(); });
+  }
+  storages_.push_back(out.storage_);
   return out;
+}
+
+std::uint64_t ArenaSnapshot::total_words() const {
+  std::uint64_t total = 0;
+  for (const StorageSnap& snap : storages) {
+    for (const auto& block : snap.blocks) {
+      for (const auto& shard : block) total += shard.size();
+    }
+  }
+  return total;
+}
+
+std::size_t WorkerGroup::num_live_storages() const {
+  std::size_t live = 0;
+  for (const auto& weak : storages_) live += weak.expired() ? 0 : 1;
+  return live;
+}
+
+ArenaSnapshot WorkerGroup::snapshot_arenas() const {
+  ArenaSnapshot snapshot;
+  for (const auto& weak : storages_) {
+    const std::shared_ptr<detail::DistStorage> storage = weak.lock();
+    if (!storage) continue;
+    ArenaSnapshot::StorageSnap snap;
+    snap.storage = storage;
+    snap.blocks.reserve(storage->blocks.size());
+    for (const detail::ArenaBlock& block : storage->blocks) {
+      snap.blocks.push_back(block.shards);
+    }
+    snapshot.storages.push_back(std::move(snap));
+  }
+  snapshot.worker_peaks.reserve(workers_.size());
+  for (const Worker& worker : workers_) {
+    snapshot.worker_peaks.push_back(worker.peak_words());
+  }
+  return snapshot;
+}
+
+void WorkerGroup::restore_arenas(const ArenaSnapshot& snapshot) {
+  if (snapshot.worker_peaks.size() != workers_.size()) {
+    throw std::invalid_argument(
+        "restore_arenas: snapshot from a different worker group");
+  }
+  for (const ArenaSnapshot::StorageSnap& snap : snapshot.storages) {
+    const std::shared_ptr<detail::DistStorage> storage = snap.storage.lock();
+    if (!storage) continue;  // the dataset died; nothing to put back
+    for (std::size_t w = 0; w < storage->blocks.size(); ++w) {
+      storage->blocks[w].shards = snap.blocks[w];
+    }
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].restore_peak(snapshot.worker_peaks[w]);
+  }
+}
+
+void WorkerGroup::crash_worker(std::size_t w) {
+  if (w >= workers_.size()) {
+    throw std::out_of_range("crash_worker: worker " + std::to_string(w) +
+                            " >= " + std::to_string(workers_.size()));
+  }
+  for (const auto& weak : storages_) {
+    const std::shared_ptr<detail::DistStorage> storage = weak.lock();
+    if (!storage) continue;
+    for (std::vector<Word>& shard : storage->blocks[w].shards) {
+      shard.clear();
+    }
+  }
 }
 
 void WorkerGroup::set_affinity_observer(AffinityObserver observer) {

@@ -101,6 +101,23 @@ struct DistStorage {
 
 }  // namespace detail
 
+/// Deep copy of every live dataset's arena contents plus the per-worker
+/// resident high-watermarks — the arena half of a cluster checkpoint.
+/// Datasets are tracked by weak reference: a dataset that died between
+/// snapshot and restore is simply skipped (its records were transient),
+/// and a dataset created after the snapshot is left alone (the replaying
+/// caller recreates it deterministically).
+struct ArenaSnapshot {
+  struct StorageSnap {
+    std::weak_ptr<detail::DistStorage> storage;
+    /// blocks[worker][owned shard] -> record words at snapshot time.
+    std::vector<std::vector<std::vector<Word>>> blocks;
+  };
+  std::vector<StorageSnap> storages;
+  std::vector<std::uint64_t> worker_peaks;  ///< one per worker
+  [[nodiscard]] std::uint64_t total_words() const;
+};
+
 /// A dataset of fixed-width records sharded across machines: a handle of
 /// per-worker ShardViews into the workers' arenas. Shard m holds machine
 /// m's records back to back, each width() words; the storage is shared, so
@@ -160,6 +177,9 @@ class Worker {
   /// Cluster folds into peak_machine_words).
   [[nodiscard]] std::uint64_t peak_words() const { return peak_words_; }
   void reset_peak() { peak_words_ = 0; }
+  /// Checkpoint restore: put a previously observed watermark back verbatim
+  /// (never used to account new residency — commit_resident does that).
+  void restore_peak(std::uint64_t peak) { peak_words_ = peak; }
 
  private:
   std::size_t id_;
@@ -226,11 +246,30 @@ class WorkerGroup {
   [[nodiscard]] std::uint64_t peak_machine_words() const;
   void reset_peaks();
 
+  // -- fault tolerance ---------------------------------------------------
+  /// Deep-copy every live dataset's shards and the worker watermarks.
+  [[nodiscard]] ArenaSnapshot snapshot_arenas() const;
+  /// Put the snapshotted shard contents and watermarks back. Datasets that
+  /// died since the snapshot are skipped; ones born since are untouched.
+  void restore_arenas(const ArenaSnapshot& snapshot);
+  /// Simulate worker `w` dying mid-round: its arena blocks of every live
+  /// dataset are wiped (the records are lost, the partition and the
+  /// watermark history survive on the substrate). Recovery is the caller's
+  /// job via restore_arenas.
+  void crash_worker(std::size_t w);
+  /// Live datasets currently registered against this group's arenas.
+  [[nodiscard]] std::size_t num_live_storages() const;
+
  private:
   std::size_t num_machines_;
   std::size_t machine_words_;
   std::vector<Worker> workers_;
   AffinityObserver observer_;
+  /// Every dataset ever created against these arenas, by weak reference —
+  /// what checkpoint/crash need to reach "all shards of all live datasets".
+  /// Pruned opportunistically; mutable because registering a new dataset
+  /// does not change the group's observable partition/accounting state.
+  mutable std::vector<std::weak_ptr<detail::DistStorage>> storages_;
 };
 
 }  // namespace mpcalloc::mpc

@@ -1,10 +1,66 @@
 #include "util/cli.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 namespace mpcalloc {
+
+namespace {
+
+/// Strict base-10 integer parse of the *entire* string. std::stoll would
+/// happily accept "8x" (dropping the suffix) and silently truncate; here a
+/// trailing character, an empty value, or an out-of-range magnitude all
+/// throw with the option name in the message — the same fail-loudly
+/// contract resolve_num_threads applies to MPCALLOC_THREADS.
+std::int64_t parse_int_strict(const std::string& value,
+                              const std::string& option) {
+  std::int64_t out = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("option --" + option + ": value '" + value +
+                                "' is out of range for a 64-bit integer");
+  }
+  if (ec != std::errc() || ptr != last || value.empty()) {
+    throw std::invalid_argument("option --" + option + ": expected an " +
+                                "integer, got '" + value + "'");
+  }
+  return out;
+}
+
+double parse_double_strict(const std::string& value,
+                           const std::string& option) {
+  if (value.empty()) {
+    throw std::invalid_argument("option --" + option + ": expected a number, "
+                                "got an empty value");
+  }
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("option --" + option + ": expected a number, "
+                                "got '" + value + "'");
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("option --" + option + ": value '" + value +
+                                "' is out of range for a double");
+  }
+  if (consumed != value.size()) {
+    throw std::invalid_argument("option --" + option + ": trailing garbage "
+                                "in '" + value + "'");
+  }
+  if (!std::isfinite(out)) {
+    throw std::invalid_argument("option --" + option + ": value '" + value +
+                                "' is not finite");
+  }
+  return out;
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -81,11 +137,20 @@ std::string CliParser::get(const std::string& name) const {
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
-  return std::stoll(get(name));
+  return parse_int_strict(get(name), name);
+}
+
+std::uint64_t CliParser::get_size(const std::string& name) const {
+  const std::int64_t value = parse_int_strict(get(name), name);
+  if (value < 0) {
+    throw std::invalid_argument("option --" + name + ": must be >= 0, got " +
+                                std::to_string(value));
+  }
+  return static_cast<std::uint64_t>(value);
 }
 
 double CliParser::get_double(const std::string& name) const {
-  return std::stod(get(name));
+  return parse_double_strict(get(name), name);
 }
 
 bool CliParser::get_flag(const std::string& name) const {
@@ -98,7 +163,7 @@ std::vector<std::int64_t> CliParser::get_int_list(
   std::stringstream ss(get(name));
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stoll(item));
+    if (!item.empty()) out.push_back(parse_int_strict(item, name));
   }
   return out;
 }
@@ -108,7 +173,7 @@ std::vector<double> CliParser::get_double_list(const std::string& name) const {
   std::stringstream ss(get(name));
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stod(item));
+    if (!item.empty()) out.push_back(parse_double_strict(item, name));
   }
   return out;
 }

@@ -32,11 +32,20 @@ class CliParser {
   bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get(const std::string& name) const;
+  /// Strict integer: the whole value must be a base-10 integer that fits
+  /// std::int64_t. Garbage suffixes ("8x"), empty values, and out-of-range
+  /// magnitudes throw std::invalid_argument naming the option — no silent
+  /// truncation.
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  /// Strict non-negative integer (for count-like flags such as --threads or
+  /// --seed): get_int plus a negativity check with a clear message.
+  [[nodiscard]] std::uint64_t get_size(const std::string& name) const;
+  /// Strict finite double: the whole value must parse and be finite.
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;
 
-  /// Parse a comma-separated list of integers ("1,2,4,8").
+  /// Parse a comma-separated list of integers ("1,2,4,8"); every element is
+  /// validated like get_int.
   [[nodiscard]] std::vector<std::int64_t> get_int_list(
       const std::string& name) const;
   [[nodiscard]] std::vector<double> get_double_list(

@@ -1,0 +1,111 @@
+// Strict numeric parsing on the shared CLI parser: garbage suffixes,
+// negatives on count-like options, and out-of-range magnitudes fail loudly
+// with the option named, instead of silently truncating the value (the same
+// contract resolve_num_threads applies to MPCALLOC_THREADS).
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+CliParser parser_with(std::initializer_list<const char*> extra_args,
+                      std::vector<std::string>& storage,
+                      std::vector<const char*>& argv) {
+  CliParser cli("test");
+  cli.option("seed", "1", "seed").option("eps", "0.25", "epsilon");
+  cli.option("threads-list", "1,2", "sweep");
+  cli.threads_option();
+  storage = {"prog"};
+  for (const char* arg : extra_args) storage.emplace_back(arg);
+  argv.clear();
+  for (const std::string& s : storage) argv.push_back(s.c_str());
+  EXPECT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  return cli;
+}
+
+TEST(Cli, StrictIntAcceptsPlainIntegers) {
+  std::vector<std::string> storage;
+  std::vector<const char*> argv;
+  const CliParser cli =
+      parser_with({"--seed=42", "--threads", "7"}, storage, argv);
+  EXPECT_EQ(cli.get_int("seed"), 42);
+  EXPECT_EQ(cli.get_size("threads"), 7u);
+  EXPECT_EQ(cli.get_int_list("threads-list"), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Cli, GarbageSuffixIsRejectedNotTruncated) {
+  std::vector<std::string> storage;
+  std::vector<const char*> argv;
+  const CliParser cli = parser_with({"--seed=8x"}, storage, argv);
+  // std::stoll would have silently returned 8 here.
+  try {
+    (void)cli.get_int("seed");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--seed"), std::string::npos)
+        << "message must name the offending option: " << error.what();
+  }
+}
+
+TEST(Cli, EmptyAndNonNumericValuesAreRejected) {
+  std::vector<std::string> storage;
+  std::vector<const char*> argv;
+  const CliParser empty = parser_with({"--seed="}, storage, argv);
+  EXPECT_THROW((void)empty.get_int("seed"), std::invalid_argument);
+  const CliParser word = parser_with({"--seed=auto"}, storage, argv);
+  EXPECT_THROW((void)word.get_int("seed"), std::invalid_argument);
+  const CliParser fp = parser_with({"--seed=1.5"}, storage, argv);
+  EXPECT_THROW((void)fp.get_int("seed"), std::invalid_argument);
+}
+
+TEST(Cli, OutOfRangeMagnitudesAreRejected) {
+  std::vector<std::string> storage;
+  std::vector<const char*> argv;
+  const CliParser cli =
+      parser_with({"--seed=99999999999999999999"}, storage, argv);
+  EXPECT_THROW((void)cli.get_int("seed"), std::invalid_argument);
+}
+
+TEST(Cli, GetSizeRejectsNegativesWithClearMessage) {
+  std::vector<std::string> storage;
+  std::vector<const char*> argv;
+  const CliParser cli = parser_with({"--threads=-4"}, storage, argv);
+  // get_int accepts the sign; the count-like accessor must not.
+  EXPECT_EQ(cli.get_int("threads"), -4);
+  try {
+    (void)cli.get_size("threads");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--threads"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find(">= 0"), std::string::npos);
+  }
+}
+
+TEST(Cli, StrictDoubleRejectsGarbageAndNonFinite) {
+  std::vector<std::string> storage;
+  std::vector<const char*> argv;
+  const CliParser cli = parser_with({"--eps=0.5"}, storage, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps"), 0.5);
+  const CliParser garbage = parser_with({"--eps=0.5oops"}, storage, argv);
+  EXPECT_THROW((void)garbage.get_double("eps"), std::invalid_argument);
+  const CliParser nan = parser_with({"--eps=nan"}, storage, argv);
+  EXPECT_THROW((void)nan.get_double("eps"), std::invalid_argument);
+  const CliParser inf = parser_with({"--eps=inf"}, storage, argv);
+  EXPECT_THROW((void)inf.get_double("eps"), std::invalid_argument);
+  const CliParser huge = parser_with({"--eps=1e999"}, storage, argv);
+  EXPECT_THROW((void)huge.get_double("eps"), std::invalid_argument);
+}
+
+TEST(Cli, ListElementsAreValidatedLikeScalars) {
+  std::vector<std::string> storage;
+  std::vector<const char*> argv;
+  const CliParser cli = parser_with({"--threads-list=1,2x,4"}, storage, argv);
+  EXPECT_THROW((void)cli.get_int_list("threads-list"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcalloc

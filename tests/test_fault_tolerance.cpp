@@ -1,0 +1,466 @@
+// The fault-tolerance layer's headline invariant: a run with any injected
+// fault schedule — transient exchange failures, delayed or partial
+// deliveries, worker crashes — produces record streams and MPC model
+// counters (rounds, words_moved, peak_machine_words, peak_total_words)
+// bitwise identical to the fault-free run, at every thread count, with the
+// recovery overhead reported separately. Plus the checkpoint/restore and
+// OverflowPolicy machinery underneath it.
+#include "alloc/mpc_driver.hpp"
+#include "graph/generators.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/transport.hpp"
+#include "mpc/worker.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+using mpc::Cluster;
+using mpc::ClusterCheckpoint;
+using mpc::DistVec;
+using mpc::FaultEvent;
+using mpc::FaultInjectingTransport;
+using mpc::FaultKind;
+using mpc::FaultPlan;
+using mpc::MpcRecoveryStats;
+using mpc::TransportFault;
+using mpc::Word;
+using mpc::WorkerGroup;
+
+AllocationInstance chaos_instance() {
+  Xoshiro256pp rng(17);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(120, 60, 3, rng);
+  instance.capacities = uniform_capacities(60, 1, 4, rng);
+  return instance;
+}
+
+MpcDriverConfig chaos_config(std::size_t num_threads) {
+  MpcDriverConfig config;
+  config.epsilon = 0.25;
+  config.lambda = 4.0;
+  config.seed = 5;
+  config.num_threads = num_threads;
+  return config;
+}
+
+/// The full bitwise-identity contract between a recovered and a fault-free
+/// run: identical output allocation and identical model counters. Recovery
+/// overhead lives on `.recovery` and is asserted separately by callers.
+void expect_bitwise_match(const MpcRunResult& recovered,
+                          const MpcRunResult& reference,
+                          const std::string& label) {
+  EXPECT_EQ(recovered.allocation.x, reference.allocation.x) << label;
+  EXPECT_EQ(recovered.match_weight, reference.match_weight) << label;
+  EXPECT_EQ(recovered.local_rounds, reference.local_rounds) << label;
+  EXPECT_EQ(recovered.mpc_rounds, reference.mpc_rounds) << label;
+  EXPECT_EQ(recovered.words_moved, reference.words_moved) << label;
+  EXPECT_EQ(recovered.peak_machine_words, reference.peak_machine_words)
+      << label;
+  EXPECT_EQ(recovered.peak_total_words, reference.peak_total_words) << label;
+  EXPECT_EQ(recovered.host_record_updates, reference.host_record_updates)
+      << label;
+  EXPECT_EQ(recovered.stats, reference.stats) << label;
+}
+
+TEST(FaultTolerance, ChaosMatrixRecoversBitwiseIdenticalRuns) {
+  // The acceptance-criteria sweep: every fault kind × injection point ×
+  // thread count must recover to the exact fault-free result. The fault-free
+  // reference is computed once at one thread — the runtime's determinism
+  // regime already guarantees thread-count independence, so any mismatch
+  // here is the fault path's fault.
+  const AllocationInstance instance = chaos_instance();
+  const MpcRunResult reference = run_mpc_naive(instance, chaos_config(1));
+  ASSERT_EQ(reference.recovery, MpcRecoveryStats{});
+
+  const FaultKind kinds[] = {
+      FaultKind::kExchangeFailure, FaultKind::kDelayedDelivery,
+      FaultKind::kPartialDelivery, FaultKind::kWorkerCrash};
+  const std::size_t injection_points[] = {0, 3, 9};
+  const std::size_t thread_counts[] = {1, 2, 4, 7};
+  for (const FaultKind kind : kinds) {
+    for (const std::size_t at : injection_points) {
+      for (const std::size_t threads : thread_counts) {
+        MpcDriverConfig config = chaos_config(threads);
+        config.fault_plan.forced = {FaultEvent{at, kind, /*attempts=*/1}};
+        config.checkpoint_every = 1;
+        const std::string label = std::string(fault_kind_name(kind)) +
+                                  " at exchange " + std::to_string(at) +
+                                  ", " + std::to_string(threads) + " threads";
+        const MpcRunResult recovered = run_mpc_naive(instance, config);
+        expect_bitwise_match(recovered, reference, label);
+        EXPECT_EQ(recovered.recovery.faults_injected, 1u) << label;
+        if (kind == FaultKind::kWorkerCrash) {
+          // Unrecoverable at exchange scope: the driver restored a
+          // checkpoint and replayed the local round.
+          EXPECT_EQ(recovered.recovery.checkpoint_restores, 1u) << label;
+          EXPECT_GT(recovered.recovery.replayed_rounds, 0u) << label;
+        } else {
+          // Absorbed by the cluster's in-place retry, with deterministic
+          // backoff accounted as recovery rounds.
+          EXPECT_EQ(recovered.recovery.exchange_retries, 1u) << label;
+          EXPECT_EQ(recovered.recovery.checkpoint_restores, 0u) << label;
+          EXPECT_GT(recovered.recovery.backoff_rounds, 0u) << label;
+        }
+        if (kind == FaultKind::kPartialDelivery) {
+          EXPECT_EQ(recovered.recovery.replayed_exchanges, 1u) << label;
+          EXPECT_GT(recovered.recovery.restored_words, 0u) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultTolerance, RandomKeyedScheduleIsRecoveredAndReplayable) {
+  // A probabilistic schedule drawn from a SplitMix64 key: still recovered
+  // bitwise, and bitwise *replayable* — the same key injects the same
+  // faults, so two chaos runs agree on every counter including overhead.
+  const AllocationInstance instance = chaos_instance();
+  const MpcRunResult reference = run_mpc_naive(instance, chaos_config(1));
+
+  MpcDriverConfig config = chaos_config(2);
+  config.fault_plan.key = 0xC0FFEE;
+  config.fault_plan.fault_probability = 0.10;
+  config.checkpoint_every = 2;
+  const MpcRunResult first = run_mpc_naive(instance, config);
+  EXPECT_GT(first.recovery.faults_injected, 0u)
+      << "schedule too quiet to test anything — raise the probability";
+  expect_bitwise_match(first, reference, "keyed schedule");
+
+  const MpcRunResult second = run_mpc_naive(instance, config);
+  expect_bitwise_match(second, reference, "keyed schedule, replay");
+  EXPECT_EQ(second.recovery, first.recovery);
+}
+
+TEST(FaultTolerance, RepeatedCrashesConsumeRestoresThenSucceed) {
+  // A worker crash that re-fires on the first two delivery attempts needs
+  // two checkpoint restores; the third replay passes. Counters still match.
+  const AllocationInstance instance = chaos_instance();
+  const MpcRunResult reference = run_mpc_naive(instance, chaos_config(1));
+
+  MpcDriverConfig config = chaos_config(1);
+  config.fault_plan.forced = {
+      FaultEvent{2, FaultKind::kWorkerCrash, /*attempts=*/2}};
+  config.checkpoint_every = 1;
+  const MpcRunResult recovered = run_mpc_naive(instance, config);
+  expect_bitwise_match(recovered, reference, "double crash");
+  EXPECT_EQ(recovered.recovery.checkpoint_restores, 2u);
+  EXPECT_EQ(recovered.recovery.faults_injected, 2u);
+}
+
+TEST(FaultTolerance, ExhaustedRestoresEscalateToTheCaller) {
+  MpcDriverConfig config = chaos_config(1);
+  config.fault_plan.forced = {
+      FaultEvent{0, FaultKind::kWorkerCrash, /*attempts=*/1}};
+  config.fault_plan.max_restores = 0;
+  EXPECT_THROW((void)run_mpc_naive(chaos_instance(), config), TransportFault);
+}
+
+TEST(FaultTolerance, ExhaustedRetriesEscalateToCheckpointRestore) {
+  // An exchange failure that outlives max_retries is no longer absorbable
+  // in place — the cluster rethrows and the driver's checkpoint recovery
+  // takes over, still landing on the fault-free result.
+  const AllocationInstance instance = chaos_instance();
+  const MpcRunResult reference = run_mpc_naive(instance, chaos_config(1));
+
+  MpcDriverConfig config = chaos_config(1);
+  config.fault_plan.max_retries = 1;
+  config.fault_plan.forced = {
+      FaultEvent{1, FaultKind::kExchangeFailure, /*attempts=*/3}};
+  config.checkpoint_every = 1;
+  const MpcRunResult recovered = run_mpc_naive(instance, config);
+  expect_bitwise_match(recovered, reference, "retry exhaustion");
+  EXPECT_GT(recovered.recovery.checkpoint_restores, 0u);
+}
+
+TEST(FaultTolerance, SparseCheckpointCadenceReplaysMoreRounds) {
+  // checkpoint_every = 3 takes fewer checkpoints than = 1 but pays more
+  // replayed rounds per restore; the model counters must not notice.
+  const AllocationInstance instance = chaos_instance();
+  const MpcRunResult reference = run_mpc_naive(instance, chaos_config(1));
+
+  MpcRunResult results[2];
+  const std::size_t cadences[] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    MpcDriverConfig config = chaos_config(1);
+    config.fault_plan.forced = {
+        FaultEvent{9, FaultKind::kWorkerCrash, /*attempts=*/1}};
+    config.checkpoint_every = cadences[i];
+    results[i] = run_mpc_naive(instance, config);
+    expect_bitwise_match(results[i], reference,
+                         "cadence " + std::to_string(cadences[i]));
+  }
+  EXPECT_GT(results[0].recovery.checkpoints_taken,
+            results[1].recovery.checkpoints_taken);
+  EXPECT_LE(results[0].recovery.replayed_rounds,
+            results[1].recovery.replayed_rounds);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level recovery machinery
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerance, TransientFaultLeavesShardsIntactAndRetrySucceeds) {
+  // Strong exception guarantee on the injected fault itself: the exchange
+  // that failed moved nothing, so the cluster's in-place retry delivers the
+  // exact stream a fault-free shuffle would have, charging one round.
+  Cluster faultless(4, 64, 2);
+  Cluster faulty(4, 64, 2);
+  FaultPlan plan;
+  plan.forced = {FaultEvent{0, FaultKind::kExchangeFailure, 1}};
+  faulty.set_fault_plan(plan);
+
+  std::vector<Word> flat(32);
+  std::iota(flat.begin(), flat.end(), 100);
+  std::vector<std::uint32_t> dest(32);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    dest[i] = static_cast<std::uint32_t>((i * 7) % 4);
+  }
+  DistVec a = faultless.scatter(flat, 1);
+  DistVec b = faulty.scatter(flat, 1);
+  faultless.shuffle(a, dest);
+  faulty.shuffle(b, dest);
+
+  EXPECT_EQ(b.gather(), a.gather());
+  EXPECT_EQ(faulty.rounds(), faultless.rounds());
+  EXPECT_EQ(faulty.total_words_moved(), faultless.total_words_moved());
+  EXPECT_EQ(faulty.peak_machine_words(), faultless.peak_machine_words());
+  EXPECT_EQ(faulty.recovery_stats().exchange_retries, 1u);
+}
+
+TEST(FaultTolerance, PartialDeliveryRestoresInFlightDataAndReplays) {
+  Cluster faultless(4, 64, 2);
+  Cluster faulty(4, 64, 2);
+  FaultPlan plan;
+  plan.forced = {FaultEvent{0, FaultKind::kPartialDelivery, 1}};
+  faulty.set_fault_plan(plan);
+
+  std::vector<Word> flat(40);
+  std::iota(flat.begin(), flat.end(), 0);
+  std::vector<std::uint32_t> dest(40);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    dest[i] = static_cast<std::uint32_t>((i + 1) % 4);
+  }
+  DistVec a = faultless.scatter(flat, 1);
+  DistVec b = faulty.scatter(flat, 1);
+  faultless.shuffle(a, dest);
+  faulty.shuffle(b, dest);
+
+  EXPECT_EQ(b.gather(), a.gather());
+  EXPECT_EQ(faulty.rounds(), faultless.rounds());
+  EXPECT_EQ(faulty.total_words_moved(), faultless.total_words_moved());
+  EXPECT_EQ(faulty.recovery_stats().replayed_exchanges, 1u);
+  EXPECT_GT(faulty.recovery_stats().restored_words, 0u);
+}
+
+TEST(FaultTolerance, WorkerCrashEscalatesOutOfShuffle) {
+  Cluster cluster(4, 64, 2);
+  FaultPlan plan;
+  plan.forced = {FaultEvent{0, FaultKind::kWorkerCrash, 1}};
+  cluster.set_fault_plan(plan);
+  std::vector<Word> flat(16, 3);
+  std::vector<std::uint32_t> dest(16, 2);
+  DistVec d = cluster.scatter(flat, 1);
+  EXPECT_THROW(cluster.shuffle(d, dest), TransportFault);
+  // The failed round was never charged; the damage is arena-side only.
+  EXPECT_EQ(cluster.rounds(), 0u);
+  EXPECT_EQ(cluster.recovery_stats().faults_injected, 1u);
+}
+
+TEST(FaultTolerance, CheckpointRestoreRewindsCountersArenasAndWatermarks) {
+  Cluster cluster(4, 64, 2);
+  std::vector<Word> flat(24);
+  std::iota(flat.begin(), flat.end(), 0);
+  DistVec d = cluster.scatter(flat, 1);
+  const std::vector<Word> before = d.gather();
+  const std::uint64_t peak_before = cluster.peak_machine_words();
+
+  ClusterCheckpoint cp = cluster.checkpoint();
+
+  std::vector<std::uint32_t> dest(24, 0);
+  for (std::size_t i = 0; i < 24; ++i) {
+    dest[i] = static_cast<std::uint32_t>(i % 4 == 0 ? 3 : i % 4);
+  }
+  cluster.shuffle(d, dest);
+  ASSERT_NE(d.gather(), before);
+  ASSERT_GT(cluster.rounds(), 0u);
+
+  cluster.restore(cp);
+  EXPECT_EQ(d.gather(), before);
+  EXPECT_EQ(cluster.rounds(), 0u);
+  EXPECT_EQ(cluster.total_words_moved(), 0u);
+  EXPECT_EQ(cluster.peak_machine_words(), peak_before);
+  EXPECT_EQ(cluster.recovery_stats().checkpoints_taken, 1u);
+  EXPECT_EQ(cluster.recovery_stats().checkpoint_restores, 1u);
+  EXPECT_GT(cluster.recovery_stats().replayed_rounds, 0u);
+
+  // A checkpoint can only rewind, never fast-forward.
+  cluster.shuffle(d, dest);
+  ClusterCheckpoint later = cluster.checkpoint();
+  cluster.restore(cp);
+  EXPECT_THROW(cluster.restore(later), std::invalid_argument);
+}
+
+TEST(FaultTolerance, CrashWorkerWipesOnlyThatWorkersShards) {
+  WorkerGroup group(4, 64, 2);  // workers own machines {0,1} and {2,3}
+  DistVec d = group.create_dist(1);
+  for (std::size_t m = 0; m < 4; ++m) d.shard(m).assign(4, m);
+  const mpc::ArenaSnapshot snapshot = group.snapshot_arenas();
+
+  group.crash_worker(0);
+  EXPECT_TRUE(d.shard(0).empty());
+  EXPECT_TRUE(d.shard(1).empty());
+  EXPECT_EQ(d.shard(2), (std::vector<Word>(4, 2)));
+  EXPECT_EQ(d.shard(3), (std::vector<Word>(4, 3)));
+
+  group.restore_arenas(snapshot);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(d.shard(m), (std::vector<Word>(4, m))) << "machine " << m;
+  }
+  EXPECT_THROW(group.crash_worker(2), std::out_of_range);
+}
+
+TEST(FaultTolerance, SnapshotSkipsDatasetsThatDiedSinceCheckpoint) {
+  WorkerGroup group(2, 64, 2);
+  mpc::ArenaSnapshot snapshot;
+  {
+    DistVec transient = group.create_dist(1);
+    transient.shard(0).assign(3, 9);
+    snapshot = group.snapshot_arenas();
+    EXPECT_EQ(group.num_live_storages(), 1u);
+  }
+  EXPECT_EQ(group.num_live_storages(), 0u);
+  // The dataset died between snapshot and restore: nothing to put back, and
+  // nothing to crash either.
+  EXPECT_NO_THROW(group.restore_arenas(snapshot));
+  EXPECT_NO_THROW(group.crash_worker(0));
+}
+
+TEST(FaultInjection, ScheduleIsAPureFunctionOfKeyAndOrdinal) {
+  // Two transports with the same plan inject byte-identical schedules; a
+  // different key draws a different one. Exercised through real exchanges.
+  const auto run_schedule = [](std::uint64_t key) {
+    Cluster cluster(4, 1 << 10, 2);
+    FaultPlan plan;
+    plan.key = key;
+    plan.fault_probability = 0.5;
+    cluster.set_fault_plan(plan);
+    std::vector<Word> flat(64, 1);
+    DistVec d = cluster.scatter(flat, 1);
+    std::vector<std::uint32_t> dest(64);
+    std::vector<std::uint64_t> trace;
+    Xoshiro256pp rng(3);
+    for (int round = 0; round < 8; ++round) {
+      for (auto& x : dest) x = static_cast<std::uint32_t>(rng.uniform(4));
+      // A drawn worker crash escalates out of shuffle by design; recover it
+      // the way a driver would — checkpoint, restore, replay.
+      ClusterCheckpoint cp = cluster.checkpoint();
+      try {
+        cluster.shuffle(d, dest);
+      } catch (const TransportFault&) {
+        cluster.restore(cp);
+        cluster.shuffle(d, dest);
+      }
+      trace.push_back(cluster.recovery_stats().faults_injected);
+      trace.push_back(cluster.recovery_stats().exchange_retries);
+    }
+    return trace;
+  };
+  const std::vector<std::uint64_t> a = run_schedule(41);
+  const std::vector<std::uint64_t> b = run_schedule(41);
+  const std::vector<std::uint64_t> c = run_schedule(42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GT(a.back(), 0u) << "probability 0.5 over 8 exchanges never fired";
+}
+
+// ---------------------------------------------------------------------------
+// OverflowPolicy
+// ---------------------------------------------------------------------------
+
+TEST(Overflow, SplitExchangeDeliversOverBudgetSendInHonestSubRounds) {
+  // Machine 0 holds 10 width-1 words (stuffed at arena level — a legal
+  // scatter could never create send pressure above S, but a future backend
+  // or broadcast layer can) and sends all of them: rule 1 would fire at
+  // S = 8. kSplitExchange proves a 2-wave schedule, charges 2 rounds, and
+  // delivers the exact stream the unsplit exchange would have.
+  Cluster cluster(3, 8, 2);
+  cluster.set_overflow_policy(mpc::OverflowPolicy::kSplitExchange);
+  DistVec d = cluster.workers().create_dist(1);
+  d.shard(0).assign(10, 7);
+  std::vector<std::uint32_t> dest(10);
+  for (std::size_t i = 0; i < 10; ++i) dest[i] = i < 5 ? 1 : 2;
+  cluster.shuffle(d, dest);
+
+  EXPECT_TRUE(d.shard(0).empty());
+  EXPECT_EQ(d.shard(1), (std::vector<Word>(5, 7)));
+  EXPECT_EQ(d.shard(2), (std::vector<Word>(5, 7)));
+  EXPECT_EQ(cluster.rounds(), 2u);  // k = ceil(10/8) waves, honestly charged
+  EXPECT_EQ(cluster.total_words_moved(), 10u);
+  EXPECT_EQ(cluster.recovery_stats().split_exchanges, 1u);
+  EXPECT_EQ(cluster.recovery_stats().split_extra_rounds, 1u);
+}
+
+TEST(Overflow, FailFastStillThrowsAndSplitNeverRelaxesResidentRule) {
+  const auto stuffed = [](Cluster& cluster) {
+    DistVec d = cluster.workers().create_dist(1);
+    d.shard(0).assign(10, 7);
+    return d;
+  };
+  {  // default policy: the same plan fails fast on rule 1
+    Cluster cluster(3, 8, 2);
+    DistVec d = stuffed(cluster);
+    std::vector<std::uint32_t> dest(10);
+    for (std::size_t i = 0; i < 10; ++i) dest[i] = i < 5 ? 1 : 2;
+    EXPECT_THROW(cluster.shuffle(d, dest), mpc::MpcCapacityError);
+    EXPECT_EQ(cluster.rounds(), 0u);
+  }
+  {  // splitting cannot rescue resident pressure: 10 words onto one machine
+    Cluster cluster(3, 8, 2);
+    cluster.set_overflow_policy(mpc::OverflowPolicy::kSplitExchange);
+    DistVec d = stuffed(cluster);
+    const std::vector<std::uint32_t> dest(10, 1);
+    try {
+      cluster.shuffle(d, dest);
+      FAIL() << "expected MpcCapacityError";
+    } catch (const mpc::MpcCapacityError& error) {
+      EXPECT_EQ(error.rule(), mpc::CapacityRule::kResident);
+    }
+    EXPECT_EQ(cluster.rounds(), 0u);
+  }
+  {  // a single record wider than S is unsplittable
+    Cluster cluster(2, 8, 2);
+    cluster.set_overflow_policy(mpc::OverflowPolicy::kSplitExchange);
+    DistVec d = cluster.workers().create_dist(10);
+    d.shard(0).assign(10, 1);
+    const std::vector<std::uint32_t> dest{1};
+    EXPECT_THROW(cluster.shuffle(d, dest), mpc::MpcCapacityError);
+  }
+}
+
+TEST(Overflow, SplitExchangeComposesWithFaultRecovery) {
+  // A transient fault on a split exchange: the retry re-proves the same
+  // wave schedule and the charge stays k rounds, once.
+  Cluster cluster(3, 8, 2);
+  cluster.set_overflow_policy(mpc::OverflowPolicy::kSplitExchange);
+  FaultPlan plan;
+  plan.forced = {FaultEvent{0, FaultKind::kExchangeFailure, 1}};
+  cluster.set_fault_plan(plan);
+  DistVec d = cluster.workers().create_dist(1);
+  d.shard(0).assign(10, 7);
+  std::vector<std::uint32_t> dest(10);
+  for (std::size_t i = 0; i < 10; ++i) dest[i] = i < 5 ? 1 : 2;
+  cluster.shuffle(d, dest);
+  EXPECT_EQ(cluster.rounds(), 2u);
+  EXPECT_EQ(cluster.recovery_stats().exchange_retries, 1u);
+  EXPECT_EQ(cluster.recovery_stats().split_exchanges, 1u);
+}
+
+}  // namespace
+}  // namespace mpcalloc

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace mpcalloc {
 namespace {
 
@@ -120,6 +122,42 @@ TEST(Generators, PlantedInstanceInsufficientCapacityThrows) {
   EXPECT_THROW(planted_instance(100, 10, 5, 0, rng), std::invalid_argument);
 }
 
+TEST(Generators, ZeroVertexSidesThrowEverywhere) {
+  // Entry validation: an empty side can never yield a usable allocation
+  // instance, so every generator must reject it instead of building a
+  // degenerate graph.
+  Xoshiro256pp rng(20);
+  EXPECT_THROW(union_of_forests(0, 10, 1, rng), std::invalid_argument);
+  EXPECT_THROW(union_of_forests(10, 0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(dense_core_sparse_fringe(0, 10, 4, rng), std::invalid_argument);
+  EXPECT_THROW(dense_core_sparse_fringe(10, 0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(star_graph(0), std::invalid_argument);
+  EXPECT_THROW(left_regular(0, 10, 2, rng), std::invalid_argument);
+  EXPECT_THROW(left_regular(10, 0, 0, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi_bipartite(0, 10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi_bipartite(10, 0, 0, rng), std::invalid_argument);
+  EXPECT_THROW(power_law_bipartite(0, 10, 5, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(power_law_bipartite(10, 0, 5, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(planted_instance(0, 10, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(planted_instance(10, 0, 1, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, LeftRegularZeroDegreeThrows) {
+  Xoshiro256pp rng(21);
+  EXPECT_THROW(left_regular(10, 4, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, PowerLawValidatesBetaAndEdgeBudget) {
+  Xoshiro256pp rng(22);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(power_law_bipartite(10, 10, 5, nan, rng), std::invalid_argument);
+  EXPECT_THROW(power_law_bipartite(10, 10, 5, inf, rng), std::invalid_argument);
+  // More edges than |L|·|R| simple edges exist.
+  EXPECT_THROW(power_law_bipartite(4, 4, 17, 1.0, rng), std::invalid_argument);
+  EXPECT_NO_THROW(power_law_bipartite(4, 4, 16, 1.0, rng));
+}
+
 TEST(Capacities, UnitCapacities) {
   const Capacities c = unit_capacities(5);
   EXPECT_EQ(c, (Capacities{1, 1, 1, 1, 1}));
@@ -134,6 +172,26 @@ TEST(Capacities, UniformRange) {
   }
   EXPECT_THROW(uniform_capacities(10, 0, 5, rng), std::invalid_argument);
   EXPECT_THROW(uniform_capacities(10, 5, 2, rng), std::invalid_argument);
+}
+
+TEST(Capacities, DegreeProportionalRejectsNonPositiveAndNaN) {
+  const BipartiteGraph g = star_graph(4);
+  EXPECT_THROW(degree_proportional_capacities(g, 0.0), std::invalid_argument);
+  EXPECT_THROW(degree_proportional_capacities(g, -1.0), std::invalid_argument);
+  // NaN compares false against every threshold — it must still be rejected.
+  EXPECT_THROW(
+      degree_proportional_capacities(g, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      degree_proportional_capacities(g, std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+TEST(Capacities, ZipfRejectsNonFiniteSkew) {
+  Xoshiro256pp rng(23);
+  EXPECT_THROW(
+      zipf_capacities(10, 4, std::numeric_limits<double>::quiet_NaN(), rng),
+      std::invalid_argument);
 }
 
 TEST(Capacities, DegreeProportional) {

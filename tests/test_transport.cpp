@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -243,6 +244,70 @@ TEST(Transport, ExchangeDeliversRecordsInStableDestinationOrder) {
   // Record 1 stays on its source machine and is not counted as sent;
   // records 0, 2, 3, 4 cross machines: 4 records x 2 words.
   EXPECT_EQ(plan.total_words_sent(), 8u);
+}
+
+TEST(CapacityRules, ThrowingExchangeLeavesWatermarksUntouched) {
+  // The strong exception guarantee covers the arenas' peak accounting, not
+  // just the record contents: a rejected exchange never became resident, so
+  // a caller that catches the error must read the same peaks as before.
+  WorkerGroup group(3, 8, 2);
+  DistVec d = group.create_dist(1);
+  d.shard(0).assign(6, 1);
+  d.shard(1).assign(6, 2);
+  const std::uint64_t peak_before = group.peak_machine_words();
+  const std::vector<std::uint32_t> dest(12, 2);
+  const RoundPlan plan = RoundPlan::build(d, dest, 1);
+  InProcessTransport transport(group);
+  EXPECT_THROW(transport.exchange(plan, d, 1), MpcCapacityError);
+  EXPECT_EQ(group.peak_machine_words(), peak_before);
+  EXPECT_EQ(d.shard(0).size(), 6u);
+  EXPECT_EQ(d.shard(1).size(), 6u);
+  EXPECT_TRUE(d.shard(2).empty());
+}
+
+TEST(CapacityRules, FailedScatterLeavesWatermarksAndCountersUntouched) {
+  // Load within budget first so the watermark is nonzero, then attempt a
+  // scatter whose shards exceed S: every counter and peak must read exactly
+  // as before the failed call — no machine's watermark may have been
+  // committed before the violation was detected.
+  Cluster cluster(2, 8);
+  (void)cluster.scatter(std::vector<Word>(8, 1), 1);  // 4 words per machine
+  const std::uint64_t peak_before = cluster.peak_machine_words();
+  const std::uint64_t total_before = cluster.peak_total_words();
+  ASSERT_GT(peak_before, 0u);
+  EXPECT_THROW((void)cluster.scatter(std::vector<Word>(20, 2), 1),
+               MpcCapacityError);
+  EXPECT_EQ(cluster.peak_machine_words(), peak_before);
+  EXPECT_EQ(cluster.peak_total_words(), total_before);
+  EXPECT_EQ(cluster.rounds(), 0u);
+}
+
+TEST(CapacityRules, FaultingExchangeLeavesStateExactlyAsItWas) {
+  // Same guarantee for an *injected* transient fault: destination arenas,
+  // DistVec contents, and watermarks all read as before the throw.
+  WorkerGroup group(4, 64, 2);
+  auto inner = std::make_unique<InProcessTransport>(group);
+  FaultPlan fault_plan;
+  fault_plan.forced = {FaultEvent{0, FaultKind::kExchangeFailure, 1}};
+  FaultInjectingTransport transport(std::move(inner), group,
+                                    std::move(fault_plan));
+
+  DistVec d = group.create_dist(2);
+  d.shard(0) = {0, 100, 1, 101};
+  d.shard(1) = {2, 102};
+  const std::uint64_t peak_before = group.peak_machine_words();
+  const std::vector<std::uint32_t> dest{3, 3, 3};
+  const RoundPlan plan = RoundPlan::build(d, dest, 1);
+  EXPECT_THROW(transport.exchange(plan, d, 1), TransportFault);
+  EXPECT_EQ(d.shard(0), (std::vector<Word>{0, 100, 1, 101}));
+  EXPECT_EQ(d.shard(1), (std::vector<Word>{2, 102}));
+  EXPECT_TRUE(d.shard(3).empty());
+  EXPECT_EQ(group.peak_machine_words(), peak_before);
+  // The retry (same plan round, next attempt) goes through and delivers.
+  transport.exchange(plan, d, 1);
+  EXPECT_EQ(d.shard(3), (std::vector<Word>{0, 100, 1, 101, 2, 102}));
+  EXPECT_EQ(transport.faults_injected(), 1u);
+  EXPECT_EQ(transport.exchanges_started(), 1u);
 }
 
 TEST(ClusterLiveness, ChargeRoundsZeroIsNoOpButAssertsLive) {
