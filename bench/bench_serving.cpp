@@ -1,0 +1,345 @@
+// E8 — always-on allocation serving: traffic replay against the
+// serve::AllocationService.
+//
+// Two phases:
+//
+//  1. Identity sweep: the same deterministic mutation stream is applied in
+//     lockstep to services pinned at 1/2/4/7 threads. Every published
+//     generation must be bitwise identical across thread counts AND to a
+//     cold facade solve of the same mutated instance — the warm restart's
+//     headline invariant. `warm_identity_certificate_ok` gates CI at 1.0.
+//
+//  2. Traffic replay: a seeded Poisson-interleaved stream of mutation
+//     batches and query bursts against one service. Query bursts pin a
+//     snapshot and hold it for a random number of events (the
+//     delayed-release deque), so reads serve stale generations exactly the
+//     way a real reader pool would; staleness is measured in generations
+//     behind the writer. Latencies feed p50/p99 time_ms metrics; the warm
+//     recompute-volume counters feed `warm_volume_certificate_ok`: batches
+//     touching ≪1% of the edges must replay ≤10% of the dense-sweep
+//     volume. Volume locality needs converging dynamics, so the workload is
+//     a low-arboricity forest union with capacity slack (once levels
+//     settle, the tape is quiescent and the active cone stops growing).
+//
+// All counters are seed-deterministic and thread-count invariant; the JSON
+// baseline is compared with zero drift tolerance (see
+// scripts/update_baselines.sh).
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+
+#include "serve/mutation.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace mpcalloc;
+using namespace mpcalloc::bench;
+
+// Deterministic mutation batch: a few removes sampled from the live edge
+// list, adds into random non-edges, and capacity retargets. ~10 ops per
+// batch — ≪1% of the ~20k edges below.
+serve::MutationSet make_batch(const AllocationInstance& instance,
+                              Xoshiro256pp& rng) {
+  const auto edges = instance.graph.edges();
+  serve::MutationSet batch;
+  for (std::size_t i = 0; i < 4 && !edges.empty(); ++i) {
+    const Edge e = edges[rng.uniform(edges.size())];
+    if (std::find(batch.remove_edges.begin(), batch.remove_edges.end(), e) ==
+        batch.remove_edges.end()) {
+      batch.remove_edges.push_back(e);
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto u = static_cast<Vertex>(rng.uniform(instance.graph.num_left()));
+    const auto v = static_cast<Vertex>(rng.uniform(instance.graph.num_right()));
+    const Edge e{u, v};
+    const auto nbrs = instance.graph.left_neighbors(u);
+    const bool exists =
+        std::any_of(nbrs.begin(), nbrs.end(),
+                    [v](const Incidence& inc) { return inc.to == v; });
+    const bool removed =
+        std::find(batch.remove_edges.begin(), batch.remove_edges.end(), e) !=
+        batch.remove_edges.end();
+    const bool queued =
+        std::find(batch.add_edges.begin(), batch.add_edges.end(), e) !=
+        batch.add_edges.end();
+    if ((!exists || removed) && !queued) batch.add_edges.push_back(e);
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto v = static_cast<Vertex>(rng.uniform(instance.graph.num_right()));
+    batch.set_capacities.push_back(
+        {v, static_cast<std::uint32_t>(4 + rng.uniform(5))});
+  }
+  return batch;
+}
+
+bool bitwise_equal(const SolveResult& a, const SolveResult& b) {
+  return a.final_levels == b.final_levels && a.final_alloc == b.final_alloc &&
+         a.allocation.x == b.allocation.x && a.match_weight == b.match_weight &&
+         a.rounds_executed == b.rounds_executed;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+AllocationInstance serving_instance(std::uint64_t seed) {
+  // Forest union (λ ≤ 2) with capacity slack: the proportional dynamics
+  // converge well inside τ rounds, which is what makes warm-restart volume
+  // local (see file comment).
+  Xoshiro256pp rng(seed);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(12000, 6000, /*lambda=*/2, rng);
+  instance.capacities = uniform_capacities(6000, 4, 8, rng);
+  return instance;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpcalloc;
+  using namespace mpcalloc::bench;
+
+  CliParser cli("E8: always-on serving — warm-restart identity and traffic replay");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  cli.option("events", "400", "traffic events in the replay phase");
+  cli.threads_option();
+  if (!cli.parse(argc, argv)) return 0;
+  const auto threads = static_cast<std::size_t>(cli.get_size("threads"));
+  const auto num_events = static_cast<std::size_t>(cli.get_size("events"));
+
+  print_preamble(
+      "E8: always-on serving",
+      "Warm-restarted generations are bitwise identical to cold solves at "
+      "every thread count; small batches replay a small fraction of the "
+      "dense sweep; readers stay pinned to consistent generations");
+
+  JsonMetrics metrics("bench_serving");
+  metrics.set_counter_tolerance(0.0);
+  WallTimer total_timer;
+
+  serve::ServiceOptions base_options;
+  base_options.solve.method = SolveMethod::kTwoPlusEps;
+  base_options.solve.epsilon = 0.25;
+  base_options.solve.lambda = 2.0;
+
+  // ---- Phase 1: lockstep identity sweep across thread counts ------------
+  const std::size_t kThreadSweep[] = {1, 2, 4, 7};
+  std::vector<std::unique_ptr<serve::AllocationService>> services;
+  for (const std::size_t t : kThreadSweep) {
+    serve::ServiceOptions options = base_options;
+    options.solve.num_threads = t;
+    services.push_back(std::make_unique<serve::AllocationService>(
+        serving_instance(101), options));
+  }
+
+  bool all_identical = true;
+  Xoshiro256pp stream_rng(2025);
+  const std::size_t kIdentityBatches = 8;
+  Table identity_table(
+      "lockstep identity: one mutation stream, services at 1/2/4/7 threads; "
+      "each generation vs a cold 1-thread facade solve");
+  identity_table.header({"gen", "edges", "warm", "divergences",
+                         "recompute", "vs cold", "across threads"});
+  for (std::size_t b = 0; b < kIdentityBatches; ++b) {
+    const serve::MutationSet batch =
+        make_batch(services[0]->snapshot()->instance(), stream_rng);
+    std::vector<std::shared_ptr<const serve::AllocationSnapshot>> snaps;
+    for (auto& service : services) snaps.push_back(service->apply(batch));
+
+    SolveOptions cold = base_options.solve;
+    cold.num_threads = 1;
+    const SolveResult cold_result =
+        Solver(cold).solve(snaps[0]->instance());
+    const bool vs_cold = bitwise_equal(cold_result, snaps[0]->result());
+    bool across = true;
+    for (std::size_t i = 1; i < snaps.size(); ++i) {
+      across = across && bitwise_equal(snaps[0]->result(), snaps[i]->result());
+    }
+    all_identical = all_identical && vs_cold && across;
+
+    identity_table.row(
+        {Table::integer(static_cast<long long>(snaps[0]->generation())),
+         Table::integer(
+             static_cast<long long>(snaps[0]->instance().graph.num_edges())),
+         snaps[0]->warm().used ? "yes" : "NO",
+         Table::integer(
+             static_cast<long long>(snaps[0]->warm().divergences)),
+         Table::integer(
+             static_cast<long long>(snaps[0]->warm().recompute_volume)),
+         vs_cold ? "bitwise" : "DIFFERS",
+         across ? "bitwise" : "DIFFERS"});
+  }
+  identity_table.print(std::cout);
+  for (auto& service : services) {
+    all_identical =
+        all_identical && service->counters().warm_restarts == kIdentityBatches;
+  }
+  metrics.counter("identity_generations",
+                  static_cast<double>(kIdentityBatches));
+
+  // ---- Phase 2: Poisson-interleaved traffic replay ----------------------
+  serve::ServiceOptions traffic_options = base_options;
+  traffic_options.solve.num_threads = threads;
+  serve::AllocationService service(serving_instance(101), traffic_options);
+  const std::size_t base_edges = service.snapshot()->instance().graph.num_edges();
+
+  Xoshiro256pp traffic_rng(777);
+  std::vector<double> query_latencies;
+  std::vector<double> mutation_latencies;
+  // Delayed-release reader pool: each query burst pins the current
+  // generation and holds it for a geometric number of events, so later
+  // bursts read through genuinely stale snapshots.
+  struct PinnedReader {
+    std::shared_ptr<const serve::AllocationSnapshot> snapshot;
+    std::size_t release_at = 0;
+  };
+  std::deque<PinnedReader> readers;
+  std::uint64_t staleness_sum = 0;
+  std::uint64_t staleness_max = 0;
+  std::uint64_t queries_served = 0;
+  std::size_t mutation_events = 0;
+  double query_checksum = 0.0;
+
+  for (std::size_t event = 0; event < num_events; ++event) {
+    while (!readers.empty() && readers.front().release_at <= event) {
+      readers.pop_front();
+    }
+    if (traffic_rng.uniform_double() < 0.08) {
+      // Mutation arrival.
+      const serve::MutationSet batch =
+          make_batch(service.snapshot()->instance(), traffic_rng);
+      WallTimer timer;
+      (void)service.apply(batch);
+      mutation_latencies.push_back(timer.millis());
+      ++mutation_events;
+    } else {
+      // Query burst of 64 point reads, served from a pinned snapshot: a
+      // fresh pin plus the oldest still-held reader (the stale path).
+      WallTimer timer;
+      auto fresh = service.snapshot();
+      readers.push_back(
+          {fresh, event + 1 + static_cast<std::size_t>(
+                                  traffic_rng.uniform(24))});
+      const auto& stale = readers.front().snapshot;
+      std::vector<Vertex> burst(64);
+      for (auto& v : burst) {
+        v = static_cast<Vertex>(
+            traffic_rng.uniform(stale->instance().graph.num_right()));
+      }
+      const std::vector<double> loads = stale->query_allocations(burst);
+      for (const double load : loads) query_checksum += load;
+      query_checksum += stale->marginal_value(burst[0]);
+      query_latencies.push_back(timer.millis());
+      queries_served += burst.size();
+
+      const std::uint64_t staleness =
+          service.generation() - stale->generation();
+      staleness_sum += staleness;
+      staleness_max = std::max(staleness_max, staleness);
+    }
+  }
+
+  const serve::ServiceCounters counters = service.counters();
+  const auto& warm_total = counters;
+  const double recompute_fraction =
+      counters.warm_dense_equiv_volume == 0
+          ? 0.0
+          : static_cast<double>(counters.warm_recompute_volume) /
+                static_cast<double>(counters.warm_dense_equiv_volume);
+  const bool volume_ok =
+      counters.warm_restarts > 0 && recompute_fraction <= 0.10;
+
+  Table traffic_table(
+      "traffic replay: " + std::to_string(num_events) +
+      " Poisson-interleaved events (8% mutation batches of ~10 ops on " +
+      std::to_string(base_edges) + " edges), delayed-release reader pool");
+  traffic_table.header({"metric", "value"});
+  traffic_table.row({"generations published",
+                     Table::integer(static_cast<long long>(
+                         counters.generations_published))});
+  traffic_table.row({"warm restarts", Table::integer(static_cast<long long>(
+                                          counters.warm_restarts))});
+  traffic_table.row({"queries served", Table::integer(static_cast<long long>(
+                                           queries_served))});
+  traffic_table.row(
+      {"staleness max (gens)",
+       Table::integer(static_cast<long long>(staleness_max))});
+  traffic_table.row({"warm recompute volume",
+                     Table::integer(static_cast<long long>(
+                         counters.warm_recompute_volume))});
+  traffic_table.row({"dense-equivalent volume",
+                     Table::integer(static_cast<long long>(
+                         counters.warm_dense_equiv_volume))});
+  traffic_table.row({"recompute fraction",
+                     Table::num(recompute_fraction, 4)});
+  traffic_table.row({"query p50 / p99 (ms)",
+                     Table::num(percentile(query_latencies, 0.50), 3) +
+                         " / " +
+                         Table::num(percentile(query_latencies, 0.99), 3)});
+  traffic_table.row(
+      {"mutation p50 / p99 (ms)",
+       Table::num(percentile(mutation_latencies, 0.50), 3) + " / " +
+           Table::num(percentile(mutation_latencies, 0.99), 3)});
+  traffic_table.print(std::cout);
+
+  // Deterministic counters (zero drift tolerance).
+  metrics.counter("traffic_events", static_cast<double>(num_events));
+  metrics.counter("mutation_events", static_cast<double>(mutation_events));
+  metrics.counter("generations_published",
+                  static_cast<double>(counters.generations_published));
+  metrics.counter("warm_restarts",
+                  static_cast<double>(counters.warm_restarts));
+  metrics.counter("cold_solves", static_cast<double>(counters.cold_solves));
+  metrics.counter("edges_added", static_cast<double>(counters.edges_added));
+  metrics.counter("edges_removed",
+                  static_cast<double>(counters.edges_removed));
+  metrics.counter("capacity_changes",
+                  static_cast<double>(counters.capacity_changes));
+  metrics.counter("warm_recompute_volume",
+                  static_cast<double>(warm_total.warm_recompute_volume));
+  metrics.counter("warm_dense_equiv_volume",
+                  static_cast<double>(warm_total.warm_dense_equiv_volume));
+  metrics.counter("warm_divergences",
+                  static_cast<double>(warm_total.warm_divergences));
+  metrics.counter("recompute_fraction", recompute_fraction);
+  metrics.counter("queries_served", static_cast<double>(queries_served));
+  metrics.counter("staleness_sum", static_cast<double>(staleness_sum));
+  metrics.counter("staleness_max", static_cast<double>(staleness_max));
+  metrics.counter("query_checksum", query_checksum);
+  metrics.counter("final_match_weight",
+                  service.snapshot()->result().match_weight);
+
+  // Headline gates: compare_bench.py requires exactly 1.0 regardless of
+  // the committed baseline.
+  metrics.counter("warm_identity_certificate_ok", all_identical ? 1.0 : 0.0);
+  metrics.counter("warm_volume_certificate_ok", volume_ok ? 1.0 : 0.0);
+
+  std::cout << "\nShape check: every identity cell must read 'bitwise' and "
+               "the recompute fraction must stay ≤ 0.10 — small batches on "
+               "a converging instance replay only the perturbed cone.\n";
+
+  metrics.time_ms("query_p50_ms", percentile(query_latencies, 0.50));
+  metrics.time_ms("query_p99_ms", percentile(query_latencies, 0.99));
+  metrics.time_ms("mutation_p50_ms", percentile(mutation_latencies, 0.50));
+  metrics.time_ms("mutation_p99_ms", percentile(mutation_latencies, 0.99));
+  metrics.time_ms("total_ms", total_timer.millis());
+  if (const std::string json_path = cli.get("json"); !json_path.empty()) {
+    metrics.write(json_path);
+    std::cout << "\nmetrics written to " << json_path << "\n";
+  }
+  return all_identical && volume_ok ? 0 : 1;
+}

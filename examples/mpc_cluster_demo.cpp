@@ -7,23 +7,38 @@
 // per-machine ball-volume constraint.
 //
 // Build & run:  ./build/examples/mpc_cluster_demo
+//               ./build/examples/mpc_cluster_demo --input-words=250000 --alpha=0.5
 #include "mpc/cluster.hpp"
 #include "mpc/exponentiation.hpp"
 #include "mpc/primitives.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 #include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpcalloc;
   using namespace mpcalloc::mpc;
 
-  Xoshiro256pp rng(123);
+  // Strict parsing: malformed values ("1e5", "0.6x") throw with the option
+  // name instead of silently truncating.
+  CliParser cli("Raw MPC substrate demo: sort, reduce-by-key, exponentiation");
+  cli.option("input-words", "100000", "input size the cluster is sized for");
+  cli.option("alpha", "0.6", "memory exponent: S = input^alpha");
+  cli.option("ball-radius", "3", "radius for the graph-exponentiation demo");
+  cli.option("seed", "123", "RNG seed for records and graphs");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto input_words = static_cast<std::size_t>(cli.get_size("input-words"));
+  const double alpha = cli.get_double("alpha");
+  const auto ball_radius =
+      static_cast<std::size_t>(cli.get_size("ball-radius"));
 
-  // A cluster in the sublinear regime for a 100k-word input.
-  Cluster cluster = Cluster::for_input(100'000, /*alpha=*/0.6);
-  std::printf("cluster: %zu machines x %zu words (S = input^0.6)\n",
-              cluster.num_machines(), cluster.machine_words());
+  Xoshiro256pp rng(cli.get_size("seed"));
+
+  // A cluster in the sublinear regime for the requested input size.
+  Cluster cluster = Cluster::for_input(input_words, alpha);
+  std::printf("cluster: %zu machines x %zu words (S = input^%.2f)\n",
+              cluster.num_machines(), cluster.machine_words(), alpha);
 
   // --- distributed sort ---------------------------------------------------
   std::vector<Word> records;
@@ -65,10 +80,11 @@ int main() {
       adjacency[w].push_back(v);
     }
   }
-  const BallCollection balls = collect_balls(cluster, adjacency, 3);
-  std::printf("exponentiation: radius-3 balls collected in %zu charged rounds; "
-              "largest ball %zu vertices, total ball volume %llu words\n",
-              balls.rounds_charged, balls.max_ball_vertices,
+  const BallCollection balls = collect_balls(cluster, adjacency, ball_radius);
+  std::printf("exponentiation: radius-%zu balls collected in %zu charged "
+              "rounds; largest ball %zu vertices, total ball volume %llu "
+              "words\n",
+              ball_radius, balls.rounds_charged, balls.max_ball_vertices,
               static_cast<unsigned long long>(balls.total_ball_words));
 
   // --- capacity enforcement -------------------------------------------------

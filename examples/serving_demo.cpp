@@ -1,0 +1,104 @@
+// Serving demo: the always-on allocation service under live graph churn.
+//
+//   1. solve an initial instance once (generation 0),
+//   2. pin that generation from a "reader" while a "writer" applies batched
+//      mutations (capacity retargets, edge churn, vertex growth),
+//   3. show that the pinned snapshot is immutable while the service moves
+//      on, and that every new generation was produced by a warm restart —
+//      bitwise identical to a cold solve at a fraction of its volume.
+//
+// Build & run:  ./build/examples/serving_demo [--n=3000] [--batches=6]
+#include "alloc/api.hpp"
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <vector>
+
+int main(int argc, char** argv) {
+  using namespace mpcalloc;
+  using namespace mpcalloc::serve;
+
+  CliParser cli("always-on allocation service demo");
+  cli.option("n", "3000", "number of L-side vertices");
+  cli.option("batches", "6", "mutation batches to publish");
+  cli.option("seed", "7", "RNG seed");
+  cli.threads_option();
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::size_t>(cli.get_size("n"));
+  const auto batches = static_cast<std::size_t>(cli.get_size("batches"));
+  Xoshiro256pp rng(cli.get_size("seed"));
+
+  // Generation 0: a sparse instance with capacity slack, solved cold.
+  AllocationInstance instance;
+  instance.graph = union_of_forests(n, n / 2, /*lambda=*/2, rng);
+  instance.capacities = uniform_capacities(n / 2, 4, 8, rng);
+
+  ServiceOptions options;
+  options.solve.method = SolveMethod::kProportional;
+  options.solve.epsilon = 0.25;
+  options.solve.max_rounds = 24;
+  options.solve.num_threads = cli.get_size("threads");
+  AllocationService service(std::move(instance), options);
+
+  const auto pinned = service.snapshot();  // a reader pins generation 0
+  std::printf("generation 0: %s, match weight %.1f in %zu rounds\n",
+              pinned->instance().graph.describe().c_str(),
+              pinned->result().match_weight, pinned->result().rounds_executed);
+
+  // Write traffic: small batches (~10 ops each) against a ~6k-edge graph.
+  for (std::size_t b = 0; b < batches; ++b) {
+    MutationSet batch;
+    const auto& graph = service.snapshot()->instance().graph;
+    for (int k = 0; k < 3; ++k) {
+      batch.remove_edges.push_back(
+          graph.edges()[rng.uniform(graph.num_edges())]);
+      batch.add_edges.push_back(
+          {static_cast<Vertex>(rng.uniform(graph.num_left())),
+           static_cast<Vertex>(rng.uniform(graph.num_right()))});
+      batch.set_capacities.push_back(
+          {static_cast<Vertex>(rng.uniform(graph.num_right())),
+           static_cast<std::uint32_t>(4 + rng.uniform(5))});
+    }
+    if (b + 1 == batches) batch.add_right_vertices = 2;  // grow the fleet
+
+    try {
+      service.apply(batch);
+    } catch (const std::invalid_argument&) {
+      continue;  // e.g. duplicate add — a throwing batch publishes nothing
+    }
+    const SnapshotStats s = service.snapshot()->stats();
+    std::printf("generation %llu: %zu edges, weight %.1f  [%s, recompute "
+                "%llu of %llu dense]\n",
+                static_cast<unsigned long long>(s.generation), s.num_edges,
+                s.match_weight, s.warm_restarted ? "warm" : "cold",
+                static_cast<unsigned long long>(s.recompute_volume),
+                static_cast<unsigned long long>(s.dense_equiv_volume));
+  }
+
+  // The reader's generation 0 is untouched by everything above.
+  const std::vector<Vertex> probe{0, 1, 2};
+  const std::vector<double> old_loads = pinned->query_allocations(probe);
+  const std::vector<double> new_loads =
+      service.snapshot()->query_allocations(probe);
+  std::printf("\npinned generation %llu vs live generation %llu: "
+              "load at R-vertex 0 is %.3f vs %.3f (marginal value %.3f)\n",
+              static_cast<unsigned long long>(pinned->generation()),
+              static_cast<unsigned long long>(service.generation()),
+              old_loads[0], new_loads[0],
+              service.snapshot()->marginal_value(0));
+
+  const ServiceCounters& counters = service.counters();
+  std::printf("counters: %llu generations (%llu warm, %llu cold), "
+              "%llu edges added / %llu removed / %llu capacity changes, "
+              "warm recompute %llu of %llu dense-equivalent words\n",
+              static_cast<unsigned long long>(counters.generations_published),
+              static_cast<unsigned long long>(counters.warm_restarts),
+              static_cast<unsigned long long>(counters.cold_solves),
+              static_cast<unsigned long long>(counters.edges_added),
+              static_cast<unsigned long long>(counters.edges_removed),
+              static_cast<unsigned long long>(counters.capacity_changes),
+              static_cast<unsigned long long>(counters.warm_recompute_volume),
+              static_cast<unsigned long long>(counters.warm_dense_equiv_volume));
+  return 0;
+}

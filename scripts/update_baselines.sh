@@ -29,7 +29,8 @@ mkdir -p "$OUT_DIR"
 COMMITTED_DIR="$(mktemp -d)"
 trap 'rm -rf "$COMMITTED_DIR"' EXIT
 MPC_COUNTER_FILES=(bench_mpc_rounds.json bench_sampling.json
-                   bench_mpc_memory.json bench_fault_recovery.json)
+                   bench_mpc_memory.json bench_fault_recovery.json
+                   bench_serving.json)
 for f in "${MPC_COUNTER_FILES[@]}"; do
   if ! git -C "$REPO_ROOT" show "HEAD:bench/baselines/$f" \
       > "$COMMITTED_DIR/$f" 2>/dev/null; then
@@ -56,6 +57,7 @@ run "$BENCH_DIR/bench_rounds_vs_n" --threads=1 --json="$OUT_DIR/bench_rounds_vs_
 run "$BENCH_DIR/bench_boosting"    --json="$OUT_DIR/bench_boosting.json"
 run "$BENCH_DIR/bench_rounding"    --json="$OUT_DIR/bench_rounding.json"
 run "$BENCH_DIR/bench_approx_quality" --json="$OUT_DIR/bench_approx_quality.json"
+run "$BENCH_DIR/bench_serving"     --threads=1 --json="$OUT_DIR/bench_serving.json"
 
 # MPC counters (rounds, words moved, peak machine/total words) are exact
 # model quantities, not time budgets: a refactor must reproduce them

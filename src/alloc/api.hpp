@@ -9,13 +9,23 @@
 //   BipartiteGraph g = union_of_forests(10'000, 2'000, /*lambda=*/4, rng);
 //   AllocationInstance instance{std::move(g), uniform_capacities(2'000, 1, 8, rng)};
 //
-//   // (2+ε)-approximate fractional allocation in O(log λ) rounds (Thm 2):
-//   ProportionalResult frac = solve_adaptive(instance, /*epsilon=*/0.25);
+//   // (2+ε)-approximate fractional allocation in O(log λ) rounds (Thm 2),
+//   // through the unified Solver facade:
+//   SolveResult frac =
+//       Solver({.method = SolveMethod::kAdaptive, .epsilon = 0.25})
+//           .solve(instance);
 //
 //   // Round to an integral allocation (Section 6) and boost to 1+ε (Thm 1):
 //   auto rounded = round_best_of(instance, frac.allocation, rng);
 //   make_maximal(instance, rounded.best);
 //   auto boosted = boost_to_one_plus_eps(instance, rounded.best, 0.1);
+//
+// For live graph churn, wrap the instance in a serve::AllocationService
+// (serve/service.hpp) instead of re-solving by hand.
+//
+// tests/test_api_header.cpp compiles a TU including only this header
+// against every public entry point, so drift between the umbrella and the
+// module headers fails CI.
 #pragma once
 
 #include "alloc/boosting.hpp"
@@ -23,12 +33,16 @@
 #include "alloc/local_host.hpp"
 #include "alloc/matching_reduction.hpp"
 #include "alloc/mpc_driver.hpp"
+#include "alloc/options.hpp"
 #include "alloc/proportional.hpp"
 #include "alloc/round_engine.hpp"
 #include "alloc/rounding.hpp"
 #include "alloc/sampled.hpp"
 #include "alloc/sampling.hpp"
+#include "alloc/solver.hpp"
 #include "alloc/verify.hpp"
+#include "bmatch/bmatching.hpp"
+#include "bmatch/proportional_bmatching.hpp"
 #include "flow/greedy.hpp"
 #include "flow/optimal_allocation.hpp"
 #include "graph/allocation.hpp"
@@ -36,4 +50,9 @@
 #include "graph/bipartite_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "local/network.hpp"
+#include "serve/mutation.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/warm_restart.hpp"
 #include "util/parallel.hpp"

@@ -1,6 +1,7 @@
 #include "alloc/mpc_driver.hpp"
 
 #include "alloc/proportional.hpp"
+#include "alloc/solver.hpp"
 #include "mpc/exponentiation.hpp"
 #include "mpc/primitives.hpp"
 #include "util/rng.hpp"
@@ -68,8 +69,8 @@ std::size_t phase_length_for(double lambda, double epsilon, double alpha,
   return std::max<std::size_t>(1, static_cast<std::size_t>(std::floor(b)));
 }
 
-MpcRunResult run_mpc_naive(const AllocationInstance& instance,
-                           const MpcDriverConfig& config) {
+MpcRunResult detail::run_mpc_naive_impl(const AllocationInstance& instance,
+                                        const MpcDriverConfig& config) {
   instance.validate();
   const auto& g = instance.graph;
   const double lambda = effective_lambda(instance, config.lambda);
@@ -305,8 +306,8 @@ MpcRunResult run_mpc_naive(const AllocationInstance& instance,
   return result;
 }
 
-MpcRunResult run_mpc_phased(const AllocationInstance& instance,
-                            const MpcDriverConfig& config) {
+MpcRunResult detail::run_mpc_phased_impl(const AllocationInstance& instance,
+                                         const MpcDriverConfig& config) {
   instance.validate();
   const double lambda = effective_lambda(instance, config.lambda);
   const std::size_t b =
@@ -366,7 +367,7 @@ MpcRunResult run_mpc_phased(const AllocationInstance& instance,
         if (config.adaptive_termination) cluster.charge_rounds(2);
       };
 
-  SampledResult run = run_sampled(instance, sampled, rng);
+  SampledResult run = detail::run_sampled_impl(instance, sampled, rng);
   cluster.charge_rounds(2);  // exact output materialisation pass
 
   result.allocation = std::move(run.allocation);
@@ -382,8 +383,8 @@ MpcRunResult run_mpc_phased(const AllocationInstance& instance,
   return result;
 }
 
-MpcRunResult run_mpc_unknown_lambda(const AllocationInstance& instance,
-                                    const MpcDriverConfig& config) {
+MpcRunResult detail::run_mpc_unknown_lambda_impl(
+    const AllocationInstance& instance, const MpcDriverConfig& config) {
   instance.validate();
   const double n =
       static_cast<double>(std::max<std::size_t>(instance.graph.num_vertices(), 2));
@@ -402,7 +403,7 @@ MpcRunResult run_mpc_unknown_lambda(const AllocationInstance& instance,
     attempt.adaptive_termination = true;
     attempt.seed = config.seed + trial;
 
-    MpcRunResult r = run_mpc_phased(instance, attempt);
+    MpcRunResult r = detail::run_mpc_phased_impl(instance, attempt);
     total.mpc_rounds += r.mpc_rounds;
     total.words_moved += r.words_moved;
     accumulate_recovery(total.recovery, r.recovery);

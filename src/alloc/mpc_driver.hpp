@@ -24,6 +24,7 @@
 //    total cost is a constant factor over the known-λ run.
 #pragma once
 
+#include "alloc/options.hpp"
 #include "alloc/round_engine.hpp"
 #include "alloc/sampled.hpp"
 #include "graph/allocation.hpp"
@@ -34,11 +35,19 @@
 
 namespace mpcalloc {
 
-struct MpcDriverConfig {
+/// Deprecated spellings: `seed` and `num_threads` used to be declared
+/// directly here; they now come from the CommonOptions base
+/// (alloc/options.hpp) with unchanged names and defaults. `num_threads`
+/// drives the simulator-side sweeps (sampled executor tiles, the cluster's
+/// owner-compute shard passes, ball collection); all results — allocation,
+/// rounds, peak_machine_words — are bitwise independent of the value (and
+/// of the cluster's worker-ownership partition). The inherited
+/// `engine`/`dense_switch_fraction` are ignored: the naive driver's
+/// incremental record maintenance is always frontier-driven.
+struct MpcDriverConfig : CommonOptions {
   double epsilon = 0.25;
   double alpha = 0.7;              ///< S = (input words)^alpha
   std::size_t samples_per_group = 8;  ///< t of Algorithm 2 (benches sweep)
-  std::uint64_t seed = 1;
 
   /// Phased driver: override B (0 ⇒ derive from eq. (4) given lambda).
   std::size_t phase_length = 0;
@@ -46,13 +55,6 @@ struct MpcDriverConfig {
   double lambda = 0.0;  ///< ≤ 0 ⇒ use n as the trivial upper bound
   /// Run the Section-4 adaptive termination test at phase ends.
   bool adaptive_termination = false;
-
-  /// Worker threads for the simulator-side sweeps (sampled executor tiles,
-  /// the cluster's owner-compute shard passes, ball collection). 0 = auto
-  /// (MPCALLOC_THREADS env, else hardware concurrency). All results —
-  /// allocation, rounds, peak_machine_words — are bitwise independent of
-  /// the value (and of the cluster's worker-ownership partition).
-  std::size_t num_threads = 0;
 
   /// Fault tolerance (mpc/transport.hpp): an active plan wraps the
   /// cluster's transport in a FaultInjectingTransport and arms the recovery

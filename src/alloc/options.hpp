@@ -1,0 +1,48 @@
+// Shared solver knobs.
+//
+// Every driver config in the tree used to re-declare the same three
+// execution knobs (worker threads, RNG seed, recompute engine) with
+// per-struct doc comments that drifted apart. CommonOptions is the single
+// spelling: the per-solver configs (ProportionalConfig, SampledConfig,
+// MpcDriverConfig, ProportionalBMatchingConfig) inherit it as a base
+// aggregate — existing field accesses (`config.num_threads`, `config.seed`,
+// `config.engine`) keep compiling unchanged — and the unified SolveOptions
+// (alloc/solver.hpp) embeds it for the facade path.
+#pragma once
+
+#include "alloc/round_engine.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpcalloc {
+
+/// Execution knobs shared by every solver entry point. A solver that has no
+/// use for a knob ignores it (documented per config): the exact
+/// deterministic solvers draw no randomness and ignore `seed`; the sampled
+/// executor and the MPC drivers run no frontier engine of their own and
+/// ignore `engine` / `dense_switch_fraction`.
+struct CommonOptions {
+  /// Worker threads for the deterministic executor's sweeps. 0 = auto (the
+  /// MPCALLOC_THREADS environment variable if set, else
+  /// hardware_concurrency). Results are bitwise identical across thread
+  /// counts everywhere in the tree: all sweeps use the fixed tile
+  /// decomposition with ordered reductions of util/parallel.hpp.
+  std::size_t num_threads = 0;
+
+  /// Seed for everything stochastic in the solver (sampled executor draws,
+  /// MPC splitter sampling). Deterministic solvers ignore it.
+  std::uint64_t seed = 1;
+
+  /// Recompute strategy for rounds after the first (round_engine.hpp).
+  /// kAuto switches per round on the frontier volume; results are bitwise
+  /// identical for every choice. MPCALLOC_FORCE_DENSE/SPARSE override.
+  RoundEngine engine = RoundEngine::kAuto;
+
+  /// kAuto's switch point: the sparse path may recompute at most this
+  /// fraction of a dense round's 2m edge visits; the touched-set derivation
+  /// bails out to the dense sweep when the budget is exceeded. Must be ≥ 0.
+  double dense_switch_fraction = 0.2;
+};
+
+}  // namespace mpcalloc

@@ -1,5 +1,7 @@
 #include "alloc/proportional.hpp"
 
+#include "alloc/solver.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -248,8 +250,8 @@ TerminationCheck check_termination(const AllocationInstance& instance,
                            /*num_threads=*/1);
 }
 
-ProportionalResult run_proportional(const AllocationInstance& instance,
-                                    const ProportionalConfig& config) {
+ProportionalResult detail::run_proportional_impl(
+    const AllocationInstance& instance, const ProportionalConfig& config) {
   instance.validate();
   if (config.max_rounds == 0) {
     throw std::invalid_argument("run_proportional: max_rounds must be >= 1");
@@ -271,6 +273,7 @@ ProportionalResult run_proportional(const AllocationInstance& instance,
   ws.init(g);
   TerminationScratch scratch;
   bool have_frontier = false;  // round 1 has no previous deltas: dense
+  if (config.record_tape) config.record_tape->rounds.clear();
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
     RoundStats round_stats;
@@ -296,6 +299,15 @@ ProportionalResult run_proportional(const AllocationInstance& instance,
                        config.threshold_k, levels, num_threads, &ws.deltas);
     ws.derive_frontier(g, ws.deltas, num_threads);
     have_frontier = true;
+    if (config.record_tape) {
+      // The frontier *is* this round's change set, already ascending; the
+      // tape just pairs each vertex with the ±1 step it took.
+      auto& changes = config.record_tape->rounds.emplace_back();
+      changes.reserve(ws.frontier().size());
+      for (const Vertex v : ws.frontier()) {
+        changes.push_back({v, ws.deltas[v]});
+      }
+    }
     round_stats.frontier_size = ws.frontier().size();
     round_stats.frontier_volume = ws.frontier_volume();
     result.stats.record_round(round_stats);
@@ -343,35 +355,6 @@ std::size_t tau_for_one_plus_eps(std::size_t num_right, double epsilon) {
   const double tau = 2.0 * std::log(2.0 * r / epsilon) / (epsilon * epsilon) +
                      1.0 / epsilon;
   return static_cast<std::size_t>(std::max(1.0, std::ceil(tau)));
-}
-
-ProportionalResult solve_two_plus_eps(const AllocationInstance& instance,
-                                      double lambda, double epsilon,
-                                      std::size_t num_threads) {
-  ProportionalConfig config;
-  config.epsilon = epsilon;
-  config.max_rounds = tau_for_arboricity(lambda, epsilon);
-  config.stop_rule = StopRule::kFixedRounds;
-  config.num_threads = num_threads;
-  return run_proportional(instance, config);
-}
-
-ProportionalResult solve_adaptive(const AllocationInstance& instance,
-                                  double epsilon, std::size_t safety_cap,
-                                  std::size_t num_threads) {
-  ProportionalConfig config;
-  config.epsilon = epsilon;
-  config.stop_rule = StopRule::kAdaptive;
-  config.num_threads = num_threads;
-  // λ ≤ n always, so τ(n, ε) is a valid hard cap for the adaptive loop.
-  config.max_rounds =
-      safety_cap > 0
-          ? safety_cap
-          : tau_for_arboricity(
-                static_cast<double>(std::max<std::size_t>(
-                    instance.graph.num_vertices(), 2)),
-                epsilon);
-  return run_proportional(instance, config);
 }
 
 }  // namespace mpcalloc

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "alloc/levels.hpp"
+#include "alloc/options.hpp"
 #include "alloc/round_engine.hpp"
 #include "graph/allocation.hpp"
 #include "graph/bipartite_graph.hpp"
@@ -44,7 +45,14 @@ enum class StopRule : std::uint8_t {
                   ///< still acts as a hard safety cap
 };
 
-struct ProportionalConfig {
+/// Deprecated spellings: `num_threads`, `engine`, and
+/// `dense_switch_fraction` used to be declared directly on this struct;
+/// they now come from the shared CommonOptions base (alloc/options.hpp)
+/// with unchanged names, defaults, and meaning. The exact solver ignores
+/// the inherited `seed` (it draws no randomness). A non-empty `threshold_k`
+/// must be safe to invoke concurrently when num_threads > 1 (pure functions
+/// are).
+struct ProportionalConfig : CommonOptions {
   double epsilon = 0.25;
   std::size_t max_rounds = 0;  ///< must be ≥ 1 for kFixedRounds
   StopRule stop_rule = StopRule::kFixedRounds;
@@ -57,24 +65,11 @@ struct ProportionalConfig {
   /// Record MatchWeight after every round (costs one extra pass per round).
   bool track_weight_history = false;
 
-  /// Worker threads for the per-round sweeps. 0 = auto (the
-  /// MPCALLOC_THREADS environment variable if set, else
-  /// hardware_concurrency). Results are bitwise identical across thread
-  /// counts: the sweeps use a fixed tile decomposition with ordered
-  /// reductions (see util/parallel.hpp). A non-empty `threshold_k` must be
-  /// safe to invoke concurrently (pure functions are).
-  std::size_t num_threads = 0;
-
-  /// Recompute strategy for rounds after the first (see round_engine.hpp).
-  /// kAuto switches per round on the frontier volume; results are bitwise
-  /// identical for every choice. MPCALLOC_FORCE_DENSE/SPARSE override.
-  RoundEngine engine = RoundEngine::kAuto;
-
-  /// kAuto's switch point: the sparse path may recompute at most this
-  /// fraction of a dense round's 2m edge visits; the touched-set derivation
-  /// counts its recompute volume and bails out to the dense sweep when the
-  /// budget is exceeded (see round_engine.hpp). Must be ≥ 0.
-  double dense_switch_fraction = 0.2;
+  /// Optional trajectory recording (round_engine.hpp): when non-null, the
+  /// solver appends one Change list per executed round — the round's
+  /// frontier with its ±1 steps — clearing the tape first. The serving
+  /// layer's warm restarts diff against this tape. Must outlive the call.
+  TrajectoryTape* record_tape = nullptr;
 };
 
 struct ProportionalResult {
@@ -89,6 +84,8 @@ struct ProportionalResult {
 };
 
 /// Run the engine. Throws std::invalid_argument on bad config.
+/// Legacy entry point: forwards through the Solver facade (alloc/solver.hpp),
+/// as do solve_two_plus_eps / solve_adaptive below; results are unchanged.
 [[nodiscard]] ProportionalResult run_proportional(
     const AllocationInstance& instance, const ProportionalConfig& config);
 
@@ -201,6 +198,17 @@ struct UnitThreshold {
   double operator()(Vertex, std::size_t) const { return 1.0; }
 };
 
+/// Line 4's per-vertex step: {-1, 0, +1} from this round's alloc_v against
+/// the capacity thresholds. The exact comparison body of apply_level_update,
+/// shared so incremental replayers (serve/warm_restart) step
+/// bitwise-identically to the dense sweep.
+[[nodiscard]] inline std::int8_t level_step(double alloc_v, double capacity,
+                                            double k, double epsilon) {
+  if (alloc_v <= capacity / (1.0 + k * epsilon)) return 1;
+  if (alloc_v >= capacity * (1.0 + k * epsilon)) return -1;
+  return 0;
+}
+
 /// Apply line 4's threshold update in place; returns the number of vertices
 /// whose level changed. If `level_deltas` is non-null (sized |R|) it
 /// records the per-vertex step {-1, 0, +1} taken this round, letting the
@@ -224,18 +232,11 @@ std::size_t apply_level_update(std::span<const std::uint32_t> capacities,
       [&](std::size_t tile_begin, std::size_t tile_end) {
         std::size_t changed = 0;
         for (Vertex v = static_cast<Vertex>(tile_begin); v < tile_end; ++v) {
-          const double k = threshold_k(v, round);
-          const double cap = static_cast<double>(capacities[v]);
-          std::int8_t delta = 0;
-          if (alloc[v] <= cap / (1.0 + k * epsilon)) {
-            ++levels[v];
-            delta = 1;
-            ++changed;
-          } else if (alloc[v] >= cap * (1.0 + k * epsilon)) {
-            --levels[v];
-            delta = -1;
-            ++changed;
-          }
+          const std::int8_t delta =
+              level_step(alloc[v], static_cast<double>(capacities[v]),
+                         threshold_k(v, round), epsilon);
+          levels[v] += delta;
+          changed += delta != 0;
           if (level_deltas) (*level_deltas)[v] = delta;
         }
         return changed;

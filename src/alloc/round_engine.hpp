@@ -83,6 +83,32 @@ struct SolveStats {
   friend bool operator==(const SolveStats&, const SolveStats&) = default;
 };
 
+/// Compact record of one solve's level trajectory: per executed round, the
+/// right vertices whose level moved and the ±1 step each took — exactly the
+/// round's frontier, so recording costs one copy of an already-derived
+/// list. The serving layer (src/serve/) diffs a warm restart against the
+/// previous generation's tape: a vertex off the active cone is guaranteed
+/// to take the taped step, so its whole trajectory replays in O(1) per
+/// change instead of O(deg) per round.
+struct TrajectoryTape {
+  struct Change {
+    Vertex v = 0;
+    std::int8_t delta = 0;  ///< ±1 level step taken this round
+
+    friend bool operator==(const Change&, const Change&) = default;
+  };
+
+  /// rounds[r-1] = changes of round r, ascending by vertex.
+  std::vector<std::vector<Change>> rounds;
+
+  [[nodiscard]] std::size_t num_rounds() const { return rounds.size(); }
+  [[nodiscard]] std::uint64_t total_changes() const {
+    std::uint64_t total = 0;
+    for (const auto& round : rounds) total += round.size();
+    return total;
+  }
+};
+
 /// Apply the environment overrides: MPCALLOC_FORCE_DENSE=1 /
 /// MPCALLOC_FORCE_SPARSE=1 (any non-empty value other than "0") beat the
 /// configured choice; both set throws std::invalid_argument.

@@ -1,5 +1,6 @@
 #include "alloc/sampled.hpp"
 
+#include "alloc/solver.hpp"
 #include "util/parallel.hpp"
 
 #include <algorithm>
@@ -87,8 +88,9 @@ void draw_samples(const GroupedNeighbors& groups, std::size_t samples_per_group,
 
 }  // namespace
 
-SampledResult run_sampled(const AllocationInstance& instance,
-                          const SampledConfig& config, Xoshiro256pp& rng) {
+SampledResult detail::run_sampled_impl(const AllocationInstance& instance,
+                                       const SampledConfig& config,
+                                       Xoshiro256pp& rng) {
   instance.validate();
   if (config.max_rounds == 0) {
     throw std::invalid_argument("run_sampled: max_rounds must be >= 1");

@@ -29,6 +29,7 @@
 // the driver.)
 #pragma once
 
+#include "alloc/options.hpp"
 #include "alloc/proportional.hpp"
 #include "graph/allocation.hpp"
 #include "util/rng.hpp"
@@ -37,7 +38,15 @@
 
 namespace mpcalloc {
 
-struct SampledConfig {
+/// Deprecated spelling: `num_threads` used to be declared directly here; it
+/// now comes from the CommonOptions base (alloc/options.hpp), same name and
+/// meaning. Results stay bitwise independent of its value: sample draws run
+/// on per-tile RNG streams keyed by (phase, round, tile), so the executor's
+/// randomness never depends on scheduling. The executor takes its RNG as an
+/// explicit argument, so the inherited `seed` is ignored here (the Solver
+/// facade seeds the RNG from it); `engine`/`dense_switch_fraction` are
+/// ignored — the estimation sweeps have no frontier engine yet (ROADMAP).
+struct SampledConfig : CommonOptions {
   double epsilon = 0.25;
   std::size_t phase_length = 4;     ///< B
   std::size_t samples_per_group = 32;  ///< t (the paper's value is
@@ -46,12 +55,6 @@ struct SampledConfig {
   bool adaptive_termination = false;  ///< check the §4 rule at phase ends
                                       ///< (uses one exact pass, as the MPC
                                       ///< termination test does)
-  std::size_t num_threads = 0;  ///< 0 = auto (MPCALLOC_THREADS env, else
-                                ///< hardware); results are bitwise
-                                ///< independent of the value: sample draws
-                                ///< run on per-tile RNG streams keyed by
-                                ///< (phase, round, tile), so the executor's
-                                ///< randomness never depends on scheduling
 
   /// Optional observer invoked once per phase with the sampled communication
   /// subgraph as adjacency over global ids (u ∈ [0,n_L), v ∈ n_L + [0,n_R)).

@@ -1,0 +1,339 @@
+#include "alloc/solver.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mpcalloc {
+
+namespace {
+
+SolveResult from_proportional(SolveMethod method, ProportionalResult r) {
+  SolveResult out;
+  out.method = method;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.rounds_executed = r.rounds_executed;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.final_levels = std::move(r.final_levels);
+  out.final_alloc = std::move(r.final_alloc);
+  out.weight_history = std::move(r.weight_history);
+  out.stats = std::move(r.stats);
+  return out;
+}
+
+SolveResult from_sampled(SampledResult r) {
+  SolveResult out;
+  out.method = SolveMethod::kSampled;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.rounds_executed = r.rounds_executed;
+  out.phases = r.phases_executed;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.final_levels = std::move(r.final_levels);
+  out.samples_drawn = r.samples_drawn;
+  return out;
+}
+
+SolveResult from_mpc(SolveMethod method, MpcRunResult r) {
+  SolveResult out;
+  out.method = method;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.rounds_executed = r.local_rounds;
+  out.phases = r.phases;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.stats = std::move(r.stats);
+  MpcSolveCounters counters;
+  counters.mpc_rounds = r.mpc_rounds;
+  counters.words_moved = r.words_moved;
+  counters.peak_machine_words = r.peak_machine_words;
+  counters.peak_total_words = r.peak_total_words;
+  counters.machine_words = r.machine_words;
+  counters.num_machines = r.num_machines;
+  counters.trials = r.trials;
+  counters.max_ball_volume = r.max_ball_volume;
+  counters.host_record_updates = r.host_record_updates;
+  counters.recovery = r.recovery;
+  out.mpc = std::move(counters);
+  return out;
+}
+
+ProportionalConfig proportional_config_from(const SolveOptions& options) {
+  ProportionalConfig config;
+  static_cast<CommonOptions&>(config) = options;  // threads/seed/engine slice
+  config.epsilon = options.epsilon;
+  config.threshold_k = options.threshold_k;
+  config.track_weight_history = options.track_weight_history;
+  config.record_tape = options.record_tape;
+  switch (options.method) {
+    case SolveMethod::kProportional:
+      config.stop_rule = StopRule::kFixedRounds;
+      config.max_rounds = options.max_rounds;
+      break;
+    case SolveMethod::kTwoPlusEps:
+      // Theorem 2's τ(λ, ε); tau_for_arboricity clamps λ < 1 to 1, so
+      // lambda ≤ 0 degrades to the λ = 1 budget rather than throwing.
+      config.stop_rule = StopRule::kFixedRounds;
+      config.max_rounds = tau_for_arboricity(options.lambda, options.epsilon);
+      break;
+    case SolveMethod::kAdaptive: {
+      config.stop_rule = StopRule::kAdaptive;
+      // λ ≤ n always, so τ(n, ε) is a valid hard cap for the adaptive loop.
+      config.max_rounds = options.max_rounds;
+      break;
+    }
+    default:
+      throw std::logic_error("proportional_config_from: not an exact method");
+  }
+  return config;
+}
+
+SampledConfig sampled_config_from(const SolveOptions& options) {
+  SampledConfig config;
+  static_cast<CommonOptions&>(config) = options;
+  config.epsilon = options.epsilon;
+  config.max_rounds = options.max_rounds;
+  if (options.phase_length != 0) config.phase_length = options.phase_length;
+  if (options.samples_per_group != 0) {
+    config.samples_per_group = options.samples_per_group;
+  }
+  config.adaptive_termination = options.adaptive_termination;
+  config.on_phase_subgraph = options.on_phase_subgraph;
+  return config;
+}
+
+MpcDriverConfig mpc_config_from(const SolveOptions& options) {
+  MpcDriverConfig config;
+  static_cast<CommonOptions&>(config) = options;
+  config.epsilon = options.epsilon;
+  config.alpha = options.alpha;
+  if (options.samples_per_group != 0) {
+    config.samples_per_group = options.samples_per_group;
+  }
+  config.phase_length = options.phase_length;
+  config.lambda = options.lambda;
+  config.adaptive_termination = options.adaptive_termination;
+  config.fault_plan = options.fault_plan;
+  config.checkpoint_every = options.checkpoint_every;
+  config.overflow_policy = options.overflow_policy;
+  return config;
+}
+
+}  // namespace
+
+SolveResult Solver::solve(const AllocationInstance& instance,
+                          Xoshiro256pp& rng) const {
+  switch (options_.method) {
+    case SolveMethod::kProportional:
+    case SolveMethod::kTwoPlusEps:
+      return from_proportional(
+          options_.method,
+          detail::run_proportional_impl(instance,
+                                        proportional_config_from(options_)));
+    case SolveMethod::kAdaptive: {
+      ProportionalConfig config = proportional_config_from(options_);
+      if (config.max_rounds == 0) {
+        config.max_rounds = tau_for_arboricity(
+            static_cast<double>(
+                std::max<std::size_t>(instance.graph.num_vertices(), 2)),
+            options_.epsilon);
+      }
+      return from_proportional(options_.method,
+                               detail::run_proportional_impl(instance, config));
+    }
+    case SolveMethod::kSampled:
+      return from_sampled(
+          detail::run_sampled_impl(instance, sampled_config_from(options_), rng));
+    case SolveMethod::kMpcNaive:
+      return from_mpc(options_.method,
+                      detail::run_mpc_naive_impl(instance,
+                                                 mpc_config_from(options_)));
+    case SolveMethod::kMpcPhased:
+      return from_mpc(options_.method,
+                      detail::run_mpc_phased_impl(instance,
+                                                  mpc_config_from(options_)));
+    case SolveMethod::kMpcUnknownLambda:
+      return from_mpc(options_.method, detail::run_mpc_unknown_lambda_impl(
+                                           instance, mpc_config_from(options_)));
+  }
+  throw std::invalid_argument("Solver::solve: unknown SolveMethod");
+}
+
+SolveResult Solver::solve(const AllocationInstance& instance) const {
+  // Only kSampled consumes the stream; seeding it from the options makes
+  // the no-rng overload a pure function of (options, instance).
+  Xoshiro256pp rng(options_.seed);
+  return solve(instance, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy forwarding shims (one release of compatibility; see solver.hpp).
+// ---------------------------------------------------------------------------
+
+ProportionalResult run_proportional(const AllocationInstance& instance,
+                                    const ProportionalConfig& config) {
+  SolveOptions options;
+  static_cast<CommonOptions&>(options) = config;
+  options.method = config.stop_rule == StopRule::kAdaptive
+                       ? SolveMethod::kAdaptive
+                       : SolveMethod::kProportional;
+  options.epsilon = config.epsilon;
+  options.max_rounds = config.max_rounds;
+  options.threshold_k = config.threshold_k;
+  options.track_weight_history = config.track_weight_history;
+  options.record_tape = config.record_tape;
+  // kAdaptive with max_rounds == 0 would default the cap to τ(n, ε) inside
+  // the facade, but run_proportional has always required an explicit
+  // budget — keep that contract (and its exact message) here.
+  if (config.max_rounds == 0) {
+    throw std::invalid_argument("run_proportional: max_rounds must be >= 1");
+  }
+  SolveResult r = Solver(std::move(options)).solve(instance);
+  ProportionalResult out;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.rounds_executed = r.rounds_executed;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.final_levels = std::move(r.final_levels);
+  out.final_alloc = std::move(r.final_alloc);
+  out.weight_history = std::move(r.weight_history);
+  out.stats = std::move(r.stats);
+  return out;
+}
+
+ProportionalResult solve_two_plus_eps(const AllocationInstance& instance,
+                                      double lambda, double epsilon,
+                                      std::size_t num_threads) {
+  SolveOptions options;
+  options.method = SolveMethod::kTwoPlusEps;
+  options.epsilon = epsilon;
+  options.lambda = lambda;
+  options.num_threads = num_threads;
+  SolveResult r = Solver(std::move(options)).solve(instance);
+  ProportionalResult out;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.rounds_executed = r.rounds_executed;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.final_levels = std::move(r.final_levels);
+  out.final_alloc = std::move(r.final_alloc);
+  out.weight_history = std::move(r.weight_history);
+  out.stats = std::move(r.stats);
+  return out;
+}
+
+ProportionalResult solve_adaptive(const AllocationInstance& instance,
+                                  double epsilon, std::size_t safety_cap,
+                                  std::size_t num_threads) {
+  SolveOptions options;
+  options.method = SolveMethod::kAdaptive;
+  options.epsilon = epsilon;
+  options.max_rounds = safety_cap;  // 0 ⇒ τ(n, ε) inside the facade
+  options.num_threads = num_threads;
+  SolveResult r = Solver(std::move(options)).solve(instance);
+  ProportionalResult out;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.rounds_executed = r.rounds_executed;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.final_levels = std::move(r.final_levels);
+  out.final_alloc = std::move(r.final_alloc);
+  out.weight_history = std::move(r.weight_history);
+  out.stats = std::move(r.stats);
+  return out;
+}
+
+SampledResult run_sampled(const AllocationInstance& instance,
+                          const SampledConfig& config, Xoshiro256pp& rng) {
+  // SolveOptions spells "method default" as 0 for these two knobs, so the
+  // legacy reject-zero contract has to be enforced before translating.
+  if (config.phase_length == 0) {
+    throw std::invalid_argument("run_sampled: phase_length must be >= 1");
+  }
+  if (config.samples_per_group == 0) {
+    throw std::invalid_argument("run_sampled: samples_per_group must be >= 1");
+  }
+  SolveOptions options;
+  static_cast<CommonOptions&>(options) = config;
+  options.method = SolveMethod::kSampled;
+  options.epsilon = config.epsilon;
+  options.max_rounds = config.max_rounds;
+  options.phase_length = config.phase_length;
+  options.samples_per_group = config.samples_per_group;
+  options.adaptive_termination = config.adaptive_termination;
+  options.on_phase_subgraph = config.on_phase_subgraph;
+  SolveResult r = Solver(std::move(options)).solve(instance, rng);
+  SampledResult out;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.rounds_executed = r.rounds_executed;
+  out.phases_executed = r.phases;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.final_levels = std::move(r.final_levels);
+  out.samples_drawn = r.samples_drawn;
+  return out;
+}
+
+namespace {
+
+SolveOptions mpc_options_from(SolveMethod method, const MpcDriverConfig& config) {
+  SolveOptions options;
+  static_cast<CommonOptions&>(options) = config;
+  options.method = method;
+  options.epsilon = config.epsilon;
+  options.alpha = config.alpha;
+  options.samples_per_group = config.samples_per_group;
+  options.phase_length = config.phase_length;
+  options.lambda = config.lambda;
+  options.adaptive_termination = config.adaptive_termination;
+  options.fault_plan = config.fault_plan;
+  options.checkpoint_every = config.checkpoint_every;
+  options.overflow_policy = config.overflow_policy;
+  return options;
+}
+
+MpcRunResult mpc_result_from(SolveResult r) {
+  MpcRunResult out;
+  out.allocation = std::move(r.allocation);
+  out.match_weight = r.match_weight;
+  out.local_rounds = r.rounds_executed;
+  out.phases = r.phases;
+  out.stopped_by_condition = r.stopped_by_condition;
+  out.stats = std::move(r.stats);
+  if (r.mpc) {
+    out.mpc_rounds = r.mpc->mpc_rounds;
+    out.words_moved = r.mpc->words_moved;
+    out.peak_machine_words = r.mpc->peak_machine_words;
+    out.peak_total_words = r.mpc->peak_total_words;
+    out.machine_words = r.mpc->machine_words;
+    out.num_machines = r.mpc->num_machines;
+    out.trials = r.mpc->trials;
+    out.max_ball_volume = r.mpc->max_ball_volume;
+    out.host_record_updates = r.mpc->host_record_updates;
+    out.recovery = r.mpc->recovery;
+  }
+  return out;
+}
+
+}  // namespace
+
+MpcRunResult run_mpc_naive(const AllocationInstance& instance,
+                           const MpcDriverConfig& config) {
+  return mpc_result_from(
+      Solver(mpc_options_from(SolveMethod::kMpcNaive, config)).solve(instance));
+}
+
+MpcRunResult run_mpc_phased(const AllocationInstance& instance,
+                            const MpcDriverConfig& config) {
+  return mpc_result_from(
+      Solver(mpc_options_from(SolveMethod::kMpcPhased, config)).solve(instance));
+}
+
+MpcRunResult run_mpc_unknown_lambda(const AllocationInstance& instance,
+                                    const MpcDriverConfig& config) {
+  return mpc_result_from(
+      Solver(mpc_options_from(SolveMethod::kMpcUnknownLambda, config))
+          .solve(instance));
+}
+
+}  // namespace mpcalloc

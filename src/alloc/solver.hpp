@@ -1,0 +1,176 @@
+// Unified solver facade.
+//
+// Historically every execution model shipped its own free function and
+// config struct: run_proportional / solve_adaptive / solve_two_plus_eps
+// over ProportionalConfig, run_sampled over SampledConfig, and the
+// run_mpc_* drivers over MpcDriverConfig — five public entry points whose
+// shared knobs (threads, seed, engine) had drifted into per-struct copies.
+// The Solver facade is the single entry point: one SolveOptions (a method
+// enum plus the union of the per-method knobs, embedding the shared
+// CommonOptions aggregate) and one SolveResult (the common output fields
+// plus method-specific extras). The legacy free functions are retained as
+// thin forwarding shims through this facade for one release; new code —
+// including the always-on serving layer (src/serve/), which re-solves the
+// same options against every mutated generation — should construct a
+// Solver.
+//
+//   Solver solver({.method = SolveMethod::kAdaptive, .epsilon = 0.25});
+//   SolveResult result = solver.solve(instance);
+//
+// Every method keeps its existing determinism contract: results are
+// bitwise identical across thread counts and engine choices, and the
+// stochastic methods are reproducible from `seed`.
+#pragma once
+
+#include "alloc/mpc_driver.hpp"
+#include "alloc/options.hpp"
+#include "alloc/proportional.hpp"
+#include "alloc/round_engine.hpp"
+#include "alloc/sampled.hpp"
+#include "graph/allocation.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mpcalloc {
+
+/// Which execution model Solver::solve runs. Each value corresponds to one
+/// legacy free function (named in the comment), all of which now forward
+/// through the facade.
+enum class SolveMethod : std::uint8_t {
+  kProportional,      ///< run_proportional: fixed `max_rounds` Algorithm-1 rounds
+  kTwoPlusEps,        ///< solve_two_plus_eps: τ(λ, ε) rounds (Theorem 2)
+  kAdaptive,          ///< solve_adaptive: λ-oblivious §4 stop rule
+  kSampled,           ///< run_sampled: Algorithm-2 phase-compressed executor
+  kMpcNaive,          ///< run_mpc_naive: round-at-a-time MPC simulation
+  kMpcPhased,         ///< run_mpc_phased: Õ(√log λ)-round phased driver
+  kMpcUnknownLambda,  ///< run_mpc_unknown_lambda: λ-doubling wrapper
+};
+
+/// The union of the per-method knobs. Fields a method does not use are
+/// ignored (each field's comment names its consumers). CommonOptions
+/// (threads/seed/engine) is embedded as the base aggregate.
+struct SolveOptions : CommonOptions {
+  SolveMethod method = SolveMethod::kAdaptive;
+  double epsilon = 0.25;
+
+  /// Known arboricity. kTwoPlusEps derives τ(λ, ε) from it; the MPC
+  /// drivers use it for τ / phase-length selection. ≤ 0 ⇒ the trivial
+  /// upper bound n where a bound is needed.
+  double lambda = 0.0;
+
+  /// kProportional / kSampled: the round budget (must be ≥ 1).
+  /// kAdaptive: hard safety cap (0 ⇒ τ(n, ε)). MPC methods derive their
+  /// own budget from `lambda` and ignore this.
+  std::size_t max_rounds = 0;
+
+  /// kSampled / kMpcPhased: phase length B. 0 ⇒ the method default
+  /// (kSampled: 4; kMpcPhased: derive from eq. (4) given lambda).
+  std::size_t phase_length = 0;
+  /// kSampled / MPC methods: per-group sample budget t. 0 ⇒ the method
+  /// default (kSampled: 32; MPC: 8).
+  std::size_t samples_per_group = 0;
+  /// kSampled / kMpcPhased: run the §4 termination test at phase ends.
+  /// (kMpcUnknownLambda always enables it per trial.)
+  bool adaptive_termination = false;
+
+  /// MPC methods: machine-memory exponent, S = (input words)^alpha.
+  double alpha = 0.7;
+  /// MPC methods: fault injection + recovery (alloc/mpc_driver.hpp).
+  mpc::FaultPlan fault_plan;
+  std::size_t checkpoint_every = 0;
+  mpc::OverflowPolicy overflow_policy = mpc::OverflowPolicy::kFailFast;
+
+  /// kProportional / kAdaptive: Algorithm 3's loose thresholds (empty ⇒
+  /// Algorithm 1), MatchWeight history, and trajectory recording — see
+  /// ProportionalConfig for the contracts.
+  std::function<double(Vertex v, std::size_t round)> threshold_k;
+  bool track_weight_history = false;
+  TrajectoryTape* record_tape = nullptr;
+
+  /// kSampled: per-phase sampled-subgraph observer (see SampledConfig).
+  std::function<void(const std::vector<std::vector<std::uint32_t>>&)>
+      on_phase_subgraph;
+};
+
+/// MPC-model accounting, present on SolveResult for the MPC methods only.
+/// Field meanings as on the legacy MpcRunResult.
+struct MpcSolveCounters {
+  std::size_t mpc_rounds = 0;
+  std::uint64_t words_moved = 0;
+  std::uint64_t peak_machine_words = 0;
+  std::uint64_t peak_total_words = 0;
+  std::size_t machine_words = 0;
+  std::size_t num_machines = 0;
+  std::size_t trials = 1;
+  std::uint64_t max_ball_volume = 0;
+  std::uint64_t host_record_updates = 0;
+  mpc::MpcRecoveryStats recovery;
+};
+
+/// Common output of every method, plus method-specific extras (empty /
+/// nullopt when the method does not produce them).
+struct SolveResult {
+  SolveMethod method = SolveMethod::kAdaptive;
+  FractionalAllocation allocation;  ///< feasible fractional allocation
+  double match_weight = 0.0;        ///< Σ_v min(C_v, alloc_v)
+  std::size_t rounds_executed = 0;  ///< Algorithm-1 (LOCAL) rounds
+  std::size_t phases = 0;           ///< kSampled / phased MPC methods
+  bool stopped_by_condition = false;
+
+  /// Final R-side levels (β_v = (1+ε)^{level_v}). Exact + sampled methods;
+  /// empty for the MPC drivers (which do not expose host levels).
+  std::vector<std::int32_t> final_levels;
+  /// Exact methods only: the last round's alloc values / per-round weights.
+  std::vector<double> final_alloc;
+  std::vector<double> weight_history;
+
+  std::uint64_t samples_drawn = 0;  ///< kSampled
+  SolveStats stats;                 ///< frontier/engine counters where tracked
+  std::optional<MpcSolveCounters> mpc;  ///< MPC methods only
+};
+
+/// The facade. Construction validates nothing; solve() validates the
+/// options against the chosen method exactly as the legacy entry point did
+/// (same exception types and messages).
+class Solver {
+ public:
+  Solver() = default;
+  explicit Solver(SolveOptions options) : options_(std::move(options)) {}
+
+  [[nodiscard]] const SolveOptions& options() const { return options_; }
+
+  /// Run the configured method. Stochastic methods derive their RNG from
+  /// options().seed, so equal options ⇒ bitwise equal results.
+  [[nodiscard]] SolveResult solve(const AllocationInstance& instance) const;
+
+  /// As above, but kSampled draws from the caller's RNG stream (advancing
+  /// it) instead of seeding a fresh one — the legacy run_sampled contract.
+  /// Other methods ignore `rng`.
+  [[nodiscard]] SolveResult solve(const AllocationInstance& instance,
+                                  Xoshiro256pp& rng) const;
+
+ private:
+  SolveOptions options_;
+};
+
+namespace detail {
+// Canonical implementations (defined next to their legacy shims in
+// proportional.cpp / sampled.cpp / mpc_driver.cpp). Internal: call the
+// Solver facade or the legacy shims instead.
+ProportionalResult run_proportional_impl(const AllocationInstance& instance,
+                                         const ProportionalConfig& config);
+SampledResult run_sampled_impl(const AllocationInstance& instance,
+                               const SampledConfig& config, Xoshiro256pp& rng);
+MpcRunResult run_mpc_naive_impl(const AllocationInstance& instance,
+                                const MpcDriverConfig& config);
+MpcRunResult run_mpc_phased_impl(const AllocationInstance& instance,
+                                 const MpcDriverConfig& config);
+MpcRunResult run_mpc_unknown_lambda_impl(const AllocationInstance& instance,
+                                         const MpcDriverConfig& config);
+}  // namespace detail
+
+}  // namespace mpcalloc

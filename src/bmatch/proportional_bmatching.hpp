@@ -17,6 +17,7 @@
 #pragma once
 
 #include "alloc/levels.hpp"
+#include "alloc/options.hpp"
 #include "alloc/round_engine.hpp"
 #include "bmatch/bmatching.hpp"
 
@@ -25,19 +26,15 @@
 
 namespace mpcalloc {
 
-struct ProportionalBMatchingConfig {
+/// Deprecated spellings: `num_threads`, `engine`, and
+/// `dense_switch_fraction` used to be declared directly here; they now come
+/// from the CommonOptions base (alloc/options.hpp) with unchanged names,
+/// defaults, and semantics (bitwise-deterministic across thread counts and
+/// engine choices, as in ProportionalConfig). The dynamics draw no
+/// randomness, so the inherited `seed` is ignored.
+struct ProportionalBMatchingConfig : CommonOptions {
   double epsilon = 0.25;
   std::size_t rounds = 0;  ///< must be ≥ 1
-  /// Worker threads for the per-round sweeps; 0 = auto (MPCALLOC_THREADS
-  /// env, else hardware_concurrency). Bitwise-deterministic across counts,
-  /// as in ProportionalConfig.
-  std::size_t num_threads = 0;
-
-  /// Frontier-driven incremental recompute, as in ProportionalConfig
-  /// (round_engine.hpp): bitwise-identical results for every choice;
-  /// MPCALLOC_FORCE_DENSE/SPARSE override.
-  RoundEngine engine = RoundEngine::kAuto;
-  double dense_switch_fraction = 0.2;
 };
 
 struct ProportionalBMatchingResult {

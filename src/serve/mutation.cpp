@@ -1,0 +1,136 @@
+#include "serve/mutation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mpcalloc::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("apply_mutations: " + what);
+}
+
+std::string edge_str(const Edge& e) {
+  return "(" + std::to_string(e.u) + ", " + std::to_string(e.v) + ")";
+}
+
+}  // namespace
+
+MutationApplyResult apply_mutations(const AllocationInstance& base,
+                                    const MutationSet& batch) {
+  const BipartiteGraph& g = base.graph;
+  const std::size_t new_left = g.num_left() + batch.add_left_vertices;
+  const std::size_t new_right = g.num_right() + batch.add_right_vertices;
+  if (new_left > std::numeric_limits<Vertex>::max() ||
+      new_right > std::numeric_limits<Vertex>::max()) {
+    fail("vertex side overflows the Vertex id space");
+  }
+
+  MutationApplyResult out;
+  out.dirty_left.assign(new_left, 0);
+  out.dirty_right.assign(new_right, 0);
+  std::fill(out.dirty_left.begin() + static_cast<std::ptrdiff_t>(g.num_left()),
+            out.dirty_left.end(), 1);
+  std::fill(out.dirty_right.begin() + static_cast<std::ptrdiff_t>(g.num_right()),
+            out.dirty_right.end(), 1);
+
+  // Capacities: appended vertices default to 1, then apply the explicit
+  // sets. A set that lands on the current value is validated but not marked
+  // dirty — it cannot move any trajectory.
+  Capacities capacities = base.capacities;
+  capacities.resize(new_right, 1);
+  for (const MutationSet::CapacityChange& c : batch.set_capacities) {
+    if (c.v >= new_right) fail("set_capacity: right vertex out of range");
+    if (c.capacity == 0) fail("set_capacity: capacities must be >= 1");
+    if (capacities[c.v] != c.capacity) {
+      capacities[c.v] = c.capacity;
+      out.dirty_right[c.v] = 1;
+    }
+  }
+
+  // Removes: sorted for the O(log) membership probe the surviving-edge scan
+  // does; duplicates in the batch are rejected up front.
+  std::vector<Edge> removes = batch.remove_edges;
+  std::sort(removes.begin(), removes.end());
+  if (const auto dup = std::adjacent_find(removes.begin(), removes.end());
+      dup != removes.end()) {
+    fail("remove_edge: duplicate removal of " + edge_str(*dup));
+  }
+  for (const Edge& e : removes) {
+    if (e.u >= g.num_left() || e.v >= g.num_right()) {
+      fail("remove_edge: " + edge_str(e) + " names an out-of-range vertex");
+    }
+  }
+  const auto is_removed = [&removes](const Edge& e) {
+    return std::binary_search(removes.begin(), removes.end(), e);
+  };
+
+  // Adds: reject duplicates within the batch, out-of-range endpoints, and
+  // collisions with a surviving base edge. Re-adding a removed edge is
+  // legal (the batch is a net modification).
+  for (const Edge& e : batch.add_edges) {
+    if (e.u >= new_left || e.v >= new_right) {
+      fail("add_edge: " + edge_str(e) + " names an out-of-range vertex");
+    }
+    if (e.u < g.num_left() && e.v < g.num_right() && !is_removed(e)) {
+      for (const Incidence& inc : g.left_neighbors(e.u)) {
+        if (inc.to == e.v) {
+          fail("add_edge: " + edge_str(e) + " already exists");
+        }
+      }
+    }
+  }
+  {
+    std::vector<Edge> adds = batch.add_edges;
+    std::sort(adds.begin(), adds.end());
+    if (const auto dup = std::adjacent_find(adds.begin(), adds.end());
+        dup != adds.end()) {
+      fail("add_edge: duplicate addition of " + edge_str(*dup));
+    }
+  }
+
+  // Rebuild: surviving base edges in base-id order (preserving every
+  // untouched adjacency list's scan order), then the additions. The
+  // builder assigns edge ids in insertion order, so prior_edge is filled in
+  // lockstep.
+  BipartiteGraphBuilder builder(new_left, new_right);
+  out.prior_edge.reserve(g.num_edges() - removes.size() +
+                         batch.add_edges.size());
+  std::size_t removed_found = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (is_removed(ed)) {
+      ++removed_found;
+      out.dirty_left[ed.u] = 1;
+      out.dirty_right[ed.v] = 1;
+      continue;
+    }
+    builder.add_edge(ed.u, ed.v);
+    out.prior_edge.push_back(e);
+  }
+  if (removed_found != removes.size()) {
+    for (const Edge& e : removes) {
+      bool exists = false;
+      for (const Incidence& inc : g.left_neighbors(e.u)) {
+        exists = exists || inc.to == e.v;
+      }
+      if (!exists) fail("remove_edge: " + edge_str(e) + " does not exist");
+    }
+  }
+  for (const Edge& e : batch.add_edges) {
+    builder.add_edge(e.u, e.v);
+    out.prior_edge.push_back(kNoPriorEdge);
+    out.dirty_left[e.u] = 1;
+    out.dirty_right[e.v] = 1;
+  }
+
+  out.instance.graph = builder.build();
+  out.instance.capacities = std::move(capacities);
+  out.edges_removed = removes.size();
+  out.edges_added = batch.add_edges.size();
+  return out;
+}
+
+}  // namespace mpcalloc::serve

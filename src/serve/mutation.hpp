@@ -1,0 +1,76 @@
+// Batched graph churn for the always-on allocation service.
+//
+// A MutationSet is the unit of write traffic: grow either vertex side,
+// add/remove edges, and retarget R-side capacities, applied as one atomic
+// batch against an immutable base instance. apply_mutations never touches
+// the base — it materialises a fresh AllocationInstance (vertices are
+// append-only; surviving edges keep their relative order, so untouched
+// adjacency lists keep their CSR scan order, which is what lets the warm
+// restart copy their per-edge values bitwise) plus the bookkeeping the
+// warm-restart engine consumes: a new-edge → old-edge id map and the dirty
+// vertex sets whose round trajectories the mutation can perturb.
+//
+// Validation is strict and throws std::invalid_argument before any state is
+// published: removes must name existing edges, adds must not duplicate a
+// surviving or just-added edge, capacities must stay ≥ 1 (Definition 5),
+// and every referenced vertex must be in range after the side growth.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mpcalloc::serve {
+
+/// One batched write against the current generation. Ops are applied in a
+/// fixed order regardless of field order: vertex growth → capacity sets →
+/// edge removes → edge adds; added edges may reference just-added vertices.
+struct MutationSet {
+  struct CapacityChange {
+    Vertex v = 0;
+    std::uint32_t capacity = 1;  ///< must stay ≥ 1 (Definition 5)
+  };
+
+  std::size_t add_left_vertices = 0;
+  std::size_t add_right_vertices = 0;  ///< new capacities default to 1
+  std::vector<CapacityChange> set_capacities;
+  std::vector<Edge> remove_edges;
+  std::vector<Edge> add_edges;
+
+  [[nodiscard]] bool empty() const {
+    return add_left_vertices == 0 && add_right_vertices == 0 &&
+           set_capacities.empty() && remove_edges.empty() && add_edges.empty();
+  }
+};
+
+/// prior_edge value for edges introduced by the batch (no predecessor).
+inline constexpr EdgeId kNoPriorEdge = std::numeric_limits<EdgeId>::max();
+
+/// The mutated instance plus the diff bookkeeping the warm restart needs.
+struct MutationApplyResult {
+  AllocationInstance instance;
+
+  /// New edge id → the same edge's id in the base graph; kNoPriorEdge for
+  /// edges added by the batch. Surviving edges appear first, in base-id
+  /// order, followed by the added edges in MutationSet order.
+  std::vector<EdgeId> prior_edge;
+
+  /// Vertices whose neighbourhood or capacity changed (sized to the new
+  /// sides; includes the appended vertices). These seed the warm restart's
+  /// active cone.
+  std::vector<std::uint8_t> dirty_left;
+  std::vector<std::uint8_t> dirty_right;
+
+  std::size_t edges_removed = 0;
+  std::size_t edges_added = 0;
+};
+
+/// Apply `batch` to `base`. Throws std::invalid_argument on any invalid op
+/// (see file comment); `base` is never modified, so a throwing apply leaves
+/// the caller's published state untouched.
+[[nodiscard]] MutationApplyResult apply_mutations(const AllocationInstance& base,
+                                                  const MutationSet& batch);
+
+}  // namespace mpcalloc::serve

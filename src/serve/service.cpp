@@ -1,0 +1,86 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+namespace mpcalloc::serve {
+
+AllocationService::AllocationService(AllocationInstance initial,
+                                     ServiceOptions options)
+    : options_(std::move(options)) {
+  TrajectoryTape tape;
+  SolveOptions solve = options_.solve;
+  solve.record_tape = &tape;
+  SolveResult result = Solver(std::move(solve)).solve(initial);
+  counters_.generations_published = 1;
+  counters_.cold_solves = 1;
+  current_.store(std::make_shared<const AllocationSnapshot>(
+                     0, std::move(initial), std::move(result), std::move(tape),
+                     WarmRestartStats{}),
+                 std::memory_order_release);
+}
+
+bool AllocationService::warm_eligible() const {
+  const SolveOptions& s = options_.solve;
+  return options_.enable_warm_restart &&
+         (s.method == SolveMethod::kProportional ||
+          s.method == SolveMethod::kTwoPlusEps) &&
+         !s.threshold_k && !s.track_weight_history;
+}
+
+std::shared_ptr<const AllocationSnapshot> AllocationService::apply(
+    const MutationSet& batch) {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::shared_ptr<const AllocationSnapshot> prev =
+      current_.load(std::memory_order_acquire);
+  if (batch.empty()) {
+    // A no-op batch is not a generation: readers keep seeing the same
+    // snapshot and no recompute happens.
+    ++counters_.empty_batches;
+    return prev;
+  }
+  MutationApplyResult applied = apply_mutations(prev->instance(), batch);
+
+  TrajectoryTape tape;
+  SolveResult result;
+  WarmRestartStats warm;
+  // Beyond the method gate, the previous generation must actually carry a
+  // full fixed-round tape to replay against (it always does on the warm
+  // path's own output, so warm generations chain).
+  const bool replay = warm_eligible() && prev->tape().num_rounds() > 0 &&
+                      prev->result().rounds_executed ==
+                          prev->tape().num_rounds() &&
+                      prev->result().final_alloc.size() ==
+                          prev->instance().graph.num_right();
+  if (replay) {
+    result = warm_solve(applied.instance, prev->result(), prev->tape(),
+                        applied, options_.solve.epsilon,
+                        options_.solve.num_threads, &tape, warm);
+    result.method = options_.solve.method;
+    ++counters_.warm_restarts;
+    counters_.warm_recompute_volume += warm.recompute_volume;
+    counters_.warm_dense_equiv_volume += warm.dense_equiv_volume;
+    counters_.warm_divergences += warm.divergences;
+  } else {
+    SolveOptions solve = options_.solve;
+    solve.record_tape = &tape;
+    result = Solver(std::move(solve)).solve(applied.instance);
+    ++counters_.cold_solves;
+  }
+  counters_.edges_added += applied.edges_added;
+  counters_.edges_removed += applied.edges_removed;
+  counters_.capacity_changes += batch.set_capacities.size();
+  ++counters_.generations_published;
+
+  auto next = std::make_shared<const AllocationSnapshot>(
+      prev->generation() + 1, std::move(applied.instance), std::move(result),
+      std::move(tape), warm);
+  current_.store(next, std::memory_order_release);
+  return next;
+}
+
+ServiceCounters AllocationService::counters() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  return counters_;
+}
+
+}  // namespace mpcalloc::serve

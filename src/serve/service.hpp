@@ -1,0 +1,101 @@
+// The always-on allocation service: generation-pinned snapshots, live graph
+// churn, warm restarts.
+//
+// One AllocationService owns a sequence of immutable AllocationSnapshot
+// generations. Reads and writes never block each other:
+//
+//  * Readers call snapshot() — a lock-free atomic shared_ptr load — and
+//    query the pinned generation for as long as they hold the pointer,
+//    regardless of how many newer generations writers publish meanwhile.
+//  * Writers call apply(MutationSet): the batch is validated and applied to
+//    a fresh copy of the current instance (apply_mutations), the mutated
+//    instance is re-solved, and the new snapshot is published with one
+//    atomic store. Writers are serialized by an internal mutex; a throwing
+//    batch publishes nothing.
+//
+// Re-solves go through the unified Solver facade with the service's fixed
+// SolveOptions. When the options describe a fixed-round Algorithm-1 run
+// (kProportional / kTwoPlusEps, no custom thresholds, no weight history),
+// every generation after the first is produced by serve/warm_restart —
+// bitwise identical to the cold solve of the mutated instance, at a small
+// fraction of its recompute volume. Anything else (adaptive stop, sampled
+// or MPC methods, threshold schedules) falls back to a cold facade solve
+// per generation, transparently.
+#pragma once
+
+#include "alloc/solver.hpp"
+#include "serve/mutation.hpp"
+#include "serve/snapshot.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace mpcalloc::serve {
+
+struct ServiceOptions {
+  /// Solve configuration applied to every generation. `record_tape` is
+  /// owned by the service (any caller-provided pointer is ignored).
+  SolveOptions solve;
+
+  /// Allow trajectory-diff warm restarts when the method is eligible.
+  /// Disabling forces a cold facade solve per generation (the serving
+  /// bench uses this to measure the warm path's saving).
+  bool enable_warm_restart = true;
+};
+
+/// Writer-side accounting, cumulative over the service's lifetime.
+struct ServiceCounters {
+  std::uint64_t generations_published = 0;  ///< includes generation 0
+  std::uint64_t warm_restarts = 0;
+  std::uint64_t cold_solves = 0;          ///< generation 0 + fallbacks
+  std::uint64_t empty_batches = 0;        ///< no-op applies (no publish)
+  std::uint64_t edges_added = 0;
+  std::uint64_t edges_removed = 0;
+  std::uint64_t capacity_changes = 0;
+  std::uint64_t warm_recompute_volume = 0;    ///< Σ over warm generations
+  std::uint64_t warm_dense_equiv_volume = 0;  ///< Σ of their cold-dense cost
+  std::uint64_t warm_divergences = 0;
+};
+
+class AllocationService {
+ public:
+  /// Solves `initial` (generation 0) through the facade and publishes it.
+  /// Throws whatever the facade throws on invalid options/instance.
+  AllocationService(AllocationInstance initial, ServiceOptions options);
+
+  /// Pin the current generation. Lock-free; never blocks on writers. The
+  /// returned snapshot stays valid (and immutable) for the life of the
+  /// pointer, even as newer generations are published.
+  [[nodiscard]] std::shared_ptr<const AllocationSnapshot> snapshot() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Current generation number (the snapshot()'s generation()).
+  [[nodiscard]] std::uint64_t generation() const {
+    return snapshot()->generation();
+  }
+
+  /// Apply one mutation batch, re-solve, and publish the next generation,
+  /// returning its snapshot. An empty batch publishes nothing and returns
+  /// the current snapshot (generation unchanged). Throws
+  /// std::invalid_argument on an invalid batch, leaving the published
+  /// generation untouched. Thread-safe: concurrent writers serialize.
+  std::shared_ptr<const AllocationSnapshot> apply(const MutationSet& batch);
+
+  /// Copy of the cumulative writer counters (thread-safe).
+  [[nodiscard]] ServiceCounters counters() const;
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] bool warm_eligible() const;
+
+  ServiceOptions options_;
+  mutable std::mutex writer_mutex_;
+  std::atomic<std::shared_ptr<const AllocationSnapshot>> current_;
+  ServiceCounters counters_;  ///< guarded by writer_mutex_
+};
+
+}  // namespace mpcalloc::serve

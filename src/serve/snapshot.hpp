@@ -1,0 +1,100 @@
+// One immutable generation of the always-on allocation service.
+//
+// A snapshot owns the instance it was solved on, the solve result, and the
+// trajectory tape the *next* generation's warm restart replays against.
+// Snapshots are handed out as shared_ptr<const AllocationSnapshot>: readers
+// pin a generation for as long as they hold the pointer, entirely
+// unaffected by writers publishing newer generations (see
+// serve/service.hpp for the swap protocol).
+#pragma once
+
+#include "alloc/solver.hpp"
+#include "serve/warm_restart.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpcalloc::serve {
+
+/// O(1) summary of a generation, for dashboards and the serving bench.
+struct SnapshotStats {
+  std::uint64_t generation = 0;
+  std::size_t num_left = 0;
+  std::size_t num_right = 0;
+  std::size_t num_edges = 0;
+  std::uint64_t total_capacity = 0;
+  double match_weight = 0.0;
+  std::size_t rounds_executed = 0;
+  bool warm_restarted = false;        ///< false ⇒ solved cold
+  std::uint64_t recompute_volume = 0;  ///< WarmRestartStats, 0 when cold
+  std::uint64_t dense_equiv_volume = 0;
+};
+
+class AllocationSnapshot {
+ public:
+  AllocationSnapshot(std::uint64_t generation, AllocationInstance instance,
+                     SolveResult result, TrajectoryTape tape,
+                     WarmRestartStats warm)
+      : generation_(generation),
+        instance_(std::move(instance)),
+        result_(std::move(result)),
+        tape_(std::move(tape)),
+        warm_(warm) {}
+
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] const AllocationInstance& instance() const { return instance_; }
+  [[nodiscard]] const SolveResult& result() const { return result_; }
+  [[nodiscard]] const TrajectoryTape& tape() const { return tape_; }
+  [[nodiscard]] const WarmRestartStats& warm() const { return warm_; }
+
+  /// The load served at v: min(C_v, alloc_v), which equals Σ_{u∈N_v} x_{u,v}
+  /// of the materialised allocation up to rounding (line 6's clamp).
+  [[nodiscard]] double allocation_of(Vertex v) const {
+    return std::min(result_.final_alloc[v],
+                    static_cast<double>(instance_.capacities[v]));
+  }
+
+  /// Batched point queries: allocation_of over `vertices`, in order.
+  [[nodiscard]] std::vector<double> query_allocations(
+      std::span<const Vertex> vertices) const {
+    std::vector<double> out;
+    out.reserve(vertices.size());
+    for (const Vertex v : vertices) out.push_back(allocation_of(v));
+    return out;
+  }
+
+  /// How much extra load one additional unit of capacity at v would serve
+  /// under the current priorities: the unserved demand alloc_v − C_v,
+  /// clamped to [0, 1]. 0 ⇒ v is not saturated; 1 ⇒ a full unit waits.
+  [[nodiscard]] double marginal_value(Vertex v) const {
+    const double spill = result_.final_alloc[v] -
+                         static_cast<double>(instance_.capacities[v]);
+    return std::clamp(spill, 0.0, 1.0);
+  }
+
+  [[nodiscard]] SnapshotStats stats() const {
+    SnapshotStats s;
+    s.generation = generation_;
+    s.num_left = instance_.graph.num_left();
+    s.num_right = instance_.graph.num_right();
+    s.num_edges = instance_.graph.num_edges();
+    s.total_capacity = instance_.total_capacity();
+    s.match_weight = result_.match_weight;
+    s.rounds_executed = result_.rounds_executed;
+    s.warm_restarted = warm_.used;
+    s.recompute_volume = warm_.recompute_volume;
+    s.dense_equiv_volume = warm_.dense_equiv_volume;
+    return s;
+  }
+
+ private:
+  std::uint64_t generation_;
+  AllocationInstance instance_;
+  SolveResult result_;
+  TrajectoryTape tape_;
+  WarmRestartStats warm_;
+};
+
+}  // namespace mpcalloc::serve

@@ -1,0 +1,254 @@
+#include "serve/warm_restart.hpp"
+
+#include "alloc/levels.hpp"
+#include "alloc/proportional.hpp"
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace mpcalloc::serve {
+
+namespace {
+
+/// Merge sorted `add` (no duplicates, disjoint from `list`) into sorted
+/// `list`, keeping it ascending.
+void merge_sorted(std::vector<Vertex>& list, std::vector<Vertex>& add) {
+  if (add.empty()) return;
+  const auto mid = static_cast<std::ptrdiff_t>(list.size());
+  list.insert(list.end(), add.begin(), add.end());
+  std::inplace_merge(list.begin(), list.begin() + mid, list.end());
+}
+
+std::int8_t taped_delta_of(const std::vector<TrajectoryTape::Change>& round,
+                           Vertex v) {
+  const auto it = std::lower_bound(
+      round.begin(), round.end(), v,
+      [](const TrajectoryTape::Change& c, Vertex x) { return c.v < x; });
+  return (it != round.end() && it->v == v) ? it->delta : 0;
+}
+
+}  // namespace
+
+SolveResult warm_solve(const AllocationInstance& instance,
+                       const SolveResult& prev, const TrajectoryTape& prev_tape,
+                       const MutationApplyResult& delta, double epsilon,
+                       std::size_t num_threads, TrajectoryTape* record_tape,
+                       WarmRestartStats& stats) {
+  const BipartiteGraph& g = instance.graph;
+  const std::size_t n_left = g.num_left();
+  const std::size_t n_right = g.num_right();
+  const std::size_t old_right = prev.final_levels.size();
+  const std::size_t tau = prev_tape.num_rounds();
+  if (tau == 0) {
+    throw std::invalid_argument("warm_solve: previous tape is empty");
+  }
+  if (prev.final_alloc.size() != old_right) {
+    throw std::invalid_argument("warm_solve: prev lacks final_alloc");
+  }
+  if (delta.dirty_left.size() != n_left || delta.dirty_right.size() != n_right ||
+      delta.prior_edge.size() != g.num_edges() || old_right > n_right) {
+    throw std::invalid_argument("warm_solve: delta does not match instance");
+  }
+  const std::size_t threads = resolve_num_threads(num_threads);
+  const PowTable pow_table(epsilon);
+  const std::span<const std::uint32_t> caps(instance.capacities);
+
+  stats = WarmRestartStats{};
+  stats.used = true;
+  stats.dense_equiv_volume =
+      static_cast<std::uint64_t>(tau) * 2 * g.num_edges() + g.num_edges();
+
+  // The active cone. Both lists stay ascending so the parallel sweeps tile
+  // them exactly like the incremental engine tiles its touched sets.
+  std::vector<std::uint8_t> in_active_left(n_left, 0);
+  std::vector<std::uint8_t> in_active_right(n_right, 0);
+  std::vector<Vertex> active_left, active_right;
+  std::vector<Vertex> pending_right, pending_left;
+  std::uint64_t left_volume = 0, right_volume = 0;
+
+  const auto queue_right = [&](Vertex v) {
+    if (!in_active_right[v]) {
+      in_active_right[v] = 1;
+      pending_right.push_back(v);
+    }
+  };
+  const auto integrate_pending = [&] {
+    if (pending_right.empty()) return;
+    std::sort(pending_right.begin(), pending_right.end());
+    for (const Vertex v : pending_right) {
+      right_volume += g.right_degree(v);
+      for (const Incidence& inc : g.right_neighbors(v)) {
+        if (!in_active_left[inc.to]) {
+          in_active_left[inc.to] = 1;
+          left_volume += g.left_degree(inc.to);
+          pending_left.push_back(inc.to);
+        }
+      }
+    }
+    merge_sorted(active_right, pending_right);
+    pending_right.clear();
+    std::sort(pending_left.begin(), pending_left.end());
+    merge_sorted(active_left, pending_left);
+    pending_left.clear();
+  };
+
+  // Seed: every dirty right vertex, plus every right vertex that reads a
+  // dirty left vertex's aggregate (active_left follows as N(active_right)).
+  for (Vertex v = 0; v < n_right; ++v) {
+    if (delta.dirty_right[v]) queue_right(v);
+  }
+  for (Vertex u = 0; u < n_left; ++u) {
+    if (!delta.dirty_left[u]) continue;
+    for (const Incidence& inc : g.left_neighbors(u)) queue_right(inc.to);
+  }
+  integrate_pending();
+
+  // Exact replay state. `alloc` starts as the previous generation's final
+  // alloc: inactive entries are only ever read after round τ, where that is
+  // exactly the cold value; active entries are recomputed every round.
+  std::vector<std::int32_t> levels(n_right, 0);
+  std::vector<double> alloc(n_right, 0.0);
+  std::copy(prev.final_alloc.begin(), prev.final_alloc.end(), alloc.begin());
+  LeftAggregate left;
+  left.max_level.assign(n_left, std::numeric_limits<std::int32_t>::min());
+  left.inv_scaled_denominator.assign(n_left, 0.0);
+  std::vector<std::int8_t> deltas(n_right, 0);
+  std::vector<Vertex> changed;             // this round's nonzero-step set
+  std::vector<std::uint8_t> expanded(old_right, 0);
+  std::vector<Vertex> diverged_this_round;
+
+  SolveResult result;
+  if (record_tape) {
+    record_tape->rounds.clear();
+    record_tape->rounds.reserve(tau);
+  }
+
+  for (std::size_t round = 1; round <= tau; ++round) {
+    for (const Vertex v : changed) deltas[v] = 0;
+    changed.clear();
+    diverged_this_round.clear();
+
+    // Aggregate + alloc refresh on the cone only, via the kernels shared
+    // with the dense sweeps — bitwise the dense values for these entries.
+    parallel_for_each_vertex(active_left, threads, [&](Vertex u) {
+      recompute_left_entry(g, levels, pow_table, u, left);
+    });
+    parallel_for_each_vertex(active_right, threads, [&](Vertex v) {
+      alloc[v] = recompute_alloc_entry(g, levels, left, pow_table, v);
+    });
+    stats.recompute_volume += left_volume + right_volume;
+
+    // Steps: taped verbatim off the cone, computed on it. A computed step
+    // that disagrees with the tape (or a step by a vertex the tape has
+    // fallen silent on) schedules the one-time 2-hop expansion.
+    const auto& taped = prev_tape.rounds[round - 1];
+    for (const TrajectoryTape::Change& c : taped) {
+      assert(c.v < n_right && c.delta != 0);
+      if (!in_active_right[c.v]) {
+        levels[c.v] += c.delta;
+        deltas[c.v] = c.delta;
+        changed.push_back(c.v);
+        ++stats.taped_replays;
+      }
+    }
+    for (const Vertex v : active_right) {
+      const std::int8_t d =
+          level_step(alloc[v], static_cast<double>(caps[v]), 1.0, epsilon);
+      levels[v] += d;
+      if (d != 0) {
+        deltas[v] = d;
+        changed.push_back(v);
+      }
+      // Vertices beyond the old side have no tape, but every vertex their
+      // level can influence is already seeded through their (all-new)
+      // incident edges' dirty left endpoints — no expansion needed.
+      if (v < old_right && !expanded[v] && d != taped_delta_of(taped, v)) {
+        expanded[v] = 1;
+        ++stats.divergences;
+        diverged_this_round.push_back(v);
+      }
+    }
+
+    // The new generation's tape: the old tape with the cone's taped entries
+    // superseded by the computed steps, merged back in ascending order.
+    if (record_tape) {
+      auto& out = record_tape->rounds.emplace_back();
+      out.reserve(taped.size() + active_right.size());
+      auto ti = taped.begin();
+      for (const Vertex v : active_right) {
+        for (; ti != taped.end() && ti->v < v; ++ti) {
+          if (!in_active_right[ti->v]) out.push_back(*ti);
+        }
+        if (ti != taped.end() && ti->v == v) ++ti;
+        if (deltas[v] != 0) out.push_back({v, deltas[v]});
+      }
+      for (; ti != taped.end(); ++ti) {
+        if (!in_active_right[ti->v]) out.push_back(*ti);
+      }
+    }
+
+    RoundStats round_stats;
+    round_stats.sparse = true;
+    round_stats.recomputed_left = active_left.size();
+    round_stats.recomputed_right = active_right.size();
+    round_stats.frontier_size = changed.size();
+    for (const Vertex v : changed) {
+      round_stats.frontier_volume += g.right_degree(v);
+    }
+    result.stats.record_round(round_stats);
+
+    // Divergences first take effect on round+1's aggregates, so the cone
+    // grows *after* this round — and not at all after the last round, where
+    // the pre-expansion cone is exactly the set of entries whose
+    // materialisation inputs can differ from the previous generation.
+    if (round < tau) {
+      for (const Vertex w : diverged_this_round) {
+        for (const Incidence& inc_w : g.right_neighbors(w)) {
+          for (const Incidence& inc_u : g.left_neighbors(inc_w.to)) {
+            queue_right(inc_u.to);
+          }
+        }
+      }
+      integrate_pending();
+    }
+  }
+
+  // Materialise from round τ's start levels and its (cone-fresh) aggregate:
+  // recompute x_e where the left endpoint is on the cone, copy the previous
+  // generation's value bitwise everywhere else.
+  std::vector<std::int32_t> start_levels(levels);
+  for (const Vertex v : changed) start_levels[v] -= deltas[v];
+  result.allocation.x.assign(g.num_edges(), 0.0);
+  const std::vector<double>& prev_x = prev.allocation.x;
+  parallel_for(0, g.num_edges(), kParallelTile, threads,
+               [&](std::size_t tile_begin, std::size_t tile_end) {
+    for (EdgeId e = static_cast<EdgeId>(tile_begin); e < tile_end; ++e) {
+      const Edge& ed = g.edge(e);
+      if (in_active_left[ed.u]) {
+        const double x =
+            pow_table.pow(start_levels[ed.v] - left.max_level[ed.u]) *
+            left.inv_scaled_denominator[ed.u];
+        const double cap = static_cast<double>(caps[ed.v]);
+        const double scale = alloc[ed.v] > cap ? cap / alloc[ed.v] : 1.0;
+        result.allocation.x[e] = x * scale;
+      } else {
+        assert(delta.prior_edge[e] != kNoPriorEdge);
+        result.allocation.x[e] = prev_x[delta.prior_edge[e]];
+      }
+    }
+  });
+  stats.recompute_volume += left_volume;
+  stats.final_active_left = active_left.size();
+  stats.final_active_right = active_right.size();
+
+  result.match_weight = match_weight(instance, alloc, threads);
+  result.rounds_executed = tau;
+  result.final_levels = std::move(levels);
+  result.final_alloc = std::move(alloc);
+  return result;
+}
+
+}  // namespace mpcalloc::serve

@@ -1,0 +1,79 @@
+// Warm restart of the proportional dynamics after a mutation batch.
+//
+// The headline invariant: warm_solve is **bitwise identical** to a cold
+// fixed-round solve of the mutated instance — same final levels, alloc
+// values, materialised x_e, and MatchWeight, at every thread count — while
+// recomputing only the neighbourhood the mutation actually perturbs.
+//
+// Mechanism: trajectory-diff replay against the previous generation's
+// TrajectoryTape. The replay runs the same τ rounds from all-zero levels
+// and maintains the *exact* level vector every round, but splits R into an
+// active cone and its complement:
+//
+//  * Inactive vertices take their taped ±1 step verbatim — O(1) per taped
+//    change, no adjacency scan. This is sound because a vertex stays
+//    inactive only while every aggregate input it depends on (its own
+//    capacity + neighbourhood, its 2-hop neighbourhood's levels and
+//    adjacency) provably matches the previous run, in which case the dense
+//    sweep would reproduce the taped step bit-for-bit (the per-entry
+//    kernels recompute_left_entry / recompute_alloc_entry / level_step are
+//    shared with the dense engine).
+//  * Active vertices are recomputed with those shared full-neighbourhood
+//    kernels. The cone starts from the mutation's dirty sets
+//    (active_R ⊇ dirty_R ∪ N(dirty_L), active_L = N(active_R)) and grows
+//    monotonically: whenever an active vertex's computed step diverges from
+//    its tape, its 2-hop neighbourhood N(N(v)) joins the cone from the next
+//    round — exactly when the divergence can first influence them.
+//
+// Final materialisation recomputes x_e only for edges with an active left
+// endpoint; every other edge copies the previous generation's value through
+// the MutationApplyResult edge map (its formula inputs are all
+// unperturbed). The replay emits the new generation's tape by merging the
+// previous tape with the active vertices' computed steps, so generations
+// chain indefinitely.
+//
+// Requirements (the service falls back to a cold solve otherwise): the
+// previous result must come from the same fixed-round schedule (tape rounds
+// == rounds executed; no adaptive stop, whose global floating-point
+// termination sums the replay cannot reproduce from a cone), Algorithm-1
+// unit thresholds, and no weight-history tracking.
+#pragma once
+
+#include "alloc/solver.hpp"
+#include "serve/mutation.hpp"
+
+#include <cstdint>
+
+namespace mpcalloc::serve {
+
+/// Replay accounting, surfaced on the snapshot and the serving bench. The
+/// volume counters are in adjacency entries scanned (the unit of the dense
+/// sweeps): a cold dense solve costs τ·2m for the round sweeps plus m to
+/// materialise, which is `dense_equiv_volume`.
+struct WarmRestartStats {
+  bool used = false;  ///< false ⇒ the generation was solved cold
+
+  std::uint64_t recompute_volume = 0;    ///< adjacency entries rescanned
+  std::uint64_t dense_equiv_volume = 0;  ///< τ·2m + m of the cold dense solve
+  std::uint64_t taped_replays = 0;       ///< O(1) steps taken from the tape
+  std::size_t divergences = 0;     ///< active vertices that left their tape
+  std::size_t final_active_left = 0;
+  std::size_t final_active_right = 0;
+};
+
+/// Warm-solve `instance` (the output of apply_mutations) against the
+/// previous generation. `prev` must carry final_levels/final_alloc/
+/// allocation of a fixed-round run whose tape is `prev_tape`; `delta` must
+/// be the MutationApplyResult that produced `instance` from the previous
+/// generation's instance. Runs exactly prev_tape.num_rounds() rounds.
+/// `record_tape` (optional) receives the new generation's tape;
+/// SolveResult.method is left at its default for the caller to stamp.
+[[nodiscard]] SolveResult warm_solve(const AllocationInstance& instance,
+                                     const SolveResult& prev,
+                                     const TrajectoryTape& prev_tape,
+                                     const MutationApplyResult& delta,
+                                     double epsilon, std::size_t num_threads,
+                                     TrajectoryTape* record_tape,
+                                     WarmRestartStats& stats);
+
+}  // namespace mpcalloc::serve

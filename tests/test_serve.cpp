@@ -1,0 +1,427 @@
+// The always-on allocation service (src/serve/): mutation batches, the warm
+// restart's headline invariant, and generation-pinned snapshots.
+//
+// The invariant under test everywhere below: a warm-restarted generation is
+// BITWISE identical — levels, allocs, per-edge x, match weight — to a cold
+// facade solve of the same mutated instance, across thread counts and every
+// mutation kind. EXPECT_EQ on double vectors is deliberate: any tolerance
+// would hide a broken replay.
+#include "alloc/solver.hpp"
+#include "graph/generators.hpp"
+#include "serve/mutation.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace mpcalloc::serve {
+namespace {
+
+using mpcalloc::testing::make_instance;
+using mpcalloc::testing::spec_by_name;
+
+ServiceOptions fixed_round_options(std::size_t num_threads,
+                                   std::size_t max_rounds = 24) {
+  ServiceOptions options;
+  options.solve.method = SolveMethod::kProportional;
+  options.solve.epsilon = 0.25;
+  options.solve.max_rounds = max_rounds;
+  options.solve.num_threads = num_threads;
+  return options;
+}
+
+// What each randomized batch is allowed to contain.
+struct MutationKinds {
+  bool adds = false;
+  bool removes = false;
+  bool capacities = false;
+};
+
+// A small random batch against `instance`: a handful of removes drawn from
+// the live edge list, adds that avoid colliding with surviving edges, and
+// capacity retargets — roughly ≤1% of the edges, mirroring the serving
+// bench's churn profile.
+MutationSet random_batch(const AllocationInstance& instance,
+                         const MutationKinds& kinds, Xoshiro256pp& rng) {
+  const auto edges = instance.graph.edges();
+  MutationSet batch;
+  if (kinds.removes && !edges.empty()) {
+    const std::size_t count = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Edge e = edges[rng.uniform(edges.size())];
+      if (std::find(batch.remove_edges.begin(), batch.remove_edges.end(), e) ==
+          batch.remove_edges.end()) {
+        batch.remove_edges.push_back(e);
+      }
+    }
+  }
+  if (kinds.adds) {
+    const std::size_t count = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto u = static_cast<Vertex>(rng.uniform(instance.graph.num_left()));
+      const auto v =
+          static_cast<Vertex>(rng.uniform(instance.graph.num_right()));
+      const Edge e{u, v};
+      const auto nbrs = instance.graph.left_neighbors(u);
+      const bool exists =
+          std::any_of(nbrs.begin(), nbrs.end(),
+                      [v](const Incidence& inc) { return inc.to == v; });
+      const bool removed =
+          std::find(batch.remove_edges.begin(), batch.remove_edges.end(), e) !=
+          batch.remove_edges.end();
+      const bool queued =
+          std::find(batch.add_edges.begin(), batch.add_edges.end(), e) !=
+          batch.add_edges.end();
+      if ((!exists || removed) && !queued) batch.add_edges.push_back(e);
+    }
+  }
+  if (kinds.capacities) {
+    const std::size_t count = 1 + rng.uniform(2);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto v =
+          static_cast<Vertex>(rng.uniform(instance.graph.num_right()));
+      batch.set_capacities.push_back(
+          {v, static_cast<std::uint32_t>(1 + rng.uniform(6))});
+    }
+  }
+  return batch;
+}
+
+// The headline check: the published (warm) generation must equal a cold
+// facade solve of the very same instance, bit for bit.
+void expect_identical_to_cold(const AllocationSnapshot& snap,
+                              const SolveOptions& solve) {
+  const SolveResult cold = Solver(solve).solve(snap.instance());
+  EXPECT_EQ(cold.final_levels, snap.result().final_levels);
+  EXPECT_EQ(cold.final_alloc, snap.result().final_alloc);
+  EXPECT_EQ(cold.allocation.x, snap.result().allocation.x);
+  EXPECT_EQ(cold.match_weight, snap.result().match_weight);
+  EXPECT_EQ(cold.rounds_executed, snap.result().rounds_executed);
+}
+
+class ServeWarmIdentity
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(ServeWarmIdentity, WarmGenerationsMatchColdSolvesBitwise) {
+  const auto [num_threads, kind_mask] = GetParam();
+  const MutationKinds kinds{.adds = (kind_mask & 1) != 0,
+                            .removes = (kind_mask & 2) != 0,
+                            .capacities = (kind_mask & 4) != 0};
+
+  AllocationService service(make_instance(spec_by_name("small_lam4")),
+                            fixed_round_options(num_threads));
+  Xoshiro256pp rng(0x5e54'0000 + num_threads * 8 + kind_mask);
+  for (int gen = 0; gen < 6; ++gen) {
+    const MutationSet batch =
+        random_batch(service.snapshot()->instance(), kinds, rng);
+    if (batch.empty()) continue;
+    const auto snap = service.apply(batch);
+    expect_identical_to_cold(*snap, service.options().solve);
+  }
+  // Every published generation after 0 must have come from the warm path —
+  // a silent cold fallback would make the identity check vacuous.
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.cold_solves, 1u);
+  EXPECT_EQ(counters.warm_restarts + 1, counters.generations_published);
+  EXPECT_GT(counters.warm_restarts, 0u);
+}
+
+std::string warm_identity_param_name(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, int>>& info) {
+  const int mask = std::get<1>(info.param);
+  std::string name;
+  if ((mask & 1) != 0) name += "Add";
+  if ((mask & 2) != 0) name += "Remove";
+  if ((mask & 4) != 0) name += "Cap";
+  return name + "Threads" + std::to_string(std::get<0>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MutationMatrix, ServeWarmIdentity,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4, 7),
+                       // adds | removes | capacities, and the mixed batch
+                       ::testing::Values(1, 2, 4, 7)),
+    warm_identity_param_name);
+
+TEST(ServeWarmIdentity, GrowingBothSidesMatchesColdSolve) {
+  AllocationService service(make_instance(spec_by_name("small_forest")),
+                            fixed_round_options(3));
+  Xoshiro256pp rng(404);
+  for (int gen = 0; gen < 4; ++gen) {
+    const auto& base = service.snapshot()->instance();
+    MutationSet batch;
+    batch.add_left_vertices = 5;
+    batch.add_right_vertices = 2;
+    // Wire every new vertex in so growth actually perturbs the dynamics.
+    const auto old_left = static_cast<Vertex>(base.graph.num_left());
+    const auto old_right = static_cast<Vertex>(base.graph.num_right());
+    for (Vertex u = old_left; u < old_left + 5; ++u) {
+      batch.add_edges.push_back(
+          {u, static_cast<Vertex>(rng.uniform(old_right + 2))});
+    }
+    const auto snap = service.apply(batch);
+    expect_identical_to_cold(*snap, service.options().solve);
+  }
+  EXPECT_EQ(service.counters().cold_solves, 1u);
+  EXPECT_GT(service.counters().warm_restarts, 0u);
+}
+
+TEST(ServeWarmIdentity, TwoPlusEpsMethodAlsoWarmRestarts) {
+  ServiceOptions options;
+  options.solve.method = SolveMethod::kTwoPlusEps;
+  options.solve.epsilon = 0.25;
+  options.solve.lambda = 4.0;
+  options.solve.num_threads = 2;
+  AllocationService service(make_instance(spec_by_name("small_lam4")), options);
+  Xoshiro256pp rng(71);
+  for (int gen = 0; gen < 3; ++gen) {
+    const MutationSet batch = random_batch(
+        service.snapshot()->instance(),
+        {.adds = true, .removes = true, .capacities = true}, rng);
+    const auto snap = service.apply(batch);
+    expect_identical_to_cold(*snap, options.solve);
+  }
+  EXPECT_GT(service.counters().warm_restarts, 0u);
+}
+
+TEST(ServeWarmIdentity, SmallBatchRecomputesFractionOfDenseVolume) {
+  // Recompute-volume locality holds on instances whose dynamics converge
+  // (forests: λ=1 settles in O(log λ/ε²) rounds, after which the tape is
+  // quiescent and divergences stop). The ≤10% acceptance bound is gated in
+  // bench_serving on a large such instance; here we assert the loose half
+  // bound on a small one — on oscillating near-saturated instances the
+  // perturbation genuinely reaches the whole graph and the cone must grow
+  // (the identity matrix above covers those; volume is workload-dependent).
+  AllocationService service(make_instance(spec_by_name("small_forest")),
+                            fixed_round_options(4));
+  Xoshiro256pp rng(2024);
+  const MutationSet batch = random_batch(
+      service.snapshot()->instance(),
+      {.adds = true, .removes = true, .capacities = true}, rng);
+  const auto snap = service.apply(batch);
+  ASSERT_TRUE(snap->warm().used);
+  EXPECT_GT(snap->warm().dense_equiv_volume, 0u);
+  EXPECT_LT(snap->warm().recompute_volume,
+            snap->warm().dense_equiv_volume / 2);
+  EXPECT_GT(snap->warm().taped_replays, 0u);
+}
+
+TEST(ServeService, EmptyBatchPublishesNothing) {
+  AllocationService service(make_instance(spec_by_name("tiny_unit")),
+                            fixed_round_options(1));
+  const auto before = service.snapshot();
+  const auto returned = service.apply(MutationSet{});
+  EXPECT_EQ(before.get(), returned.get());  // same object, not just equal
+  EXPECT_EQ(service.generation(), 0u);
+  EXPECT_EQ(service.counters().empty_batches, 1u);
+  EXPECT_EQ(service.counters().generations_published, 1u);
+}
+
+TEST(ServeService, InvalidBatchThrowsAndLeavesStatePinned) {
+  AllocationService service(make_instance(spec_by_name("tiny_unit")),
+                            fixed_round_options(1));
+  const auto before = service.snapshot();
+
+  MutationSet missing_edge;
+  missing_edge.remove_edges.push_back(
+      {static_cast<Vertex>(0), static_cast<Vertex>(0)});
+  // tiny_unit is a random forest; ensure the edge is genuinely absent.
+  const auto nbrs = before->instance().graph.left_neighbors(0);
+  if (std::any_of(nbrs.begin(), nbrs.end(),
+                  [](const Incidence& inc) { return inc.to == 0; })) {
+    missing_edge.remove_edges[0].v = 19;  // forests have degree-1 left side
+  }
+  EXPECT_THROW((void)service.apply(missing_edge), std::invalid_argument);
+
+  MutationSet zero_cap;
+  zero_cap.set_capacities.push_back({0, 0});
+  EXPECT_THROW((void)service.apply(zero_cap), std::invalid_argument);
+
+  MutationSet out_of_range;
+  out_of_range.add_edges.push_back({0, static_cast<Vertex>(10'000)});
+  EXPECT_THROW((void)service.apply(out_of_range), std::invalid_argument);
+
+  EXPECT_EQ(service.snapshot().get(), before.get());
+  EXPECT_EQ(service.counters().generations_published, 1u);
+}
+
+TEST(ServeService, ColdFallbackForIneligibleMethods) {
+  ServiceOptions options;
+  options.solve.method = SolveMethod::kAdaptive;
+  options.solve.epsilon = 0.25;
+  AllocationService service(make_instance(spec_by_name("small_forest")),
+                            options);
+  Xoshiro256pp rng(9);
+  const MutationSet batch = random_batch(
+      service.snapshot()->instance(),
+      {.adds = true, .removes = false, .capacities = false}, rng);
+  const auto snap = service.apply(batch);
+  EXPECT_FALSE(snap->warm().used);
+  EXPECT_EQ(service.counters().warm_restarts, 0u);
+  EXPECT_EQ(service.counters().cold_solves, 2u);
+  expect_identical_to_cold(*snap, options.solve);
+}
+
+TEST(ServeService, DisablingWarmRestartForcesColdSolves) {
+  ServiceOptions options = fixed_round_options(2);
+  options.enable_warm_restart = false;
+  AllocationService service(make_instance(spec_by_name("small_forest")),
+                            options);
+  Xoshiro256pp rng(10);
+  (void)service.apply(random_batch(
+      service.snapshot()->instance(),
+      {.adds = false, .removes = true, .capacities = true}, rng));
+  EXPECT_EQ(service.counters().warm_restarts, 0u);
+  EXPECT_EQ(service.counters().cold_solves, 2u);
+}
+
+TEST(ServeService, SnapshotQueriesMatchResultFields) {
+  AllocationService service(make_instance(spec_by_name("wide_caps")),
+                            fixed_round_options(2));
+  const auto snap = service.snapshot();
+  const auto& instance = snap->instance();
+  std::vector<Vertex> all(instance.graph.num_right());
+  for (Vertex v = 0; v < all.size(); ++v) all[v] = v;
+  const std::vector<double> loads = snap->query_allocations(all);
+  ASSERT_EQ(loads.size(), all.size());
+  for (Vertex v = 0; v < all.size(); ++v) {
+    EXPECT_EQ(loads[v], snap->allocation_of(v));
+    EXPECT_LE(loads[v],
+              static_cast<double>(instance.capacities[v]) + 1e-12);
+    EXPECT_GE(snap->marginal_value(v), 0.0);
+    EXPECT_LE(snap->marginal_value(v), 1.0);
+  }
+  const SnapshotStats stats = snap->stats();
+  EXPECT_EQ(stats.generation, 0u);
+  EXPECT_EQ(stats.num_edges, instance.graph.num_edges());
+  EXPECT_EQ(stats.match_weight, snap->result().match_weight);
+  EXPECT_FALSE(stats.warm_restarted);
+}
+
+TEST(ServeMutation, PriorEdgeMapTracksSurvivorsInBaseOrder) {
+  const AllocationInstance base = make_instance(spec_by_name("small_forest"));
+  const auto edges = base.graph.edges();
+  ASSERT_GE(edges.size(), 4u);
+
+  MutationSet batch;
+  batch.remove_edges.push_back(edges[1]);
+  batch.remove_edges.push_back(edges[3]);
+  batch.add_edges.push_back(edges[1]);  // re-adding a removed edge is legal
+  const MutationApplyResult applied = apply_mutations(base, batch);
+
+  EXPECT_EQ(applied.edges_removed, 2u);
+  EXPECT_EQ(applied.edges_added, 1u);
+  ASSERT_EQ(applied.prior_edge.size(), edges.size() - 1);
+  // Survivors keep base-id order with the removed ids skipped...
+  EXPECT_EQ(applied.prior_edge[0], 0u);
+  EXPECT_EQ(applied.prior_edge[1], 2u);
+  EXPECT_EQ(applied.prior_edge[2], 4u);
+  // ...and the re-added edge is a NEW edge at the tail: its x must be
+  // recomputed, never copied from the deleted predecessor.
+  EXPECT_EQ(applied.prior_edge.back(), kNoPriorEdge);
+  // Both endpoints of every touched edge are dirty.
+  EXPECT_TRUE(applied.dirty_left[edges[1].u]);
+  EXPECT_TRUE(applied.dirty_right[edges[1].v]);
+  EXPECT_TRUE(applied.dirty_left[edges[3].u]);
+  EXPECT_TRUE(applied.dirty_right[edges[3].v]);
+}
+
+TEST(ServeMutation, NoOpCapacitySetIsNotDirty) {
+  const AllocationInstance base = make_instance(spec_by_name("tiny_unit"));
+  MutationSet batch;
+  batch.set_capacities.push_back({0, base.capacities[0]});  // same value
+  batch.set_capacities.push_back({1, base.capacities[1] + 1});
+  const MutationApplyResult applied = apply_mutations(base, batch);
+  EXPECT_FALSE(applied.dirty_right[0]);
+  EXPECT_TRUE(applied.dirty_right[1]);
+}
+
+// TSan leg: readers pinned to old generations must stay coherent while a
+// writer publishes new ones. Each reader repeatedly pins a snapshot and
+// checks a generation-dependent invariant on the immutable data it sees.
+TEST(ServeConcurrency, ReadersStayPinnedWhileWriterPublishes) {
+  AllocationService service(make_instance(spec_by_name("small_lam4")),
+                            fixed_round_options(2, /*max_rounds=*/12));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&service, &stop, &reads] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = service.snapshot();
+        // The pinned generation is internally consistent no matter what the
+        // writer does: alloc vector matches its own instance's shape.
+        ASSERT_EQ(snap->result().final_alloc.size(),
+                  snap->instance().graph.num_right());
+        ASSERT_EQ(snap->stats().generation, snap->generation());
+        const std::vector<double> q =
+            snap->query_allocations(std::vector<Vertex>{0, 1, 2});
+        ASSERT_EQ(q.size(), 3u);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Xoshiro256pp rng(33);
+  for (int gen = 0; gen < 8; ++gen) {
+    const MutationSet batch = random_batch(
+        service.snapshot()->instance(),
+        {.adds = true, .removes = true, .capacities = true}, rng);
+    if (!batch.empty()) (void)service.apply(batch);
+  }
+  // Keep the generation churning until every reader has pinned at least one
+  // snapshot — the 8 solves above can finish before the reader threads are
+  // even scheduled.
+  while (reads.load(std::memory_order_relaxed) < 3 &&
+         service.generation() < 5000) {
+    MutationSet cap;
+    const Vertex v = static_cast<Vertex>(
+        rng.uniform(service.snapshot()->instance().graph.num_right()));
+    cap.set_capacities.push_back(
+        {v, static_cast<std::uint32_t>(1 + rng.uniform(6))});
+    (void)service.apply(cap);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+  EXPECT_GE(reads.load(), 3u);
+  EXPECT_GT(service.generation(), 0u);
+}
+
+// A reader holding an old generation outlives many publishes; its data is
+// untouched (same object, same values) after the writer has moved on.
+TEST(ServeConcurrency, OldGenerationSurvivesManyPublishes) {
+  AllocationService service(make_instance(spec_by_name("small_forest")),
+                            fixed_round_options(1, /*max_rounds=*/10));
+  const auto pinned = service.snapshot();
+  const double weight_at_pin = pinned->result().match_weight;
+  const std::size_t edges_at_pin = pinned->instance().graph.num_edges();
+
+  Xoshiro256pp rng(55);
+  for (int gen = 0; gen < 5; ++gen) {
+    const MutationSet batch = random_batch(
+        service.snapshot()->instance(),
+        {.adds = true, .removes = true, .capacities = false}, rng);
+    if (!batch.empty()) (void)service.apply(batch);
+  }
+  EXPECT_EQ(pinned->generation(), 0u);
+  EXPECT_EQ(pinned->result().match_weight, weight_at_pin);
+  EXPECT_EQ(pinned->instance().graph.num_edges(), edges_at_pin);
+  EXPECT_GT(service.generation(), pinned->generation());
+}
+
+}  // namespace
+}  // namespace mpcalloc::serve

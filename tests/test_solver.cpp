@@ -1,0 +1,200 @@
+// The unified Solver facade (alloc/solver.hpp):
+//
+//  (a) every legacy free-function entry point (run_proportional,
+//      solve_two_plus_eps, solve_adaptive, run_sampled, run_mpc_*) now
+//      forwards through the facade and returns unchanged results — a
+//      Solver configured with the equivalent SolveOptions reproduces each
+//      one bit for bit;
+//  (b) the shared CommonOptions slice (threads/seed/engine) propagates, and
+//      results stay bitwise independent of num_threads through the facade;
+//  (c) option validation still throws the legacy exception types/messages.
+#include "alloc/mpc_driver.hpp"
+#include "alloc/proportional.hpp"
+#include "alloc/sampled.hpp"
+#include "alloc/solver.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace mpcalloc {
+namespace {
+
+using mpcalloc::testing::make_instance;
+using mpcalloc::testing::spec_by_name;
+
+void expect_same(const ProportionalResult& legacy, const SolveResult& facade) {
+  EXPECT_EQ(legacy.final_levels, facade.final_levels);
+  EXPECT_EQ(legacy.final_alloc, facade.final_alloc);
+  EXPECT_EQ(legacy.allocation.x, facade.allocation.x);
+  EXPECT_EQ(legacy.match_weight, facade.match_weight);
+  EXPECT_EQ(legacy.rounds_executed, facade.rounds_executed);
+  EXPECT_EQ(legacy.stopped_by_condition, facade.stopped_by_condition);
+  EXPECT_EQ(legacy.stats, facade.stats);
+}
+
+TEST(Solver, ProportionalMatchesLegacyEntryPoint) {
+  const AllocationInstance instance = make_instance(spec_by_name("small_lam4"));
+  ProportionalConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 24;
+  const ProportionalResult legacy = run_proportional(instance, config);
+
+  SolveOptions options;
+  options.method = SolveMethod::kProportional;
+  options.epsilon = 0.25;
+  options.max_rounds = 24;
+  expect_same(legacy, Solver(options).solve(instance));
+}
+
+TEST(Solver, TwoPlusEpsMatchesLegacyEntryPoint) {
+  const AllocationInstance instance = make_instance(spec_by_name("small_forest"));
+  const ProportionalResult legacy =
+      solve_two_plus_eps(instance, /*lambda=*/4.0, /*epsilon=*/0.25);
+
+  SolveOptions options;
+  options.method = SolveMethod::kTwoPlusEps;
+  options.epsilon = 0.25;
+  options.lambda = 4.0;
+  const SolveResult facade = Solver(options).solve(instance);
+  expect_same(legacy, facade);
+  EXPECT_EQ(facade.rounds_executed, tau_for_arboricity(4.0, 0.25));
+}
+
+TEST(Solver, AdaptiveMatchesLegacyEntryPointIncludingDefaultCap) {
+  const AllocationInstance instance = make_instance(spec_by_name("medium_lam8"));
+  const ProportionalResult legacy = solve_adaptive(instance, /*epsilon=*/0.25);
+
+  SolveOptions options;
+  options.method = SolveMethod::kAdaptive;
+  options.epsilon = 0.25;
+  options.max_rounds = 0;  // facade substitutes τ(n, ε), as the shim did
+  expect_same(legacy, Solver(options).solve(instance));
+}
+
+TEST(Solver, SampledMatchesLegacyEntryPointFromSeed) {
+  const AllocationInstance instance = make_instance(spec_by_name("small_lam4"));
+  SampledConfig config;
+  config.epsilon = 0.25;
+  config.max_rounds = 12;
+  config.phase_length = 3;
+  config.samples_per_group = 8;
+  Xoshiro256pp rng(99);
+  const SampledResult legacy = run_sampled(instance, config, rng);
+
+  SolveOptions options;
+  options.method = SolveMethod::kSampled;
+  options.epsilon = 0.25;
+  options.max_rounds = 12;
+  options.phase_length = 3;
+  options.samples_per_group = 8;
+  options.seed = 99;  // no-rng overload seeds its own stream from this
+  const SolveResult facade = Solver(options).solve(instance);
+  EXPECT_EQ(legacy.final_levels, facade.final_levels);
+  EXPECT_EQ(legacy.allocation.x, facade.allocation.x);
+  EXPECT_EQ(legacy.match_weight, facade.match_weight);
+  EXPECT_EQ(legacy.phases_executed, facade.phases);
+  EXPECT_EQ(legacy.samples_drawn, facade.samples_drawn);
+}
+
+TEST(Solver, MpcNaiveMatchesLegacyEntryPoint) {
+  const AllocationInstance instance = make_instance(spec_by_name("small_forest"));
+  MpcDriverConfig config;
+  config.epsilon = 0.25;
+  config.lambda = 2.0;
+  const MpcRunResult legacy = run_mpc_naive(instance, config);
+
+  SolveOptions options;
+  options.method = SolveMethod::kMpcNaive;
+  options.epsilon = 0.25;
+  options.lambda = 2.0;
+  const SolveResult facade = Solver(options).solve(instance);
+  ASSERT_TRUE(facade.mpc.has_value());
+  EXPECT_EQ(legacy.allocation.x, facade.allocation.x);
+  EXPECT_EQ(legacy.match_weight, facade.match_weight);
+  EXPECT_EQ(legacy.local_rounds, facade.rounds_executed);
+  EXPECT_EQ(legacy.mpc_rounds, facade.mpc->mpc_rounds);
+  EXPECT_EQ(legacy.words_moved, facade.mpc->words_moved);
+  EXPECT_EQ(legacy.peak_machine_words, facade.mpc->peak_machine_words);
+  EXPECT_EQ(legacy.num_machines, facade.mpc->num_machines);
+  EXPECT_EQ(legacy.host_record_updates, facade.mpc->host_record_updates);
+}
+
+TEST(Solver, MpcPhasedAndUnknownLambdaMatchLegacyEntryPoints) {
+  const AllocationInstance instance = make_instance(spec_by_name("small_lam4"));
+  MpcDriverConfig config;
+  config.epsilon = 0.25;
+  config.lambda = 4.0;
+  config.seed = 7;
+
+  const MpcRunResult phased = run_mpc_phased(instance, config);
+  SolveOptions options;
+  options.method = SolveMethod::kMpcPhased;
+  options.epsilon = 0.25;
+  options.lambda = 4.0;
+  options.seed = 7;
+  const SolveResult facade = Solver(options).solve(instance);
+  ASSERT_TRUE(facade.mpc.has_value());
+  EXPECT_EQ(phased.allocation.x, facade.allocation.x);
+  EXPECT_EQ(phased.phases, facade.phases);
+  EXPECT_EQ(phased.mpc_rounds, facade.mpc->mpc_rounds);
+  EXPECT_EQ(phased.max_ball_volume, facade.mpc->max_ball_volume);
+
+  MpcDriverConfig unknown = config;
+  unknown.lambda = 0.0;
+  const MpcRunResult legacy_unknown = run_mpc_unknown_lambda(instance, unknown);
+  options.method = SolveMethod::kMpcUnknownLambda;
+  options.lambda = 0.0;
+  const SolveResult facade_unknown = Solver(options).solve(instance);
+  ASSERT_TRUE(facade_unknown.mpc.has_value());
+  EXPECT_EQ(legacy_unknown.allocation.x, facade_unknown.allocation.x);
+  EXPECT_EQ(legacy_unknown.trials, facade_unknown.mpc->trials);
+  EXPECT_EQ(legacy_unknown.stopped_by_condition,
+            facade_unknown.stopped_by_condition);
+}
+
+TEST(Solver, ResultsBitwiseIndependentOfThreadCount) {
+  const AllocationInstance instance = make_instance(spec_by_name("medium_lam8"));
+  SolveOptions options;
+  options.method = SolveMethod::kProportional;
+  options.epsilon = 0.25;
+  options.max_rounds = 20;
+  options.num_threads = 1;
+  const SolveResult base = Solver(options).solve(instance);
+  for (const std::size_t threads : {2, 4, 7}) {
+    options.num_threads = threads;
+    const SolveResult other = Solver(options).solve(instance);
+    EXPECT_EQ(base.final_levels, other.final_levels) << threads;
+    EXPECT_EQ(base.allocation.x, other.allocation.x) << threads;
+    EXPECT_EQ(base.match_weight, other.match_weight) << threads;
+  }
+}
+
+TEST(Solver, ValidationKeepsLegacyExceptions) {
+  const AllocationInstance instance{star_graph(3), {1}};
+  {
+    SolveOptions options;
+    options.method = SolveMethod::kProportional;
+    options.max_rounds = 0;
+    EXPECT_THROW((void)Solver(options).solve(instance), std::invalid_argument);
+  }
+  {
+    ProportionalConfig config;  // legacy shim: adaptive still demands a budget
+    config.stop_rule = StopRule::kAdaptive;
+    config.max_rounds = 0;
+    EXPECT_THROW((void)run_proportional(instance, config),
+                 std::invalid_argument);
+  }
+  {
+    SolveOptions options;
+    options.method = SolveMethod::kSampled;
+    options.max_rounds = 0;
+    EXPECT_THROW((void)Solver(options).solve(instance), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace mpcalloc
