@@ -30,8 +30,11 @@ int main(int argc, char** argv) {
   CliParser cli("E7: fault recovery identity and overhead");
   cli.option("json", "", "write machine-readable metrics JSON to this path");
   cli.threads_option();
+  cli.transport_option();
   if (!cli.parse(argc, argv)) return 0;
   const auto threads = static_cast<std::size_t>(cli.get_size("threads"));
+  const mpc::TransportKind transport =
+      mpc::transport_kind_from_cli(cli.get("transport"));
 
   print_preamble("E7: fault recovery identity and overhead",
                  "Recovered runs are bitwise identical to fault-free runs; "
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   base.lambda = 4.0;
   base.seed = 9;
   base.num_threads = threads;
+  base.transport = transport;
 
   const MpcRunResult reference = run_mpc_naive(instance, base);
   metrics.counter("reference_mpc_rounds",
@@ -114,6 +118,58 @@ int main(int argc, char** argv) {
                     static_cast<double>(rec.checkpoints_taken));
   }
   table.print(std::cout);
+
+  // Process-backend column: the same identity contract with a *real* fault —
+  // a forked worker process SIGKILLed at exchange #3. The coordinator reaps
+  // it, wipes the dead machine's arenas, re-forks, and the driver's
+  // checkpoint-restore tier replays; the result must still be bitwise
+  // identical to the (in-process, fault-free) reference. Every counter here
+  // is deterministic: the kill fires exactly once at a fixed ordinal.
+  {
+    MpcDriverConfig killed = base;
+    killed.transport = mpc::TransportKind::kProcess;
+    killed.process_options.kill_script = {
+        mpc::ProcessKill{/*exchange_index=*/3, /*signo=*/9, /*worker=*/1}};
+    killed.checkpoint_every = 1;
+    const MpcRunResult run = run_mpc_naive(instance, killed);
+
+    const bool identical =
+        run.allocation.x == reference.allocation.x &&
+        run.match_weight == reference.match_weight &&
+        run.local_rounds == reference.local_rounds &&
+        run.mpc_rounds == reference.mpc_rounds &&
+        run.words_moved == reference.words_moved &&
+        run.peak_machine_words == reference.peak_machine_words &&
+        run.peak_total_words == reference.peak_total_words &&
+        run.host_record_updates == reference.host_record_updates;
+
+    const mpc::MpcRecoveryStats& rec = run.recovery;
+    Table process_table(
+        "process backend: worker 1 SIGKILLed at exchange #3, ckpt every 1");
+    process_table.header({"crashes", "respawns", "restores", "replayed rd",
+                          "degradations", "bitwise identical"});
+    process_table.row(
+        {Table::integer(static_cast<long long>(rec.process_crashes)),
+         Table::integer(static_cast<long long>(rec.worker_respawns)),
+         Table::integer(static_cast<long long>(rec.checkpoint_restores)),
+         Table::integer(static_cast<long long>(rec.replayed_rounds)),
+         Table::integer(static_cast<long long>(rec.backend_degradations)),
+         identical ? "yes" : "NO"});
+    process_table.print(std::cout);
+
+    metrics.counter("process_crashes",
+                    static_cast<double>(rec.process_crashes));
+    metrics.counter("process_worker_respawns",
+                    static_cast<double>(rec.worker_respawns));
+    metrics.counter("process_checkpoint_restores",
+                    static_cast<double>(rec.checkpoint_restores));
+    metrics.counter("process_replayed_rounds",
+                    static_cast<double>(rec.replayed_rounds));
+    metrics.counter("process_backend_degradations",
+                    static_cast<double>(rec.backend_degradations));
+    // Gated at exactly 1.0: a real SIGKILL must recover bitwise identical.
+    metrics.counter("process_identity_certificate_ok", identical ? 1.0 : 0.0);
+  }
 
   // Degradation micro: 10 words on machine 0 of a (3 machines, S = 8)
   // cluster all move at once — rule 1 would fire; kSplitExchange proves a

@@ -29,8 +29,11 @@ int main(int argc, char** argv) {
   CliParser cli("E5a: MPC rounds, naive vs phased driver");
   cli.option("json", "", "write machine-readable metrics JSON to this path");
   cli.threads_option();
+  cli.transport_option();
   if (!cli.parse(argc, argv)) return 0;
   const auto threads = static_cast<std::size_t>(cli.get_size("threads"));
+  const mpc::TransportKind transport =
+      mpc::transport_kind_from_cli(cli.get("transport"));
 
   const double eps = 0.25;
   const std::size_t n = 1600;
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     config.seed = 9;
     config.lambda = lambda_lb;
     config.num_threads = threads;
+    config.transport = transport;
 
     const MpcRunResult naive = run_mpc_naive(instance, config);
     const MpcRunResult phased = run_mpc_phased(instance, config);

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   cli.option("alpha", "0.6", "memory exponent: S = input^alpha");
   cli.option("ball-radius", "3", "radius for the graph-exponentiation demo");
   cli.option("seed", "123", "RNG seed for records and graphs");
+  cli.transport_option();
   if (!cli.parse(argc, argv)) return 0;
   const auto input_words = static_cast<std::size_t>(cli.get_size("input-words"));
   const double alpha = cli.get_double("alpha");
@@ -37,8 +38,10 @@ int main(int argc, char** argv) {
 
   // A cluster in the sublinear regime for the requested input size.
   Cluster cluster = Cluster::for_input(input_words, alpha);
-  std::printf("cluster: %zu machines x %zu words (S = input^%.2f)\n",
-              cluster.num_machines(), cluster.machine_words(), alpha);
+  cluster.set_transport_kind(transport_kind_from_cli(cli.get("transport")));
+  std::printf("cluster: %zu machines x %zu words (S = input^%.2f), %s transport\n",
+              cluster.num_machines(), cluster.machine_words(), alpha,
+              transport_kind_name(cluster.transport_kind()));
 
   // --- distributed sort ---------------------------------------------------
   std::vector<Word> records;

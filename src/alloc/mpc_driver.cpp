@@ -56,6 +56,10 @@ void accumulate_recovery(mpc::MpcRecoveryStats& into,
   into.checkpoint_restores += r.checkpoint_restores;
   into.split_exchanges += r.split_exchanges;
   into.split_extra_rounds += r.split_extra_rounds;
+  into.process_crashes += r.process_crashes;
+  into.deadline_misses += r.deadline_misses;
+  into.worker_respawns += r.worker_respawns;
+  into.backend_degradations += r.backend_degradations;
 }
 
 }  // namespace
@@ -80,8 +84,13 @@ MpcRunResult detail::run_mpc_naive_impl(const AllocationInstance& instance,
 
   Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
   cluster.set_num_threads(config.num_threads);
-  const bool fault_tolerant = config.fault_plan.active();
-  if (fault_tolerant) cluster.set_fault_plan(config.fault_plan);
+  cluster.set_transport_kind(config.transport, config.process_options);
+  // A process backend arms the cluster's recovery loop by itself (its
+  // faults are real); the driver's checkpoint/replay tier must arm with it
+  // or a worker crash would escape.
+  const bool fault_tolerant =
+      config.fault_plan.active() || cluster.fault_tolerant();
+  if (config.fault_plan.active()) cluster.set_fault_plan(config.fault_plan);
   cluster.set_overflow_policy(config.overflow_policy);
   MpcRunResult result;
   result.machine_words = cluster.machine_words();
@@ -319,6 +328,7 @@ MpcRunResult detail::run_mpc_phased_impl(const AllocationInstance& instance,
 
   Cluster cluster = Cluster::for_input(input_words(instance), config.alpha);
   cluster.set_num_threads(config.num_threads);
+  cluster.set_transport_kind(config.transport, config.process_options);
   // Plumbed for parity with the naive driver; the phased pipeline's
   // exchanges are charged analytically (no records flow through the
   // transport), so an active fault plan is inert here by construction.

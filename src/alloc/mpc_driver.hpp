@@ -72,6 +72,15 @@ struct MpcDriverConfig : CommonOptions {
   /// What an over-budget exchange does (mpc/cluster.hpp): fail fast with
   /// MpcCapacityError, or split into honestly-charged sub-rounds.
   mpc::OverflowPolicy overflow_policy = mpc::OverflowPolicy::kFailFast;
+
+  /// Exchange backend (mpc/process_transport.hpp). kAuto defers to the
+  /// MPCALLOC_TRANSPORT environment variable; kProcess runs every exchange
+  /// through forked worker processes over shared-memory rings, with real
+  /// crash/deadline supervision mapped onto the recovery tiers above. All
+  /// results are bitwise identical across backends.
+  mpc::TransportKind transport = mpc::TransportKind::kAuto;
+  /// Process-backend tuning + real-fault injection (kill scripts).
+  mpc::ProcessTransportOptions process_options;
 };
 
 struct MpcRunResult {

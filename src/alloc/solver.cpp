@@ -116,6 +116,8 @@ MpcDriverConfig mpc_config_from(const SolveOptions& options) {
   config.fault_plan = options.fault_plan;
   config.checkpoint_every = options.checkpoint_every;
   config.overflow_policy = options.overflow_policy;
+  config.transport = options.transport;
+  config.process_options = options.process_options;
   return config;
 }
 
@@ -289,6 +291,8 @@ SolveOptions mpc_options_from(SolveMethod method, const MpcDriverConfig& config)
   options.fault_plan = config.fault_plan;
   options.checkpoint_every = config.checkpoint_every;
   options.overflow_policy = config.overflow_policy;
+  options.transport = config.transport;
+  options.process_options = config.process_options;
   return options;
 }
 

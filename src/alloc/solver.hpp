@@ -83,6 +83,10 @@ struct SolveOptions : CommonOptions {
   mpc::FaultPlan fault_plan;
   std::size_t checkpoint_every = 0;
   mpc::OverflowPolicy overflow_policy = mpc::OverflowPolicy::kFailFast;
+  /// MPC methods: exchange backend (kAuto defers to MPCALLOC_TRANSPORT)
+  /// and the process backend's supervision knobs.
+  mpc::TransportKind transport = mpc::TransportKind::kAuto;
+  mpc::ProcessTransportOptions process_options;
 
   /// kProportional / kAdaptive: Algorithm 3's loose thresholds (empty ⇒
   /// Algorithm 1), MatchWeight history, and trajectory recording — see

@@ -14,7 +14,42 @@ Cluster::Cluster(std::size_t num_machines, std::size_t machine_words,
   if (machine_words == 0) throw std::invalid_argument("Cluster: need S >= 1");
   workers_ =
       std::make_shared<WorkerGroup>(num_machines, machine_words, num_workers);
-  transport_ = std::make_unique<InProcessTransport>(*workers_);
+  // Honour MPCALLOC_TRANSPORT from birth, so the env knob flips every
+  // cluster a test suite builds without per-site plumbing.
+  transport_kind_ = resolve_transport_kind(TransportKind::kAuto);
+  rebuild_transport();
+}
+
+void Cluster::rebuild_transport() {
+  if (transport_kind_ == TransportKind::kProcess) {
+    transport_ = std::make_unique<ProcessTransport>(*workers_, process_options_,
+                                                    recovery_.get());
+    // Real backends fault for real (a worker can die or miss a deadline on
+    // any run, not just a chaos run), so the shuffle recovery loop must be
+    // armed unconditionally; the default FaultPlan budgets apply until
+    // set_fault_plan overrides them.
+    fault_tolerant_ = true;
+  } else {
+    transport_ = std::make_unique<InProcessTransport>(*workers_);
+  }
+}
+
+void Cluster::set_transport_kind(TransportKind kind,
+                                 ProcessTransportOptions options) {
+  ensure_live();
+  if (fault_decorated_) {
+    throw std::logic_error(
+        "Cluster::set_transport_kind: configure the transport before "
+        "set_fault_plan");
+  }
+  const TransportKind resolved = resolve_transport_kind(kind);
+  if (resolved == transport_kind_ &&
+      (resolved != TransportKind::kProcess || options == process_options_)) {
+    return;
+  }
+  transport_kind_ = resolved;
+  process_options_ = std::move(options);
+  rebuild_transport();
 }
 
 Cluster Cluster::for_input(std::uint64_t input_words, double alpha,
@@ -188,17 +223,17 @@ void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination)
         transport_->exchange(plan, data, num_threads_);
         break;
       } catch (const TransportFault& fault) {
-        ++recovery_.faults_injected;
+        ++recovery_->faults_injected;
         // A crashed worker lost arena blocks of *every* live dataset — more
         // than this exchange can see. Escalate to the driver's checkpoint
         // restore.
         if (fault.kind() == FaultKind::kWorkerCrash) throw;
         if (attempt >= fault_plan_.max_retries) throw;
-        ++recovery_.exchange_retries;
+        ++recovery_->exchange_retries;
         // Deterministic backoff accounting: a delayed delivery charges its
         // drawn delay, everything else an exponential 2^attempt wait. These
         // are recovery rounds, not model rounds.
-        recovery_.backoff_rounds += fault.delay_rounds() > 0
+        recovery_->backoff_rounds += fault.delay_rounds() > 0
                                         ? fault.delay_rounds()
                                         : (std::uint64_t{1} << attempt);
         if (fault.corrupts_data()) {
@@ -209,8 +244,8 @@ void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination)
             restored += backup[m].size();
             data.shard(m) = backup[m];
           }
-          recovery_.restored_words += restored;
-          ++recovery_.replayed_exchanges;
+          recovery_->restored_words += restored;
+          ++recovery_->replayed_exchanges;
           plan = RoundPlan::build(data, destination, rounds_ + 1);
           if (overflow_policy_ == OverflowPolicy::kSplitExchange) {
             plan_split_rounds(plan);
@@ -222,8 +257,8 @@ void Cluster::shuffle(DistVec& data, std::span<const std::uint32_t> destination)
 
   rounds_ += plan.sub_rounds;
   if (plan.sub_rounds > 1) {
-    ++recovery_.split_exchanges;
-    recovery_.split_extra_rounds += plan.sub_rounds - 1;
+    ++recovery_->split_exchanges;
+    recovery_->split_extra_rounds += plan.sub_rounds - 1;
   }
   words_moved_ += plan.total_words_sent();
   peak_total_words_ = std::max(peak_total_words_, plan.total_words());
@@ -233,13 +268,14 @@ void Cluster::set_fault_plan(FaultPlan plan) {
   ensure_live();
   fault_plan_ = plan;
   fault_tolerant_ = true;
+  fault_decorated_ = true;
   transport_ = std::make_unique<FaultInjectingTransport>(
       std::move(transport_), *workers_, std::move(plan));
 }
 
 ClusterCheckpoint Cluster::checkpoint() {
   ensure_live();
-  ++recovery_.checkpoints_taken;
+  ++recovery_->checkpoints_taken;
   ClusterCheckpoint cp;
   cp.rounds = rounds_;
   cp.words_moved = words_moved_;
@@ -254,12 +290,12 @@ void Cluster::restore(const ClusterCheckpoint& cp) {
     throw std::invalid_argument(
         "Cluster::restore: checkpoint is ahead of the cluster");
   }
-  ++recovery_.checkpoint_restores;
+  ++recovery_->checkpoint_restores;
   // The work since the checkpoint is discarded and will be re-charged by
   // the replay — fold it into the recovery stats so it stays visible
   // without perturbing the model counters.
-  recovery_.replayed_rounds += rounds_ - cp.rounds;
-  recovery_.discarded_words_moved += words_moved_ - cp.words_moved;
+  recovery_->replayed_rounds += rounds_ - cp.rounds;
+  recovery_->discarded_words_moved += words_moved_ - cp.words_moved;
   rounds_ = cp.rounds;
   words_moved_ = cp.words_moved;
   peak_total_words_ = cp.peak_total_words;
@@ -271,7 +307,7 @@ void Cluster::reset_counters() {
   rounds_ = 0;
   words_moved_ = 0;
   peak_total_words_ = 0;
-  recovery_ = MpcRecoveryStats{};
+  *recovery_ = MpcRecoveryStats{};
   workers_->reset_peaks();
 }
 

@@ -33,6 +33,7 @@
 // of rounds via `charge_rounds` — see DESIGN.md §1.
 #pragma once
 
+#include "mpc/process_transport.hpp"
 #include "mpc/transport.hpp"
 #include "mpc/worker.hpp"
 
@@ -74,6 +75,14 @@ struct MpcRecoveryStats {
   std::uint64_t checkpoint_restores = 0;
   std::uint64_t split_exchanges = 0;     ///< exchanges delivered in >1 sub-round
   std::uint64_t split_extra_rounds = 0;  ///< extra rounds charged by splitting
+
+  // Real-process backend overhead (mpc/process_transport.hpp): these count
+  // actual OS events — children reaped, heartbeat deadlines blown, workers
+  // re-forked, and process->in-process fallbacks — never simulated ones.
+  std::uint64_t process_crashes = 0;       ///< worker processes found dead
+  std::uint64_t deadline_misses = 0;       ///< heartbeat deadlines missed
+  std::uint64_t worker_respawns = 0;       ///< dead workers re-forked
+  std::uint64_t backend_degradations = 0;  ///< fallbacks to in-process
 
   friend bool operator==(const MpcRecoveryStats&,
                          const MpcRecoveryStats&) = default;
@@ -168,10 +177,24 @@ class Cluster {
   /// from a pre-exchange copy and replay, worker crashes propagate to the
   /// caller for a checkpoint restore.
   void set_fault_plan(FaultPlan plan);
+  /// True when shuffle() runs the recovery loop — armed by set_fault_plan,
+  /// and automatically by a process backend (whose faults come from the OS
+  /// rather than a schedule, so retry/backoff must be on by default).
   [[nodiscard]] bool fault_tolerant() const { return fault_tolerant_; }
 
   void set_overflow_policy(OverflowPolicy policy) { overflow_policy_ = policy; }
   [[nodiscard]] OverflowPolicy overflow_policy() const { return overflow_policy_; }
+
+  /// Swap the exchange backend (kAuto resolves the MPCALLOC_TRANSPORT
+  /// environment variable, which the constructor already honoured — calling
+  /// this with kAuto and default options is a no-op). Must run before
+  /// set_fault_plan: the fault decorator wraps whichever backend is live,
+  /// and replacing the backend underneath it would discard the decorator.
+  /// A process backend that cannot come up degrades to in-process on the
+  /// recovery ledger instead of throwing.
+  void set_transport_kind(TransportKind kind,
+                          ProcessTransportOptions options = {});
+  [[nodiscard]] TransportKind transport_kind() const { return transport_kind_; }
 
   /// Snapshot counters + arenas (see ClusterCheckpoint). Counts toward
   /// recovery_stats().checkpoints_taken.
@@ -181,11 +204,13 @@ class Cluster {
   void restore(const ClusterCheckpoint& cp);
 
   [[nodiscard]] const MpcRecoveryStats& recovery_stats() const {
-    return recovery_;
+    return *recovery_;
   }
 
  private:
   void ensure_live() const;
+  /// (Re)build transport_ for transport_kind_ / process_options_.
+  void rebuild_transport();
   /// kSplitExchange: if the plan violates rule 1 or 2, prove a first-fit
   /// wave schedule over the movers (global record order) and relax the plan
   /// to that many sub-rounds. Throws MpcCapacityError when no schedule
@@ -200,10 +225,18 @@ class Cluster {
   std::uint64_t peak_total_words_ = 0;
   std::shared_ptr<WorkerGroup> workers_;
   std::unique_ptr<Transport> transport_;
+  TransportKind transport_kind_ = TransportKind::kInProcess;
+  ProcessTransportOptions process_options_;
   bool fault_tolerant_ = false;
+  /// A FaultInjectingTransport wraps transport_ (set_fault_plan ran):
+  /// swapping the backend underneath it is no longer possible.
+  bool fault_decorated_ = false;
   FaultPlan fault_plan_;
   OverflowPolicy overflow_policy_ = OverflowPolicy::kFailFast;
-  MpcRecoveryStats recovery_;
+  /// Heap-held so the address survives Cluster moves — the ProcessTransport
+  /// writes its overhead counters through a stable pointer to this ledger.
+  std::unique_ptr<MpcRecoveryStats> recovery_ =
+      std::make_unique<MpcRecoveryStats>();
 };
 
 }  // namespace mpcalloc::mpc

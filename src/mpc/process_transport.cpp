@@ -1,0 +1,699 @@
+#include "mpc/process_transport.hpp"
+
+#include "mpc/cluster.hpp"
+#include "util/syscall.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <system_error>
+
+namespace mpcalloc::mpc {
+
+namespace {
+
+/// Coordinator-side poll granularity while waiting on a ring. Small enough
+/// that a 150 ms test deadline is meaningful, large enough not to burn a
+/// core against a healthy worker.
+constexpr std::uint64_t kPollNs = 20'000;
+/// Worker-side idle sleep between empty ring polls (also the heartbeat
+/// granularity a stalled coordinator observes).
+constexpr std::uint64_t kWorkerIdleNs = 20'000;
+/// Grace for the child to consume kShutdown before SIGKILL steps in.
+constexpr std::uint64_t kShutdownGraceNs = 200'000'000;
+/// Even with a stale-heartbeat deadline armed, bound any single wait by
+/// this many deadlines — a live-but-wedged worker (heartbeat advancing, no
+/// protocol progress) must classify as a deadline miss, not hang CI.
+constexpr std::uint64_t kWedgeDeadlineFactor = 16;
+
+// ---------------------------------------------------------------------------
+// Worker child
+// ---------------------------------------------------------------------------
+
+/// Everything the child needs, fixed before fork. The child runs under a
+/// parent that may hold heap locks in its pool threads, so the loop below
+/// touches no heap and no C++ runtime machinery — only the pre-established
+/// mappings, atomics, memcpy, and raw syscalls.
+struct WorkerParams {
+  pid_t parent;
+  std::size_t first_machine;
+  std::size_t num_owned;
+  std::size_t machine_words;
+  std::size_t ring_packets;
+  std::size_t flush_packets;
+  void* segment;
+  shm::ChannelLayout layout;
+  std::uint64_t* expected;  ///< arena: expected words per owned machine
+  std::uint64_t* received;  ///< arena: words assembled so far
+  shm::Word* words;         ///< arena: num_owned * machine_words
+};
+
+/// Worker-side blocking push: spin on the full ring, bumping the heartbeat
+/// so the coordinator can tell "slow" from "stopped".
+void child_push(shm::RingProducer& out, shm::ChannelHeader* header,
+                std::uint64_t* beat, const shm::Packet& packet) {
+  while (!out.try_push(packet)) {
+    out.flush();
+    header->heartbeat.store((*beat)++, std::memory_order_relaxed);
+    mpcalloc::sleep_ns(kWorkerIdleNs);
+  }
+}
+
+[[noreturn]] void worker_child_main(const WorkerParams& p) {
+  // Die with the coordinator: nothing orphans. The PDEATHSIG arms against
+  // the *current* parent, so close the fork→prctl window by checking the
+  // parent is still who it was.
+  (void)::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() != p.parent) ::_exit(0);
+
+  shm::ChannelHeader* header = p.layout.header(p.segment);
+  shm::RingConsumer in(p.layout.tx_control(p.segment),
+                       p.layout.tx_slots(p.segment), p.ring_packets);
+  shm::RingProducer out(p.layout.rx_control(p.segment),
+                        p.layout.rx_slots(p.segment), p.ring_packets,
+                        p.flush_packets);
+
+  std::uint64_t beat = 1;
+  std::uint64_t epoch = 0;
+  header->ready.store(1, std::memory_order_release);
+
+  const auto error = [&](std::uint64_t code) {
+    shm::Packet pkt;
+    pkt.type = static_cast<std::uint16_t>(shm::PacketType::kError);
+    pkt.epoch = epoch;
+    pkt.arg = code;
+    child_push(out, header, &beat, pkt);
+    out.flush();
+  };
+
+  for (;;) {
+    header->heartbeat.store(beat++, std::memory_order_relaxed);
+    shm::Packet pkt;
+    if (!in.try_pop(&pkt)) {
+      mpcalloc::sleep_ns(kWorkerIdleNs);
+      continue;
+    }
+    switch (static_cast<shm::PacketType>(pkt.type)) {
+      case shm::PacketType::kShutdown:
+        ::_exit(0);
+      case shm::PacketType::kBeginExchange:
+        epoch = pkt.epoch;
+        for (std::size_t m = 0; m < p.num_owned; ++m) {
+          p.expected[m] = 0;
+          p.received[m] = 0;
+        }
+        break;
+      case shm::PacketType::kShardSize: {
+        if (pkt.epoch != epoch) break;
+        const std::size_t local = pkt.machine - p.first_machine;
+        if (pkt.machine < p.first_machine || local >= p.num_owned ||
+            pkt.arg > p.machine_words) {
+          // Defensive capacity rule 3: the coordinator validated the plan
+          // already, so tripping this means protocol corruption.
+          error(3);
+          break;
+        }
+        p.expected[local] = pkt.arg;
+        break;
+      }
+      case shm::PacketType::kData: {
+        if (pkt.epoch != epoch) break;
+        const std::size_t local = pkt.machine - p.first_machine;
+        if (pkt.machine < p.first_machine || local >= p.num_owned ||
+            pkt.count > shm::kPacketPayloadWords ||
+            pkt.arg + pkt.count > p.expected[local]) {
+          error(3);
+          break;
+        }
+        std::memcpy(p.words + local * p.machine_words + pkt.arg, pkt.payload,
+                    pkt.count * sizeof(shm::Word));
+        p.received[local] += pkt.count;
+        break;
+      }
+      case shm::PacketType::kEndExchange: {
+        if (pkt.epoch != epoch) break;
+        // Echo every owned shard, assembled, in machine order.
+        for (std::size_t local = 0; local < p.num_owned; ++local) {
+          if (p.received[local] != p.expected[local]) {
+            error(2);
+            break;
+          }
+          const shm::Word* shard = p.words + local * p.machine_words;
+          shm::Packet data;
+          data.type = static_cast<std::uint16_t>(shm::PacketType::kShardData);
+          data.machine = static_cast<std::uint32_t>(p.first_machine + local);
+          data.epoch = epoch;
+          for (std::uint64_t off = 0; off < p.expected[local];
+               off += shm::kPacketPayloadWords) {
+            data.arg = off;
+            data.count = static_cast<std::uint16_t>(
+                std::min<std::uint64_t>(shm::kPacketPayloadWords,
+                                        p.expected[local] - off));
+            std::memcpy(data.payload, shard + off,
+                        data.count * sizeof(shm::Word));
+            child_push(out, header, &beat, data);
+          }
+          shm::Packet done;
+          done.type = static_cast<std::uint16_t>(shm::PacketType::kShardDone);
+          done.machine = data.machine;
+          done.epoch = epoch;
+          done.arg = p.expected[local];
+          child_push(out, header, &beat, done);
+        }
+        shm::Packet done;
+        done.type = static_cast<std::uint16_t>(shm::PacketType::kExchangeDone);
+        done.epoch = epoch;
+        child_push(out, header, &beat, done);
+        out.flush();
+        break;
+      }
+      default:
+        error(1);
+        break;
+    }
+  }
+}
+
+shm::Packet make_packet(shm::PacketType type, std::uint64_t epoch,
+                        std::uint32_t machine = 0, std::uint64_t arg = 0) {
+  shm::Packet pkt;
+  pkt.type = static_cast<std::uint16_t>(type);
+  pkt.machine = machine;
+  pkt.epoch = epoch;
+  pkt.arg = arg;
+  return pkt;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TransportKind
+// ---------------------------------------------------------------------------
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kAuto:
+      return "auto";
+    case TransportKind::kInProcess:
+      return "inprocess";
+    case TransportKind::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+TransportKind parse_transport_kind(const std::string& value,
+                                   const std::string& context) {
+  if (value == "inprocess") return TransportKind::kInProcess;
+  if (value == "process") return TransportKind::kProcess;
+  throw std::invalid_argument(context +
+                              ": expected 'inprocess' or 'process', got '" +
+                              value + "'");
+}
+
+TransportKind transport_kind_from_cli(const std::string& value) {
+  if (value == "auto") return TransportKind::kAuto;
+  return parse_transport_kind(value, "--transport");
+}
+
+TransportKind resolve_transport_kind(TransportKind requested) {
+  if (requested != TransportKind::kAuto) return requested;
+  const char* env = std::getenv("MPCALLOC_TRANSPORT");
+  if (env == nullptr || *env == '\0') return TransportKind::kInProcess;
+  return parse_transport_kind(env, "MPCALLOC_TRANSPORT");
+}
+
+// ---------------------------------------------------------------------------
+// ProcessTransport
+// ---------------------------------------------------------------------------
+
+ProcessTransport::ProcessTransport(WorkerGroup& workers,
+                                   ProcessTransportOptions options,
+                                   MpcRecoveryStats* ledger)
+    : workers_(&workers), options_(std::move(options)), ledger_(ledger) {
+  if (options_.ring_packets < 8) options_.ring_packets = 8;
+  if (options_.flush_packets == 0) options_.flush_packets = 1;
+  channels_.resize(workers_->num_workers());
+  kill_fired_.assign(options_.kill_script.size(), false);
+  for (std::size_t w = 0; w < channels_.size(); ++w) {
+    if (workers_->worker(w).num_owned() == 0) continue;
+    if (!spawn_worker(w)) {
+      degrade();
+      return;
+    }
+  }
+}
+
+ProcessTransport::~ProcessTransport() { shutdown_all(/*graceful=*/true); }
+
+void ProcessTransport::bump(std::uint64_t MpcRecoveryStats::* counter) {
+  if (ledger_ != nullptr) ++(ledger_->*counter);
+}
+
+std::size_t ProcessTransport::live_children() const {
+  std::size_t live = 0;
+  for (const Channel& channel : channels_) live += channel.alive ? 1 : 0;
+  return live;
+}
+
+pid_t ProcessTransport::child_pid(std::size_t w) const {
+  return w < channels_.size() && channels_[w].alive ? channels_[w].pid : -1;
+}
+
+bool ProcessTransport::spawn_worker(std::size_t w) {
+  if (options_.force_spawn_failure) return false;
+  const Worker& worker = workers_->worker(w);
+  const std::size_t num_owned = worker.num_owned();
+  const std::size_t machine_words = workers_->machine_words();
+  const shm::ChannelLayout layout =
+      shm::ChannelLayout::for_ring_packets(options_.ring_packets);
+
+  ShmHandle handle;
+  try {
+    handle = shm_open_exclusive("mpcalloc");
+  } catch (const std::system_error&) {
+    return false;  // e.g. no /dev/shm in this container -> degrade
+  }
+  const bool sized =
+      retry_eintr([&] {
+        return ::ftruncate(handle.fd, static_cast<off_t>(layout.segment_bytes));
+      }) == 0;
+  void* base = sized ? ::mmap(nullptr, layout.segment_bytes,
+                              PROT_READ | PROT_WRITE, MAP_SHARED, handle.fd, 0)
+                     : MAP_FAILED;
+  // Unlink-on-map: the name dies here, in every path. The mapping (and the
+  // child's copy of it, inherited through fork) keeps the segment alive.
+  (void)::shm_unlink(handle.name.c_str());
+  close_quiet(handle.fd);
+  if (base == MAP_FAILED) return false;
+  new (layout.header(base)) shm::ChannelHeader{};
+  new (layout.tx_control(base)) shm::RingControl{};
+  new (layout.rx_control(base)) shm::RingControl{};
+
+  // The child's per-exchange shard arena: a private anonymous mapping
+  // established pre-fork (CoW gives the child its own copy; the parent
+  // unmaps its own immediately after forking). Layout: expected[], then
+  // received[], then the shard words.
+  const std::size_t counters_bytes = num_owned * 2 * sizeof(std::uint64_t);
+  const std::size_t arena_bytes =
+      counters_bytes + num_owned * machine_words * sizeof(shm::Word);
+  void* arena = ::mmap(nullptr, arena_bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (arena == MAP_FAILED) {
+    (void)::munmap(base, layout.segment_bytes);
+    return false;
+  }
+
+  WorkerParams params;
+  params.parent = ::getpid();
+  params.first_machine = worker.first_machine();
+  params.num_owned = num_owned;
+  params.machine_words = machine_words;
+  params.ring_packets = options_.ring_packets;
+  params.flush_packets = options_.flush_packets;
+  params.segment = base;
+  params.layout = layout;
+  params.expected = static_cast<std::uint64_t*>(arena);
+  params.received = params.expected + num_owned;
+  params.words = reinterpret_cast<shm::Word*>(
+      static_cast<char*>(arena) + counters_bytes);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    (void)::munmap(arena, arena_bytes);
+    (void)::munmap(base, layout.segment_bytes);
+    return false;
+  }
+  if (pid == 0) worker_child_main(params);  // never returns
+  (void)::munmap(arena, arena_bytes);
+
+  Channel& channel = channels_[w];
+  channel.pid = pid;
+  channel.base = base;
+  channel.bytes = layout.segment_bytes;
+  channel.layout = layout;
+  channel.tx = shm::RingProducer(layout.tx_control(base),
+                                 layout.tx_slots(base), options_.ring_packets,
+                                 options_.flush_packets);
+  channel.rx = shm::RingConsumer(layout.rx_control(base),
+                                 layout.rx_slots(base), options_.ring_packets);
+  channel.alive = true;
+
+  // Spawn handshake: the child flips `ready` as its first act. Give it the
+  // supervision deadline (at least 2 s) before calling the spawn failed.
+  shm::ChannelHeader* header = layout.header(base);
+  const std::uint64_t start = monotonic_now_ns();
+  const std::uint64_t grace_ns =
+      std::max<std::uint64_t>(options_.deadline_ms, 2000) * 1'000'000ULL;
+  while (header->ready.load(std::memory_order_acquire) == 0) {
+    int status = 0;
+    if (retry_waitpid(pid, &status, WNOHANG) != 0 ||
+        monotonic_now_ns() - start > grace_ns) {
+      shutdown_channel(channel, /*graceful=*/false);
+      return false;
+    }
+    sleep_ns(kPollNs);
+  }
+  channel.last_heartbeat = header->heartbeat.load(std::memory_order_relaxed);
+  channel.last_beat_ns = monotonic_now_ns();
+  return true;
+}
+
+void ProcessTransport::shutdown_channel(Channel& channel, bool graceful) {
+  if (channel.base == nullptr) return;
+  if (channel.alive && channel.pid > 0) {
+    // A stopped child can't consume kShutdown; continue it first.
+    (void)::kill(channel.pid, SIGCONT);
+    bool reaped = false;
+    int status = 0;
+    if (graceful &&
+        channel.tx.try_push(
+            make_packet(shm::PacketType::kShutdown, epoch_ + 1))) {
+      channel.tx.flush();
+      const std::uint64_t start = monotonic_now_ns();
+      while (monotonic_now_ns() - start < kShutdownGraceNs) {
+        if (retry_waitpid(channel.pid, &status, WNOHANG) != 0) {
+          reaped = true;
+          break;
+        }
+        drain_rx_discard(channel);
+        sleep_ns(kPollNs);
+      }
+    }
+    if (!reaped) {
+      (void)::kill(channel.pid, SIGKILL);
+      (void)retry_waitpid(channel.pid, &status, 0);
+    }
+  }
+  (void)::munmap(channel.base, channel.bytes);
+  channel = Channel{};
+}
+
+void ProcessTransport::shutdown_all(bool graceful) {
+  for (Channel& channel : channels_) shutdown_channel(channel, graceful);
+}
+
+void ProcessTransport::degrade() {
+  shutdown_all(/*graceful=*/false);
+  fallback_ = std::make_unique<InProcessTransport>(*workers_);
+  degraded_ = true;
+  bump(&MpcRecoveryStats::backend_degradations);
+}
+
+void ProcessTransport::drain_rx_discard(Channel& channel) {
+  shm::Packet pkt;
+  while (channel.rx.try_pop(&pkt)) {
+  }
+}
+
+void ProcessTransport::handle_child_death(std::size_t w, const RoundPlan& plan,
+                                          std::size_t ordinal) {
+  Channel& channel = channels_[w];
+  (void)::munmap(channel.base, channel.bytes);
+  channel = Channel{};
+  bump(&MpcRecoveryStats::process_crashes);
+  // The machine memory died with the process: wipe the worker's arena
+  // blocks of every live dataset, exactly what the simulated kWorkerCrash
+  // does — so PR 7's checkpoint-restore tier recovers both identically.
+  workers_->crash_worker(w);
+  if (respawns_done_ >= options_.max_respawns || !spawn_worker(w)) {
+    degrade();
+  } else {
+    ++respawns_done_;
+    bump(&MpcRecoveryStats::worker_respawns);
+  }
+  throw TransportFault(FaultKind::kWorkerCrash, plan.round, ordinal, attempt_,
+                       w, 0);
+}
+
+void ProcessTransport::supervise(std::size_t w, const RoundPlan& plan,
+                                 std::size_t ordinal) {
+  Channel& channel = channels_[w];
+  if (!channel.alive) {
+    // Lost between exchanges (shouldn't happen, but never hang on it).
+    handle_child_death(w, plan, ordinal);
+  }
+  int status = 0;
+  const pid_t reaped = retry_waitpid(channel.pid, &status, WNOHANG);
+  if (reaped != 0) {
+    // Exited, SIGKILLed, or (-1/ECHILD) already unwaitable: the worker is
+    // gone either way.
+    handle_child_death(w, plan, ordinal);
+  }
+  shm::ChannelHeader* header = channel.layout.header(channel.base);
+  const std::uint64_t beat =
+      header->heartbeat.load(std::memory_order_relaxed);
+  const std::uint64_t now = monotonic_now_ns();
+  if (beat != channel.last_heartbeat) {
+    channel.last_heartbeat = beat;
+    channel.last_beat_ns = now;
+    return;
+  }
+  if (now - channel.last_beat_ns >
+      options_.deadline_ms * 1'000'000ULL) {
+    bump(&MpcRecoveryStats::deadline_misses);
+    // SIGSTOPped or hung: continue it and let the cluster retry with
+    // backoff. Nothing was committed, so the retry is safe; the fresh
+    // last_beat_ns gives the retry a full deadline of its own.
+    (void)::kill(channel.pid, SIGCONT);
+    channel.last_beat_ns = now;
+    throw TransportFault(FaultKind::kDelayedDelivery, plan.round, ordinal,
+                         attempt_, w, /*delay_rounds=*/1);
+  }
+}
+
+void ProcessTransport::push_tx(std::size_t w, const shm::Packet& packet,
+                               const RoundPlan& plan, std::size_t ordinal) {
+  Channel& channel = channels_[w];
+  const std::uint64_t start = monotonic_now_ns();
+  const std::uint64_t wedge_ns =
+      options_.deadline_ms * 1'000'000ULL * kWedgeDeadlineFactor;
+  while (!channel.tx.try_push(packet)) {
+    channel.tx.flush();
+    // The worker may be blocked echoing a superseded epoch into a full rx
+    // ring — drain it (everything there is stale while we are still
+    // sending) so it can get back to consuming.
+    drain_rx_discard(channel);
+    supervise(w, plan, ordinal);
+    if (monotonic_now_ns() - start > wedge_ns) {
+      bump(&MpcRecoveryStats::deadline_misses);
+      throw TransportFault(FaultKind::kDelayedDelivery, plan.round, ordinal,
+                           attempt_, w, /*delay_rounds=*/1);
+    }
+    sleep_ns(kPollNs);
+  }
+}
+
+void ProcessTransport::exchange(const RoundPlan& plan, DistVec& data,
+                                std::size_t num_threads) {
+  // Ordinal/attempt bookkeeping mirrors FaultInjectingTransport so kill
+  // scripts address exchanges by the same numbers FaultPlan::forced does.
+  std::size_t ordinal;
+  if (plan.round == last_round_ && next_ordinal_ > 0) {
+    ordinal = next_ordinal_ - 1;
+    ++attempt_;
+  } else {
+    ordinal = next_ordinal_++;
+    last_round_ = plan.round;
+    attempt_ = 0;
+  }
+
+  if (degraded_) {
+    fallback_->exchange(plan, data, num_threads);
+    return;
+  }
+
+  // Real-fault injection: deliver the scripted signals for this ordinal
+  // before anything moves. Each entry fires once.
+  for (std::size_t i = 0; i < options_.kill_script.size(); ++i) {
+    const ProcessKill& kill = options_.kill_script[i];
+    if (kill_fired_[i] || kill.exchange_index != ordinal) continue;
+    kill_fired_[i] = true;
+    const std::size_t w = kill.worker % channels_.size();
+    if (channels_[w].alive) (void)::kill(channels_[w].pid, kill.signo);
+  }
+
+  WorkerGroup& group = *workers_;
+  const std::size_t n = plan.num_machines;
+  const std::size_t width = plan.width;
+  const std::uint64_t budget = group.machine_words();
+  const std::uint64_t round_budget =
+      budget * static_cast<std::uint64_t>(
+                   std::max<std::size_t>(plan.sub_rounds, 1));
+
+  // Capacity rules 1–3, machine order, before any packet is sent — the
+  // same validation and error attribution as the in-process backend.
+  for (std::size_t m = 0; m < n; ++m) {
+    if (plan.sent[m] > round_budget) {
+      throw MpcCapacityError(CapacityRule::kSend, m, plan.round, plan.sent[m],
+                             budget);
+    }
+    if (plan.received[m] > round_budget) {
+      throw MpcCapacityError(CapacityRule::kReceive, m, plan.round,
+                             plan.received[m], budget);
+    }
+    if (plan.resident_words_after(m) > budget) {
+      throw MpcCapacityError(CapacityRule::kResident, m, plan.round,
+                             plan.resident_words_after(m), budget);
+    }
+  }
+
+  const std::uint64_t epoch = ++epoch_;
+
+  // Anything still readable from a superseded attempt is stale; clear it
+  // so ring capacity is ours.
+  for (Channel& channel : channels_) {
+    if (channel.alive) drain_rx_discard(channel);
+  }
+
+  // Phase 1 — announce the round: epoch + the exact per-machine shard
+  // sizes, so the children can bounds-check every kData against rule 3.
+  for (std::size_t w = 0; w < channels_.size(); ++w) {
+    if (!channels_[w].alive) continue;
+    push_tx(w, make_packet(shm::PacketType::kBeginExchange, epoch), plan,
+            ordinal);
+    const Worker& worker = group.worker(w);
+    for (std::size_t m = worker.first_machine(); m < worker.end_machine();
+         ++m) {
+      push_tx(w,
+              make_packet(shm::PacketType::kShardSize, epoch,
+                          static_cast<std::uint32_t>(m),
+                          plan.resident_words_after(m)),
+              plan, ordinal);
+    }
+  }
+
+  // Phase 2 — stream every record in global record order to its
+  // destination's owning worker, coalescing contiguous word runs into
+  // packets. The slot arithmetic is the in-process backend's: record i
+  // lands at word (slot_of[i] - dest_begin[d]) * width of shard d.
+  shm::Packet staging;
+  std::size_t staging_w = 0;
+  bool staging_valid = false;
+  const auto flush_staging = [&] {
+    if (!staging_valid) return;
+    push_tx(staging_w, staging, plan, ordinal);
+    staging_valid = false;
+  };
+  const auto emit_word = [&](std::size_t w, std::uint32_t d, std::uint64_t off,
+                             shm::Word value) {
+    if (!staging_valid || staging_w != w || staging.machine != d ||
+        staging.arg + staging.count != off ||
+        staging.count >= shm::kPacketPayloadWords) {
+      flush_staging();
+      staging = make_packet(shm::PacketType::kData, epoch, d, off);
+      staging_w = w;
+      staging_valid = true;
+    }
+    staging.payload[staging.count++] = value;
+  };
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::vector<Word>& shard = data.shard(m);
+    for (std::size_t i = plan.shard_first[m]; i < plan.shard_first[m + 1];
+         ++i) {
+      const std::uint32_t d = plan.destination[i];
+      const std::size_t w = group.owner_of(d);
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(plan.slot_of[i] - plan.dest_begin[d]) *
+          width;
+      const Word* record = shard.data() + (i - plan.shard_first[m]) * width;
+      for (std::size_t k = 0; k < width; ++k) {
+        emit_word(w, d, base + k, record[k]);
+      }
+    }
+  }
+  flush_staging();
+
+  // Phase 3 — close the epoch; each child echoes its assembled shards.
+  for (std::size_t w = 0; w < channels_.size(); ++w) {
+    if (!channels_[w].alive) continue;
+    push_tx(w, make_packet(shm::PacketType::kEndExchange, epoch), plan,
+            ordinal);
+    channels_[w].tx.flush();
+  }
+
+  // Phase 4 — collect the echoes, per worker in worker order. Packets from
+  // superseded epochs are dropped; protocol violations classify as a
+  // transient exchange failure (the cluster retries, escalating after
+  // max_retries).
+  std::vector<std::vector<Word>> recv(n);
+  std::vector<std::uint64_t> got(n, 0);
+  for (std::size_t d = 0; d < n; ++d) {
+    recv[d].resize(plan.records_for(d) * width);
+  }
+  const auto protocol_fault = [&](std::size_t w) -> TransportFault {
+    return TransportFault(FaultKind::kExchangeFailure, plan.round, ordinal,
+                          attempt_, w, 0);
+  };
+  for (std::size_t w = 0; w < channels_.size(); ++w) {
+    Channel& channel = channels_[w];
+    if (!channel.alive) continue;
+    const Worker& worker = group.worker(w);
+    const std::uint64_t start = monotonic_now_ns();
+    const std::uint64_t wedge_ns =
+        options_.deadline_ms * 1'000'000ULL * kWedgeDeadlineFactor;
+    for (bool done = false; !done;) {
+      shm::Packet pkt;
+      if (!channel.rx.try_pop(&pkt)) {
+        supervise(w, plan, ordinal);
+        if (monotonic_now_ns() - start > wedge_ns) {
+          bump(&MpcRecoveryStats::deadline_misses);
+          throw TransportFault(FaultKind::kDelayedDelivery, plan.round,
+                               ordinal, attempt_, w, /*delay_rounds=*/1);
+        }
+        sleep_ns(kPollNs);
+        continue;
+      }
+      if (pkt.epoch != epoch) continue;  // stale attempt
+      switch (static_cast<shm::PacketType>(pkt.type)) {
+        case shm::PacketType::kShardData: {
+          const std::size_t machine = pkt.machine;
+          if (machine < worker.first_machine() ||
+              machine >= worker.end_machine() ||
+              pkt.count > shm::kPacketPayloadWords ||
+              pkt.arg + pkt.count > recv[machine].size()) {
+            throw protocol_fault(w);
+          }
+          std::memcpy(recv[machine].data() + pkt.arg, pkt.payload,
+                      pkt.count * sizeof(Word));
+          got[machine] += pkt.count;
+          break;
+        }
+        case shm::PacketType::kShardDone: {
+          const std::size_t machine = pkt.machine;
+          if (machine < worker.first_machine() ||
+              machine >= worker.end_machine() ||
+              pkt.arg != recv[machine].size() ||
+              got[machine] != pkt.arg) {
+            throw protocol_fault(w);
+          }
+          break;
+        }
+        case shm::PacketType::kExchangeDone:
+          done = true;
+          break;
+        case shm::PacketType::kError:
+        default:
+          throw protocol_fault(w);
+      }
+    }
+  }
+
+  // Phase 5 — commit, in machine order: rule 3 is re-enforced at the arena
+  // and the resident high-watermark recorded, exactly as the in-process
+  // backend does it.
+  for (std::size_t d = 0; d < n; ++d) {
+    group.commit_resident(d, recv[d].size(), plan.round);
+    data.shard(d) = std::move(recv[d]);
+  }
+}
+
+}  // namespace mpcalloc::mpc

@@ -1,0 +1,182 @@
+// Real-process MPC backend: every runtime worker is a forked OS process and
+// Transport::exchange rides the shared-memory SPSC packet rings of
+// mpc/shm/ring.hpp.
+//
+// What lives where: the authoritative shard arenas (and with them capacity
+// rule 3 plus the resident high-watermarks) stay in the coordinator's
+// WorkerGroup, because shard-local compute in primitives.* runs
+// owner-compute in the coordinator. What the child processes own is the
+// *exchange*: each worker process assembles its machines' incoming records
+// for the round in a private anonymous mapping (its shard arena for the
+// exchange — no heap, so the child is fork-safe under the parent's live
+// thread pool) and echoes the assembled shards back. Records therefore
+// really do cross an address-space boundary both ways on every round, and a
+// worker process dying mid-round really does lose in-flight shard state.
+//
+// Supervision is the robustness headline. The coordinator watches each
+// child with waitpid(WNOHANG) plus a heartbeat the child bumps on every
+// loop iteration (mpc/shm/ring.hpp ChannelHeader):
+//
+//  * child reaped  -> the worker's arena blocks are wiped
+//    (WorkerGroup::crash_worker — the machine died with its memory), a
+//    fresh segment + child is forked in its place, and the exchange throws
+//    TransportFault{kWorkerCrash}: PR 7's checkpoint-restore tier recovers,
+//    bitwise identical to the in-process backend.
+//  * heartbeat stale past the deadline (hung or SIGSTOPped child) -> the
+//    child is SIGCONTed and the exchange throws
+//    TransportFault{kDelayedDelivery}: the cluster retries in place with
+//    backoff accounting. No data was committed, so the retry is safe.
+//
+// Degradation is graceful rather than fatal: if fork/shm_open fails, a
+// respawn fails, or the respawn budget is exhausted, the backend shuts its
+// children down and every further exchange runs on an owned
+// InProcessTransport — surfaced on the MpcRecoveryStats ledger
+// (backend_degradations), never by aborting the run.
+//
+// Orphan hygiene: segments are shm_unlink'd immediately after mmap
+// ("unlink-on-map" — no /dev/shm name outlives the call that created it),
+// and children arrange prctl(PR_SET_PDEATHSIG, SIGKILL) so a dying
+// coordinator takes its workers with it. Clean shutdown reaps every child
+// (kShutdown, then SIGKILL + blocking waitpid), so no zombies either.
+#pragma once
+
+#include "mpc/shm/ring.hpp"
+#include "mpc/transport.hpp"
+#include "mpc/worker.hpp"
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpcalloc::mpc {
+
+struct MpcRecoveryStats;  // mpc/cluster.hpp (which includes this header)
+
+/// Which Transport implementation a Cluster runs its exchanges on.
+enum class TransportKind : std::uint8_t {
+  kAuto = 0,       ///< defer to MPCALLOC_TRANSPORT (unset -> in-process)
+  kInProcess = 1,  ///< same-address-space mailboxes (the default backend)
+  kProcess = 2,    ///< forked worker processes over shared-memory rings
+};
+
+[[nodiscard]] const char* transport_kind_name(TransportKind kind);
+
+/// Strict parse of "inprocess" / "process". Anything else throws
+/// std::invalid_argument whose message names `context` (the environment
+/// variable or CLI flag the value came from) — same contract as
+/// resolve_num_threads for MPCALLOC_THREADS.
+[[nodiscard]] TransportKind parse_transport_kind(const std::string& value,
+                                                 const std::string& context);
+
+/// Resolve kAuto against the MPCALLOC_TRANSPORT environment variable
+/// (strictly parsed; unset or empty means in-process). Non-auto kinds pass
+/// through unchanged.
+[[nodiscard]] TransportKind resolve_transport_kind(TransportKind requested);
+
+/// Parse a --transport CLI value: "auto" defers to the environment (kAuto),
+/// anything else goes through parse_transport_kind with the flag named in
+/// the error.
+[[nodiscard]] TransportKind transport_kind_from_cli(const std::string& value);
+
+/// One scripted signal delivery: send `signo` to worker `worker`'s process
+/// at the start of the `exchange_index`-th exchange (0-based lifetime
+/// ordinal, retries not counted — the same ordinals FaultPlan::forced
+/// uses). Fires once. The worker index is taken modulo the worker count so
+/// a script stays valid across thread-count sweeps.
+struct ProcessKill {
+  std::size_t exchange_index = 0;
+  int signo = 9;  ///< SIGKILL; SIGSTOP exercises the deadline path
+  std::size_t worker = 0;
+
+  friend bool operator==(const ProcessKill&, const ProcessKill&) = default;
+};
+
+struct ProcessTransportOptions {
+  std::size_t ring_packets = 1024;  ///< slots per direction per worker
+  std::size_t flush_packets = 64;   ///< producer publishes every this many
+  std::uint64_t deadline_ms = 2000; ///< heartbeat staleness -> deadline miss
+  std::uint32_t max_respawns = 8;   ///< dead-worker re-forks before degrading
+  std::vector<ProcessKill> kill_script;  ///< real-fault injection (tests)
+  bool force_spawn_failure = false;      ///< test hook: every spawn fails
+
+  friend bool operator==(const ProcessTransportOptions&,
+                         const ProcessTransportOptions&) = default;
+};
+
+/// Transport over forked worker processes (see the header comment for the
+/// protocol and the supervision/degradation contract). Construction never
+/// throws on backend failure — it degrades. `ledger` (optional) receives
+/// the recovery-overhead counters; the Cluster passes its own stats.
+class ProcessTransport final : public Transport {
+ public:
+  explicit ProcessTransport(WorkerGroup& workers,
+                            ProcessTransportOptions options = {},
+                            MpcRecoveryStats* ledger = nullptr);
+  ~ProcessTransport() override;
+
+  ProcessTransport(const ProcessTransport&) = delete;
+  ProcessTransport& operator=(const ProcessTransport&) = delete;
+
+  void exchange(const RoundPlan& plan, DistVec& data,
+                std::size_t num_threads) override;
+
+  /// True once the backend fell back to in-process exchanges.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  /// Worker processes currently alive (0 once degraded or shut down).
+  [[nodiscard]] std::size_t live_children() const;
+  /// Pid of worker `w`'s process, or -1 when none (tests: reap checks).
+  [[nodiscard]] pid_t child_pid(std::size_t w) const;
+
+ private:
+  struct Channel {
+    pid_t pid = -1;
+    void* base = nullptr;  ///< MAP_SHARED segment (already unlinked)
+    std::size_t bytes = 0;
+    shm::ChannelLayout layout;
+    shm::RingProducer tx;  ///< coordinator -> worker
+    shm::RingConsumer rx;  ///< worker -> coordinator
+    std::uint64_t last_heartbeat = 0;
+    std::uint64_t last_beat_ns = 0;
+    bool alive = false;
+  };
+
+  [[nodiscard]] bool spawn_worker(std::size_t w);
+  void shutdown_channel(Channel& channel, bool graceful);
+  void shutdown_all(bool graceful);
+  void degrade();
+
+  /// Liveness check for worker `w` mid-wait: reaps a dead child (crash ->
+  /// respawn or degrade -> throw kWorkerCrash) and classifies a stale
+  /// heartbeat as a deadline miss (SIGCONT -> throw kDelayedDelivery).
+  void supervise(std::size_t w, const RoundPlan& plan, std::size_t ordinal);
+  void handle_child_death(std::size_t w, const RoundPlan& plan,
+                          std::size_t ordinal);
+  /// Discard every packet currently readable on `channel`'s rx ring (all
+  /// stale by protocol position — used to unwedge a worker blocked echoing
+  /// a superseded epoch).
+  void drain_rx_discard(Channel& channel);
+  void push_tx(std::size_t w, const shm::Packet& packet, const RoundPlan& plan,
+               std::size_t ordinal);
+  void bump(std::uint64_t MpcRecoveryStats::* counter);
+
+  WorkerGroup* workers_;
+  ProcessTransportOptions options_;
+  MpcRecoveryStats* ledger_;
+  std::vector<Channel> channels_;
+  std::vector<bool> kill_fired_;
+  std::unique_ptr<InProcessTransport> fallback_;
+  bool degraded_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t respawns_done_ = 0;
+  /// Exchange-ordinal bookkeeping, same convention as
+  /// FaultInjectingTransport: consecutive calls for one plan round are
+  /// delivery attempts, a new round is a new ordinal.
+  std::size_t next_ordinal_ = 0;
+  std::size_t last_round_ = static_cast<std::size_t>(-1);
+  std::uint32_t attempt_ = 0;
+};
+
+}  // namespace mpcalloc::mpc

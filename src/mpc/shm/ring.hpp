@@ -1,0 +1,207 @@
+// Fixed-size-packet SPSC ring queues in shared memory — the wire layer of
+// the real-process MPC backend (mpc/process_transport.*).
+//
+// Layout follows the packet-pool style of Princeton CPF's ppool_shm_queue /
+// communicate.h runtimes: one shared segment per coordinator↔worker pair,
+// holding a channel header (heartbeat + readiness) and two single-producer
+// single-consumer rings of 64-byte packets (tx: coordinator→worker, rx:
+// worker→coordinator). Each side only ever produces on one ring and
+// consumes on the other, so the synchronisation is two monotonic indices
+// per ring: the producer writes slots then release-stores `tail`, the
+// consumer acquire-loads `tail`, copies, then release-stores `head`.
+// Producers batch their tail publications (`flush()` every
+// `flush_packets`), which is where the throughput comes from — one
+// release-store amortised over a burst of packets instead of one per
+// packet.
+//
+// Everything in this header is usable from a forked child that must not
+// touch the heap: the views are raw-pointer wrappers over a mapping
+// established before fork, and no method allocates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace mpcalloc::mpc::shm {
+
+using Word = std::uint64_t;
+
+/// Payload words per packet: header (16 bytes of routing + 8 of epoch +
+/// 8 of argument) plus 5 words of payload = exactly one cache line.
+inline constexpr std::size_t kPacketPayloadWords = 5;
+
+/// Packet types of the exchange protocol (process_transport.cpp documents
+/// the sequencing; the ring layer just moves them).
+enum class PacketType : std::uint16_t {
+  kNone = 0,
+  kBeginExchange = 1,  ///< coordinator→worker: reset assembly, adopt epoch
+  kShardSize = 2,      ///< coordinator→worker: machine will hold `arg` words
+  kData = 3,           ///< coordinator→worker: payload at shard offset `arg`
+  kEndExchange = 4,    ///< coordinator→worker: all data sent, echo shards
+  kShardData = 5,      ///< worker→coordinator: assembled words at offset `arg`
+  kShardDone = 6,      ///< worker→coordinator: machine total is `arg` words
+  kExchangeDone = 7,   ///< worker→coordinator: every owned shard echoed
+  kError = 8,          ///< worker→coordinator: protocol/capacity violation
+  kShutdown = 9,       ///< coordinator→worker: exit cleanly
+};
+
+struct alignas(64) Packet {
+  std::uint16_t type = 0;    ///< PacketType
+  std::uint16_t count = 0;   ///< payload words used (≤ kPacketPayloadWords)
+  std::uint32_t machine = 0;
+  std::uint64_t epoch = 0;   ///< exchange epoch (stale-packet filter)
+  std::uint64_t arg = 0;     ///< word offset / word count / error code
+  Word payload[kPacketPayloadWords];
+};
+static_assert(sizeof(Packet) == 64, "one packet per cache line");
+
+/// The two ring indices, each on its own cache line so the producer's tail
+/// stores never false-share with the consumer's head stores.
+struct RingControl {
+  alignas(64) std::atomic<std::uint64_t> head;  ///< next slot to consume
+  alignas(64) std::atomic<std::uint64_t> tail;  ///< next slot to produce
+};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-memory rings need lock-free 64-bit atomics");
+
+/// Per-channel header: the worker's liveness signal. The worker bumps
+/// `heartbeat` on every loop iteration and while spinning on a full ring,
+/// so a SIGSTOPped (or dead) worker is distinguishable from a slow one by
+/// heartbeat staleness alone. `ready` flips to 1 once the worker loop is
+/// entered (spawn handshake).
+struct alignas(64) ChannelHeader {
+  std::atomic<std::uint64_t> heartbeat;
+  std::atomic<std::uint32_t> ready;
+};
+
+/// Producer-side view. Exactly one thread of one process may use it.
+class RingProducer {
+ public:
+  RingProducer() = default;
+  RingProducer(RingControl* control, Packet* slots, std::size_t capacity,
+               std::size_t flush_packets)
+      : control_(control),
+        slots_(slots),
+        capacity_(capacity),
+        flush_packets_(flush_packets > 0 ? flush_packets : 1),
+        tail_cache_(control->tail.load(std::memory_order_relaxed)),
+        head_cache_(control->head.load(std::memory_order_relaxed)) {}
+
+  /// Append one packet if a slot is free. The packet becomes visible to the
+  /// consumer at the next flush() (or automatically after `flush_packets`
+  /// unflushed appends). Returns false when the ring is full.
+  bool try_push(const Packet& packet) {
+    if (tail_cache_ - head_cache_ >= capacity_) {
+      head_cache_ = control_->head.load(std::memory_order_acquire);
+      if (tail_cache_ - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail_cache_ % capacity_] = packet;
+    ++tail_cache_;
+    if (++unflushed_ >= flush_packets_) flush();
+    return true;
+  }
+
+  /// Publish every appended packet (release-store the tail).
+  void flush() {
+    if (unflushed_ == 0) return;
+    control_->tail.store(tail_cache_, std::memory_order_release);
+    unflushed_ = 0;
+  }
+
+ private:
+  RingControl* control_ = nullptr;
+  Packet* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t flush_packets_ = 1;
+  std::uint64_t tail_cache_ = 0;
+  std::uint64_t head_cache_ = 0;
+  std::size_t unflushed_ = 0;
+};
+
+/// Consumer-side view. Exactly one thread of one process may use it.
+class RingConsumer {
+ public:
+  RingConsumer() = default;
+  RingConsumer(RingControl* control, Packet* slots, std::size_t capacity)
+      : control_(control),
+        slots_(slots),
+        capacity_(capacity),
+        head_cache_(control->head.load(std::memory_order_relaxed)),
+        tail_cache_(control->tail.load(std::memory_order_relaxed)) {}
+
+  /// Copy out the next packet if one is published. Returns false when the
+  /// ring is (currently) empty.
+  bool try_pop(Packet* out) {
+    if (head_cache_ == tail_cache_) {
+      tail_cache_ = control_->tail.load(std::memory_order_acquire);
+      if (head_cache_ == tail_cache_) return false;
+    }
+    *out = slots_[head_cache_ % capacity_];
+    ++head_cache_;
+    control_->head.store(head_cache_, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  RingControl* control_ = nullptr;
+  Packet* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::uint64_t head_cache_ = 0;
+  std::uint64_t tail_cache_ = 0;
+};
+
+/// Offsets of one coordinator↔worker channel inside its shared segment:
+/// [ChannelHeader][tx RingControl][tx slots][rx RingControl][rx slots].
+struct ChannelLayout {
+  std::size_t ring_packets = 0;
+  std::size_t header_offset = 0;
+  std::size_t tx_control_offset = 0;
+  std::size_t tx_slots_offset = 0;
+  std::size_t rx_control_offset = 0;
+  std::size_t rx_slots_offset = 0;
+  std::size_t segment_bytes = 0;
+
+  static ChannelLayout for_ring_packets(std::size_t ring_packets) {
+    ChannelLayout layout;
+    layout.ring_packets = ring_packets;
+    std::size_t offset = 0;
+    const auto take = [&offset](std::size_t bytes) {
+      const std::size_t at = offset;
+      offset += (bytes + 63) / 64 * 64;
+      return at;
+    };
+    layout.header_offset = take(sizeof(ChannelHeader));
+    layout.tx_control_offset = take(sizeof(RingControl));
+    layout.tx_slots_offset = take(ring_packets * sizeof(Packet));
+    layout.rx_control_offset = take(sizeof(RingControl));
+    layout.rx_slots_offset = take(ring_packets * sizeof(Packet));
+    layout.segment_bytes = offset;
+    return layout;
+  }
+
+  [[nodiscard]] ChannelHeader* header(void* base) const {
+    return at<ChannelHeader>(base, header_offset);
+  }
+  [[nodiscard]] RingControl* tx_control(void* base) const {
+    return at<RingControl>(base, tx_control_offset);
+  }
+  [[nodiscard]] Packet* tx_slots(void* base) const {
+    return at<Packet>(base, tx_slots_offset);
+  }
+  [[nodiscard]] RingControl* rx_control(void* base) const {
+    return at<RingControl>(base, rx_control_offset);
+  }
+  [[nodiscard]] Packet* rx_slots(void* base) const {
+    return at<Packet>(base, rx_slots_offset);
+  }
+
+ private:
+  template <typename T>
+  static T* at(void* base, std::size_t offset) {
+    return reinterpret_cast<T*>(static_cast<char*>(base) + offset);
+  }
+};
+
+}  // namespace mpcalloc::mpc::shm

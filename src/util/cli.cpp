@@ -83,6 +83,13 @@ CliParser& CliParser::threads_option() {
                 "hardware concurrency)");
 }
 
+CliParser& CliParser::transport_option() {
+  return option("transport", "auto",
+                "MPC exchange backend: inprocess (same address space), "
+                "process (forked workers over shared-memory rings), or auto "
+                "(defer to MPCALLOC_TRANSPORT)");
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   if (argc > 0) program_name_ = argv[0];
   for (int i = 1; i < argc; ++i) {

@@ -27,6 +27,12 @@ class CliParser {
   /// binary documents the knob identically.
   CliParser& threads_option();
 
+  /// Declare the shared `--transport={auto,inprocess,process}` option
+  /// (default auto: defer to MPCALLOC_TRANSPORT, unset means inprocess).
+  /// Values are validated strictly at the use site by
+  /// mpc::transport_kind_from_cli — garbage throws, naming the option.
+  CliParser& transport_option();
+
   /// Parse argv. Returns false (after printing usage) when --help was given.
   /// Throws std::invalid_argument on unknown or malformed options.
   bool parse(int argc, const char* const* argv);

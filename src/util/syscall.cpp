@@ -1,0 +1,111 @@
+#include "util/syscall.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+namespace mpcalloc {
+
+ssize_t retry_read(int fd, void* buf, std::size_t count) {
+  return retry_eintr([&] { return ::read(fd, buf, count); });
+}
+
+ssize_t retry_write(int fd, const void* buf, std::size_t count) {
+  return retry_eintr([&] { return ::write(fd, buf, count); });
+}
+
+ssize_t read_exact(int fd, void* buf, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t got = retry_read(fd, static_cast<char*>(buf) + done,
+                                   count - done);
+    if (got < 0) return -1;
+    if (got == 0) break;  // EOF
+    done += static_cast<std::size_t>(got);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+ssize_t write_all(int fd, const void* buf, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t put = retry_write(fd, static_cast<const char*>(buf) + done,
+                                    count - done);
+    if (put < 0) return -1;
+    done += static_cast<std::size_t>(put);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+pid_t retry_waitpid(pid_t pid, int* status, int options) {
+  return retry_eintr([&] { return ::waitpid(pid, status, options); });
+}
+
+void close_quiet(int fd) {
+  if (fd >= 0) (void)::close(fd);
+}
+
+ShmHandle shm_open_exclusive(const std::string& prefix) {
+  // The suffix only needs to dodge same-named leftovers and concurrent
+  // creators; the O_EXCL loop is what guarantees exclusivity. Seed from the
+  // pid and the monotonic clock, then march a SplitMix64-style step per
+  // collision.
+  std::uint64_t nonce =
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^ monotonic_now_ns();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    nonce += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t mixed = nonce;
+    mixed = (mixed ^ (mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    mixed = (mixed ^ (mixed >> 27)) * 0x94d049bb133111ebULL;
+    mixed ^= mixed >> 31;
+    // The creator's pid is part of the name so a leak can be attributed
+    // (and filtered per-process) by inspection of /dev/shm alone.
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), "%ld-%016llx",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(mixed));
+    ShmHandle handle;
+    handle.name = "/" + prefix + "-" + suffix;
+    const int fd = retry_eintr([&] {
+      return ::shm_open(handle.name.c_str(), O_CREAT | O_EXCL | O_RDWR,
+                        S_IRUSR | S_IWUSR);
+    });
+    if (fd >= 0) {
+      handle.fd = fd;
+      return handle;
+    }
+    if (errno != EEXIST) {
+      throw std::system_error(errno, std::generic_category(),
+                              "shm_open(" + handle.name + ")");
+    }
+  }
+  throw std::system_error(EEXIST, std::generic_category(),
+                          "shm_open_exclusive: could not find a free name "
+                          "under prefix " + prefix);
+}
+
+std::uint64_t monotonic_now_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void sleep_ns(std::uint64_t ns) {
+  timespec req{};
+  req.tv_sec = static_cast<time_t>(ns / 1'000'000'000ULL);
+  req.tv_nsec = static_cast<long>(ns % 1'000'000'000ULL);
+  timespec rem{};
+  while (::clock_nanosleep(CLOCK_MONOTONIC, 0, &req, &rem) == EINTR) {
+    req = rem;
+  }
+}
+
+}  // namespace mpcalloc

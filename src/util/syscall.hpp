@@ -1,0 +1,92 @@
+// EINTR-safe syscall wrappers and the monotonic deadline clock used by the
+// real-process MPC backend (mpc/process_transport.*).
+//
+// Every blocking syscall the backend issues can be interrupted by a signal
+// — and the backend *lives* among signals: its supervision layer SIGCONTs
+// stopped workers, tests SIGKILL children mid-exchange, and gtest installs
+// its own handlers. A raw `read` that returns -1/EINTR at the wrong moment
+// would surface as a phantom worker failure, so the rule is: the backend
+// never calls a retryable syscall directly, only through these wrappers.
+//
+// The retry loop itself is `retry_eintr`, a template over any callable with
+// the `-1 + errno` convention, so the loop can be unit-tested against an
+// interposed failing "fd" (a lambda scripting EINTR failures) without
+// having to synthesise real signal timing — see tests/test_syscall.cpp.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mpcalloc {
+
+/// Run `fn()` (returning a signed count with the -1/errno convention) until
+/// it returns something other than -1/EINTR. Every other outcome — success,
+/// EOF, or a real error — is handed straight back to the caller.
+template <typename Fn>
+auto retry_eintr(const Fn& fn) -> decltype(fn());
+
+/// One `read(fd, buf, count)` retried across EINTR. Returns what read
+/// returns: bytes read (possibly short), 0 at EOF, or -1 with errno set to
+/// a non-EINTR error.
+[[nodiscard]] ssize_t retry_read(int fd, void* buf, std::size_t count);
+
+/// One `write(fd, buf, count)` retried across EINTR (may still be short).
+[[nodiscard]] ssize_t retry_write(int fd, const void* buf, std::size_t count);
+
+/// Loop retry_read until `count` bytes arrived or EOF/error. Returns bytes
+/// actually read (== count unless EOF hit early); -1 on error.
+[[nodiscard]] ssize_t read_exact(int fd, void* buf, std::size_t count);
+
+/// Loop retry_write until every byte is out. Returns count, or -1 on error.
+[[nodiscard]] ssize_t write_all(int fd, const void* buf, std::size_t count);
+
+/// waitpid retried across EINTR. Same contract as waitpid otherwise
+/// (0 with WNOHANG when nothing changed, -1/ECHILD when already reaped).
+[[nodiscard]] pid_t retry_waitpid(pid_t pid, int* status, int options);
+
+/// close(2) that swallows EINTR/EIO instead of retrying: POSIX leaves the
+/// fd state unspecified after EINTR, so retrying risks closing a recycled
+/// descriptor. Safe for the cleanup paths this codebase uses it on.
+void close_quiet(int fd);
+
+/// A freshly created POSIX shared-memory object: the open fd plus the name
+/// it was created under (needed for shm_unlink).
+struct ShmHandle {
+  int fd = -1;
+  std::string name;
+};
+
+/// shm_open with O_CREAT|O_EXCL|O_RDWR under "/<prefix>-<pid>-<random>",
+/// drawing a new random suffix on every EEXIST collision. Throws
+/// std::system_error when the open fails for any other reason (e.g. a
+/// container without /dev/shm — the caller degrades to the in-process
+/// backend). The caller owns both the fd and the unlink; the process
+/// backend unlinks immediately after mmap ("unlink-on-map"), so no name
+/// outlives the mapping even if the coordinator dies.
+[[nodiscard]] ShmHandle shm_open_exclusive(const std::string& prefix);
+
+/// CLOCK_MONOTONIC in nanoseconds — the deadline clock for heartbeat
+/// staleness and exchange supervision (immune to wall-clock steps).
+[[nodiscard]] std::uint64_t monotonic_now_ns();
+
+/// clock_nanosleep on CLOCK_MONOTONIC, retried across EINTR so the full
+/// duration elapses (supervision backs off with this between polls).
+void sleep_ns(std::uint64_t ns);
+
+// ---------------------------------------------------------------------------
+// template definition
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+auto retry_eintr(const Fn& fn) -> decltype(fn()) {
+  for (;;) {
+    const auto result = fn();
+    if (result >= 0) return result;
+    if (errno != EINTR) return result;
+  }
+}
+
+}  // namespace mpcalloc

@@ -8,11 +8,14 @@
 #include "alloc/mpc_driver.hpp"
 #include "graph/generators.hpp"
 #include "mpc/cluster.hpp"
+#include "mpc/process_transport.hpp"
 #include "mpc/transport.hpp"
 #include "mpc/worker.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
+
+#include <signal.h>
 
 #include <numeric>
 #include <string>
@@ -77,7 +80,11 @@ TEST(FaultTolerance, ChaosMatrixRecoversBitwiseIdenticalRuns) {
   // here is the fault path's fault.
   const AllocationInstance instance = chaos_instance();
   const MpcRunResult reference = run_mpc_naive(instance, chaos_config(1));
-  ASSERT_EQ(reference.recovery, MpcRecoveryStats{});
+  // Checkpoints are allowed (a real transport backend arms them even with
+  // no fault plan); every fault and recovery counter must still be zero.
+  MpcRecoveryStats clean{};
+  clean.checkpoints_taken = reference.recovery.checkpoints_taken;
+  ASSERT_EQ(reference.recovery, clean);
 
   const FaultKind kinds[] = {
       FaultKind::kExchangeFailure, FaultKind::kDelayedDelivery,
@@ -442,6 +449,126 @@ TEST(Overflow, FailFastStillThrowsAndSplitNeverRelaxesResidentRule) {
     const std::vector<std::uint32_t> dest{1};
     EXPECT_THROW(cluster.shuffle(d, dest), mpc::MpcCapacityError);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Real-process chaos: actual signals delivered to forked worker processes
+// (mpc/process_transport.*), recovered through the same tiers as the
+// simulated faults above. Suite name deliberately avoids the sanitizer-CI
+// name filters: these tests fork, and fork + TSan do not mix.
+// ---------------------------------------------------------------------------
+
+MpcDriverConfig process_chaos_config(std::size_t threads) {
+  MpcDriverConfig config = chaos_config(threads);
+  config.transport = mpc::TransportKind::kProcess;
+  config.checkpoint_every = 1;
+  return config;
+}
+
+TEST(RealProcessFaults, SigkillMatrixRecoversBitwiseIdenticalRuns) {
+  // The acceptance sweep with nothing simulated: a worker process is
+  // SIGKILLed for real at each scripted exchange, at every thread count.
+  // The coordinator must reap it, respawn a replacement, and recover
+  // through the checkpoint-restore tier to the exact result of a fault-free
+  // *in-process* run — the strongest cross-backend identity claim we have.
+  const AllocationInstance instance = chaos_instance();
+  MpcDriverConfig reference_config = chaos_config(1);
+  reference_config.transport = mpc::TransportKind::kInProcess;
+  const MpcRunResult reference = run_mpc_naive(instance, reference_config);
+
+  const std::size_t injection_points[] = {0, 3, 9};
+  const std::size_t thread_counts[] = {1, 2, 4};
+  for (const std::size_t at : injection_points) {
+    for (const std::size_t threads : thread_counts) {
+      MpcDriverConfig config = process_chaos_config(threads);
+      config.process_options.kill_script = {
+          mpc::ProcessKill{at, SIGKILL, /*worker=*/at % 2}};
+      const std::string label = "SIGKILL at exchange " + std::to_string(at) +
+                                ", " + std::to_string(threads) + " threads";
+      const MpcRunResult recovered = run_mpc_naive(instance, config);
+      expect_bitwise_match(recovered, reference, label);
+      EXPECT_EQ(recovered.recovery.process_crashes, 1u) << label;
+      EXPECT_EQ(recovered.recovery.worker_respawns, 1u) << label;
+      EXPECT_GE(recovered.recovery.checkpoint_restores, 1u) << label;
+      EXPECT_EQ(recovered.recovery.backend_degradations, 0u) << label;
+    }
+  }
+}
+
+TEST(RealProcessFaults, SigstopMatrixClassifiesDeadlineMissesAndRetries) {
+  // A SIGSTOPped worker is not dead — its heartbeat goes stale. The
+  // supervisor must classify that as a deadline miss (kDelayedDelivery),
+  // SIGCONT the worker, and recover by in-place retry with backoff — no
+  // checkpoint restore, no crash counted, bitwise identical result.
+  const AllocationInstance instance = chaos_instance();
+  MpcDriverConfig reference_config = chaos_config(1);
+  reference_config.transport = mpc::TransportKind::kInProcess;
+  const MpcRunResult reference = run_mpc_naive(instance, reference_config);
+
+  const std::size_t injection_points[] = {0, 3, 9};
+  const std::size_t thread_counts[] = {1, 2, 4};
+  for (const std::size_t at : injection_points) {
+    for (const std::size_t threads : thread_counts) {
+      MpcDriverConfig config = process_chaos_config(threads);
+      config.process_options.deadline_ms = 150;
+      config.process_options.kill_script = {
+          mpc::ProcessKill{at, SIGSTOP, /*worker=*/at % 2}};
+      const std::string label = "SIGSTOP at exchange " + std::to_string(at) +
+                                ", " + std::to_string(threads) + " threads";
+      const MpcRunResult recovered = run_mpc_naive(instance, config);
+      expect_bitwise_match(recovered, reference, label);
+      EXPECT_GE(recovered.recovery.deadline_misses, 1u) << label;
+      EXPECT_GE(recovered.recovery.exchange_retries, 1u) << label;
+      EXPECT_GE(recovered.recovery.backoff_rounds, 1u) << label;
+      EXPECT_EQ(recovered.recovery.process_crashes, 0u) << label;
+      EXPECT_EQ(recovered.recovery.checkpoint_restores, 0u) << label;
+    }
+  }
+}
+
+TEST(RealProcessFaults, RealKillComposesWithSimulatedFaultPlan) {
+  // FaultInjectingTransport decorating ProcessTransport: a simulated
+  // partial delivery and a real SIGKILL in one run, each recovered by its
+  // own tier, still landing bitwise on the in-process fault-free result.
+  const AllocationInstance instance = chaos_instance();
+  MpcDriverConfig reference_config = chaos_config(1);
+  reference_config.transport = mpc::TransportKind::kInProcess;
+  const MpcRunResult reference = run_mpc_naive(instance, reference_config);
+
+  MpcDriverConfig config = process_chaos_config(2);
+  config.process_options.kill_script = {
+      mpc::ProcessKill{3, SIGKILL, /*worker=*/0}};
+  config.fault_plan.forced = {
+      FaultEvent{7, FaultKind::kPartialDelivery, /*attempts=*/1}};
+  const MpcRunResult recovered = run_mpc_naive(instance, config);
+  expect_bitwise_match(recovered, reference, "SIGKILL + simulated partial");
+  EXPECT_EQ(recovered.recovery.process_crashes, 1u);
+  EXPECT_EQ(recovered.recovery.faults_injected, 2u)
+      << "one real crash + one simulated partial, both seen by the ledger";
+  EXPECT_EQ(recovered.recovery.replayed_exchanges, 1u)
+      << "the partial is absorbed in-shuffle; only the crash escalates";
+  EXPECT_GE(recovered.recovery.checkpoint_restores, 1u);
+}
+
+TEST(RealProcessFaults, ExhaustedRespawnBudgetDegradesAndStillMatches) {
+  // max_respawns = 0: the first real crash burns the process backend down
+  // to the in-process fallback. The run must still complete — degradation
+  // is an overhead-ledger event, not an error — and still match bitwise.
+  const AllocationInstance instance = chaos_instance();
+  MpcDriverConfig reference_config = chaos_config(1);
+  reference_config.transport = mpc::TransportKind::kInProcess;
+  const MpcRunResult reference = run_mpc_naive(instance, reference_config);
+
+  MpcDriverConfig config = process_chaos_config(1);
+  config.process_options.max_respawns = 0;
+  config.process_options.kill_script = {
+      mpc::ProcessKill{2, SIGKILL, /*worker=*/0}};
+  const MpcRunResult recovered = run_mpc_naive(instance, config);
+  expect_bitwise_match(recovered, reference, "degraded mid-run");
+  EXPECT_EQ(recovered.recovery.process_crashes, 1u);
+  EXPECT_EQ(recovered.recovery.worker_respawns, 0u);
+  EXPECT_EQ(recovered.recovery.backend_degradations, 1u);
+  EXPECT_GE(recovered.recovery.checkpoint_restores, 1u);
 }
 
 TEST(Overflow, SplitExchangeComposesWithFaultRecovery) {

@@ -1,0 +1,421 @@
+// The real-process MPC backend (mpc/process_transport.*): bitwise parity
+// with the in-process backend, strict backend selection (env + CLI), crash
+// supervision with respawn, deadline classification of stopped workers,
+// graceful degradation, and — via the fixture — the no-leak hygiene
+// contract: no /dev/shm/mpcalloc-* segment and no child process survives
+// any test.
+//
+// Suite name deliberately avoids the sanitizer-CI name filters: these tests
+// fork, and fork + TSan do not mix.
+#include "mpc/cluster.hpp"
+#include "mpc/process_transport.hpp"
+#include "util/syscall.hpp"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+using mpc::Cluster;
+using mpc::ClusterCheckpoint;
+using mpc::DistVec;
+using mpc::FaultEvent;
+using mpc::FaultKind;
+using mpc::FaultPlan;
+using mpc::ProcessKill;
+using mpc::ProcessTransport;
+using mpc::ProcessTransportOptions;
+using mpc::TransportFault;
+using mpc::TransportKind;
+using mpc::Word;
+
+std::vector<std::string> shm_segments() {
+  // Segment names embed the creating pid (util/syscall.cpp), so the scan
+  // only sees this process's segments even under a parallel ctest run.
+  const std::string mine = "mpcalloc-" + std::to_string(getpid()) + "-";
+  std::vector<std::string> out;
+  DIR* dir = opendir("/dev/shm");
+  if (dir == nullptr) return out;  // no tmpfs — nothing can leak either
+  while (dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(mine, 0) == 0) out.push_back(name);
+  }
+  closedir(dir);
+  return out;
+}
+
+/// Every test must leave the machine exactly as it found it: no named shm
+/// segment (unlink-on-map means none should exist even *during* a test) and
+/// no child process, zombie or alive.
+class ProcessBackend : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    EXPECT_EQ(shm_segments(), std::vector<std::string>{})
+        << "leaked /dev/shm segment";
+    int status = 0;
+    errno = 0;
+    EXPECT_EQ(retry_waitpid(-1, &status, WNOHANG), -1)
+        << "a child process outlived the test";
+    EXPECT_EQ(errno, ECHILD);
+  }
+};
+
+ProcessTransportOptions fast_deadline(std::uint64_t ms = 250) {
+  ProcessTransportOptions options;
+  options.deadline_ms = ms;
+  return options;
+}
+
+/// Drive `rounds` deterministic shuffles and return the final stream plus
+/// the model counters — the parity probe both backends must agree on.
+struct RunTrace {
+  std::vector<Word> data;
+  std::size_t rounds = 0;
+  std::uint64_t words_moved = 0;
+  std::uint64_t peak_machine = 0;
+
+  friend bool operator==(const RunTrace&, const RunTrace&) = default;
+};
+
+RunTrace drive(Cluster& cluster, std::size_t rounds) {
+  std::vector<Word> flat(96);
+  std::iota(flat.begin(), flat.end(), 1000);
+  DistVec d = cluster.scatter(flat, 2);
+  const std::size_t n = cluster.num_machines();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<std::uint32_t> dest(48);
+    for (std::size_t i = 0; i < dest.size(); ++i) {
+      dest[i] = static_cast<std::uint32_t>((i * 7 + r * 13 + 3) % n);
+    }
+    cluster.shuffle(d, dest);
+  }
+  return RunTrace{d.gather(), cluster.rounds(), cluster.total_words_moved(),
+                  cluster.peak_machine_words()};
+}
+
+TEST_F(ProcessBackend, BitwiseParityWithInProcessBackend) {
+  // Both kinds pinned explicitly: the parity claim must hold even when the
+  // suite itself runs under MPCALLOC_TRANSPORT=process.
+  Cluster inproc(6, 256, 3);
+  inproc.set_transport_kind(TransportKind::kInProcess);
+  Cluster proc(6, 256, 3);
+  proc.set_transport_kind(TransportKind::kProcess);
+  auto* transport = dynamic_cast<ProcessTransport*>(&proc.transport());
+  ASSERT_NE(transport, nullptr);
+  ASSERT_FALSE(transport->degraded());
+  ASSERT_EQ(transport->live_children(), 3u);
+
+  const RunTrace a = drive(inproc, 6);
+  const RunTrace b = drive(proc, 6);
+  EXPECT_EQ(a, b) << "records crossed address spaces but the stream and "
+                     "every model counter must be bitwise identical";
+  EXPECT_FALSE(transport->degraded());
+}
+
+TEST_F(ProcessBackend, EvenDuringARunNoShmNameIsVisible) {
+  // Unlink-on-map: the segment name is gone the moment the mapping exists,
+  // so even a live, mid-run backend leaves /dev/shm empty.
+  Cluster cluster(4, 256, 2);
+  cluster.set_transport_kind(TransportKind::kProcess);
+  (void)drive(cluster, 2);
+  EXPECT_EQ(shm_segments(), std::vector<std::string>{});
+}
+
+TEST_F(ProcessBackend, DestructorReapsEveryChild) {
+  std::vector<pid_t> pids;
+  {
+    Cluster cluster(4, 256, 2);
+    cluster.set_transport_kind(TransportKind::kProcess);
+    auto* transport = dynamic_cast<ProcessTransport*>(&cluster.transport());
+    ASSERT_NE(transport, nullptr);
+    for (std::size_t w = 0; w < 2; ++w) {
+      const pid_t pid = transport->child_pid(w);
+      ASSERT_GT(pid, 0);
+      pids.push_back(pid);
+    }
+    (void)drive(cluster, 2);
+  }
+  for (const pid_t pid : pids) {
+    errno = 0;
+    EXPECT_EQ(kill(pid, 0), -1) << "worker " << pid << " still running";
+    EXPECT_EQ(errno, ESRCH);
+  }
+}
+
+TEST_F(ProcessBackend, SigkilledWorkerIsReapedRespawnedAndClassified) {
+  Cluster cluster(6, 256, 3);
+  ProcessTransportOptions options = fast_deadline();
+  options.kill_script = {ProcessKill{/*exchange_index=*/1, SIGKILL,
+                                     /*worker=*/1}};
+  cluster.set_transport_kind(TransportKind::kProcess, options);
+  auto* transport = dynamic_cast<ProcessTransport*>(&cluster.transport());
+  ASSERT_NE(transport, nullptr);
+  const pid_t doomed = transport->child_pid(1);
+
+  std::vector<Word> flat(48, 5);
+  DistVec d = cluster.scatter(flat, 1);
+  std::vector<std::uint32_t> dest(48);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    dest[i] = static_cast<std::uint32_t>(i % 6);
+  }
+  const ClusterCheckpoint cp = cluster.checkpoint();
+  cluster.shuffle(d, dest);  // ordinal 0: clean
+
+  // Ordinal 1: the worker dies for real mid-exchange. The crash must
+  // escalate out of shuffle (arena state died with the process), already
+  // classified and with a fresh worker in place.
+  try {
+    cluster.shuffle(d, dest);
+    FAIL() << "expected TransportFault{kWorkerCrash}";
+  } catch (const TransportFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::kWorkerCrash);
+  }
+  EXPECT_EQ(cluster.recovery_stats().process_crashes, 1u);
+  EXPECT_EQ(cluster.recovery_stats().worker_respawns, 1u);
+  EXPECT_EQ(cluster.recovery_stats().backend_degradations, 0u);
+  EXPECT_EQ(transport->live_children(), 3u) << "respawn must refill the slot";
+  EXPECT_NE(transport->child_pid(1), doomed);
+
+  // Driver-style recovery: restore and replay lands on the clean result.
+  Cluster reference(6, 256, 3);
+  reference.set_transport_kind(TransportKind::kInProcess);
+  DistVec ref = reference.scatter(flat, 1);
+  reference.shuffle(ref, dest);
+  reference.shuffle(ref, dest);
+  cluster.restore(cp);
+  cluster.shuffle(d, dest);
+  cluster.shuffle(d, dest);
+  EXPECT_EQ(d.gather(), ref.gather());
+}
+
+TEST_F(ProcessBackend, SigstoppedWorkerIsADeadlineMissAndRecoversInPlace) {
+  Cluster cluster(4, 256, 2);
+  ProcessTransportOptions options = fast_deadline(150);
+  options.kill_script = {ProcessKill{/*exchange_index=*/0, SIGSTOP,
+                                     /*worker=*/0}};
+  cluster.set_transport_kind(TransportKind::kProcess, options);
+
+  std::vector<Word> flat(32);
+  std::iota(flat.begin(), flat.end(), 0);
+  DistVec d = cluster.scatter(flat, 1);
+  std::vector<std::uint32_t> dest(32);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    dest[i] = static_cast<std::uint32_t>((i + 1) % 4);
+  }
+  // kDelayedDelivery is non-corrupting: the armed recovery loop absorbs it
+  // (SIGCONT + in-place retry) without the caller noticing.
+  cluster.shuffle(d, dest);
+  EXPECT_GE(cluster.recovery_stats().deadline_misses, 1u);
+  EXPECT_GE(cluster.recovery_stats().exchange_retries, 1u);
+  EXPECT_GE(cluster.recovery_stats().backoff_rounds, 1u);
+  EXPECT_EQ(cluster.recovery_stats().process_crashes, 0u);
+
+  Cluster reference(4, 256, 2);
+  reference.set_transport_kind(TransportKind::kInProcess);
+  DistVec ref = reference.scatter(flat, 1);
+  reference.shuffle(ref, dest);
+  EXPECT_EQ(d.gather(), ref.gather());
+  EXPECT_EQ(cluster.rounds(), reference.rounds());
+  EXPECT_EQ(cluster.total_words_moved(), reference.total_words_moved());
+}
+
+TEST_F(ProcessBackend, KillScriptWorkerIndexWrapsModuloWorkerCount) {
+  // Worker 7 on a 2-worker cluster targets 7 % 2 = 1, so one kill script
+  // stays meaningful across thread-count sweeps.
+  Cluster cluster(4, 256, 2);
+  ProcessTransportOptions options = fast_deadline();
+  options.kill_script = {ProcessKill{/*exchange_index=*/0, SIGKILL,
+                                     /*worker=*/7}};
+  cluster.set_transport_kind(TransportKind::kProcess, options);
+  auto* transport = dynamic_cast<ProcessTransport*>(&cluster.transport());
+  const pid_t w1 = transport->child_pid(1);
+
+  std::vector<Word> flat(16, 3);
+  DistVec d = cluster.scatter(flat, 1);
+  const std::vector<std::uint32_t> dest(16, 2);
+  EXPECT_THROW(cluster.shuffle(d, dest), TransportFault);
+  EXPECT_EQ(cluster.recovery_stats().process_crashes, 1u);
+  EXPECT_NE(transport->child_pid(1), w1);
+}
+
+TEST_F(ProcessBackend, SimulatedFaultPlanComposesOverProcessTransport) {
+  // FaultInjectingTransport decorates whatever backend is configured, so a
+  // simulated transient fault rides on real forked exchanges.
+  Cluster cluster(4, 256, 2);
+  cluster.set_transport_kind(TransportKind::kProcess);
+  FaultPlan plan;
+  plan.forced = {FaultEvent{0, FaultKind::kExchangeFailure, 1}};
+  cluster.set_fault_plan(plan);
+
+  std::vector<Word> flat(32);
+  std::iota(flat.begin(), flat.end(), 50);
+  DistVec d = cluster.scatter(flat, 1);
+  std::vector<std::uint32_t> dest(32);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    dest[i] = static_cast<std::uint32_t>((i * 3) % 4);
+  }
+  cluster.shuffle(d, dest);
+  EXPECT_EQ(cluster.recovery_stats().faults_injected, 1u);
+  EXPECT_EQ(cluster.recovery_stats().exchange_retries, 1u);
+
+  Cluster reference(4, 256, 2);
+  reference.set_transport_kind(TransportKind::kInProcess);
+  DistVec ref = reference.scatter(flat, 1);
+  reference.shuffle(ref, dest);
+  EXPECT_EQ(d.gather(), ref.gather());
+}
+
+TEST_F(ProcessBackend, TransportMustBeConfiguredBeforeTheFaultPlan) {
+  Cluster cluster(4, 64, 2);
+  FaultPlan plan;
+  plan.forced = {FaultEvent{0, FaultKind::kExchangeFailure, 1}};
+  cluster.set_fault_plan(plan);
+  EXPECT_THROW(cluster.set_transport_kind(TransportKind::kProcess),
+               std::logic_error);
+}
+
+TEST_F(ProcessBackend, SpawnFailureDegradesGracefullyToInProcess) {
+  Cluster cluster(4, 256, 2);
+  ProcessTransportOptions options;
+  options.force_spawn_failure = true;
+  cluster.set_transport_kind(TransportKind::kProcess, options);
+  auto* transport = dynamic_cast<ProcessTransport*>(&cluster.transport());
+  ASSERT_NE(transport, nullptr);
+  EXPECT_TRUE(transport->degraded());
+  EXPECT_EQ(transport->live_children(), 0u);
+  EXPECT_EQ(cluster.recovery_stats().backend_degradations, 1u);
+
+  // Degraded is not broken: exchanges run in-process, bitwise identical.
+  Cluster reference(4, 256, 2);
+  reference.set_transport_kind(TransportKind::kInProcess);
+  const RunTrace a = drive(reference, 4);
+  const RunTrace b = drive(cluster, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ProcessBackend, ExhaustedRespawnBudgetDegradesInsteadOfSpinning) {
+  Cluster cluster(4, 256, 2);
+  ProcessTransportOptions options = fast_deadline();
+  options.max_respawns = 0;
+  options.kill_script = {ProcessKill{/*exchange_index=*/0, SIGKILL,
+                                     /*worker=*/0}};
+  cluster.set_transport_kind(TransportKind::kProcess, options);
+  auto* transport = dynamic_cast<ProcessTransport*>(&cluster.transport());
+
+  std::vector<Word> flat(16, 9);
+  DistVec d = cluster.scatter(flat, 1);
+  const std::vector<std::uint32_t> dest(16, 3);
+  // The crash still escalates (this exchange lost data)...
+  EXPECT_THROW(cluster.shuffle(d, dest), TransportFault);
+  // ...but the backend gave up on processes rather than re-forking forever.
+  EXPECT_TRUE(transport->degraded());
+  EXPECT_EQ(transport->live_children(), 0u);
+  EXPECT_EQ(cluster.recovery_stats().backend_degradations, 1u);
+  EXPECT_EQ(cluster.recovery_stats().worker_respawns, 0u);
+
+  // Replay on the degraded backend completes and matches in-process.
+  d.shard(0).assign(16, 9);
+  for (std::size_t m = 1; m < 4; ++m) d.shard(m).clear();
+  cluster.shuffle(d, dest);
+  EXPECT_EQ(d.shard(3), (std::vector<Word>(16, 9)));
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection: environment + CLI, strict everywhere
+// ---------------------------------------------------------------------------
+
+TEST_F(ProcessBackend, ParseIsStrictAndNamesItsContext) {
+  EXPECT_EQ(mpc::parse_transport_kind("inprocess", "MPCALLOC_TRANSPORT"),
+            TransportKind::kInProcess);
+  EXPECT_EQ(mpc::parse_transport_kind("process", "MPCALLOC_TRANSPORT"),
+            TransportKind::kProcess);
+  for (const char* garbage : {"", "Process", "proc", "auto ", "threads"}) {
+    try {
+      (void)mpc::parse_transport_kind(garbage, "MPCALLOC_TRANSPORT");
+      FAIL() << "accepted '" << garbage << "'";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("MPCALLOC_TRANSPORT"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST_F(ProcessBackend, CliValueAutoDefersToEnvironmentOthersAreStrict) {
+  EXPECT_EQ(mpc::transport_kind_from_cli("auto"), TransportKind::kAuto);
+  EXPECT_EQ(mpc::transport_kind_from_cli("inprocess"),
+            TransportKind::kInProcess);
+  EXPECT_EQ(mpc::transport_kind_from_cli("process"), TransportKind::kProcess);
+  try {
+    (void)mpc::transport_kind_from_cli("sockets");
+    FAIL() << "accepted 'sockets'";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--transport"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(ProcessBackend, EnvironmentKnobSelectsBackendAndRejectsGarbage) {
+  const char* saved = std::getenv("MPCALLOC_TRANSPORT");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ASSERT_EQ(setenv("MPCALLOC_TRANSPORT", "process", 1), 0);
+  EXPECT_EQ(mpc::resolve_transport_kind(TransportKind::kAuto),
+            TransportKind::kProcess);
+  // Explicit kinds are never overridden by the environment.
+  EXPECT_EQ(mpc::resolve_transport_kind(TransportKind::kInProcess),
+            TransportKind::kInProcess);
+  {
+    // Every cluster honours the knob from birth, no plumbing required.
+    Cluster cluster(4, 256, 2);
+    EXPECT_EQ(cluster.transport_kind(), TransportKind::kProcess);
+    EXPECT_NE(dynamic_cast<ProcessTransport*>(&cluster.transport()), nullptr);
+  }
+
+  ASSERT_EQ(setenv("MPCALLOC_TRANSPORT", "forked", 1), 0);
+  try {
+    (void)mpc::resolve_transport_kind(TransportKind::kAuto);
+    FAIL() << "garbage env value accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("MPCALLOC_TRANSPORT"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW(Cluster(4, 256, 2), std::invalid_argument);
+
+  ASSERT_EQ(unsetenv("MPCALLOC_TRANSPORT"), 0);
+  EXPECT_EQ(mpc::resolve_transport_kind(TransportKind::kAuto),
+            TransportKind::kInProcess);
+  if (saved != nullptr) {
+    ASSERT_EQ(setenv("MPCALLOC_TRANSPORT", saved_value.c_str(), 1), 0);
+  }
+}
+
+TEST_F(ProcessBackend, SwitchingKindsRebuildsAndBackIsInProcess) {
+  Cluster cluster(4, 256, 2);
+  cluster.set_transport_kind(TransportKind::kInProcess);
+  EXPECT_EQ(cluster.transport_kind(), TransportKind::kInProcess);
+  cluster.set_transport_kind(TransportKind::kProcess);
+  EXPECT_EQ(cluster.transport_kind(), TransportKind::kProcess);
+  EXPECT_TRUE(cluster.fault_tolerant())
+      << "a real backend arms recovery unconditionally";
+  cluster.set_transport_kind(TransportKind::kInProcess);
+  EXPECT_EQ(cluster.transport_kind(), TransportKind::kInProcess);
+  EXPECT_EQ(dynamic_cast<ProcessTransport*>(&cluster.transport()), nullptr);
+  (void)drive(cluster, 2);
+}
+
+}  // namespace
+}  // namespace mpcalloc

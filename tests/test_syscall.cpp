@@ -1,0 +1,167 @@
+// util/syscall: the EINTR-retry contract, exercised both against interposed
+// failing callables (deterministic, no real signal timing needed) and
+// against real fds, processes, and shm objects.
+//
+// Suite name deliberately avoids the sanitizer-CI name filters: these tests
+// fork, and fork + TSan do not mix.
+#include "util/syscall.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+TEST(SyscallRetry, RetriesExactlyWhileEintrThenReturnsSuccess) {
+  // An interposed "fd" scripted to fail with EINTR three times: the wrapper
+  // must call it exactly four times and hand back the eventual result.
+  int calls = 0;
+  const auto flaky = [&]() -> ssize_t {
+    if (++calls <= 3) {
+      errno = EINTR;
+      return -1;
+    }
+    return 42;
+  };
+  EXPECT_EQ(retry_eintr(flaky), 42);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(SyscallRetry, NonEintrErrorsPropagateImmediately) {
+  int calls = 0;
+  const auto broken = [&]() -> ssize_t {
+    ++calls;
+    errno = EBADF;
+    return -1;
+  };
+  EXPECT_EQ(retry_eintr(broken), -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(calls, 1) << "a real error must not be retried";
+}
+
+TEST(SyscallRetry, ZeroIsSuccessNotARetry) {
+  // EOF (read returning 0) is a valid outcome, not a retryable failure.
+  int calls = 0;
+  const auto eof = [&]() -> ssize_t {
+    ++calls;
+    return 0;
+  };
+  EXPECT_EQ(retry_eintr(eof), 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SyscallRetry, ReadExactAssemblesShortReadsAndStopsAtEof) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Writer dribbles the payload in small chunks, then closes: read_exact
+  // must assemble the full message across short reads, and a second call
+  // must report the early EOF honestly.
+  const std::string payload(1000, 'x');
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < payload.size(); i += 100) {
+      ASSERT_EQ(write_all(fds[1], payload.data() + i, 100), 100);
+    }
+    close_quiet(fds[1]);
+  });
+  std::vector<char> buf(payload.size());
+  EXPECT_EQ(read_exact(fds[0], buf.data(), buf.size()),
+            static_cast<ssize_t>(buf.size()));
+  EXPECT_EQ(std::memcmp(buf.data(), payload.data(), payload.size()), 0);
+  EXPECT_EQ(read_exact(fds[0], buf.data(), buf.size()), 0) << "EOF expected";
+  writer.join();
+  close_quiet(fds[0]);
+}
+
+TEST(SyscallRetry, WriteAllPushesMoreThanOnePipeBufferThrough) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // 1 MiB is comfortably past the default 64 KiB pipe buffer, so write_all
+  // must block and resume mid-payload while the reader drains.
+  const std::size_t total = 1 << 20;
+  std::thread reader([&] {
+    std::vector<char> sink(1 << 16);
+    std::size_t got = 0;
+    while (got < total) {
+      const ssize_t n = retry_read(fds[0], sink.data(), sink.size());
+      ASSERT_GT(n, 0);
+      got += static_cast<std::size_t>(n);
+    }
+    EXPECT_EQ(got, total);
+  });
+  const std::vector<char> payload(total, 'y');
+  EXPECT_EQ(write_all(fds[1], payload.data(), total),
+            static_cast<ssize_t>(total));
+  reader.join();
+  close_quiet(fds[0]);
+  close_quiet(fds[1]);
+}
+
+TEST(SyscallRetry, ReadAndWriteReportRealErrors) {
+  char c = 0;
+  EXPECT_EQ(retry_read(-1, &c, 1), -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(retry_write(-1, &c, 1), -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(read_exact(-1, &c, 1), -1);
+  EXPECT_EQ(write_all(-1, &c, 1), -1);
+}
+
+TEST(SyscallRetry, WaitpidReapsAForkedChild) {
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) _exit(7);
+  int status = 0;
+  EXPECT_EQ(retry_waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 7);
+  // Already reaped: the wrapper passes the -1/ECHILD verdict through.
+  EXPECT_EQ(retry_waitpid(pid, &status, 0), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(SyscallRetry, ShmOpenExclusiveDrawsDistinctUsableNames) {
+  std::set<std::string> names;
+  std::vector<ShmHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    ShmHandle handle = shm_open_exclusive("mpcalloc-test");
+    ASSERT_GE(handle.fd, 0);
+    EXPECT_TRUE(handle.name.rfind("/mpcalloc-test-", 0) == 0) << handle.name;
+    names.insert(handle.name);
+    handles.push_back(std::move(handle));
+  }
+  EXPECT_EQ(names.size(), 8u) << "names must be collision-free while open";
+  for (const ShmHandle& handle : handles) {
+    // The object is real and mappable until unlinked.
+    ASSERT_EQ(ftruncate(handle.fd, 4096), 0);
+    void* map = mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     handle.fd, 0);
+    ASSERT_NE(map, MAP_FAILED);
+    static_cast<char*>(map)[0] = 1;
+    EXPECT_EQ(munmap(map, 4096), 0);
+    EXPECT_EQ(shm_unlink(handle.name.c_str()), 0);
+    close_quiet(handle.fd);
+  }
+}
+
+TEST(SyscallRetry, MonotonicClockAdvancesAndSleepElapsesInFull) {
+  const std::uint64_t t0 = monotonic_now_ns();
+  sleep_ns(2'000'000);  // 2 ms
+  const std::uint64_t t1 = monotonic_now_ns();
+  EXPECT_GE(t1 - t0, 2'000'000u)
+      << "sleep_ns must not return early (EINTR remainder handling)";
+}
+
+}  // namespace
+}  // namespace mpcalloc
