@@ -1,0 +1,265 @@
+// bench_load — instance storage and startup cost of the arena layout.
+//
+// Three questions, one deterministic instance:
+//   1. Bytes: how much smaller is the contiguous 32-bit-offset arena than
+//      the seed's five-vector layout (std::size_t offsets, five separate
+//      heap blocks)? Reported as exact byte counters (deterministic — the
+//      perf gate compares them tightly), plus resident-set readings as
+//      loose metrics.
+//   2. Startup: wall-clock for text parse vs pack vs one-write save vs
+//      mmap load vs read-into-heap load.
+//   3. Correctness certificates (the gate requires *_certificate_ok == 1):
+//      solvers produce bitwise-identical SolveResults on the heap-built,
+//      mmap-loaded, and edge-permuted images across thread counts, and the
+//      saved image's payload checksums verify.
+//
+// `--json=PATH` emits the metrics for scripts/compare_bench.py.
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+
+#include "util/cli.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace mpcalloc;
+using namespace mpcalloc::bench;
+
+/// Bytes the pre-arena representation spent on the same graph: five heap
+/// vectors with std::size_t CSR offsets (the layout this bench exists to
+/// retire). Excludes per-vector allocator slack, so the comparison is
+/// conservative.
+std::uint64_t seed_layout_bytes(const BipartiteGraph& g) {
+  const std::uint64_t m = g.num_edges();
+  return m * sizeof(Edge) + 2 * m * sizeof(Incidence) +
+         (g.num_left() + 1) * sizeof(std::size_t) +
+         (g.num_right() + 1) * sizeof(std::size_t);
+}
+
+/// VmRSS in MiB from /proc/self/status (0.0 when unavailable).
+double resident_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "VmRSS:") {
+      double kib = 0.0;
+      status >> kib;
+      return kib / 1024.0;
+    }
+    status.ignore(1 << 20, '\n');
+  }
+  return 0.0;
+}
+
+/// Bitwise SolveResult comparison. `remap` (new edge id → original id)
+/// translates per-edge values when `b` ran on a renumbered image; empty
+/// means identical edge ids.
+bool same_result(const SolveResult& a, const SolveResult& b,
+                 std::span<const EdgeId> remap) {
+  if (a.match_weight != b.match_weight) return false;
+  if (a.rounds_executed != b.rounds_executed) return false;
+  if (a.final_levels != b.final_levels) return false;
+  if (a.final_alloc != b.final_alloc) return false;
+  if (a.allocation.x.size() != b.allocation.x.size()) return false;
+  if (remap.empty()) return a.allocation.x == b.allocation.x;
+  for (std::size_t e = 0; e < b.allocation.x.size(); ++e) {
+    if (a.allocation.x[remap[e]] != b.allocation.x[e]) return false;
+  }
+  return true;
+}
+
+SolveResult run(const AllocationInstance& instance, SolveMethod method,
+                std::size_t threads) {
+  SolveOptions options;
+  options.method = method;
+  options.num_threads = threads;
+  options.epsilon = 0.25;
+  options.lambda = 4.0;
+  options.max_rounds = method == SolveMethod::kProportional ? 12 : 0;
+  options.seed = 7;
+  return Solver(options).solve(instance);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_load: arena layout size and load-path cost");
+  cli.option("json", "", "write machine-readable metrics JSON to this path");
+  cli.option("seed", "42", "instance RNG seed");
+  cli.threads_option();
+  if (!cli.parse(argc, argv)) return 0;
+  const std::uint64_t seed = cli.get_size("seed");
+
+  print_preamble("bench_load: instance layout & load paths",
+                 "contiguous 32-bit-offset arena vs the five-vector seed "
+                 "layout; mmap load must be instant and solver-invisible");
+
+  const std::string dir = "/tmp/mpcalloc_bench_load_" + std::to_string(::getpid());
+  const std::string text_path = dir + ".alloc";
+  const std::string mpcb_path = dir + ".mpcb";
+  const std::string perm_path = dir + ".perm.mpcb";
+
+  JsonMetrics metrics("bench_load");
+  try {
+    // -- layout instance: sparse enough that offset width matters ---------
+    const AllocationInstance instance =
+        standard_instance(150000, 75000, /*lambda=*/2, /*cap_hi=*/5, seed);
+    const std::uint64_t seed_bytes = seed_layout_bytes(instance.graph);
+    const std::uint64_t arena_bytes = instance.graph.arena()->size();
+    const double shrink =
+        static_cast<double>(arena_bytes) / static_cast<double>(seed_bytes);
+
+    WallTimer timer;
+    save_instance(text_path, instance);
+    const double text_save_ms = timer.millis();
+
+    timer.reset();
+    const AllocationInstance from_text = load_instance(text_path);
+    const double text_load_ms = timer.millis();
+
+    timer.reset();
+    const auto packed = pack_instance(instance);
+    const double pack_ms = timer.millis();
+
+    timer.reset();
+    save_instance_mpcb(mpcb_path, instance);
+    const double mpcb_save_ms = timer.millis();
+
+    const double rss_before_mmap = resident_mib();
+    timer.reset();
+    const AllocationInstance mapped = load_instance_mmap(mpcb_path);
+    const double mmap_load_ms = timer.millis();
+    const double rss_after_mmap = resident_mib();
+
+    timer.reset();
+    const AllocationInstance copied = load_instance_mpcb_copy(mpcb_path);
+    const double copy_load_ms = timer.millis();
+
+    const bool checksums_ok = [&] {
+      mapped.graph.arena()->verify_checksums();
+      return true;
+    }();
+
+    Table layout("layout: n_L=150000 n_R=75000 lambda=2");
+    layout.header({"layout", "bytes", "vs seed"});
+    layout.row({"seed 5-vector", Table::integer(static_cast<long long>(seed_bytes)),
+                Table::num(1.0, 3)});
+    layout.row({"arena (u32 offsets)",
+                Table::integer(static_cast<long long>(arena_bytes)),
+                Table::num(shrink, 3)});
+
+    Table loads("load paths (ms)");
+    loads.header({"text save", "text load", "pack", "mpcb save", "mmap load",
+                  "copy load"});
+    loads.row({Table::num(text_save_ms, 1), Table::num(text_load_ms, 1),
+               Table::num(pack_ms, 1), Table::num(mpcb_save_ms, 1),
+               Table::num(mmap_load_ms, 3), Table::num(copy_load_ms, 1)});
+    layout.print(std::cout);
+    loads.print(std::cout);
+
+    metrics.counter("num_edges",
+                    static_cast<double>(instance.graph.num_edges()));
+    metrics.counter("seed_layout_bytes", static_cast<double>(seed_bytes));
+    metrics.counter("arena_bytes", static_cast<double>(arena_bytes));
+    metrics.counter("arena_vs_seed_ratio", shrink);
+    metrics.counter("packed_equals_saved",
+                    packed->size() == mapped.graph.arena()->size() ? 1.0 : 0.0);
+    metrics.counter("arena_checksum_certificate_ok", checksums_ok ? 1.0 : 0.0);
+    metrics.time_ms("text_save_ms", text_save_ms);
+    metrics.time_ms("text_load_ms", text_load_ms);
+    metrics.time_ms("pack_ms", pack_ms);
+    metrics.time_ms("mpcb_save_ms", mpcb_save_ms);
+    metrics.time_ms("mmap_load_ms", mmap_load_ms);
+    metrics.time_ms("copy_load_ms", copy_load_ms);
+    metrics.time_ms("rss_before_mmap_mib", rss_before_mmap);
+    metrics.time_ms("rss_after_mmap_mib", rss_after_mmap);
+
+    // -- solver identity: heap vs mmap vs permuted image ------------------
+    // A smaller instance keeps 20+ solves cheap; identity is about edge
+    // ids and memory backing, not scale.
+    const AllocationInstance small =
+        standard_instance(6000, 2000, /*lambda=*/4, /*cap_hi=*/4, seed + 1);
+    const std::string small_path = dir + ".small.mpcb";
+    save_instance_mpcb(small_path, small);
+    const AllocationInstance small_mapped = load_instance_mmap(small_path);
+
+    PackOptions degree_sorted;
+    degree_sorted.order = EdgeOrder::kDegreeSorted;
+    save_instance_mpcb(perm_path, small, degree_sorted);
+    const AllocationInstance small_perm = load_instance_mmap(perm_path);
+
+    bool mmap_identical = true;
+    bool perm_identical = true;
+    Table identity("solver identity (heap vs mmap vs permuted)");
+    identity.header({"method", "threads", "mmap", "permuted"});
+    const std::pair<SolveMethod, const char*> methods[] = {
+        {SolveMethod::kProportional, "proportional"},
+        {SolveMethod::kAdaptive, "adaptive"},
+        {SolveMethod::kMpcNaive, "mpc-naive"},
+    };
+    for (const auto& [method, name] : methods) {
+      for (const std::size_t threads : {1, 2, 4}) {
+        const SolveResult heap = run(small, method, threads);
+        const bool mm =
+            same_result(heap, run(small_mapped, method, threads), {});
+        mmap_identical = mmap_identical && mm;
+        // The permuted-image guarantee covers the exact solvers: their
+        // traversals follow adjacency order, which a renumbering never
+        // touches. The MPC drivers shard edges across machines *by edge
+        // id*, so a renumbering legitimately changes the simulated machine
+        // layout (and with it sampling draws) — excluded by design.
+        std::string perm_cell = "n/a";
+        if (method != SolveMethod::kMpcNaive) {
+          const bool pm = same_result(heap, run(small_perm, method, threads),
+                                      small_perm.graph.edge_remap());
+          perm_identical = perm_identical && pm;
+          perm_cell = pm ? "ok" : "MISMATCH";
+        }
+        identity.row({name, Table::integer(static_cast<long long>(threads)),
+                      mm ? "ok" : "MISMATCH", perm_cell});
+      }
+    }
+    identity.print(std::cout);
+    metrics.counter("mmap_identity_certificate_ok", mmap_identical ? 1.0 : 0.0);
+    metrics.counter("permuted_identity_certificate_ok",
+                    perm_identical ? 1.0 : 0.0);
+
+    // The text round-trip must reproduce the instance exactly.
+    metrics.counter("text_roundtrip_certificate_ok",
+                    (from_text.graph.edges().size() ==
+                         instance.graph.edges().size() &&
+                     std::equal(from_text.graph.edges().begin(),
+                                from_text.graph.edges().end(),
+                                instance.graph.edges().begin()) &&
+                     from_text.capacities == instance.capacities &&
+                     copied.capacities == instance.capacities)
+                        ? 1.0
+                        : 0.0);
+
+    std::remove(text_path.c_str());
+    std::remove(mpcb_path.c_str());
+    std::remove(perm_path.c_str());
+    std::remove(small_path.c_str());
+  } catch (...) {
+    std::remove(text_path.c_str());
+    std::remove(mpcb_path.c_str());
+    std::remove(perm_path.c_str());
+    std::remove((dir + ".small.mpcb").c_str());
+    throw;
+  }
+
+  if (!cli.get("json").empty()) {
+    metrics.write(cli.get("json"));
+    std::printf("wrote %s\n", cli.get("json").c_str());
+  }
+  return 0;
+}

@@ -28,7 +28,17 @@ int generate(const CliParser& cli) {
   instance.graph = union_of_forests(n, n / 3, lambda, rng);
   instance.capacities = uniform_capacities(
       n / 3, 1, static_cast<std::uint32_t>(cli.get_int("max-capacity")), rng);
-  save_instance(cli.get("generate"), instance);
+  const std::string format = cli.get("format");
+  if (format == "mpcb") {
+    // Streamed straight to the binary image — no text intermediary, so
+    // generating huge benchmark instances skips the parse cost entirely.
+    save_instance_mpcb(cli.get("generate"), instance);
+  } else if (format == "text") {
+    save_instance(cli.get("generate"), instance);
+  } else {
+    std::fprintf(stderr, "unknown --format=%s (text|mpcb)\n", format.c_str());
+    return 1;
+  }
   std::printf("wrote %s: %s\n", cli.get("generate").c_str(),
               instance.graph.describe().c_str());
   return 0;
@@ -108,6 +118,7 @@ int main(int argc, char** argv) {
   cli.option("solution", "", "write the integral solution here");
   cli.option("verify", "", "verify this solution file against --instance");
   cli.option("generate", "", "write a generated instance to this path");
+  cli.option("format", "text", "--generate output format: text|mpcb");
   cli.option("n", "5000", "generated |L|");
   cli.option("lambda", "8", "generated arboricity");
   cli.option("max-capacity", "6", "generated capacity upper bound");

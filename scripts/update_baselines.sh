@@ -58,6 +58,7 @@ run "$BENCH_DIR/bench_boosting"    --json="$OUT_DIR/bench_boosting.json"
 run "$BENCH_DIR/bench_rounding"    --json="$OUT_DIR/bench_rounding.json"
 run "$BENCH_DIR/bench_approx_quality" --json="$OUT_DIR/bench_approx_quality.json"
 run "$BENCH_DIR/bench_serving"     --threads=1 --json="$OUT_DIR/bench_serving.json"
+run "$BENCH_DIR/bench_load"        --threads=1 --json="$OUT_DIR/bench_load.json"
 
 # MPC counters (rounds, words moved, peak machine/total words) are exact
 # model quantities, not time budgets: a refactor must reproduce them

@@ -47,9 +47,11 @@
 #include "flow/optimal_allocation.hpp"
 #include "graph/allocation.hpp"
 #include "graph/arboricity.hpp"
+#include "graph/arena.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/mpcb.hpp"
 #include "local/network.hpp"
 #include "serve/mutation.hpp"
 #include "serve/service.hpp"

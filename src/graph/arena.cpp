@@ -1,0 +1,391 @@
+#include "graph/arena.hpp"
+
+#include "util/syscall.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <system_error>
+
+namespace mpcalloc {
+
+namespace {
+
+constexpr std::size_t kMaxSections = 16;
+
+std::size_t align_up(std::size_t value) {
+  return (value + (kArenaAlign - 1)) & ~(kArenaAlign - 1);
+}
+
+/// Bytes of the header covered by the header checksum: everything up to
+/// the checksum field itself.
+constexpr std::size_t kHeaderChecksumPrefix = offsetof(ArenaHeader, header_checksum);
+
+std::uint64_t header_table_checksum(const std::byte* image,
+                                    std::size_t section_count) {
+  // FNV-1a over the header prefix, continued over the section table.
+  std::uint64_t h = arena_checksum({image, kHeaderChecksumPrefix});
+  const std::span<const std::byte> table{
+      image + sizeof(ArenaHeader), section_count * sizeof(ArenaSectionEntry)};
+  for (const std::byte b : table) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* arena_section_name(ArenaSectionKind kind) {
+  switch (kind) {
+    case ArenaSectionKind::kLeftOffsets: return "left_offsets";
+    case ArenaSectionKind::kRightOffsets: return "right_offsets";
+    case ArenaSectionKind::kAdjLeft: return "adj_left";
+    case ArenaSectionKind::kAdjRight: return "adj_right";
+    case ArenaSectionKind::kEdges: return "edges";
+    case ArenaSectionKind::kCapacities: return "capacities";
+    case ArenaSectionKind::kEdgeRemap: return "edge_remap";
+  }
+  return "unknown";
+}
+
+ArenaFormatError::ArenaFormatError(std::string field, const std::string& detail)
+    : std::runtime_error("arena format: field '" + field + "': " + detail),
+      field_(std::move(field)) {}
+
+std::uint64_t arena_checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// InstanceArena
+// ---------------------------------------------------------------------------
+
+InstanceArena::~InstanceArena() {
+  if (data_ == nullptr) return;
+  if (backing_ == Backing::kMmap) {
+    ::munmap(data_, size_);
+  } else {
+    ::operator delete[](data_, std::align_val_t(kArenaAlign));
+  }
+}
+
+std::shared_ptr<InstanceArena> InstanceArena::allocate(std::size_t bytes) {
+  if (bytes < sizeof(ArenaHeader)) {
+    throw std::invalid_argument("InstanceArena::allocate: image too small");
+  }
+  auto* data = static_cast<std::byte*>(
+      ::operator new[](bytes, std::align_val_t(kArenaAlign)));
+  std::memset(data, 0, bytes);
+  return std::shared_ptr<InstanceArena>(
+      new InstanceArena(data, bytes, Backing::kHeap));
+}
+
+std::shared_ptr<const InstanceArena> InstanceArena::map_file(
+    const std::string& path) {
+  const int fd = retry_eintr([&] { return ::open(path.c_str(), O_RDONLY); });
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "load_instance_mmap: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    close_quiet(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "load_instance_mmap: fstat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(ArenaHeader)) {
+    close_quiet(fd);
+    throw ArenaFormatError("total_bytes", path + " is smaller than the header (" +
+                                              std::to_string(size) + " bytes)");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  const int map_errno = errno;
+  close_quiet(fd);  // the mapping keeps the file referenced
+  if (map == MAP_FAILED) {
+    throw std::system_error(map_errno, std::generic_category(),
+                            "load_instance_mmap: mmap " + path);
+  }
+  std::shared_ptr<const InstanceArena> arena(
+      new InstanceArena(static_cast<std::byte*>(map), size, Backing::kMmap));
+  arena->validate_header();
+  return arena;
+}
+
+std::shared_ptr<const InstanceArena> InstanceArena::read_file(
+    const std::string& path) {
+  const int fd = retry_eintr([&] { return ::open(path.c_str(), O_RDONLY); });
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "load_instance: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    close_quiet(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "load_instance: fstat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(ArenaHeader)) {
+    close_quiet(fd);
+    throw ArenaFormatError("total_bytes", path + " is smaller than the header (" +
+                                              std::to_string(size) + " bytes)");
+  }
+  std::shared_ptr<InstanceArena> arena = allocate(size);
+  const ssize_t got = read_exact(fd, arena->mutable_data(), size);
+  close_quiet(fd);
+  if (got != static_cast<ssize_t>(size)) {
+    throw std::runtime_error("load_instance: short read from " + path);
+  }
+  arena->validate_header();
+  return arena;
+}
+
+std::byte* InstanceArena::mutable_data() {
+  if (backing_ != Backing::kHeap) {
+    throw std::logic_error("InstanceArena: mmap-backed arenas are read-only");
+  }
+  return data_;
+}
+
+std::span<const ArenaSectionEntry> InstanceArena::sections() const {
+  const std::size_t count = header().section_count;
+  return {reinterpret_cast<const ArenaSectionEntry*>(data_ + sizeof(ArenaHeader)),
+          count};
+}
+
+const ArenaSectionEntry* InstanceArena::find_section(
+    ArenaSectionKind kind) const {
+  for (const ArenaSectionEntry& entry : sections()) {
+    if (entry.kind == static_cast<std::uint32_t>(kind)) return &entry;
+  }
+  return nullptr;
+}
+
+std::span<const std::byte> InstanceArena::section_bytes(
+    ArenaSectionKind kind) const {
+  const ArenaSectionEntry* entry = find_section(kind);
+  if (entry == nullptr) {
+    throw ArenaFormatError(arena_section_name(kind), "section missing");
+  }
+  return {data_ + entry->offset, entry->bytes};
+}
+
+void InstanceArena::validate_header() const {
+  const auto fail = [](const char* field, const std::string& detail) {
+    throw ArenaFormatError(field, detail);
+  };
+  const ArenaHeader& h = header();
+  if (h.magic != kArenaMagic) {
+    fail("magic", "not an .mpcb arena image (got 0x" +
+                      [&] {
+                        char buf[16];
+                        std::snprintf(buf, sizeof(buf), "%08x", h.magic);
+                        return std::string(buf);
+                      }() +
+                      ")");
+  }
+  if (h.version != kArenaVersion) {
+    fail("version", "unsupported format version " + std::to_string(h.version) +
+                        " (this build reads version " +
+                        std::to_string(kArenaVersion) + ")");
+  }
+  if (h.offset_width != 4 && h.offset_width != 8) {
+    fail("offset_width",
+         "must be 4 or 8 bytes, got " + std::to_string(h.offset_width));
+  }
+  if (h.id_width != 4) {
+    fail("id_width", "this build uses 32-bit vertex/edge ids; got " +
+                         std::to_string(h.id_width) + "-byte ids");
+  }
+  if (h.offset_width == 4 && h.num_edges > 0xFFFFFFFFull) {
+    fail("offset_width", "4-byte offsets cannot address " +
+                             std::to_string(h.num_edges) + " edges");
+  }
+  if (h.num_left > 0xFFFFFFFFull || h.num_right > 0xFFFFFFFFull ||
+      h.num_edges > 0xFFFFFFFFull) {
+    fail("id_width", "vertex/edge counts exceed the 32-bit id space");
+  }
+  if (h.total_bytes != size_) {
+    fail("total_bytes", "header records " + std::to_string(h.total_bytes) +
+                            " bytes but the image holds " +
+                            std::to_string(size_) + " (truncated file?)");
+  }
+  if (h.section_count == 0 || h.section_count > kMaxSections) {
+    fail("section_count", "implausible count " + std::to_string(h.section_count));
+  }
+  const std::size_t table_end =
+      sizeof(ArenaHeader) + h.section_count * sizeof(ArenaSectionEntry);
+  if (table_end > size_) {
+    fail("section_count", "section table overruns the image");
+  }
+  if (h.header_checksum != header_table_checksum(data_, h.section_count)) {
+    fail("header_checksum", "header/section-table checksum mismatch");
+  }
+
+  // Per-section structural checks: known unique kinds, aligned in-bounds
+  // payloads, and sizes consistent with the header counts.
+  const auto expect_bytes = [&fail](const ArenaSectionEntry& entry,
+                                    std::uint64_t want) {
+    if (entry.bytes != want) {
+      fail(arena_section_name(static_cast<ArenaSectionKind>(entry.kind)),
+           "section holds " + std::to_string(entry.bytes) +
+               " bytes, expected " + std::to_string(want));
+    }
+  };
+  std::uint32_t seen_mask = 0;
+  for (const ArenaSectionEntry& entry : sections()) {
+    const auto kind = static_cast<ArenaSectionKind>(entry.kind);
+    if (entry.kind < 1 ||
+        entry.kind > static_cast<std::uint32_t>(ArenaSectionKind::kEdgeRemap)) {
+      fail("section_table", "unknown section kind " + std::to_string(entry.kind));
+    }
+    if (seen_mask & (1u << entry.kind)) {
+      fail(arena_section_name(kind), "section appears twice");
+    }
+    seen_mask |= 1u << entry.kind;
+    if (entry.offset % kArenaAlign != 0) {
+      fail(arena_section_name(kind), "payload offset not 64-byte aligned");
+    }
+    if (entry.offset < table_end || entry.offset > size_ ||
+        entry.bytes > size_ - entry.offset) {
+      fail(arena_section_name(kind), "payload overruns the image");
+    }
+    switch (kind) {
+      case ArenaSectionKind::kLeftOffsets:
+        expect_bytes(entry, (h.num_left + 1) * h.offset_width);
+        break;
+      case ArenaSectionKind::kRightOffsets:
+        expect_bytes(entry, (h.num_right + 1) * h.offset_width);
+        break;
+      case ArenaSectionKind::kAdjLeft:
+      case ArenaSectionKind::kAdjRight:
+        expect_bytes(entry, h.num_edges * 2 * h.id_width);
+        break;
+      case ArenaSectionKind::kEdges:
+        expect_bytes(entry, h.num_edges * 2 * h.id_width);
+        break;
+      case ArenaSectionKind::kCapacities:
+        expect_bytes(entry, h.num_right * 4);
+        break;
+      case ArenaSectionKind::kEdgeRemap:
+        expect_bytes(entry, h.num_edges * h.id_width);
+        break;
+    }
+  }
+  for (const ArenaSectionKind required :
+       {ArenaSectionKind::kLeftOffsets, ArenaSectionKind::kRightOffsets,
+        ArenaSectionKind::kAdjLeft, ArenaSectionKind::kAdjRight,
+        ArenaSectionKind::kEdges}) {
+    if (!(seen_mask & (1u << static_cast<std::uint32_t>(required)))) {
+      fail(arena_section_name(required), "required section missing");
+    }
+  }
+  const bool has_remap =
+      seen_mask & (1u << static_cast<std::uint32_t>(ArenaSectionKind::kEdgeRemap));
+  if (static_cast<bool>(h.flags & kPermutedEdges) != has_remap) {
+    fail("flags", has_remap
+                      ? "edge_remap section present without the permuted flag"
+                      : "permuted flag set but edge_remap section missing");
+  }
+}
+
+void InstanceArena::verify_checksums() const {
+  if (!(header().flags & kHasChecksums)) {
+    throw ArenaFormatError("flags", "image carries no payload checksums");
+  }
+  for (const ArenaSectionEntry& entry : sections()) {
+    const std::span<const std::byte> payload{data_ + entry.offset, entry.bytes};
+    if (arena_checksum(payload) != entry.checksum) {
+      throw ArenaFormatError(
+          std::string(arena_section_name(
+              static_cast<ArenaSectionKind>(entry.kind))) + " checksum",
+          "payload does not match its recorded checksum");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ArenaWriter
+// ---------------------------------------------------------------------------
+
+ArenaWriter::ArenaWriter(
+    const Counts& counts, std::uint16_t offset_width, std::uint32_t extra_flags,
+    std::span<const std::pair<ArenaSectionKind, std::uint64_t>> sections) {
+  if (sections.size() > kMaxSections) {
+    throw std::invalid_argument("ArenaWriter: too many sections");
+  }
+  std::size_t cursor = align_up(sizeof(ArenaHeader) +
+                                sections.size() * sizeof(ArenaSectionEntry));
+  entries_.reserve(sections.size());
+  for (const auto& [kind, bytes] : sections) {
+    ArenaSectionEntry entry;
+    entry.kind = static_cast<std::uint32_t>(kind);
+    entry.offset = cursor;
+    entry.bytes = bytes;
+    entries_.push_back(entry);
+    cursor = align_up(cursor + bytes);
+  }
+  arena_ = InstanceArena::allocate(cursor);
+
+  auto* h = reinterpret_cast<ArenaHeader*>(arena_->mutable_data());
+  *h = ArenaHeader{};
+  h->offset_width = offset_width;
+  h->flags = extra_flags;
+  h->num_left = counts.num_left;
+  h->num_right = counts.num_right;
+  h->num_edges = counts.num_edges;
+  h->max_left_degree = counts.max_left_degree;
+  h->max_right_degree = counts.max_right_degree;
+  h->total_bytes = cursor;
+  h->section_count = static_cast<std::uint32_t>(entries_.size());
+  std::memcpy(arena_->mutable_data() + sizeof(ArenaHeader), entries_.data(),
+              entries_.size() * sizeof(ArenaSectionEntry));
+}
+
+std::span<std::byte> ArenaWriter::section(ArenaSectionKind kind) {
+  if (finalized_) throw std::logic_error("ArenaWriter: already finalized");
+  for (const ArenaSectionEntry& entry : entries_) {
+    if (entry.kind == static_cast<std::uint32_t>(kind)) {
+      return {arena_->mutable_data() + entry.offset, entry.bytes};
+    }
+  }
+  throw std::logic_error(std::string("ArenaWriter: undeclared section ") +
+                         arena_section_name(kind));
+}
+
+std::shared_ptr<const InstanceArena> ArenaWriter::finalize(
+    bool with_checksums) {
+  if (finalized_) throw std::logic_error("ArenaWriter: already finalized");
+  finalized_ = true;
+  std::byte* image = arena_->mutable_data();
+  auto* h = reinterpret_cast<ArenaHeader*>(image);
+  if (with_checksums) {
+    h->flags |= kHasChecksums;
+    for (ArenaSectionEntry& entry : entries_) {
+      entry.checksum = arena_checksum({image + entry.offset, entry.bytes});
+    }
+    std::memcpy(image + sizeof(ArenaHeader), entries_.data(),
+                entries_.size() * sizeof(ArenaSectionEntry));
+  }
+  h->header_checksum = header_table_checksum(image, entries_.size());
+  std::shared_ptr<const InstanceArena> sealed = std::move(arena_);
+  sealed->validate_header();  // a packer bug fails loudly at build time
+  return sealed;
+}
+
+}  // namespace mpcalloc

@@ -1,0 +1,229 @@
+// Contiguous arena layout for allocation instances.
+//
+// An InstanceArena is one 64-byte-aligned memory block holding a versioned
+// header, a section table, and the instance payload sections (both CSR
+// sides, adjacency, edge endpoints, capacities, and an optional edge-id
+// remap table). The block is *position independent*: every section is
+// located by an offset from the block start, so the same image works on the
+// heap, inside a file, or mmap'd read-only — the on-disk `.mpcb` format
+// (graph/mpcb.hpp) is exactly this image, byte for byte. That is what makes
+// `load_instance_mmap` an mmap + header validation: no parsing, no
+// per-element conversion, and the page cache shares the instance across
+// every process that maps it (the forked workers of the process MPC
+// backend inherit the mapping for free).
+//
+// Index widths are chosen when the arena is built: offsets are stored as
+// 32-bit values when every offset fits (m < 2^32 — always true for this
+// build's 32-bit EdgeId) and as 64-bit values otherwise; the header records
+// the choice and readers dispatch through width-typed accessors
+// (graph/bipartite_graph.hpp's OffsetSpan). Vertex/edge ids are 32-bit in
+// this build; images recording 64-bit ids are rejected at load with an
+// error naming the field.
+//
+// Layout (all offsets from the block start, every section 64-byte aligned):
+//
+//   [0, 128)                  ArenaHeader
+//   [128, 128 + 32·sections)  section table (ArenaSectionEntry each)
+//   ...                       payload sections, in table order
+//
+// Checksums: the header checksum (FNV-1a 64 over the header prefix and the
+// section table) is always present and always validated. Per-section
+// payload checksums are computed when an image is packed for disk
+// (ArenaFlags::kHasChecksums); in-memory builds skip them so constructing
+// a graph never pays a second pass over the image.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+
+inline constexpr std::uint32_t kArenaMagic = 0x4243504Du;  // "MPCB" (LE)
+inline constexpr std::uint32_t kArenaVersion = 1;
+inline constexpr std::size_t kArenaAlign = 64;
+
+enum class ArenaSectionKind : std::uint32_t {
+  kLeftOffsets = 1,   ///< (num_left + 1) entries of offset_width bytes
+  kRightOffsets = 2,  ///< (num_right + 1) entries of offset_width bytes
+  kAdjLeft = 3,       ///< num_edges × Incidence (to, edge)
+  kAdjRight = 4,      ///< num_edges × Incidence
+  kEdges = 5,         ///< num_edges × Edge (u, v)
+  kCapacities = 6,    ///< num_right × u32 (instance arenas; absent for
+                      ///< graph-only arenas built in memory)
+  kEdgeRemap = 7,     ///< num_edges × id_width: new edge id → original id
+                      ///< (present iff ArenaFlags::kPermutedEdges)
+};
+
+/// Human-readable section name ("left_offsets", ...) for error messages.
+[[nodiscard]] const char* arena_section_name(ArenaSectionKind kind);
+
+enum ArenaFlags : std::uint32_t {
+  kPermutedEdges = 1u << 0,  ///< edge ids were reordered; kEdgeRemap present
+  kHasChecksums = 1u << 1,   ///< per-section payload checksums are filled in
+};
+
+/// Fixed 128-byte image header. All fields little-endian on disk; the
+/// magic doubles as an endianness sentinel (a foreign-endian file fails the
+/// magic check).
+struct ArenaHeader {
+  std::uint32_t magic = kArenaMagic;
+  std::uint32_t version = kArenaVersion;
+  std::uint16_t offset_width = 4;  ///< bytes per CSR offset: 4 or 8
+  std::uint16_t id_width = 4;      ///< bytes per vertex/edge id: 4 (8 reserved)
+  std::uint32_t flags = 0;         ///< ArenaFlags bits
+  std::uint64_t num_left = 0;
+  std::uint64_t num_right = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t max_left_degree = 0;   ///< cached at build (O(1) getters)
+  std::uint64_t max_right_degree = 0;  ///< cached at build
+  std::uint64_t total_bytes = 0;       ///< whole image, header included
+  std::uint32_t section_count = 0;
+  std::uint32_t reserved0 = 0;
+  std::uint64_t header_checksum = 0;  ///< FNV-1a 64 over the header bytes
+                                      ///< before this field, then the
+                                      ///< section table
+  std::uint8_t reserved1[48] = {};
+};
+static_assert(sizeof(ArenaHeader) == 128);
+
+/// One section-table row. `offset` is from the image start and 64-byte
+/// aligned; `bytes` is the unpadded payload size.
+struct ArenaSectionEntry {
+  std::uint32_t kind = 0;  ///< ArenaSectionKind
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;  ///< FNV-1a 64 of the payload (kHasChecksums)
+};
+static_assert(sizeof(ArenaSectionEntry) == 32);
+
+/// Malformed or unsupported arena image. `field()` names the offending
+/// header field or section ("magic", "offset_width", "left_offsets
+/// checksum", ...), and the what() string embeds it.
+class ArenaFormatError : public std::runtime_error {
+ public:
+  ArenaFormatError(std::string field, const std::string& detail);
+  [[nodiscard]] const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
+
+/// FNV-1a 64 over a byte range — the arena's checksum function
+/// (deterministic across platforms, no dependencies).
+[[nodiscard]] std::uint64_t arena_checksum(std::span<const std::byte> bytes);
+
+/// Immutable owner of one contiguous arena image. Heap-backed (built in
+/// memory or read from a file) or mmap-backed (`map_file`); destruction
+/// releases the block / unmaps the file. Always held by shared_ptr: graphs
+/// and instances loaded from the same arena share the block.
+class InstanceArena {
+ public:
+  enum class Backing : std::uint8_t { kHeap, kMmap };
+
+  ~InstanceArena();
+  InstanceArena(const InstanceArena&) = delete;
+  InstanceArena& operator=(const InstanceArena&) = delete;
+
+  /// Zero-initialised heap block of `bytes` (64-byte aligned). The caller
+  /// (a packer) fills it through mutable_data() before publishing it as
+  /// shared_ptr<const InstanceArena>.
+  [[nodiscard]] static std::shared_ptr<InstanceArena> allocate(
+      std::size_t bytes);
+
+  /// mmap the file read-only (PROT_READ, MAP_SHARED — pages are clean and
+  /// page-cache-shared across every process mapping the same file) and
+  /// validate the header. Throws std::runtime_error on I/O failure,
+  /// ArenaFormatError on a malformed image.
+  [[nodiscard]] static std::shared_ptr<const InstanceArena> map_file(
+      const std::string& path);
+
+  /// Read the whole file into a heap block and validate the header — the
+  /// non-mmap load path (private writable copy).
+  [[nodiscard]] static std::shared_ptr<const InstanceArena> read_file(
+      const std::string& path);
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::byte* mutable_data();
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] Backing backing() const { return backing_; }
+
+  [[nodiscard]] const ArenaHeader& header() const {
+    return *reinterpret_cast<const ArenaHeader*>(data_);
+  }
+  [[nodiscard]] std::span<const ArenaSectionEntry> sections() const;
+
+  /// nullptr when the section is absent.
+  [[nodiscard]] const ArenaSectionEntry* find_section(
+      ArenaSectionKind kind) const;
+  /// Payload bytes of a section that must exist (ArenaFormatError if not).
+  [[nodiscard]] std::span<const std::byte> section_bytes(
+      ArenaSectionKind kind) const;
+
+  /// Structural validation: magic, version, widths, counts, section table
+  /// bounds/alignment/sizes, and the header checksum. O(header), no
+  /// payload pass — this is all `load_instance_mmap` runs. Throws
+  /// ArenaFormatError naming the offending field.
+  void validate_header() const;
+
+  /// Full payload pass: every section checksum must be present
+  /// (kHasChecksums) and match. Throws ArenaFormatError naming the section.
+  void verify_checksums() const;
+
+ private:
+  InstanceArena(std::byte* data, std::size_t size, Backing backing)
+      : data_(data), size_(size), backing_(backing) {}
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  Backing backing_ = Backing::kHeap;
+};
+
+/// Incremental arena assembler used by the graph builder and the packers:
+/// declare the sections up front (kind + payload bytes), then fill each
+/// returned span; finalize() writes the header + table (and, on request,
+/// the per-section payload checksums) and returns the immutable arena.
+class ArenaWriter {
+ public:
+  struct Counts {
+    std::uint64_t num_left = 0;
+    std::uint64_t num_right = 0;
+    std::uint64_t num_edges = 0;
+    std::uint64_t max_left_degree = 0;
+    std::uint64_t max_right_degree = 0;
+  };
+
+  /// `sections` fixes the table order; payload offsets are assigned
+  /// 64-byte aligned in that order.
+  ArenaWriter(const Counts& counts, std::uint16_t offset_width,
+              std::uint32_t extra_flags,
+              std::span<const std::pair<ArenaSectionKind, std::uint64_t>>
+                  sections);
+
+  /// Writable payload span of a declared section.
+  [[nodiscard]] std::span<std::byte> section(ArenaSectionKind kind);
+
+  /// Typed convenience over section().
+  template <typename T>
+  [[nodiscard]] std::span<T> section_as(ArenaSectionKind kind) {
+    const std::span<std::byte> raw = section(kind);
+    return {reinterpret_cast<T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+  /// Compute checksums (payload checksums only with `with_checksums`; the
+  /// header checksum always) and seal the image.
+  [[nodiscard]] std::shared_ptr<const InstanceArena> finalize(
+      bool with_checksums);
+
+ private:
+  std::shared_ptr<InstanceArena> arena_;
+  std::vector<ArenaSectionEntry> entries_;
+  bool finalized_ = false;
+};
+
+}  // namespace mpcalloc

@@ -1,50 +1,84 @@
 #include "graph/bipartite_graph.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <array>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 namespace mpcalloc {
 
-std::size_t BipartiteGraph::max_left_degree() const {
-  std::size_t best = 0;
-  for (Vertex u = 0; u < num_left(); ++u) best = std::max(best, left_degree(u));
-  return best;
+namespace {
+
+OffsetSpan offset_view(const InstanceArena& arena, ArenaSectionKind kind) {
+  const std::span<const std::byte> raw = arena.section_bytes(kind);
+  if (arena.header().offset_width == 4) {
+    return OffsetSpan(reinterpret_cast<const std::uint32_t*>(raw.data()));
+  }
+  return OffsetSpan(reinterpret_cast<const std::uint64_t*>(raw.data()));
 }
 
-std::size_t BipartiteGraph::max_right_degree() const {
-  std::size_t best = 0;
-  for (Vertex v = 0; v < num_right(); ++v) best = std::max(best, right_degree(v));
-  return best;
+template <typename T>
+const T* section_ptr(const InstanceArena& arena, ArenaSectionKind kind) {
+  return reinterpret_cast<const T*>(arena.section_bytes(kind).data());
 }
 
-double BipartiteGraph::average_degree() const {
-  const std::size_t n = num_vertices();
-  if (n == 0) return 0.0;
-  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(n);
+}  // namespace
+
+BipartiteGraph BipartiteGraph::from_arena(
+    std::shared_ptr<const InstanceArena> arena) {
+  if (!arena) {
+    throw std::invalid_argument("BipartiteGraph::from_arena: null arena");
+  }
+  arena->validate_header();
+  const ArenaHeader& h = arena->header();
+
+  BipartiteGraph g;
+  g.num_left_ = static_cast<std::size_t>(h.num_left);
+  g.num_right_ = static_cast<std::size_t>(h.num_right);
+  g.num_edges_ = static_cast<std::size_t>(h.num_edges);
+  g.max_left_degree_ = static_cast<std::size_t>(h.max_left_degree);
+  g.max_right_degree_ = static_cast<std::size_t>(h.max_right_degree);
+  g.left_offsets_ = offset_view(*arena, ArenaSectionKind::kLeftOffsets);
+  g.right_offsets_ = offset_view(*arena, ArenaSectionKind::kRightOffsets);
+  g.adj_left_ = section_ptr<Incidence>(*arena, ArenaSectionKind::kAdjLeft);
+  g.adj_right_ = section_ptr<Incidence>(*arena, ArenaSectionKind::kAdjRight);
+  g.edges_ = section_ptr<Edge>(*arena, ArenaSectionKind::kEdges);
+  if (h.flags & kPermutedEdges) {
+    g.edge_remap_ = section_ptr<EdgeId>(*arena, ArenaSectionKind::kEdgeRemap);
+  }
+  g.arena_ = std::move(arena);
+  return g;
 }
 
 void BipartiteGraph::validate() const {
   auto check = [](bool ok, const char* what) {
     if (!ok) throw std::logic_error(std::string("BipartiteGraph::validate: ") + what);
   };
-  check(left_offsets_.empty() == right_offsets_.empty(), "offset arrays inconsistent");
-  if (left_offsets_.empty()) {
-    check(edges_.empty(), "edges without offsets");
+  if (!arena_) {
+    check(num_left_ == 0 && num_right_ == 0 && num_edges_ == 0,
+          "default-constructed graph with nonzero counts");
     return;
   }
-  check(left_offsets_.front() == 0 && right_offsets_.front() == 0, "offsets must start at 0");
-  check(std::is_sorted(left_offsets_.begin(), left_offsets_.end()), "left offsets not monotone");
-  check(std::is_sorted(right_offsets_.begin(), right_offsets_.end()), "right offsets not monotone");
-  check(left_offsets_.back() == edges_.size(), "left adjacency size mismatch");
-  check(right_offsets_.back() == edges_.size(), "right adjacency size mismatch");
-  check(adj_left_.size() == edges_.size(), "adj_left size");
-  check(adj_right_.size() == edges_.size(), "adj_right size");
+  check(left_offsets_[0] == 0 && right_offsets_[0] == 0,
+        "offsets must start at 0");
+  for (std::size_t i = 0; i < num_left_; ++i) {
+    check(left_offsets_[i] <= left_offsets_[i + 1], "left offsets not monotone");
+  }
+  for (std::size_t i = 0; i < num_right_; ++i) {
+    check(right_offsets_[i] <= right_offsets_[i + 1],
+          "right offsets not monotone");
+  }
+  check(left_offsets_[num_left_] == num_edges_, "left adjacency size mismatch");
+  check(right_offsets_[num_right_] == num_edges_,
+        "right adjacency size mismatch");
 
-  std::vector<std::uint8_t> seen(edges_.size(), 0);
-  for (Vertex u = 0; u < num_left(); ++u) {
+  std::size_t max_left = 0, max_right = 0;
+  std::vector<std::uint8_t> seen(num_edges_, 0);
+  for (Vertex u = 0; u < num_left_; ++u) {
+    max_left = std::max(max_left, left_degree(u));
     for (const Incidence& inc : left_neighbors(u)) {
-      check(inc.edge < edges_.size(), "edge id out of range");
+      check(inc.edge < num_edges_, "edge id out of range");
       check(edges_[inc.edge].u == u && edges_[inc.edge].v == inc.to,
             "left incidence does not match edge record");
       check(!seen[inc.edge], "edge id repeated in left adjacency");
@@ -52,20 +86,34 @@ void BipartiteGraph::validate() const {
     }
   }
   std::fill(seen.begin(), seen.end(), 0);
-  for (Vertex v = 0; v < num_right(); ++v) {
+  for (Vertex v = 0; v < num_right_; ++v) {
+    max_right = std::max(max_right, right_degree(v));
     for (const Incidence& inc : right_neighbors(v)) {
-      check(inc.edge < edges_.size(), "edge id out of range");
+      check(inc.edge < num_edges_, "edge id out of range");
       check(edges_[inc.edge].v == v && edges_[inc.edge].u == inc.to,
             "right incidence does not match edge record");
       check(!seen[inc.edge], "edge id repeated in right adjacency");
       seen[inc.edge] = 1;
     }
   }
+  check(max_left == max_left_degree_, "cached max_left_degree is stale");
+  check(max_right == max_right_degree_, "cached max_right_degree is stale");
+
   // No duplicate (u,v) pairs.
-  std::vector<Edge> sorted(edges_);
+  std::vector<Edge> sorted(edges_, edges_ + num_edges_);
   std::sort(sorted.begin(), sorted.end());
   check(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
         "duplicate edges present");
+
+  // A remap table, when present, must be a permutation of the edge ids.
+  if (edge_remap_ != nullptr) {
+    std::fill(seen.begin(), seen.end(), 0);
+    for (std::size_t e = 0; e < num_edges_; ++e) {
+      check(edge_remap_[e] < num_edges_, "edge remap entry out of range");
+      check(!seen[edge_remap_[e]], "edge remap is not a permutation");
+      seen[edge_remap_[e]] = 1;
+    }
+  }
 }
 
 std::string BipartiteGraph::describe() const {
@@ -77,7 +125,13 @@ std::string BipartiteGraph::describe() const {
 
 BipartiteGraphBuilder::BipartiteGraphBuilder(std::size_t num_left,
                                              std::size_t num_right)
-    : num_left_(num_left), num_right_(num_right) {}
+    : num_left_(num_left), num_right_(num_right) {
+  constexpr std::size_t kMaxSide = std::numeric_limits<Vertex>::max();
+  if (num_left > kMaxSide || num_right > kMaxSide) {
+    throw std::invalid_argument(
+        "BipartiteGraphBuilder: side exceeds the 32-bit vertex id space");
+  }
+}
 
 void BipartiteGraphBuilder::add_edge(Vertex u, Vertex v) {
   if (u >= num_left_) throw std::out_of_range("add_edge: left vertex out of range");
@@ -91,31 +145,77 @@ void BipartiteGraphBuilder::deduplicate() {
 }
 
 BipartiteGraph BipartiteGraphBuilder::build() {
-  BipartiteGraph g;
-  g.edges_ = std::move(edges_);
+  if (edges_.size() > std::numeric_limits<EdgeId>::max()) {
+    throw std::invalid_argument(
+        "BipartiteGraphBuilder: edge count exceeds the 32-bit edge id space");
+  }
+  const std::size_t m = edges_.size();
+
+  // Degree counting pass (also yields the cached max degrees).
+  std::vector<std::uint32_t> ldeg(num_left_, 0), rdeg(num_right_, 0);
+  std::uint64_t max_ldeg = 0, max_rdeg = 0;
+  for (const Edge& e : edges_) {
+    ++ldeg[e.u];
+    ++rdeg[e.v];
+  }
+  for (const std::uint32_t d : ldeg) max_ldeg = std::max<std::uint64_t>(max_ldeg, d);
+  for (const std::uint32_t d : rdeg) max_rdeg = std::max<std::uint64_t>(max_rdeg, d);
+
+  // Every offset is ≤ m < 2^32 in this build, so the arena always packs
+  // 32-bit offsets here; the wide path is reachable through
+  // pack_instance(PackOptions{.force_wide_offsets = true}).
+  ArenaWriter::Counts counts;
+  counts.num_left = num_left_;
+  counts.num_right = num_right_;
+  counts.num_edges = m;
+  counts.max_left_degree = max_ldeg;
+  counts.max_right_degree = max_rdeg;
+  const std::array<std::pair<ArenaSectionKind, std::uint64_t>, 5> sections{{
+      {ArenaSectionKind::kLeftOffsets, (num_left_ + 1) * sizeof(std::uint32_t)},
+      {ArenaSectionKind::kRightOffsets,
+       (num_right_ + 1) * sizeof(std::uint32_t)},
+      {ArenaSectionKind::kAdjLeft, m * sizeof(Incidence)},
+      {ArenaSectionKind::kAdjRight, m * sizeof(Incidence)},
+      {ArenaSectionKind::kEdges, m * sizeof(Edge)},
+  }};
+  ArenaWriter writer(counts, /*offset_width=*/4, /*extra_flags=*/0, sections);
+
+  const std::span<std::uint32_t> loff =
+      writer.section_as<std::uint32_t>(ArenaSectionKind::kLeftOffsets);
+  const std::span<std::uint32_t> roff =
+      writer.section_as<std::uint32_t>(ArenaSectionKind::kRightOffsets);
+  loff[0] = 0;
+  for (std::size_t u = 0; u < num_left_; ++u) loff[u + 1] = loff[u] + ldeg[u];
+  roff[0] = 0;
+  for (std::size_t v = 0; v < num_right_; ++v) roff[v + 1] = roff[v] + rdeg[v];
+
+  const std::span<Incidence> adj_left =
+      writer.section_as<Incidence>(ArenaSectionKind::kAdjLeft);
+  const std::span<Incidence> adj_right =
+      writer.section_as<Incidence>(ArenaSectionKind::kAdjRight);
+  // Reuse the degree arrays as fill cursors (they hold per-vertex counts
+  // already consumed into the offsets).
+  std::fill(ldeg.begin(), ldeg.end(), 0);
+  std::fill(rdeg.begin(), rdeg.end(), 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& ed = edges_[e];
+    adj_left[loff[ed.u] + ldeg[ed.u]++] = Incidence{ed.v, e};
+    adj_right[roff[ed.v] + rdeg[ed.v]++] = Incidence{ed.u, e};
+  }
+  if (m > 0) {
+    std::memcpy(writer.section(ArenaSectionKind::kEdges).data(), edges_.data(),
+                m * sizeof(Edge));
+  }
+
+  // Reset to the documented empty state before wiring the view, so an
+  // exception above leaves the builder untouched but success always
+  // empties it.
   edges_.clear();
+  edges_.shrink_to_fit();
+  num_left_ = 0;
+  num_right_ = 0;
 
-  g.left_offsets_.assign(num_left_ + 1, 0);
-  g.right_offsets_.assign(num_right_ + 1, 0);
-  for (const Edge& e : g.edges_) {
-    ++g.left_offsets_[e.u + 1];
-    ++g.right_offsets_[e.v + 1];
-  }
-  std::partial_sum(g.left_offsets_.begin(), g.left_offsets_.end(),
-                   g.left_offsets_.begin());
-  std::partial_sum(g.right_offsets_.begin(), g.right_offsets_.end(),
-                   g.right_offsets_.begin());
-
-  g.adj_left_.resize(g.edges_.size());
-  g.adj_right_.resize(g.edges_.size());
-  std::vector<std::size_t> lpos(g.left_offsets_.begin(), g.left_offsets_.end() - 1);
-  std::vector<std::size_t> rpos(g.right_offsets_.begin(), g.right_offsets_.end() - 1);
-  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
-    const Edge& ed = g.edges_[e];
-    g.adj_left_[lpos[ed.u]++] = Incidence{ed.v, e};
-    g.adj_right_[rpos[ed.v]++] = Incidence{ed.u, e};
-  }
-  return g;
+  return BipartiteGraph::from_arena(writer.finalize(/*with_checksums=*/false));
 }
 
 std::uint64_t AllocationInstance::total_capacity() const {

@@ -8,9 +8,22 @@
 // The graph is stored in CSR form for *both* sides, with every adjacency
 // entry carrying the global edge id, so per-edge quantities (the fractional
 // values x_{u,v}) are plain arrays indexed by edge id.
+//
+// Storage: every BipartiteGraph is a view over one contiguous, 64-byte-
+// aligned InstanceArena (graph/arena.hpp) holding both offset arrays, both
+// adjacency arrays, and the edge-endpoint array — one allocation, no
+// per-vector slack, and byte-identical to the on-disk `.mpcb` image, so a
+// graph can be mmap'd from a file as cheaply as it is built in memory.
+// Offsets are stored 32-bit when every offset fits (m < 2^32 — always true
+// for this build's 32-bit EdgeId) and 64-bit otherwise; OffsetSpan
+// dispatches on the width so `left_neighbors`/`right_neighbors` call sites
+// are unchanged. Graph copies share the arena (it is immutable).
 #pragma once
 
+#include "graph/arena.hpp"
+
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -30,45 +43,126 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
   friend auto operator<=>(const Edge&, const Edge&) = default;
 };
+static_assert(sizeof(Edge) == 8 && alignof(Edge) == 4,
+              "Edge is stored raw inside arena images");
 
 /// Adjacency entry: neighbouring vertex on the opposite side + edge id.
 struct Incidence {
   Vertex to = 0;
   EdgeId edge = 0;
 };
+static_assert(sizeof(Incidence) == 8 && alignof(Incidence) == 4,
+              "Incidence is stored raw inside arena images");
 
-/// Immutable CSR bipartite graph. Construct through BipartiteGraphBuilder.
+/// Width-typed view over a CSR offset array living inside an arena: one
+/// predictable null test selects the 32-bit or 64-bit stride, so the
+/// narrow (universal in practice) layout pays no conversion and the wide
+/// layout needs no second code path at call sites.
+class OffsetSpan {
+ public:
+  OffsetSpan() = default;
+  explicit OffsetSpan(const std::uint32_t* narrow) : narrow_(narrow) {}
+  explicit OffsetSpan(const std::uint64_t* wide) : wide_(wide) {}
+
+  [[nodiscard]] std::size_t operator[](std::size_t i) const {
+    return narrow_ ? std::size_t{narrow_[i]} : std::size_t{wide_[i]};
+  }
+  /// Both bounds of slot i with a single width dispatch.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> range(std::size_t i) const {
+    if (narrow_) return {narrow_[i], narrow_[i + 1]};
+    return {wide_[i], wide_[i + 1]};
+  }
+
+ private:
+  const std::uint32_t* narrow_ = nullptr;
+  const std::uint64_t* wide_ = nullptr;
+};
+
+/// Immutable CSR bipartite graph over an InstanceArena. Construct through
+/// BipartiteGraphBuilder (heap arena) or from_arena (e.g. an mmap'd file).
 class BipartiteGraph {
  public:
   BipartiteGraph() = default;
+  BipartiteGraph(const BipartiteGraph&) = default;
+  BipartiteGraph& operator=(const BipartiteGraph&) = default;
+  BipartiteGraph(BipartiteGraph&& other) noexcept { swap(other); }
+  BipartiteGraph& operator=(BipartiteGraph&& other) noexcept {
+    if (this != &other) {
+      BipartiteGraph empty;
+      swap(empty);  // release our state
+      swap(other);  // take theirs; other is left default-constructed
+    }
+    return *this;
+  }
 
-  [[nodiscard]] std::size_t num_left() const { return left_offsets_.empty() ? 0 : left_offsets_.size() - 1; }
-  [[nodiscard]] std::size_t num_right() const { return right_offsets_.empty() ? 0 : right_offsets_.size() - 1; }
-  [[nodiscard]] std::size_t num_vertices() const { return num_left() + num_right(); }
-  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  /// Wrap an arena image (heap or mmap) as a graph view. The arena must
+  /// pass validate_header(); throws ArenaFormatError otherwise.
+  [[nodiscard]] static BipartiteGraph from_arena(
+      std::shared_ptr<const InstanceArena> arena);
+
+  [[nodiscard]] std::size_t num_left() const { return num_left_; }
+  [[nodiscard]] std::size_t num_right() const { return num_right_; }
+  [[nodiscard]] std::size_t num_vertices() const {
+    return num_left_ + num_right_;
+  }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
 
   [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
-  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] std::span<const Edge> edges() const {
+    return {edges_, num_edges_};
+  }
 
   [[nodiscard]] std::span<const Incidence> left_neighbors(Vertex u) const {
-    return {adj_left_.data() + left_offsets_[u],
-            adj_left_.data() + left_offsets_[u + 1]};
+    const auto [begin, end] = left_offsets_.range(u);
+    return {adj_left_ + begin, adj_left_ + end};
   }
   [[nodiscard]] std::span<const Incidence> right_neighbors(Vertex v) const {
-    return {adj_right_.data() + right_offsets_[v],
-            adj_right_.data() + right_offsets_[v + 1]};
+    const auto [begin, end] = right_offsets_.range(v);
+    return {adj_right_ + begin, adj_right_ + end};
   }
 
   [[nodiscard]] std::size_t left_degree(Vertex u) const {
-    return left_offsets_[u + 1] - left_offsets_[u];
+    const auto [begin, end] = left_offsets_.range(u);
+    return end - begin;
   }
   [[nodiscard]] std::size_t right_degree(Vertex v) const {
-    return right_offsets_[v + 1] - right_offsets_[v];
+    const auto [begin, end] = right_offsets_.range(v);
+    return end - begin;
   }
 
-  [[nodiscard]] std::size_t max_left_degree() const;
-  [[nodiscard]] std::size_t max_right_degree() const;
-  [[nodiscard]] double average_degree() const;
+  /// CSR offsets (adjacency positions); i ∈ [0, side size]. Used by the
+  /// packers; algorithm code should prefer the neighbor spans.
+  [[nodiscard]] std::size_t left_offset(std::size_t i) const {
+    return left_offsets_[i];
+  }
+  [[nodiscard]] std::size_t right_offset(std::size_t i) const {
+    return right_offsets_[i];
+  }
+
+  /// Cached at build/load time (the header records them) — O(1), safe to
+  /// call inside per-round driver logic.
+  [[nodiscard]] std::size_t max_left_degree() const { return max_left_degree_; }
+  [[nodiscard]] std::size_t max_right_degree() const {
+    return max_right_degree_;
+  }
+  [[nodiscard]] double average_degree() const {
+    const std::size_t n = num_vertices();
+    if (n == 0) return 0.0;
+    return 2.0 * static_cast<double>(num_edges_) / static_cast<double>(n);
+  }
+
+  /// The backing arena (never null for a non-default-constructed graph).
+  [[nodiscard]] const std::shared_ptr<const InstanceArena>& arena() const {
+    return arena_;
+  }
+
+  /// New edge id → original edge id, for arenas packed with a reordered
+  /// edge numbering (PackOptions::order != kPreserve); empty for the
+  /// identity ordering. Per-edge arrays of the original instance translate
+  /// as original_array[edge_remap()[e]] == this_array[e].
+  [[nodiscard]] std::span<const EdgeId> edge_remap() const {
+    return {edge_remap_, edge_remap_ ? num_edges_ : 0};
+  }
 
   /// Structural self-check (offsets monotone, edge ids consistent, no
   /// duplicate edges). Throws std::logic_error on violation; used by tests
@@ -81,16 +175,39 @@ class BipartiteGraph {
  private:
   friend class BipartiteGraphBuilder;
 
-  std::vector<Edge> edges_;
-  std::vector<std::size_t> left_offsets_;
-  std::vector<std::size_t> right_offsets_;
-  std::vector<Incidence> adj_left_;
-  std::vector<Incidence> adj_right_;
+  void swap(BipartiteGraph& other) noexcept {
+    std::swap(arena_, other.arena_);
+    std::swap(left_offsets_, other.left_offsets_);
+    std::swap(right_offsets_, other.right_offsets_);
+    std::swap(adj_left_, other.adj_left_);
+    std::swap(adj_right_, other.adj_right_);
+    std::swap(edges_, other.edges_);
+    std::swap(edge_remap_, other.edge_remap_);
+    std::swap(num_left_, other.num_left_);
+    std::swap(num_right_, other.num_right_);
+    std::swap(num_edges_, other.num_edges_);
+    std::swap(max_left_degree_, other.max_left_degree_);
+    std::swap(max_right_degree_, other.max_right_degree_);
+  }
+
+  std::shared_ptr<const InstanceArena> arena_;
+  OffsetSpan left_offsets_;
+  OffsetSpan right_offsets_;
+  const Incidence* adj_left_ = nullptr;
+  const Incidence* adj_right_ = nullptr;
+  const Edge* edges_ = nullptr;
+  const EdgeId* edge_remap_ = nullptr;
+  std::size_t num_left_ = 0;
+  std::size_t num_right_ = 0;
+  std::size_t num_edges_ = 0;
+  std::size_t max_left_degree_ = 0;
+  std::size_t max_right_degree_ = 0;
 };
 
-/// Mutable edge accumulator; `build()` produces the CSR structure.
+/// Mutable edge accumulator; `build()` packs the CSR arena.
 class BipartiteGraphBuilder {
  public:
+  /// Sides must fit the 32-bit Vertex id space.
   BipartiteGraphBuilder(std::size_t num_left, std::size_t num_right);
 
   /// Add an edge; out-of-range endpoints throw.
@@ -102,7 +219,10 @@ class BipartiteGraphBuilder {
   /// Remove duplicate edges (keeps first occurrence order-independent).
   void deduplicate();
 
-  /// Build the immutable CSR graph. The builder is left empty.
+  /// Build the immutable CSR graph (edge ids in insertion order). The
+  /// builder is reset to a documented empty 0×0 state: pending_edges() is
+  /// 0, any further add_edge throws, and a second build() returns the
+  /// empty graph — construct a fresh builder for a new graph.
   [[nodiscard]] BipartiteGraph build();
 
  private:

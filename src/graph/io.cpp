@@ -1,5 +1,7 @@
 #include "graph/io.hpp"
 
+#include "graph/mpcb.hpp"
+
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -196,6 +198,9 @@ void save_instance(const std::string& path, const AllocationInstance& instance) 
 }
 
 AllocationInstance load_instance(const std::string& path) {
+  // Binary images are routed to the mmap loader by their magic, so every
+  // tool that takes an instance path accepts both formats transparently.
+  if (is_mpcb_file(path)) return load_instance_mmap(path);
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_instance: cannot open " + path);
   return read_instance(is);

@@ -22,6 +22,9 @@ void write_instance(std::ostream& os, const AllocationInstance& instance);
 [[nodiscard]] AllocationInstance read_instance(std::istream& is);
 
 void save_instance(const std::string& path, const AllocationInstance& instance);
+/// Loads either format: files starting with the `.mpcb` magic are mmap'd
+/// through load_instance_mmap (graph/mpcb.hpp); everything else is parsed
+/// as the text format above.
 [[nodiscard]] AllocationInstance load_instance(const std::string& path);
 
 // Solution format (one matched pair per line):

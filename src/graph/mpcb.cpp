@@ -1,0 +1,191 @@
+#include "graph/mpcb.hpp"
+
+#include "util/syscall.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <numeric>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace mpcalloc {
+
+namespace {
+
+/// old edge id → new edge id for the requested ordering (empty == identity).
+std::vector<EdgeId> edge_numbering(const BipartiteGraph& g, EdgeOrder order) {
+  const std::size_t m = g.num_edges();
+  std::vector<EdgeId> old_to_new;
+  if (order == EdgeOrder::kPreserve || m == 0) return old_to_new;
+
+  std::vector<Vertex> left(g.num_left());
+  std::iota(left.begin(), left.end(), Vertex{0});
+  if (order == EdgeOrder::kDegreeSorted) {
+    std::stable_sort(left.begin(), left.end(), [&g](Vertex a, Vertex b) {
+      return g.left_degree(a) > g.left_degree(b);
+    });
+  }
+
+  old_to_new.assign(m, 0);
+  EdgeId next = 0;
+  for (const Vertex u : left) {
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      old_to_new[inc.edge] = next++;
+    }
+  }
+  return old_to_new;
+}
+
+template <typename OffsetT>
+void fill_offsets(ArenaWriter& writer, ArenaSectionKind kind,
+                  const BipartiteGraph& g, bool left_side) {
+  const std::span<OffsetT> out = writer.section_as<OffsetT>(kind);
+  const std::size_t n = left_side ? g.num_left() : g.num_right();
+  for (std::size_t i = 0; i <= n; ++i) {
+    out[i] = static_cast<OffsetT>(left_side ? g.left_offset(i)
+                                            : g.right_offset(i));
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const InstanceArena> pack_instance(
+    const AllocationInstance& instance, const PackOptions& options) {
+  instance.validate();
+  const BipartiteGraph& g = instance.graph;
+  const std::size_t m = g.num_edges();
+  const std::uint16_t width = options.force_wide_offsets ? 8 : 4;
+
+  const std::vector<EdgeId> old_to_new = edge_numbering(g, options.order);
+  const bool permuted = !old_to_new.empty();
+
+  ArenaWriter::Counts counts;
+  counts.num_left = g.num_left();
+  counts.num_right = g.num_right();
+  counts.num_edges = m;
+  counts.max_left_degree = g.max_left_degree();
+  counts.max_right_degree = g.max_right_degree();
+
+  std::vector<std::pair<ArenaSectionKind, std::uint64_t>> sections{
+      {ArenaSectionKind::kLeftOffsets, (g.num_left() + 1) * width},
+      {ArenaSectionKind::kRightOffsets, (g.num_right() + 1) * width},
+      {ArenaSectionKind::kAdjLeft, m * sizeof(Incidence)},
+      {ArenaSectionKind::kAdjRight, m * sizeof(Incidence)},
+      {ArenaSectionKind::kEdges, m * sizeof(Edge)},
+      {ArenaSectionKind::kCapacities,
+       g.num_right() * sizeof(std::uint32_t)},
+  };
+  if (permuted) {
+    sections.emplace_back(ArenaSectionKind::kEdgeRemap, m * sizeof(EdgeId));
+  }
+  ArenaWriter writer(counts, width, permuted ? kPermutedEdges : 0u, sections);
+
+  if (width == 4) {
+    fill_offsets<std::uint32_t>(writer, ArenaSectionKind::kLeftOffsets, g, true);
+    fill_offsets<std::uint32_t>(writer, ArenaSectionKind::kRightOffsets, g,
+                                false);
+  } else {
+    fill_offsets<std::uint64_t>(writer, ArenaSectionKind::kLeftOffsets, g, true);
+    fill_offsets<std::uint64_t>(writer, ArenaSectionKind::kRightOffsets, g,
+                                false);
+  }
+
+  // Adjacency keeps its list order; only the edge-id field is renumbered.
+  const std::span<Incidence> adj_left =
+      writer.section_as<Incidence>(ArenaSectionKind::kAdjLeft);
+  const std::span<Incidence> adj_right =
+      writer.section_as<Incidence>(ArenaSectionKind::kAdjRight);
+  const auto renumber = [&old_to_new](EdgeId e) {
+    return old_to_new.empty() ? e : old_to_new[e];
+  };
+  std::size_t k = 0;
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    for (const Incidence& inc : g.left_neighbors(u)) {
+      adj_left[k++] = Incidence{inc.to, renumber(inc.edge)};
+    }
+  }
+  k = 0;
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    for (const Incidence& inc : g.right_neighbors(v)) {
+      adj_right[k++] = Incidence{inc.to, renumber(inc.edge)};
+    }
+  }
+
+  const std::span<Edge> edges = writer.section_as<Edge>(ArenaSectionKind::kEdges);
+  if (permuted) {
+    const std::span<EdgeId> remap =
+        writer.section_as<EdgeId>(ArenaSectionKind::kEdgeRemap);
+    for (EdgeId old = 0; old < m; ++old) {
+      edges[old_to_new[old]] = g.edge(old);
+      remap[old_to_new[old]] = old;
+    }
+  } else if (m > 0) {
+    std::memcpy(edges.data(), g.edges().data(), m * sizeof(Edge));
+  }
+
+  if (g.num_right() > 0) {
+    std::memcpy(writer.section(ArenaSectionKind::kCapacities).data(),
+                instance.capacities.data(),
+                g.num_right() * sizeof(std::uint32_t));
+  }
+
+  return writer.finalize(/*with_checksums=*/true);
+}
+
+AllocationInstance instance_from_arena(
+    std::shared_ptr<const InstanceArena> arena) {
+  AllocationInstance out;
+  const std::span<const std::byte> caps =
+      arena->section_bytes(ArenaSectionKind::kCapacities);
+  out.capacities.resize(caps.size() / sizeof(std::uint32_t));
+  if (!out.capacities.empty()) {
+    std::memcpy(out.capacities.data(), caps.data(), caps.size());
+  }
+  out.graph = BipartiteGraph::from_arena(std::move(arena));
+  return out;
+}
+
+void save_instance_mpcb(const std::string& path,
+                        const AllocationInstance& instance,
+                        const PackOptions& options) {
+  const std::shared_ptr<const InstanceArena> arena =
+      pack_instance(instance, options);
+  const int fd = retry_eintr(
+      [&] { return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644); });
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "save_instance_mpcb: cannot open " + path);
+  }
+  const ssize_t wrote = write_all(fd, arena->data(), arena->size());
+  const int err = errno;
+  close_quiet(fd);
+  if (wrote != static_cast<ssize_t>(arena->size())) {
+    throw std::system_error(err, std::generic_category(),
+                            "save_instance_mpcb: short write to " + path);
+  }
+}
+
+AllocationInstance load_instance_mmap(const std::string& path) {
+  return instance_from_arena(InstanceArena::map_file(path));
+}
+
+AllocationInstance load_instance_mpcb_copy(const std::string& path) {
+  return instance_from_arena(InstanceArena::read_file(path));
+}
+
+bool is_mpcb_file(const std::string& path) {
+  const int fd = retry_eintr([&] { return ::open(path.c_str(), O_RDONLY); });
+  if (fd < 0) return false;
+  std::uint32_t magic = 0;
+  const ssize_t got = read_exact(fd, &magic, sizeof(magic));
+  close_quiet(fd);
+  return got == static_cast<ssize_t>(sizeof(magic)) && magic == kArenaMagic;
+}
+
+}  // namespace mpcalloc

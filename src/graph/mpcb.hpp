@@ -1,0 +1,80 @@
+// `.mpcb` — the binary on-disk format for allocation instances.
+//
+// An `.mpcb` file is byte-for-byte an InstanceArena image (graph/arena.hpp):
+// 128-byte header, section table, and 64-byte-aligned payload sections.
+// Saving is pack + one write(); loading is either
+//
+//   load_instance_mmap       mmap(PROT_READ, MAP_SHARED) + header validation
+//                            — O(header) startup regardless of m, pages are
+//                            demand-faulted and shared through the page
+//                            cache by every process mapping the file (the
+//                            forked workers of the process MPC backend), or
+//   load_instance_mpcb_copy  read the image into a private heap block — the
+//                            portable fallback and the ASan-friendly path.
+//
+// Packing always records per-section payload checksums
+// (ArenaFlags::kHasChecksums); loaders do not verify them (startup stays
+// O(header)) but `mpcalloc_pack --validate`, the tests, and bench_load do.
+//
+// Edge ordering: pack_instance can renumber edge ids (EdgeOrder) to improve
+// locality of per-edge arrays. Only the *ids* change — adjacency list order
+// is untouched — so every incidence-order traversal (and therefore every
+// solver result keyed by vertices) is bitwise identical to the unpermuted
+// instance; per-edge arrays translate through BipartiteGraph::edge_remap().
+// kPreserve emits no remap table and the image is bitwise identical to the
+// in-memory build of the same instance (plus checksums).
+#pragma once
+
+#include "graph/arena.hpp"
+#include "graph/bipartite_graph.hpp"
+
+#include <memory>
+#include <string>
+
+namespace mpcalloc {
+
+/// Edge-id numbering of a packed image.
+enum class EdgeOrder {
+  kPreserve,      ///< keep the instance's edge ids (identity; no remap table)
+  kLeftCsr,       ///< ids follow the left-CSR scan: adj_left[k].edge == k
+  kDegreeSorted,  ///< ids grouped by left vertex, highest-degree vertices
+                  ///< first (ties by vertex id) — hot vertices' per-edge
+                  ///< entries share cache blocks
+};
+
+struct PackOptions {
+  EdgeOrder order = EdgeOrder::kPreserve;
+  /// Pack 64-bit CSR offsets even when 32-bit ones suffice. Real images
+  /// only need this once m ≥ 2^32; the option keeps the wide read path
+  /// honest in tests without a 4-billion-edge fixture.
+  bool force_wide_offsets = false;
+};
+
+/// Pack an instance into a fresh arena image (with payload checksums).
+[[nodiscard]] std::shared_ptr<const InstanceArena> pack_instance(
+    const AllocationInstance& instance, const PackOptions& options = {});
+
+/// Wrap an arena image (heap or mmap) as an instance. The graph views the
+/// arena in place; capacities are copied into the instance's vector
+/// (O(num_right), negligible next to m). Throws ArenaFormatError if the
+/// image lacks a capacities section.
+[[nodiscard]] AllocationInstance instance_from_arena(
+    std::shared_ptr<const InstanceArena> arena);
+
+/// pack_instance + one write_all to `path`.
+void save_instance_mpcb(const std::string& path,
+                        const AllocationInstance& instance,
+                        const PackOptions& options = {});
+
+/// mmap `path` read-only and wrap it — the instant-startup load path.
+[[nodiscard]] AllocationInstance load_instance_mmap(const std::string& path);
+
+/// Read `path` into a private heap block and wrap it.
+[[nodiscard]] AllocationInstance load_instance_mpcb_copy(
+    const std::string& path);
+
+/// True when `path` starts with the arena magic (an `.mpcb` image rather
+/// than a text instance). False for unreadable or short files.
+[[nodiscard]] bool is_mpcb_file(const std::string& path);
+
+}  // namespace mpcalloc

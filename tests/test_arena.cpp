@@ -1,0 +1,387 @@
+// Arena image + `.mpcb` format tests: round-trips through heap/mmap/copy
+// loads, corruption rejection naming the offending field, edge-id
+// permutations, and the heap-vs-mmap solver identity matrix.
+#include "alloc/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mpcalloc {
+namespace {
+
+AllocationInstance make_instance(std::size_t num_left, std::size_t num_right,
+                                 std::uint32_t lambda, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  AllocationInstance instance;
+  instance.graph = union_of_forests(num_left, num_right, lambda, rng);
+  instance.capacities = uniform_capacities(num_right, 1, 5, rng);
+  return instance;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "mpcalloc_arena_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good());
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void dump(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good());
+}
+
+/// Removes the file on scope exit so failing tests do not litter TempDir.
+struct FileGuard {
+  std::string path;
+  ~FileGuard() { std::remove(path.c_str()); }
+};
+
+void expect_same_instance(const AllocationInstance& a,
+                          const AllocationInstance& b) {
+  ASSERT_EQ(a.graph.num_left(), b.graph.num_left());
+  ASSERT_EQ(a.graph.num_right(), b.graph.num_right());
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.capacities, b.capacities);
+  EXPECT_EQ(a.graph.max_left_degree(), b.graph.max_left_degree());
+  EXPECT_EQ(a.graph.max_right_degree(), b.graph.max_right_degree());
+  for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+    ASSERT_EQ(a.graph.edge(e), b.graph.edge(e));
+  }
+  for (Vertex u = 0; u < a.graph.num_left(); ++u) {
+    const auto an = a.graph.left_neighbors(u);
+    const auto bn = b.graph.left_neighbors(u);
+    ASSERT_EQ(an.size(), bn.size());
+    for (std::size_t i = 0; i < an.size(); ++i) {
+      ASSERT_EQ(an[i].to, bn[i].to);
+      ASSERT_EQ(an[i].edge, bn[i].edge);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(ArenaRoundTrip, MmapAndCopyLoadsReproduceGeneratorInstances) {
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    const AllocationInstance original = make_instance(300, 120, 3, seed);
+    const FileGuard file{temp_path("rt_" + std::to_string(seed) + ".mpcb")};
+    save_instance_mpcb(file.path, original);
+
+    const AllocationInstance mapped = load_instance_mmap(file.path);
+    EXPECT_EQ(mapped.graph.arena()->backing(), InstanceArena::Backing::kMmap);
+    expect_same_instance(original, mapped);
+    mapped.validate();
+    mapped.graph.arena()->verify_checksums();
+
+    const AllocationInstance copied = load_instance_mpcb_copy(file.path);
+    EXPECT_EQ(copied.graph.arena()->backing(), InstanceArena::Backing::kHeap);
+    expect_same_instance(original, copied);
+  }
+}
+
+TEST(ArenaRoundTrip, EmptyAndIsolatedVertexInstances) {
+  for (const auto& [nl, nr] : {std::pair<std::size_t, std::size_t>{0, 1},
+                               {5, 3}}) {
+    AllocationInstance original;
+    original.graph = BipartiteGraphBuilder(nl, nr).build();
+    original.capacities.assign(nr, 2);
+    const FileGuard file{temp_path("empty.mpcb")};
+    save_instance_mpcb(file.path, original);
+    const AllocationInstance mapped = load_instance_mmap(file.path);
+    expect_same_instance(original, mapped);
+    mapped.validate();
+  }
+}
+
+TEST(ArenaRoundTrip, LoadInstanceSniffsBinaryImages) {
+  const AllocationInstance original = make_instance(100, 40, 2, 3);
+  const FileGuard binary{temp_path("sniff.mpcb")};
+  const FileGuard text{temp_path("sniff.alloc")};
+  save_instance_mpcb(binary.path, original);
+  save_instance(text.path, original);
+  EXPECT_TRUE(is_mpcb_file(binary.path));
+  EXPECT_FALSE(is_mpcb_file(text.path));
+  // Same entry point, either format.
+  expect_same_instance(original, load_instance(binary.path));
+  expect_same_instance(original, load_instance(text.path));
+}
+
+TEST(ArenaRoundTrip, WideOffsetsPackAndLoad) {
+  const AllocationInstance original = make_instance(200, 80, 3, 5);
+  PackOptions options;
+  options.force_wide_offsets = true;
+  const FileGuard file{temp_path("wide.mpcb")};
+  save_instance_mpcb(file.path, original, options);
+  const AllocationInstance mapped = load_instance_mmap(file.path);
+  EXPECT_EQ(mapped.graph.arena()->header().offset_width, 8);
+  expect_same_instance(original, mapped);
+  mapped.validate();
+}
+
+TEST(ArenaRoundTrip, CachedDegreesSurviveTheImage) {
+  const AllocationInstance original = make_instance(400, 150, 4, 11);
+  std::size_t want_left = 0, want_right = 0;
+  for (Vertex u = 0; u < original.graph.num_left(); ++u) {
+    want_left = std::max(want_left, original.graph.left_degree(u));
+  }
+  for (Vertex v = 0; v < original.graph.num_right(); ++v) {
+    want_right = std::max(want_right, original.graph.right_degree(v));
+  }
+  EXPECT_EQ(original.graph.max_left_degree(), want_left);
+  EXPECT_EQ(original.graph.max_right_degree(), want_right);
+
+  const FileGuard file{temp_path("degrees.mpcb")};
+  save_instance_mpcb(file.path, original);
+  const AllocationInstance mapped = load_instance_mmap(file.path);
+  EXPECT_EQ(mapped.graph.max_left_degree(), want_left);
+  EXPECT_EQ(mapped.graph.max_right_degree(), want_right);
+}
+
+TEST(ArenaRoundTrip, GraphOnlyArenaHasNoCapacities) {
+  const BipartiteGraph g = make_instance(50, 20, 2, 1).graph;
+  ASSERT_NE(g.arena(), nullptr);
+  try {
+    (void)instance_from_arena(g.arena());
+    FAIL() << "expected ArenaFormatError";
+  } catch (const ArenaFormatError& error) {
+    EXPECT_EQ(error.field(), "capacities");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption / rejection — every rejection must name the offending field
+// ---------------------------------------------------------------------------
+
+class MpcbCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_ = make_instance(120, 50, 2, 9);
+    path_ = temp_path("corrupt.mpcb");
+    save_instance_mpcb(path_, instance_);
+    bytes_ = slurp(path_);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Rewrites the image with `bytes_` and expects the mmap load to throw an
+  /// ArenaFormatError naming `field`.
+  void expect_rejected(const std::string& field) {
+    dump(path_, bytes_);
+    try {
+      (void)load_instance_mmap(path_);
+      FAIL() << "expected ArenaFormatError for field '" << field << "'";
+    } catch (const ArenaFormatError& error) {
+      EXPECT_EQ(error.field(), field);
+      EXPECT_NE(std::string(error.what()).find(field), std::string::npos);
+    }
+  }
+
+  AllocationInstance instance_;
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(MpcbCorruption, BadMagic) {
+  bytes_[0] ^= 0x5A;
+  expect_rejected("magic");
+}
+
+TEST_F(MpcbCorruption, UnsupportedVersion) {
+  bytes_[offsetof(ArenaHeader, version)] = 99;
+  expect_rejected("version");
+}
+
+TEST_F(MpcbCorruption, BadOffsetWidth) {
+  bytes_[offsetof(ArenaHeader, offset_width)] = 3;
+  expect_rejected("offset_width");
+}
+
+TEST_F(MpcbCorruption, WrongIdWidth) {
+  bytes_[offsetof(ArenaHeader, id_width)] = 8;
+  expect_rejected("id_width");
+}
+
+TEST_F(MpcbCorruption, TruncatedFile) {
+  bytes_.resize(bytes_.size() - 7);
+  expect_rejected("total_bytes");
+}
+
+TEST_F(MpcbCorruption, FileShorterThanHeader) {
+  bytes_.resize(sizeof(ArenaHeader) / 2);
+  expect_rejected("total_bytes");
+}
+
+TEST_F(MpcbCorruption, TamperedHeaderFailsChecksum) {
+  bytes_[offsetof(ArenaHeader, max_left_degree)] ^= 0x01;
+  expect_rejected("header_checksum");
+}
+
+TEST_F(MpcbCorruption, ImplausibleSectionCount) {
+  bytes_[offsetof(ArenaHeader, section_count)] = 0;
+  expect_rejected("section_count");
+}
+
+TEST_F(MpcbCorruption, FlippedPayloadByteFailsChecksumVerify) {
+  // Header validation cannot see payload damage (it is O(header) by
+  // design); verify_checksums must catch it and name the section.
+  const auto arena = InstanceArena::map_file(path_);
+  const ArenaSectionEntry* edges =
+      arena->find_section(ArenaSectionKind::kEdges);
+  ASSERT_NE(edges, nullptr);
+  bytes_[edges->offset] ^= 0x01;
+  dump(path_, bytes_);
+
+  const auto corrupted = InstanceArena::map_file(path_);  // header still ok
+  try {
+    corrupted->verify_checksums();
+    FAIL() << "expected ArenaFormatError";
+  } catch (const ArenaFormatError& error) {
+    EXPECT_EQ(error.field(), "edges checksum");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-id permutations
+// ---------------------------------------------------------------------------
+
+TEST(MpcbPermutation, LeftCsrNumbersEdgesInScanOrder) {
+  const AllocationInstance original = make_instance(150, 60, 3, 13);
+  PackOptions options;
+  options.order = EdgeOrder::kLeftCsr;
+  const AllocationInstance packed =
+      instance_from_arena(pack_instance(original, options));
+  packed.validate();
+  EdgeId expected = 0;
+  for (Vertex u = 0; u < packed.graph.num_left(); ++u) {
+    for (const Incidence& inc : packed.graph.left_neighbors(u)) {
+      EXPECT_EQ(inc.edge, expected++);
+    }
+  }
+  // The remap translates back to the original numbering.
+  const auto remap = packed.graph.edge_remap();
+  ASSERT_EQ(remap.size(), packed.graph.num_edges());
+  for (EdgeId e = 0; e < packed.graph.num_edges(); ++e) {
+    EXPECT_EQ(packed.graph.edge(e), original.graph.edge(remap[e]));
+  }
+}
+
+TEST(MpcbPermutation, DegreeSortedGroupsHighDegreeVerticesFirst) {
+  const AllocationInstance original = make_instance(150, 60, 3, 17);
+  PackOptions options;
+  options.order = EdgeOrder::kDegreeSorted;
+  const AllocationInstance packed =
+      instance_from_arena(pack_instance(original, options));
+  packed.validate();  // validates the remap is a permutation
+  // The left vertex owning edge id 0 must have maximum degree.
+  const Edge first = packed.graph.edge(0);
+  EXPECT_EQ(packed.graph.left_degree(first.u),
+            packed.graph.max_left_degree());
+}
+
+TEST(MpcbPermutation, SolverResultsAreIdenticalUpToRemap) {
+  const AllocationInstance original = make_instance(800, 300, 3, 19);
+  PackOptions options;
+  options.order = EdgeOrder::kDegreeSorted;
+  const FileGuard file{temp_path("perm.mpcb")};
+  save_instance_mpcb(file.path, original, options);
+  const AllocationInstance permuted = load_instance_mmap(file.path);
+
+  SolveOptions solve_options;
+  solve_options.method = SolveMethod::kAdaptive;
+  solve_options.epsilon = 0.25;
+  const SolveResult a = Solver(solve_options).solve(original);
+  const SolveResult b = Solver(solve_options).solve(permuted);
+
+  // Vertex-indexed outputs are bitwise identical: adjacency order never
+  // changes, so every incidence-order reduction sums in the same order.
+  EXPECT_EQ(a.match_weight, b.match_weight);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.final_levels, b.final_levels);
+  EXPECT_EQ(a.final_alloc, b.final_alloc);
+  // Edge-indexed outputs translate through the remap.
+  const auto remap = permuted.graph.edge_remap();
+  ASSERT_EQ(a.allocation.x.size(), b.allocation.x.size());
+  for (EdgeId e = 0; e < b.allocation.x.size(); ++e) {
+    EXPECT_EQ(a.allocation.x[remap[e]], b.allocation.x[e]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver identity matrix: heap vs mmap must be bitwise indistinguishable
+// ---------------------------------------------------------------------------
+
+TEST(MpcbSolverIdentity, HeapAndMmapMatchAcrossMethodsAndThreads) {
+  const AllocationInstance heap = make_instance(1200, 400, 3, 23);
+  const FileGuard file{temp_path("identity.mpcb")};
+  save_instance_mpcb(file.path, heap);
+  const AllocationInstance mapped = load_instance_mmap(file.path);
+
+  for (const SolveMethod method :
+       {SolveMethod::kProportional, SolveMethod::kAdaptive,
+        SolveMethod::kMpcNaive}) {
+    for (const std::size_t threads : {1, 2, 4}) {
+      SolveOptions options;
+      options.method = method;
+      options.num_threads = threads;
+      options.epsilon = 0.25;
+      options.lambda = 3.0;
+      options.max_rounds = method == SolveMethod::kProportional ? 12 : 0;
+      options.seed = 5;
+      const SolveResult a = Solver(options).solve(heap);
+      const SolveResult b = Solver(options).solve(mapped);
+      EXPECT_EQ(a.match_weight, b.match_weight)
+          << "method=" << static_cast<int>(method) << " threads=" << threads;
+      EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+      EXPECT_EQ(a.final_levels, b.final_levels);
+      EXPECT_EQ(a.final_alloc, b.final_alloc);
+      EXPECT_EQ(a.allocation.x, b.allocation.x);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mmap sharing across fork (the process-backend startup story)
+// ---------------------------------------------------------------------------
+
+TEST(MpcbSharing, ForkedChildReadsTheSameMapping) {
+  const AllocationInstance original = make_instance(500, 200, 3, 29);
+  const FileGuard file{temp_path("fork.mpcb")};
+  save_instance_mpcb(file.path, original);
+  const AllocationInstance mapped = load_instance_mmap(file.path);
+
+  std::uint64_t parent_sum = 0;
+  for (const Edge& e : mapped.graph.edges()) parent_sum += e.u + e.v;
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: the MAP_SHARED pages arrive with the address space — no load,
+    // no copy. Exit 0 iff the image reads back identically.
+    std::uint64_t child_sum = 0;
+    for (const Edge& e : mapped.graph.edges()) child_sum += e.u + e.v;
+    _exit(child_sum == parent_sum && mapped.graph.num_edges() ==
+                                         original.graph.num_edges()
+              ? 0
+              : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace mpcalloc

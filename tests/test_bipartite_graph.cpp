@@ -86,6 +86,40 @@ TEST(BipartiteGraphBuilder, DeduplicateRemovesCopies) {
   g.validate();
 }
 
+TEST(BipartiteGraphBuilder, BuildResetsToDocumentedEmptyState) {
+  BipartiteGraphBuilder b(3, 2);
+  b.add_edge(0, 0);
+  b.add_edge(2, 1);
+  const BipartiteGraph first = b.build();
+  EXPECT_EQ(first.num_edges(), 2u);
+
+  // Post-build the builder is the documented empty 0×0 state, not a stale
+  // copy of its pre-build contents.
+  EXPECT_EQ(b.pending_edges(), 0u);
+  EXPECT_THROW(b.add_edge(0, 0), std::out_of_range);
+  const BipartiteGraph second = b.build();
+  EXPECT_EQ(second.num_left(), 0u);
+  EXPECT_EQ(second.num_right(), 0u);
+  EXPECT_EQ(second.num_edges(), 0u);
+
+  // The first graph is unaffected by the reset.
+  first.validate();
+  EXPECT_EQ(first.num_edges(), 2u);
+}
+
+TEST(BipartiteGraph, CachedDegreeGettersMatchRecomputation) {
+  const BipartiteGraph g = triangle_ish();
+  std::size_t max_left = 0, max_right = 0;
+  for (Vertex u = 0; u < g.num_left(); ++u) {
+    max_left = std::max(max_left, g.left_degree(u));
+  }
+  for (Vertex v = 0; v < g.num_right(); ++v) {
+    max_right = std::max(max_right, g.right_degree(v));
+  }
+  EXPECT_EQ(g.max_left_degree(), max_left);
+  EXPECT_EQ(g.max_right_degree(), max_right);
+}
+
 TEST(BipartiteGraph, ValidateDetectsDuplicates) {
   BipartiteGraphBuilder b(2, 2);
   b.add_edge(0, 0);
